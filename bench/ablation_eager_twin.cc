@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Ablation of the eager small-object twin (Sections 4.2 and 9): this
+ * paper's EC twinning copies a small object as soon as the write lock
+ * is acquired, where the Midway VM implementation write-protects it
+ * and takes a fault on the first store. Water (per-molecule objects)
+ * and IS (one sub-page array) are the sensitive applications.
+ */
+
+#include "bench_common.hh"
+
+using namespace dsm;
+
+int
+main()
+{
+    AppParams params = benchParams();
+    ClusterConfig cc = benchCluster();
+    cc.runtime = RuntimeConfig::parse("EC-diff");
+    printHeader("Ablation: eager small-object twin vs Midway-style "
+                "protection faults (EC-diff)", cc);
+
+    Table table({"Scheme", "Water", "IS", "Water faults", "IS faults"});
+    for (bool eager : {true, false}) {
+        cc.ecEagerSmallTwin = eager;
+        ExperimentResult water =
+            runExperiment("Water", cc.runtime, params, cc);
+        ExperimentResult is = runExperiment("IS", cc.runtime, params,
+                                            cc);
+        table.addRow({eager ? "eager twin (this paper)"
+                            : "protect + fault (Midway VM)",
+                      fmtSeconds(water.execSeconds()),
+                      fmtSeconds(is.execSeconds()),
+                      std::to_string(water.run.total.pageFaults),
+                      std::to_string(is.run.total.pageFaults)});
+    }
+    table.print();
+    std::printf("\nEager twinning avoids one protection fault per "
+                "write-lock acquire of a small object (Section 9).\n");
+    return 0;
+}

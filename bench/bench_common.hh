@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Shared plumbing for the table-reproduction benches: workload scale
+ * selection (DSM_SCALE=test|bench|paper), the 8-node cluster base
+ * configuration, and paper-reference values for EXPERIMENTS.md
+ * comparisons.
+ */
+
+#ifndef DSM_BENCH_COMMON_HH
+#define DSM_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "driver/experiment.hh"
+#include "driver/table.hh"
+
+namespace dsm {
+
+inline AppParams
+benchParams()
+{
+    const char *scale = std::getenv("DSM_SCALE");
+    if (scale && std::string(scale) == "paper")
+        return AppParams::paperScale();
+    if (scale && std::string(scale) == "test")
+        return AppParams::testScale();
+    return AppParams::benchScale();
+}
+
+inline ClusterConfig
+benchCluster()
+{
+    ClusterConfig cc;
+    cc.nprocs = 8;
+    cc.arenaBytes = 48u << 20;
+    cc.pageSize = 4096;
+    if (const char *np = std::getenv("DSM_NPROCS"))
+        cc.nprocs = std::atoi(np);
+    return cc;
+}
+
+inline void
+printHeader(const char *title, const ClusterConfig &cc)
+{
+    std::printf("=== %s ===\n", title);
+    std::printf("%d nodes, %zu-byte pages, %s\n", cc.nprocs, cc.pageSize,
+                cc.cost.toString().c_str());
+    std::printf("(set DSM_SCALE=test|bench|paper to change workload "
+                "sizes)\n\n");
+}
+
+/** Paper Table 3 values (seconds on 8 DECstation-5000/240). */
+struct PaperRow
+{
+    const char *app;
+    double oneProc;
+    double ec;
+    double lrc; ///< < 0: n/a
+    const char *ecImpl;
+    const char *lrcImpl;
+};
+
+inline const std::vector<PaperRow> &
+paperTable3()
+{
+    static const std::vector<PaperRow> kRows = {
+        {"SOR", 86.10, 13.23, 13.14, "time", "diff"},
+        {"SOR+", 86.10, 13.22, -1.0, "time", "time"},
+        {"QS", 47.89, 8.33, 9.66, "diff", "diff"},
+        {"Water", 61.21, 18.25, 12.41, "ci", "diff"},
+        {"Barnes-Hut", 133.76, 63.07, 37.75, "time", "diff"},
+        {"IS", 10.27, 1.81, 1.86, "time", "time"},
+        {"3D-FFT", 39.82, 8.32, 9.23, "ci", "diff"},
+    };
+    return kRows;
+}
+
+} // namespace dsm
+
+#endif // DSM_BENCH_COMMON_HH

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Microbenchmarks (google-benchmark) of the write trapping and write
+ * collection primitives themselves: twin creation, diff creation and
+ * application, timestamp scans, dirty-bit marking and scanning, and
+ * the wire codecs. These are the per-word costs the paper's Section 8
+ * trade-offs are made of.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "mem/diff.hh"
+#include "mem/dirty_bits.hh"
+#include "mem/word_ts.hh"
+#include "net/serde.hh"
+#include "util/rng.hh"
+
+namespace dsm {
+namespace {
+
+std::vector<std::byte>
+randomBuffer(std::size_t n, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<std::byte> buf(n);
+    for (auto &b : buf)
+        b = std::byte{static_cast<unsigned char>(rng.below(256))};
+    return buf;
+}
+
+void
+BM_TwinCopy(benchmark::State &state)
+{
+    const std::size_t n = state.range(0);
+    auto src = randomBuffer(n, 1);
+    std::vector<std::byte> twin(n);
+    for (auto _ : state) {
+        std::memcpy(twin.data(), src.data(), n);
+        benchmark::DoNotOptimize(twin.data());
+    }
+    state.SetBytesProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_TwinCopy)->Arg(4096)->Arg(65536);
+
+void
+BM_DiffCreate(benchmark::State &state)
+{
+    const std::size_t n = 4096;
+    const int mods = static_cast<int>(state.range(0));
+    auto twin = randomBuffer(n, 2);
+    auto cur = twin;
+    Rng rng(3);
+    for (int i = 0; i < mods; ++i)
+        cur[rng.below(n)] = std::byte{7};
+    for (auto _ : state) {
+        Diff d = Diff::create(cur.data(), twin.data(),
+                              static_cast<std::uint32_t>(n));
+        benchmark::DoNotOptimize(d);
+    }
+    state.SetBytesProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_DiffCreate)->Arg(0)->Arg(16)->Arg(256)->Arg(1024);
+
+void
+BM_DiffApply(benchmark::State &state)
+{
+    const std::size_t n = 4096;
+    auto twin = randomBuffer(n, 4);
+    auto cur = twin;
+    Rng rng(5);
+    for (int i = 0; i < 256; ++i)
+        cur[rng.below(n)] = std::byte{9};
+    Diff d = Diff::create(cur.data(), twin.data(),
+                          static_cast<std::uint32_t>(n));
+    std::vector<std::byte> dst = twin;
+    for (auto _ : state) {
+        d.apply(dst.data());
+        benchmark::DoNotOptimize(dst.data());
+    }
+}
+BENCHMARK(BM_DiffApply);
+
+void
+BM_TimestampScan(benchmark::State &state)
+{
+    // The collection scan timestamping pays on *every* request
+    // (diffing computes its diff once) — Section 5.3.
+    BlockTimestamps ts(1024);
+    Rng rng(6);
+    for (int i = 0; i < 200; ++i)
+        ts.set(static_cast<std::uint32_t>(rng.below(1024)),
+               packTs(static_cast<int>(rng.below(8)),
+                      static_cast<std::uint32_t>(rng.below(50))));
+    for (auto _ : state) {
+        auto runs = ts.collect([](std::uint64_t t) {
+            return t != 0 && tsInterval(t) > 25;
+        });
+        benchmark::DoNotOptimize(runs);
+    }
+}
+BENCHMARK(BM_TimestampScan);
+
+void
+BM_DirtyMarkScan(benchmark::State &state)
+{
+    DirtyBitmap dirty(1 << 20, 4096);
+    Rng rng(8);
+    for (auto _ : state) {
+        for (int i = 0; i < 64; ++i)
+            dirty.markRange(rng.below((1 << 20) - 64), 8);
+        auto pages = dirty.dirtyPages();
+        benchmark::DoNotOptimize(pages);
+        dirty.clearAll();
+    }
+}
+BENCHMARK(BM_DirtyMarkScan);
+
+void
+BM_DiffWireRoundTrip(benchmark::State &state)
+{
+    const std::size_t n = 4096;
+    auto twin = randomBuffer(n, 10);
+    auto cur = twin;
+    Rng rng(11);
+    for (int i = 0; i < 128; ++i)
+        cur[rng.below(n)] = std::byte{3};
+    Diff d = Diff::create(cur.data(), twin.data(),
+                          static_cast<std::uint32_t>(n));
+    for (auto _ : state) {
+        WireWriter w;
+        d.encode(w);
+        auto bytes = w.take();
+        WireReader r(bytes);
+        Diff back = Diff::decode(r);
+        benchmark::DoNotOptimize(back);
+    }
+}
+BENCHMARK(BM_DiffWireRoundTrip);
+
+} // namespace
+} // namespace dsm
+
+BENCHMARK_MAIN();

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Reproduces Table 1 of the paper: the write-trapping x
+ * write-collection combinations explored, with their provenance.
+ */
+
+#include "bench_common.hh"
+
+using namespace dsm;
+
+int
+main()
+{
+    std::printf("=== Table 1: combinations of write trapping and "
+                "write collection ===\n\n");
+    Table table({"Collection \\ Trapping", "Compiler instr.",
+                 "Twinning"});
+    table.addRow({"Timestamping", "EC-ci (Midway), LRC-ci",
+                  "EC-time, LRC-time"});
+    table.addRow({"Diffing", "(excluded: memory cost)",
+                  "EC-diff, LRC-diff (TreadMarks)"});
+    table.print();
+
+    std::printf("\nConfigurations implemented by this library:\n");
+    for (const RuntimeConfig &config : RuntimeConfig::all()) {
+        std::printf("  %-9s model=%s trapping=%s collection=%s\n",
+                    config.name().c_str(), toString(config.model),
+                    toString(config.trap), toString(config.collect));
+    }
+    return 0;
+}

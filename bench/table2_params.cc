@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Reproduces Table 2 of the paper: application parameters, at the
+ * paper's sizes and at this reproduction's default bench sizes.
+ */
+
+#include "bench_common.hh"
+
+using namespace dsm;
+
+int
+main()
+{
+    std::printf("=== Table 2: application parameters ===\n\n");
+    AppParams paper = AppParams::paperScale();
+    AppParams bench = AppParams::benchScale();
+
+    auto fmt = [](const AppParams &p, const std::string &app) {
+        char buf[128];
+        if (app == "SOR" || app == "SOR+") {
+            std::snprintf(buf, sizeof(buf), "%dx%d floats, %d iters",
+                          p.sorRows, p.sorCols, p.sorIters);
+        } else if (app == "QS") {
+            std::snprintf(buf, sizeof(buf), "%d integers, cutoff %d",
+                          p.qsElems, p.qsCutoff);
+        } else if (app == "Water") {
+            std::snprintf(buf, sizeof(buf), "%d molecules, %d steps",
+                          p.waterMolecules, p.waterSteps);
+        } else if (app == "Barnes-Hut") {
+            std::snprintf(buf, sizeof(buf), "%d bodies, %d steps",
+                          p.barnesBodies, p.barnesSteps);
+        } else if (app == "IS") {
+            std::snprintf(buf, sizeof(buf),
+                          "N=%d, Bmax=%d, %d rankings", p.isKeys,
+                          p.isBmax, p.isRankings);
+        } else {
+            std::snprintf(buf, sizeof(buf), "%dx%dx%d, %d iters",
+                          p.fftN1, p.fftN2, p.fftN3, p.fftIters);
+        }
+        return std::string(buf);
+    };
+
+    Table table({"Application", "paper data set", "bench default"});
+    for (const std::string &app : allAppNames())
+        table.addRow({app, fmt(paper, app), fmt(bench, app)});
+    table.print();
+    return 0;
+}

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Reproduces Table 3 of the paper: for every application, the
+ * 1-processor execution time and the best EC and best LRC
+ * implementations' 8-processor times, plus the per-run message and
+ * data-volume statistics quoted throughout Section 7.2.
+ */
+
+#include "bench_common.hh"
+
+using namespace dsm;
+
+int
+main()
+{
+    AppParams params = benchParams();
+    ClusterConfig cc = benchCluster();
+    printHeader("Table 3: EC vs. LRC (best implementation per model)",
+                cc);
+
+    Table table({"Application", "1 proc.", "EC", "LRC", "EC Imp.",
+                 "LRC Imp.", "EC msgs", "LRC msgs", "EC MB", "LRC MB"});
+    Table paper({"Application", "paper EC", "paper LRC", "paper winner",
+                 "ours winner", "shape"});
+
+    for (const std::string &app : allAppNames()) {
+        ModelSweep ec = sweepModel(Model::EC, app, params, cc);
+        ModelSweep lrc = sweepModel(Model::LRC, app, params, cc);
+        const ExperimentResult &be = ec.best();
+        const ExperimentResult &bl = lrc.best();
+
+        auto impl = [](const RuntimeConfig &config) {
+            const std::string name = config.name();
+            return name.substr(name.find('-') + 1);
+        };
+        table.addRow({app, fmtSeconds(be.seqSeconds(cc.cost)),
+                      fmtSeconds(be.execSeconds()),
+                      fmtSeconds(bl.execSeconds()), impl(be.config),
+                      impl(bl.config),
+                      std::to_string(be.run.total.messagesSent),
+                      std::to_string(bl.run.total.messagesSent),
+                      fmtMb(be.run.megabytesSent()),
+                      fmtMb(bl.run.megabytesSent())});
+
+        for (const PaperRow &row : paperTable3()) {
+            if (row.app != app || row.lrc < 0)
+                continue;
+            const char *paper_winner =
+                row.ec < row.lrc * 0.97 ? "EC"
+                : row.lrc < row.ec * 0.97 ? "LRC"
+                                          : "tie";
+            const double e = be.execSeconds();
+            const double l = bl.execSeconds();
+            const char *our_winner = e < l * 0.97 ? "EC"
+                                     : l < e * 0.97 ? "LRC"
+                                                    : "tie";
+            paper.addRow({app, fmtSeconds(row.ec), fmtSeconds(row.lrc),
+                          paper_winner, our_winner,
+                          std::string(paper_winner) == our_winner
+                              ? "match"
+                              : "DIFFERS"});
+        }
+    }
+
+    table.print();
+    std::printf("\n--- paper-vs-measured winners ---\n");
+    paper.print();
+    return 0;
+}

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Reproduces Table 4 of the paper: execution times for the three EC
+ * implementations — compiler instrumentation + timestamps (EC-ci),
+ * twinning + timestamps (EC-time), twinning + diffs (EC-diff) — on
+ * every application.
+ */
+
+#include "bench_common.hh"
+
+using namespace dsm;
+
+int
+main()
+{
+    AppParams params = benchParams();
+    ClusterConfig cc = benchCluster();
+    printHeader("Table 4: write trapping x write collection in EC", cc);
+
+    // Paper values for reference (seconds).
+    Table paper({"Application", "paper EC-ci", "paper EC-time",
+                 "paper EC-diff"});
+    paper.addRow({"SOR", "14.86", "13.23", "13.28"});
+    paper.addRow({"SOR+", "14.09", "13.22", "13.25"});
+    paper.addRow({"QS", "9.71", "8.50", "8.33"});
+    paper.addRow({"Water", "18.25", "19.21", "19.73"});
+    paper.addRow({"Barnes-Hut", "63.15", "63.07", "64.89"});
+    paper.addRow({"IS", "1.86", "1.81", "2.01"});
+    paper.addRow({"3D-FFT", "8.32", "9.59", "8.68"});
+
+    Table table({"Application", "EC-ci", "EC-time", "EC-diff",
+                 "best"});
+    for (const std::string &app : allAppNames()) {
+        ModelSweep sweep = sweepModel(Model::EC, app, params, cc);
+        std::vector<std::string> row{app};
+        for (const ExperimentResult &r : sweep.results)
+            row.push_back(fmtSeconds(r.execSeconds()));
+        row.push_back(sweep.best().config.name());
+        table.addRow(std::move(row));
+    }
+    table.print();
+    std::printf("\n--- paper reference ---\n");
+    paper.print();
+    return 0;
+}

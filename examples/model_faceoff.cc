@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Model face-off: runs every paper application at a small scale under
+ * the best EC and best LRC implementations and prints a Table-3-style
+ * comparison — the library's end-to-end demo.
+ *
+ * Build & run:  ./build/examples/model_faceoff
+ */
+
+#include <cstdio>
+
+#include "driver/experiment.hh"
+#include "driver/table.hh"
+
+using namespace dsm;
+
+int
+main()
+{
+    AppParams params = AppParams::testScale();
+    ClusterConfig cc;
+    cc.nprocs = 4;
+    cc.arenaBytes = 16u << 20;
+    cc.pageSize = 1024;
+
+    std::printf("Paper applications, 4 nodes, test scale "
+                "(see bench/ for the full Table 3).\n\n");
+    Table table({"Application", "EC best", "LRC best", "winner",
+                 "EC impl", "LRC impl", "validated"});
+    for (const std::string &app : allAppNames()) {
+        ModelSweep ec = sweepModel(Model::EC, app, params, cc);
+        ModelSweep lrc = sweepModel(Model::LRC, app, params, cc);
+        const double e = ec.best().execSeconds();
+        const double l = lrc.best().execSeconds();
+        table.addRow({app, fmtSeconds(e), fmtSeconds(l),
+                      e < l * 0.97   ? "EC"
+                      : l < e * 0.97 ? "LRC"
+                                     : "tie",
+                      ec.best().config.name(),
+                      lrc.best().config.name(),
+                      ec.best().verdict.ok && lrc.best().verdict.ok
+                          ? "yes"
+                          : "NO"});
+    }
+    table.print();
+    return 0;
+}

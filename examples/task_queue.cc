@@ -1,0 +1,131 @@
+/**
+ * @file
+ * A distributed work queue on DSM — the Quicksort sharing pattern of
+ * the paper in miniature. Workers pull (value, repeat) jobs from a
+ * shared queue and accumulate results into a shared table.
+ *
+ * Under EC the queue record is bound to the queue lock, and each job's
+ * payload region is bound to a per-entry lock that is *rebound* as
+ * entries are reused for new jobs — demonstrating acquireForRebind and
+ * rebindLock. Under LRC the queue lock alone does everything.
+ *
+ * Build & run:  ./build/examples/task_queue
+ */
+
+#include <cstdio>
+
+#include "core/cluster.hh"
+#include "core/shared_array.hh"
+
+using namespace dsm;
+
+namespace {
+
+constexpr int kJobs = 48;
+constexpr int kPayloadWords = 64;
+constexpr LockId kQueueLock = 0;
+
+LockId
+entryLock(int i)
+{
+    return 1 + i;
+}
+
+} // namespace
+
+int
+main()
+{
+    for (const char *config : {"EC-diff", "LRC-diff"}) {
+        ClusterConfig cc;
+        cc.nprocs = 4;
+        cc.arenaBytes = 2u << 20;
+        cc.runtime = RuntimeConfig::parse(config);
+        Cluster cluster(cc);
+
+        RunResult result = cluster.run([](Runtime &rt) {
+            const bool ec =
+                rt.clusterConfig().runtime.model == Model::EC;
+            // queue: [next job, results...] ; payload pool per job
+            auto queue = SharedArray<std::int64_t>::alloc(
+                rt, 1 + kJobs, 4, "queue");
+            auto payload = SharedArray<std::int64_t>::alloc(
+                rt, kJobs * kPayloadWords, 4, "payload");
+            if (ec) {
+                rt.bindLock(kQueueLock, {queue.wholeRange()});
+                for (int j = 0; j < kJobs; ++j)
+                    rt.bindLock(entryLock(j), {});
+            }
+            rt.barrier(0);
+
+            // Node 0 publishes every job's payload.
+            if (rt.self() == 0) {
+                for (int j = 0; j < kJobs; ++j) {
+                    if (ec) {
+                        rt.acquireForRebind(entryLock(j));
+                        rt.rebindLock(
+                            entryLock(j),
+                            {payload.range(j * kPayloadWords,
+                                           kPayloadWords)});
+                    }
+                    std::vector<std::int64_t> words(kPayloadWords);
+                    for (int w = 0; w < kPayloadWords; ++w)
+                        words[w] = j * 1000 + w;
+                    payload.store(j * kPayloadWords, words.data(),
+                                  kPayloadWords);
+                    if (ec)
+                        rt.release(entryLock(j));
+                }
+            }
+            rt.barrier(1);
+
+            // Workers pull jobs and post the payload sum as a result.
+            for (;;) {
+                rt.acquire(kQueueLock, AccessMode::Write);
+                const std::int64_t job = queue.get(0);
+                if (job < kJobs)
+                    queue.set(0, job + 1);
+                rt.release(kQueueLock);
+                if (job >= kJobs)
+                    break;
+
+                if (ec)
+                    rt.acquire(entryLock(static_cast<int>(job)),
+                               AccessMode::Write);
+                std::int64_t sum = 0;
+                for (int w = 0; w < kPayloadWords; ++w)
+                    sum += payload.get(job * kPayloadWords + w);
+                if (ec)
+                    rt.release(entryLock(static_cast<int>(job)));
+                rt.chargeWork(kPayloadWords);
+
+                rt.acquire(kQueueLock, AccessMode::Write);
+                queue.set(1 + job, sum);
+                rt.release(kQueueLock);
+            }
+            rt.barrier(2);
+
+            if (rt.self() == 0) {
+                rt.acquire(kQueueLock, AccessMode::Read);
+                int correct = 0;
+                for (int j = 0; j < kJobs; ++j) {
+                    std::int64_t expect = 0;
+                    for (int w = 0; w < kPayloadWords; ++w)
+                        expect += j * 1000 + w;
+                    if (queue.get(1 + j) == expect)
+                        ++correct;
+                }
+                rt.release(kQueueLock);
+                std::printf("  %d/%d job results correct\n", correct,
+                            kJobs);
+            }
+            rt.barrier(3);
+        });
+
+        std::printf("%s: simulated time %.3f ms, %llu messages\n\n",
+                    config, result.execSeconds() * 1e3,
+                    static_cast<unsigned long long>(
+                        result.total.messagesSent));
+    }
+    return 0;
+}

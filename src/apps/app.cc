@@ -1,0 +1,151 @@
+#include "apps/app.hh"
+
+#include <cmath>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace dsm {
+
+AppParams
+AppParams::testScale()
+{
+    AppParams p;
+    p.sorRows = 24;
+    p.sorCols = 16;
+    p.sorIters = 4;
+    p.qsElems = 2048;
+    p.qsCutoff = 64;
+    p.waterMolecules = 12;
+    p.waterSteps = 2;
+    p.barnesBodies = 48;
+    p.barnesSteps = 2;
+    p.isKeys = 4096;
+    p.isBmax = 64;
+    p.isRankings = 2;
+    p.fftN1 = 8;
+    p.fftN2 = 8;
+    p.fftN3 = 4;
+    p.fftIters = 1;
+    return p;
+}
+
+AppParams
+AppParams::benchScale()
+{
+    AppParams p;
+    p.sorIters = 30;
+    p.waterMolecules = 128;
+    p.barnesBodies = 384;
+    p.barnesSteps = 3;
+    p.isRankings = 6;
+    p.fftIters = 3;
+    return p;
+}
+
+AppParams
+AppParams::paperScale()
+{
+    AppParams p;
+    p.sorRows = 1000;
+    p.sorCols = 1000;
+    p.sorIters = 50;
+    p.qsElems = 262144;
+    p.qsCutoff = 1024;
+    p.waterMolecules = 343;
+    p.waterSteps = 5;
+    p.barnesBodies = 8192;
+    p.barnesSteps = 5;
+    p.isKeys = 1 << 20;
+    p.isBmax = 1 << 9;
+    p.isRankings = 10;
+    p.fftN1 = 64;
+    p.fftN2 = 64;
+    p.fftN3 = 32;
+    p.fftIters = 2;
+    return p;
+}
+
+std::uint64_t
+fnv1a(const void *data, std::size_t len, std::uint64_t seed)
+{
+    const auto *p = static_cast<const unsigned char *>(data);
+    std::uint64_t h = seed;
+    for (std::size_t i = 0; i < len; ++i) {
+        h ^= p[i];
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+Verdict
+compareDoubles(const std::vector<double> &expect,
+               const std::vector<double> &got, double rel_tol)
+{
+    if (expect.size() != got.size()) {
+        return {false, "size mismatch: expected " +
+                           std::to_string(expect.size()) + " got " +
+                           std::to_string(got.size())};
+    }
+    double worst = 0;
+    std::size_t worst_at = 0;
+    for (std::size_t i = 0; i < expect.size(); ++i) {
+        const double denom = std::max({std::fabs(expect[i]),
+                                       std::fabs(got[i]), 1.0});
+        const double err = std::fabs(expect[i] - got[i]) / denom;
+        if (err > worst) {
+            worst = err;
+            worst_at = i;
+        }
+    }
+    if (worst > rel_tol) {
+        std::ostringstream os;
+        os << "max rel error " << worst << " at index " << worst_at
+           << " (expected " << expect[worst_at] << ", got "
+           << got[worst_at] << ")";
+        return {false, os.str()};
+    }
+    std::ostringstream os;
+    os << "max rel error " << worst << " over " << expect.size()
+       << " values";
+    return {true, os.str()};
+}
+
+// Factories are defined in the per-application translation units.
+std::unique_ptr<App> makeSorApp(bool plus);
+std::unique_ptr<App> makeQuicksortApp();
+std::unique_ptr<App> makeWaterApp();
+std::unique_ptr<App> makeBarnesApp();
+std::unique_ptr<App> makeIsApp();
+std::unique_ptr<App> makeFftApp();
+
+std::unique_ptr<App>
+makeApp(const std::string &name)
+{
+    if (name == "SOR")
+        return makeSorApp(false);
+    if (name == "SOR+")
+        return makeSorApp(true);
+    if (name == "QS")
+        return makeQuicksortApp();
+    if (name == "Water")
+        return makeWaterApp();
+    if (name == "Barnes-Hut")
+        return makeBarnesApp();
+    if (name == "IS")
+        return makeIsApp();
+    if (name == "3D-FFT")
+        return makeFftApp();
+    fatal("unknown application '%s'", name.c_str());
+}
+
+const std::vector<std::string> &
+allAppNames()
+{
+    static const std::vector<std::string> kNames = {
+        "SOR", "SOR+", "QS", "Water", "Barnes-Hut", "IS", "3D-FFT",
+    };
+    return kNames;
+}
+
+} // namespace dsm

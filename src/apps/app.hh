@@ -1,0 +1,140 @@
+/**
+ * @file
+ * The application framework: each of the paper's programs (SOR, SOR+,
+ * Quicksort, Water, Barnes-Hut, IS, 3D-FFT) provides
+ *  - a sequential reference implementation (the "1 proc." column of
+ *    Table 3, and the source of truth for validation),
+ *  - an EC program and an LRC program written in the respective
+ *    model's style (Section 3.3), sharing the numerical kernels,
+ *  - a validation routine comparing the parallel result (collected on
+ *    node 0 through the DSM protocol itself) against the reference.
+ */
+
+#ifndef DSM_APPS_APP_HH
+#define DSM_APPS_APP_HH
+
+#include <memory>
+#include <string>
+
+#include "core/cluster.hh"
+#include "core/shared_array.hh"
+
+namespace dsm {
+
+/** Workload parameters for every application (Table 2, scalable). */
+struct AppParams
+{
+    // Red-Black SOR.
+    int sorRows = 256;
+    int sorCols = 256;
+    int sorIters = 20;
+
+    // Quicksort.
+    int qsElems = 32768;
+    int qsCutoff = 512;
+
+    // Water.
+    int waterMolecules = 64;
+    int waterSteps = 3;
+    bool waterRestructured = false; ///< Section 7.2 two-array variant
+
+    // Barnes-Hut.
+    int barnesBodies = 256;
+    int barnesSteps = 2;
+    double barnesTheta = 0.6;
+
+    // Integer Sort.
+    int isKeys = 1 << 16;
+    int isBmax = 1 << 9;
+    int isRankings = 4;
+
+    // 3D-FFT.
+    int fftN1 = 32;
+    int fftN2 = 32;
+    int fftN3 = 16;
+    int fftIters = 2;
+
+    std::uint64_t seed = 42;
+
+    /** Tiny sizes for unit/integration tests. */
+    static AppParams testScale();
+
+    /** Default bench scale (reduced from Table 2 to fit a simulated
+     *  single-host run; shapes are preserved). */
+    static AppParams benchScale();
+
+    /** The paper's Table 2 sizes (slow on one host; opt-in). */
+    static AppParams paperScale();
+};
+
+/** Result of the sequential reference run. */
+struct SeqResult
+{
+    /** Total work units charged; 1-processor time = work x workUnitNs. */
+    std::uint64_t workUnits = 0;
+
+    /** Application-defined checksum of the final state. */
+    std::uint64_t checksum = 0;
+
+    double seconds(const CostModel &cm) const
+    {
+        return static_cast<double>(workUnits) * cm.workUnitNs * 1e-9;
+    }
+};
+
+/** Validation verdict for a parallel run. */
+struct Verdict
+{
+    bool ok = false;
+    std::string detail;
+};
+
+class App
+{
+  public:
+    virtual ~App() = default;
+
+    virtual std::string name() const = 0;
+
+    /**
+     * Run the sequential reference. Stores the reference state
+     * internally for later validate() calls.
+     */
+    virtual SeqResult runSequential(const AppParams &params) = 0;
+
+    /**
+     * The SPMD program executed by every node. Dispatches internally
+     * on the runtime's model to the EC-style or LRC-style program.
+     * After the final barrier, node 0 collects the results through the
+     * protocol so its arena holds the final state.
+     */
+    virtual void runNode(Runtime &rt, const AppParams &params) = 0;
+
+    /**
+     * Compare node 0's collected state against the sequential
+     * reference. Must be called after run() and runSequential().
+     */
+    virtual Verdict validate(Cluster &cluster,
+                             const AppParams &params) = 0;
+};
+
+/** Factory: SOR, SOR+, QS, Water, Barnes, IS, 3D-FFT. */
+std::unique_ptr<App> makeApp(const std::string &name);
+
+/** All application names in Table 3 order. */
+const std::vector<std::string> &allAppNames();
+
+/** FNV-1a over raw bytes (bit-exact checksums for integer apps). */
+std::uint64_t fnv1a(const void *data, std::size_t len,
+                    std::uint64_t seed = 0xcbf29ce484222325ull);
+
+/**
+ * Compare two double sequences with relative tolerance; returns a
+ * verdict with the worst offender in `detail`.
+ */
+Verdict compareDoubles(const std::vector<double> &expect,
+                       const std::vector<double> &got, double rel_tol);
+
+} // namespace dsm
+
+#endif // DSM_APPS_APP_HH

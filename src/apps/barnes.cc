@@ -1,0 +1,614 @@
+/**
+ * @file
+ * Barnes-Hut N-body simulation (Section 2 of the paper). Bodies exert
+ * gravity through a hierarchical oct-tree of cells. Each timestep:
+ *
+ *   tree build      — processor 0 rebuilds the oct-tree from the body
+ *                     positions and publishes cells + per-body costs;
+ *   load balancing  — every processor reads the shared cost data and
+ *                     recomputes the body partition;
+ *   force phase     — each processor computes forces on its bodies by
+ *                     tree traversal (theta opening criterion);
+ *   position phase  — each processor advances its own bodies.
+ *
+ * Phases are separated by barriers; within a phase at most one
+ * processor updates any item (no write races), exactly the structure
+ * the paper describes. Under EC, cells and bodies are read through
+ * read-only locks; a body's fields are split into two lock sets (core:
+ * position/velocity/mass/cost; force) because the force phase accesses
+ * fields of two bodies together and a single per-body lock would
+ * deadlock (Section 3.3, Object granularity).
+ */
+
+#include "apps/app.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace dsm {
+
+namespace {
+
+constexpr double kGravity = 1.0;
+constexpr double kSoftening2 = 1e-4;
+constexpr double kDt = 0.02;
+
+constexpr std::uint64_t kWorkPerCellVisit = 40;
+constexpr std::uint64_t kWorkPerInteraction = 250;
+constexpr std::uint64_t kWorkPerUpdate = 25;
+constexpr std::uint64_t kWorkPerInsert = 40;
+
+constexpr int kCoreStride = 8;  ///< pos3, vel3, mass, cost
+constexpr int kCellDStride = 10; ///< center3, half, com3, mass, cost, pad
+constexpr int kCellIStride = 8;  ///< child slots
+
+constexpr int kEmpty = -1;
+
+inline int
+encodeBody(int b)
+{
+    return -2 - b;
+}
+
+inline bool
+isBody(int child)
+{
+    return child <= -2;
+}
+
+inline int
+decodeBody(int child)
+{
+    return -2 - child;
+}
+
+/** Local (plain-memory) tree used by both the sequential reference and
+ *  the published/reconstructed shared tree. */
+struct LocalTree
+{
+    std::vector<double> cellD; ///< kCellDStride per cell
+    std::vector<int> cellI;    ///< kCellIStride per cell
+    int numCells = 0;
+
+    double *d(int c) { return &cellD[c * kCellDStride]; }
+    const double *d(int c) const { return &cellD[c * kCellDStride]; }
+    int *kids(int c) { return &cellI[c * kCellIStride]; }
+    const int *kids(int c) const { return &cellI[c * kCellIStride]; }
+
+    int
+    newCell(const double *center, double half)
+    {
+        const int c = numCells++;
+        DSM_ASSERT(static_cast<std::size_t>(c) * kCellDStride <
+                       cellD.size(),
+                   "cell pool exhausted");
+        double *cd = d(c);
+        for (int k = 0; k < 3; ++k)
+            cd[k] = center[k];
+        cd[3] = half;
+        for (int k = 4; k < kCellDStride; ++k)
+            cd[k] = 0;
+        for (int k = 0; k < kCellIStride; ++k)
+            kids(c)[k] = kEmpty;
+        return c;
+    }
+};
+
+struct Bodies
+{
+    std::vector<double> core;  ///< kCoreStride per body
+    std::vector<double> force; ///< 3 per body (padded to 4)
+
+    double *pos(int b) { return &core[b * kCoreStride]; }
+    double *vel(int b) { return &core[b * kCoreStride + 3]; }
+    double &mass(int b) { return core[b * kCoreStride + 6]; }
+    double &cost(int b) { return core[b * kCoreStride + 7]; }
+    double *f(int b) { return &force[b * 4]; }
+};
+
+int
+octantOf(const double *center, const double *pos)
+{
+    int oct = 0;
+    for (int k = 0; k < 3; ++k) {
+        if (pos[k] >= center[k])
+            oct |= 1 << k;
+    }
+    return oct;
+}
+
+/** Build the oct-tree over all bodies; returns charged work units. */
+std::uint64_t
+buildTree(LocalTree &tree, Bodies &bodies, int m)
+{
+    tree.numCells = 0;
+    const int capacity = 8 * m + 64;
+    tree.cellD.assign(static_cast<std::size_t>(capacity) * kCellDStride,
+                      0.0);
+    tree.cellI.assign(static_cast<std::size_t>(capacity) * kCellIStride,
+                      kEmpty);
+
+    double lo[3], hi[3];
+    for (int k = 0; k < 3; ++k) {
+        lo[k] = 1e30;
+        hi[k] = -1e30;
+    }
+    for (int b = 0; b < m; ++b) {
+        for (int k = 0; k < 3; ++k) {
+            lo[k] = std::min(lo[k], bodies.pos(b)[k]);
+            hi[k] = std::max(hi[k], bodies.pos(b)[k]);
+        }
+    }
+    double center[3], half = 0;
+    for (int k = 0; k < 3; ++k) {
+        center[k] = 0.5 * (lo[k] + hi[k]);
+        half = std::max(half, 0.5 * (hi[k] - lo[k]) + 1e-9);
+    }
+    tree.newCell(center, half);
+
+    std::uint64_t work = 0;
+    for (int b = 0; b < m; ++b) {
+        int cur = 0;
+        int depth = 0;
+        for (;;) {
+            DSM_ASSERT(++depth < 128, "oct-tree too deep "
+                                      "(coincident bodies?)");
+            const double *cd = tree.d(cur);
+            const int oct = octantOf(cd, bodies.pos(b));
+            int &slot = tree.kids(cur)[oct];
+            if (slot == kEmpty) {
+                slot = encodeBody(b);
+                break;
+            }
+            if (isBody(slot)) {
+                // Split: push the resident body down one level.
+                const int other = decodeBody(slot);
+                double sub[3];
+                const double sh = cd[3] / 2;
+                for (int k = 0; k < 3; ++k) {
+                    sub[k] = cd[k] +
+                             ((oct >> k) & 1 ? sh : -sh);
+                }
+                const int nc = tree.newCell(sub, sh);
+                slot = nc;
+                const int ooct =
+                    octantOf(tree.d(nc), bodies.pos(other));
+                tree.kids(nc)[ooct] = encodeBody(other);
+                cur = nc;
+                continue;
+            }
+            cur = slot;
+        }
+        work += kWorkPerInsert;
+    }
+
+    // Bottom-up mass, center of mass, and cost aggregation. Cells are
+    // created parent-before-child, so a reverse sweep is bottom-up.
+    for (int c = tree.numCells - 1; c >= 0; --c) {
+        double *cd = tree.d(c);
+        double msum = 0, cost = 0, com[3] = {0, 0, 0};
+        for (int s = 0; s < 8; ++s) {
+            const int child = tree.kids(c)[s];
+            if (child == kEmpty)
+                continue;
+            double cm, cc, cpos[3];
+            if (isBody(child)) {
+                const int b = decodeBody(child);
+                cm = bodies.mass(b);
+                cc = bodies.cost(b);
+                for (int k = 0; k < 3; ++k)
+                    cpos[k] = bodies.pos(b)[k];
+            } else {
+                const double *kd = tree.d(child);
+                cm = kd[7];
+                cc = kd[8];
+                for (int k = 0; k < 3; ++k)
+                    cpos[k] = kd[4 + k];
+            }
+            msum += cm;
+            cost += cc;
+            for (int k = 0; k < 3; ++k)
+                com[k] += cm * cpos[k];
+        }
+        cd[7] = msum;
+        cd[8] = cost;
+        for (int k = 0; k < 3; ++k)
+            cd[4 + k] = msum > 0 ? com[k] / msum : cd[k];
+    }
+    return work;
+}
+
+/** Accumulate the force on body @p b; returns interactions count.
+ *  @p visit is called once per cell whose data the traversal reads. */
+template <typename Visit>
+std::uint64_t
+forceOnBody(const LocalTree &tree, Bodies &bodies, int b, double theta,
+            double *out, Visit visit)
+{
+    std::uint64_t interactions = 0;
+    std::vector<int> stack{0};
+    const double *bp = bodies.pos(b);
+    while (!stack.empty()) {
+        const int c = stack.back();
+        stack.pop_back();
+        visit(c);
+        for (int s = 0; s < 8; ++s) {
+            const int child = tree.kids(c)[s];
+            if (child == kEmpty)
+                continue;
+            double d[3], m;
+            if (isBody(child)) {
+                const int j = decodeBody(child);
+                if (j == b)
+                    continue;
+                for (int k = 0; k < 3; ++k)
+                    d[k] = bodies.pos(j)[k] - bp[k];
+                m = bodies.mass(j);
+            } else {
+                const double *kd = tree.d(child);
+                double r2 = kSoftening2;
+                for (int k = 0; k < 3; ++k) {
+                    const double dd = kd[4 + k] - bp[k];
+                    r2 += dd * dd;
+                }
+                if (2 * kd[3] * 2 * kd[3] >= theta * theta * r2) {
+                    stack.push_back(child);
+                    continue;
+                }
+                for (int k = 0; k < 3; ++k)
+                    d[k] = kd[4 + k] - bp[k];
+                m = kd[7];
+            }
+            double r2 = kSoftening2;
+            for (int k = 0; k < 3; ++k)
+                r2 += d[k] * d[k];
+            const double inv = 1.0 / std::sqrt(r2);
+            const double mag = kGravity * m * inv * inv * inv;
+            for (int k = 0; k < 3; ++k)
+                out[k] += mag * d[k];
+            ++interactions;
+        }
+    }
+    return interactions;
+}
+
+class BarnesApp : public App
+{
+  public:
+    std::string name() const override { return "Barnes-Hut"; }
+
+    SeqResult
+    runSequential(const AppParams &params) override
+    {
+        const int m = params.barnesBodies;
+        Bodies bodies;
+        initBodies(params, bodies);
+        LocalTree tree;
+
+        std::uint64_t work = 0;
+        for (int step = 0; step < params.barnesSteps; ++step) {
+            work += buildTree(tree, bodies, m);
+            std::uint64_t visits = 0, inter = 0;
+            for (int b = 0; b < m; ++b) {
+                double f[3] = {0, 0, 0};
+                const std::uint64_t n = forceOnBody(
+                    tree, bodies, b, params.barnesTheta, f,
+                    [&](int) { ++visits; });
+                inter += n;
+                for (int k = 0; k < 3; ++k)
+                    bodies.f(b)[k] = f[k];
+                bodies.cost(b) = static_cast<double>(n) + 1;
+            }
+            work += visits * kWorkPerCellVisit +
+                    inter * kWorkPerInteraction;
+            for (int b = 0; b < m; ++b) {
+                for (int k = 0; k < 3; ++k) {
+                    bodies.vel(b)[k] += kDt * bodies.f(b)[k];
+                    bodies.pos(b)[k] += kDt * bodies.vel(b)[k];
+                }
+            }
+            work += static_cast<std::uint64_t>(m) * kWorkPerUpdate;
+        }
+
+        refCore = bodies.core;
+        SeqResult result;
+        result.workUnits = work;
+        result.checksum = 0;
+        return result;
+    }
+
+    void runNode(Runtime &rt, const AppParams &params) override;
+
+    Verdict
+    validate(Cluster &cluster, const AppParams &params) override
+    {
+        const int m = params.barnesBodies;
+        // Core array is the first allocation (offset 0) on node 0.
+        const double *got =
+            reinterpret_cast<const double *>(cluster.memory(0, 0));
+        std::vector<double> expect_pos, got_pos;
+        for (int b = 0; b < m; ++b) {
+            for (int k = 0; k < 3; ++k) {
+                expect_pos.push_back(refCore[b * kCoreStride + k]);
+                got_pos.push_back(got[b * kCoreStride + k]);
+            }
+        }
+        return compareDoubles(expect_pos, got_pos, 1e-10);
+    }
+
+  private:
+    static void
+    initBodies(const AppParams &params, Bodies &bodies)
+    {
+        const int m = params.barnesBodies;
+        bodies.core.assign(static_cast<std::size_t>(m) * kCoreStride,
+                           0.0);
+        bodies.force.assign(static_cast<std::size_t>(m) * 4, 0.0);
+        Rng rng(params.seed ^ 0xb0d7);
+        for (int b = 0; b < m; ++b) {
+            for (int k = 0; k < 3; ++k) {
+                bodies.pos(b)[k] = rng.uniform() * 10.0 - 5.0;
+                bodies.vel(b)[k] = (rng.uniform() - 0.5) * 0.1;
+            }
+            bodies.mass(b) = 0.5 + rng.uniform();
+            bodies.cost(b) = 1.0;
+        }
+    }
+
+    std::vector<double> refCore;
+};
+
+void
+BarnesApp::runNode(Runtime &rt, const AppParams &params)
+{
+    const bool ec = rt.clusterConfig().runtime.model == Model::EC;
+    const int m = params.barnesBodies;
+    const int np = rt.nprocs();
+    const int self = rt.self();
+    const int cell_capacity = 8 * m + 64;
+
+    auto core_arr = SharedArray<double>::alloc(
+        rt, static_cast<std::size_t>(m) * kCoreStride, 8, "bh.core");
+    auto force_arr = SharedArray<double>::alloc(
+        rt, static_cast<std::size_t>(m) * 4, 8, "bh.force");
+    auto celld_arr = SharedArray<double>::alloc(
+        rt, static_cast<std::size_t>(cell_capacity) * kCellDStride, 8,
+        "bh.cellD");
+    auto celli_arr = SharedArray<std::int32_t>::alloc(
+        rt, static_cast<std::size_t>(cell_capacity) * kCellIStride, 4,
+        "bh.cellI");
+    auto meta_arr =
+        SharedArray<std::int32_t>::alloc(rt, 2, 4, "bh.meta");
+
+    // Lock spaces: tree meta; per-cell (two non-contiguous ranges:
+    // doubles + child ints); per-body core; per-body force.
+    const LockId tree_lock = 0;
+    auto cell_lock = [&](int c) { return static_cast<LockId>(1 + c); };
+    auto core_lock = [&](int b) {
+        return static_cast<LockId>(1 + cell_capacity + b);
+    };
+    auto flock = [&](int b) {
+        return static_cast<LockId>(1 + cell_capacity + m + b);
+    };
+    if (ec) {
+        rt.bindLock(tree_lock, {meta_arr.wholeRange()});
+        for (int c = 0; c < cell_capacity; ++c) {
+            rt.bindLock(
+                cell_lock(c),
+                {celld_arr.range(static_cast<std::size_t>(c) *
+                                     kCellDStride,
+                                 kCellDStride),
+                 celli_arr.range(static_cast<std::size_t>(c) *
+                                     kCellIStride,
+                                 kCellIStride)});
+        }
+        for (int b = 0; b < m; ++b) {
+            rt.bindLock(core_lock(b),
+                        {core_arr.range(static_cast<std::size_t>(b) *
+                                            kCoreStride,
+                                        kCoreStride)});
+            rt.bindLock(flock(b),
+                        {force_arr.range(static_cast<std::size_t>(b) *
+                                             4,
+                                         4)});
+        }
+    }
+
+    // Identical initial bodies everywhere.
+    Bodies bodies;
+    initBodies(params, bodies);
+    rt.initBuf(core_arr.base(), bodies.core.data(), bodies.core.size());
+    rt.initBuf(force_arr.base(), bodies.force.data(),
+               bodies.force.size());
+
+    BarrierId next_barrier = 0;
+    rt.barrier(next_barrier++);
+
+    LocalTree tree;
+    std::vector<char> core_fresh(m, 0);
+
+    auto fetch_core = [&](int b) {
+        if (core_fresh[b])
+            return;
+        if (ec) {
+            rt.acquire(core_lock(b), AccessMode::Read);
+            rt.release(core_lock(b));
+        }
+        rt.readBuf(core_arr.addr(static_cast<std::size_t>(b) *
+                                 kCoreStride),
+                   bodies.pos(b), kCoreStride);
+        core_fresh[b] = 1;
+    };
+
+    for (int step = 0; step < params.barnesSteps; ++step) {
+        std::fill(core_fresh.begin(), core_fresh.end(), 0);
+
+        // --- Tree build (processor 0) --------------------------
+        if (self == 0) {
+            for (int b = 0; b < m; ++b)
+                fetch_core(b);
+            rt.chargeWork(buildTree(tree, bodies, m));
+
+            // Publish the used cells and the count.
+            for (int c = 0; c < tree.numCells; ++c) {
+                if (ec)
+                    rt.acquire(cell_lock(c), AccessMode::Write);
+                rt.writeBuf(
+                    celld_arr.addr(static_cast<std::size_t>(c) *
+                                   kCellDStride),
+                    tree.d(c), kCellDStride);
+                rt.writeBuf(
+                    celli_arr.addr(static_cast<std::size_t>(c) *
+                                   kCellIStride),
+                    tree.kids(c), kCellIStride);
+                if (ec)
+                    rt.release(cell_lock(c));
+            }
+            if (ec)
+                rt.acquire(tree_lock, AccessMode::Write);
+            meta_arr.set(0, tree.numCells);
+            if (ec)
+                rt.release(tree_lock);
+        }
+        rt.barrier(next_barrier++);
+
+        // --- Load balancing + tree read ------------------------
+        // Read the tree (EC: read-only lock per cell — the paper's
+        // load-balancing/force-phase read pattern).
+        int ncells;
+        if (ec) {
+            rt.acquire(tree_lock, AccessMode::Read);
+            ncells = meta_arr.get(0);
+            rt.release(tree_lock);
+        } else {
+            ncells = meta_arr.get(0);
+        }
+        if (self != 0) {
+            tree.numCells = ncells;
+            tree.cellD.resize(static_cast<std::size_t>(cell_capacity) *
+                              kCellDStride);
+            tree.cellI.resize(static_cast<std::size_t>(cell_capacity) *
+                              kCellIStride);
+            for (int c = 0; c < ncells; ++c) {
+                if (ec) {
+                    rt.acquire(cell_lock(c), AccessMode::Read);
+                    rt.release(cell_lock(c));
+                }
+                rt.readBuf(celld_arr.addr(static_cast<std::size_t>(c) *
+                                          kCellDStride),
+                           tree.d(c), kCellDStride);
+                rt.readBuf(celli_arr.addr(static_cast<std::size_t>(c) *
+                                          kCellIStride),
+                           tree.kids(c), kCellIStride);
+            }
+        }
+
+        // Cost-weighted contiguous partition from the root cost.
+        // Every processor derives the same boundaries from per-body
+        // costs, fetched through the protocol (the load-balance read).
+        std::vector<double> cost_prefix(m + 1, 0.0);
+        for (int b = 0; b < m; ++b) {
+            fetch_core(b);
+            cost_prefix[b + 1] = cost_prefix[b] + bodies.cost(b);
+        }
+        rt.chargeWork(static_cast<std::uint64_t>(m) * 3);
+        auto owner_range = [&](int p) {
+            const double total = cost_prefix[m];
+            const double lo_t = total * p / np;
+            const double hi_t = total * (p + 1) / np;
+            int blo = static_cast<int>(
+                std::lower_bound(cost_prefix.begin() + 1,
+                                 cost_prefix.end(), lo_t,
+                                 [](double a, double t) {
+                                     return a <= t;
+                                 }) -
+                (cost_prefix.begin() + 1));
+            int bhi = static_cast<int>(
+                std::lower_bound(cost_prefix.begin() + 1,
+                                 cost_prefix.end(), hi_t,
+                                 [](double a, double t) {
+                                     return a <= t;
+                                 }) -
+                (cost_prefix.begin() + 1));
+            if (p == np - 1)
+                bhi = m;
+            return std::pair<int, int>(blo, bhi);
+        };
+        const auto [blo, bhi] = owner_range(self);
+
+        // --- Force phase ----------------------------------------
+        std::uint64_t visits = 0, inter = 0;
+        std::vector<double> new_cost(std::max(0, bhi - blo), 0.0);
+        for (int b = blo; b < bhi; ++b) {
+            double f[3] = {0, 0, 0};
+            // The traversal reads other bodies' cores on demand.
+            // Leaf bodies the traversal reads are fresh: every core
+            // was fetched during the load-balance cost scan above.
+            const std::uint64_t n =
+                forceOnBody(tree, bodies, b, params.barnesTheta, f,
+                            [&](int) { ++visits; });
+            inter += n;
+            new_cost[b - blo] = static_cast<double>(n) + 1;
+            if (ec)
+                rt.acquire(flock(b), AccessMode::Write);
+            rt.writeBuf(force_arr.addr(static_cast<std::size_t>(b) * 4),
+                        f, 3);
+            if (ec)
+                rt.release(flock(b));
+        }
+        rt.chargeWork(visits * kWorkPerCellVisit +
+                      inter * kWorkPerInteraction);
+        rt.barrier(next_barrier++);
+
+        // --- Position phase -------------------------------------
+        for (int b = blo; b < bhi; ++b) {
+            if (ec)
+                rt.acquire(flock(b), AccessMode::Read);
+            double f[3];
+            rt.readBuf(force_arr.addr(static_cast<std::size_t>(b) * 4),
+                       f, 3);
+            if (ec)
+                rt.release(flock(b));
+
+            if (ec)
+                rt.acquire(core_lock(b), AccessMode::Write);
+            double rec[kCoreStride];
+            rt.readBuf(core_arr.addr(static_cast<std::size_t>(b) *
+                                     kCoreStride),
+                       rec, kCoreStride);
+            for (int k = 0; k < 3; ++k) {
+                rec[3 + k] += kDt * f[k];     // velocity
+                rec[k] += kDt * rec[3 + k];   // position
+            }
+            rec[7] = new_cost[b - blo];       // cost
+            rt.writeBuf(core_arr.addr(static_cast<std::size_t>(b) *
+                                      kCoreStride),
+                        rec, kCoreStride);
+            if (ec)
+                rt.release(core_lock(b));
+        }
+        rt.chargeWork(static_cast<std::uint64_t>(bhi - blo) *
+                      kWorkPerUpdate);
+        rt.barrier(next_barrier++);
+    }
+
+    // Collect all body cores on node 0.
+    if (self == 0) {
+        std::fill(core_fresh.begin(), core_fresh.end(), 0);
+        for (int b = 0; b < m; ++b)
+            fetch_core(b);
+    }
+    rt.barrier(next_barrier++);
+}
+
+} // namespace
+
+std::unique_ptr<App>
+makeBarnesApp()
+{
+    return std::make_unique<BarnesApp>();
+}
+
+} // namespace dsm

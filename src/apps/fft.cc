@@ -1,0 +1,455 @@
+/**
+ * @file
+ * NAS 3D-FFT kernel (Section 2 of the paper). An n1 x n2 x n3 complex
+ * array A is distributed along the first dimension. Each iteration
+ * runs a forward 3-D FFT followed by the inverse transform:
+ *
+ *   forward: local 1-D FFTs along dims 3 and 2; pack per-reader
+ *   staging blocks; barrier; unpack into the transposed array B
+ *   (distributed along dim 2) and FFT along dim 1;
+ *   inverse: inverse FFT along dim 1 on B; pack the reverse staging
+ *   blocks; barrier; unpack into A and inverse FFT dims 2 and 3.
+ *
+ * The transpose exchanges contiguous packed staging blocks, one per
+ * (writer, reader) pair. Under EC each block is bound to one lock
+ * whose multi-page object is entirely rewritten before every
+ * transfer — the paper's showcase for the update protocol: one
+ * exchange brings all pages at the acquire, where LRC's invalidate
+ * protocol takes a separate access miss per page. Forward and reverse
+ * staging areas are separate allocations: memory is duplicated rather
+ * than rebound (Section 3.3).
+ */
+
+#include "apps/app.hh"
+
+#include <cmath>
+#include <complex>
+#include <numbers>
+
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace dsm {
+
+namespace {
+
+using Complex = std::complex<double>;
+
+constexpr std::uint64_t kWorkPerButterfly = 16;
+constexpr std::uint64_t kWorkPerPackElem = 2;
+
+/** Iterative radix-2 Cooley-Tukey; n must be a power of two. */
+void
+fft1d(Complex *a, int n, bool inverse)
+{
+    for (int i = 1, j = 0; i < n; ++i) {
+        int bit = n >> 1;
+        for (; j & bit; bit >>= 1)
+            j ^= bit;
+        j ^= bit;
+        if (i < j)
+            std::swap(a[i], a[j]);
+    }
+    for (int len = 2; len <= n; len <<= 1) {
+        const double ang =
+            2 * std::numbers::pi / len * (inverse ? 1 : -1);
+        const Complex wl(std::cos(ang), std::sin(ang));
+        for (int i = 0; i < n; i += len) {
+            Complex w(1);
+            for (int k = 0; k < len / 2; ++k) {
+                const Complex u = a[i + k];
+                const Complex v = a[i + k + len / 2] * w;
+                a[i + k] = u + v;
+                a[i + k + len / 2] = u - v;
+                w *= wl;
+            }
+        }
+    }
+    if (inverse) {
+        for (int i = 0; i < n; ++i)
+            a[i] /= n;
+    }
+}
+
+std::uint64_t
+fftWork(int n)
+{
+    int lg = 0;
+    while ((1 << lg) < n)
+        ++lg;
+    return static_cast<std::uint64_t>(n) * lg * kWorkPerButterfly / 2;
+}
+
+/** FFT along dim 3 and dim 2 of planes [ilo, ihi) of @p a. */
+std::uint64_t
+fftDims32(Complex *a, int ilo, int ihi, int n2, int n3, bool inverse)
+{
+    std::uint64_t work = 0;
+    std::vector<Complex> line(n2);
+    for (int i = ilo; i < ihi; ++i) {
+        Complex *plane = a + static_cast<std::size_t>(i - ilo) * n2 * n3;
+        if (!inverse) {
+            for (int j = 0; j < n2; ++j) {
+                fft1d(plane + static_cast<std::size_t>(j) * n3, n3,
+                      false);
+                work += fftWork(n3);
+            }
+        }
+        for (int k = 0; k < n3; ++k) {
+            for (int j = 0; j < n2; ++j)
+                line[j] = plane[static_cast<std::size_t>(j) * n3 + k];
+            fft1d(line.data(), n2, inverse);
+            for (int j = 0; j < n2; ++j)
+                plane[static_cast<std::size_t>(j) * n3 + k] = line[j];
+            work += fftWork(n2);
+        }
+        if (inverse) {
+            for (int j = 0; j < n2; ++j) {
+                fft1d(plane + static_cast<std::size_t>(j) * n3, n3,
+                      true);
+                work += fftWork(n3);
+            }
+        }
+    }
+    return work;
+}
+
+class FftApp : public App
+{
+  public:
+    std::string name() const override { return "3D-FFT"; }
+
+    SeqResult
+    runSequential(const AppParams &params) override
+    {
+        const int n1 = params.fftN1, n2 = params.fftN2,
+                  n3 = params.fftN3;
+        const std::size_t total = static_cast<std::size_t>(n1) * n2 * n3;
+        refData.resize(total);
+        initData(params, refData.data());
+
+        std::uint64_t work = 0;
+        std::vector<Complex> line(n1);
+        auto fft_dim1 = [&](bool inverse) {
+            for (int j = 0; j < n2; ++j) {
+                for (int k = 0; k < n3; ++k) {
+                    for (int i = 0; i < n1; ++i)
+                        line[i] = refData[(static_cast<std::size_t>(i) *
+                                           n2 + j) * n3 + k];
+                    fft1d(line.data(), n1, inverse);
+                    for (int i = 0; i < n1; ++i)
+                        refData[(static_cast<std::size_t>(i) * n2 + j) *
+                                n3 + k] = line[i];
+                    work += fftWork(n1);
+                }
+            }
+        };
+
+        for (int iter = 0; iter < params.fftIters; ++iter) {
+            // Forward: dims 3, 2, then 1 — same order as the parallel
+            // program, so the results track bit-for-bit.
+            work += fftDims32(refData.data(), 0, n1, n2, n3, false);
+            fft_dim1(false);
+            // Inverse: dim 1, then dims 2, 3.
+            fft_dim1(true);
+            work += fftDims32(refData.data(), 0, n1, n2, n3, true);
+        }
+
+        SeqResult result;
+        result.workUnits = work;
+        result.checksum = 0;
+        return result;
+    }
+
+    void runNode(Runtime &rt, const AppParams &params) override;
+
+    Verdict
+    validate(Cluster &cluster, const AppParams &params) override
+    {
+        const int n1 = params.fftN1, n2 = params.fftN2,
+                  n3 = params.fftN3;
+        const std::size_t total = static_cast<std::size_t>(n1) * n2 * n3;
+        std::vector<double> expect, got;
+        expect.reserve(2 * total);
+        got.reserve(2 * total);
+        const Complex *mem =
+            reinterpret_cast<const Complex *>(cluster.memory(0, 0));
+        for (std::size_t i = 0; i < total; ++i) {
+            expect.push_back(refData[i].real());
+            expect.push_back(refData[i].imag());
+            got.push_back(mem[i].real());
+            got.push_back(mem[i].imag());
+        }
+        return compareDoubles(expect, got, 1e-9);
+    }
+
+  private:
+    static void
+    initData(const AppParams &params, Complex *data)
+    {
+        Rng rng(params.seed ^ 0xff7);
+        const std::size_t total = static_cast<std::size_t>(
+                                      params.fftN1) *
+                                  params.fftN2 * params.fftN3;
+        for (std::size_t i = 0; i < total; ++i)
+            data[i] = Complex(rng.uniform() - 0.5, rng.uniform() - 0.5);
+    }
+
+    std::vector<Complex> refData;
+};
+
+void
+FftApp::runNode(Runtime &rt, const AppParams &params)
+{
+    const bool ec = rt.clusterConfig().runtime.model == Model::EC;
+    const int n1 = params.fftN1, n2 = params.fftN2, n3 = params.fftN3;
+    const int np = rt.nprocs();
+    const int self = rt.self();
+
+    auto lo1 = [&](int p) { return p * n1 / np; };
+    auto hi1 = [&](int p) { return (p + 1) * n1 / np; };
+    auto lo2 = [&](int p) { return p * n2 / np; };
+    auto hi2 = [&](int p) { return (p + 1) * n2 / np; };
+
+    const std::size_t total = static_cast<std::size_t>(n1) * n2 * n3;
+
+    // Shared allocations (identical order everywhere):
+    // A (i-major), B (transposed, (j,k,i) layout), forward staging,
+    // reverse staging.
+    auto a_arr = SharedArray<Complex>::alloc(rt, total, 8, "fft.A");
+    auto b_arr = SharedArray<Complex>::alloc(rt, total, 8, "fft.B");
+
+    // stageF[p][q]: written by p (A-owner), read by q (B-owner);
+    // layout (j - lo2(q), k, i - lo1(p)), i contiguous.
+    // stageR[q][p]: written by q, read by p; layout
+    // (i - lo1(p), j - lo2(q), k), k contiguous.
+    std::vector<std::vector<SharedArray<Complex>>> stage_f(np),
+        stage_r(np);
+    for (int p = 0; p < np; ++p) {
+        stage_f[p].resize(np);
+        stage_r[p].resize(np);
+    }
+    for (int p = 0; p < np; ++p) {
+        for (int q = 0; q < np; ++q) {
+            const std::size_t sz = static_cast<std::size_t>(
+                                       hi1(p) - lo1(p)) *
+                                   (hi2(q) - lo2(q)) * n3;
+            stage_f[p][q] = SharedArray<Complex>::alloc(
+                rt, sz, 8, "fft.stageF");
+            stage_r[q][p] = SharedArray<Complex>::alloc(
+                rt, sz, 8, "fft.stageR");
+        }
+    }
+
+    // Lock id spaces.
+    auto a_lock = [&](int p) { return static_cast<LockId>(p); };
+    auto b_lock = [&](int p) { return static_cast<LockId>(np + p); };
+    auto f_lock = [&](int p, int q) {
+        return static_cast<LockId>(2 * np + p * np + q);
+    };
+    auto r_lock = [&](int q, int p) {
+        return static_cast<LockId>(2 * np + np * np + q * np + p);
+    };
+    if (ec) {
+        for (int p = 0; p < np; ++p) {
+            rt.bindLock(a_lock(p),
+                        {a_arr.range(static_cast<std::size_t>(lo1(p)) *
+                                         n2 * n3,
+                                     static_cast<std::size_t>(
+                                         hi1(p) - lo1(p)) * n2 * n3)});
+            rt.bindLock(b_lock(p),
+                        {b_arr.range(static_cast<std::size_t>(lo2(p)) *
+                                         n3 * n1,
+                                     static_cast<std::size_t>(
+                                         hi2(p) - lo2(p)) * n3 * n1)});
+            for (int q = 0; q < np; ++q) {
+                rt.bindLock(f_lock(p, q),
+                            {stage_f[p][q].wholeRange()});
+                rt.bindLock(r_lock(p, q),
+                            {stage_r[p][q].wholeRange()});
+            }
+        }
+    }
+
+    {
+        std::vector<Complex> init(total);
+        initData(params, init.data());
+        rt.initBuf(a_arr.base(), init.data(), total);
+    }
+
+    BarrierId next_barrier = 0;
+    rt.barrier(next_barrier++);
+
+    const int my1 = hi1(self) - lo1(self);
+    const int my2 = hi2(self) - lo2(self);
+    std::vector<Complex> planes(static_cast<std::size_t>(my1) * n2 *
+                                n3);
+    std::vector<Complex> bpart(static_cast<std::size_t>(my2) * n3 * n1);
+    std::vector<Complex> block;
+
+    const GlobalAddr my_a =
+        a_arr.addr(static_cast<std::size_t>(lo1(self)) * n2 * n3);
+    const GlobalAddr my_b =
+        b_arr.addr(static_cast<std::size_t>(lo2(self)) * n3 * n1);
+
+    for (int iter = 0; iter < params.fftIters; ++iter) {
+        // ---- Forward, dims 3 and 2 (local planes) ----
+        if (ec)
+            rt.acquire(a_lock(self), AccessMode::Write);
+        rt.readBuf(my_a, planes.data(), planes.size());
+        rt.chargeWork(fftDims32(planes.data(), lo1(self), hi1(self), n2,
+                                n3, false));
+        rt.writeBuf(my_a, planes.data(), planes.size());
+        if (ec)
+            rt.release(a_lock(self));
+
+        // ---- Pack forward staging: one block per reader ----
+        for (int q = 0; q < np; ++q) {
+            block.resize(stage_f[self][q].size());
+            std::size_t w = 0;
+            for (int j = lo2(q); j < hi2(q); ++j) {
+                for (int k = 0; k < n3; ++k) {
+                    for (int i = 0; i < my1; ++i) {
+                        block[w++] = planes[(static_cast<std::size_t>(
+                                                 i) *
+                                                 n2 +
+                                             j) *
+                                                n3 +
+                                            k];
+                    }
+                }
+            }
+            rt.chargeWork(block.size() * kWorkPerPackElem);
+            if (ec)
+                rt.acquire(f_lock(self, q), AccessMode::Write);
+            stage_f[self][q].store(0, block.data(), block.size());
+            if (ec)
+                rt.release(f_lock(self, q));
+        }
+        rt.barrier(next_barrier++);
+
+        // ---- Unpack into B, FFT along dim 1 ----
+        if (ec)
+            rt.acquire(b_lock(self), AccessMode::Write);
+        for (int p = 0; p < np; ++p) {
+            if (ec)
+                rt.acquire(f_lock(p, self), AccessMode::Read);
+            block.resize(stage_f[p][self].size());
+            stage_f[p][self].load(0, block.data(), block.size());
+            if (ec)
+                rt.release(f_lock(p, self));
+            std::size_t r = 0;
+            const int pw = hi1(p) - lo1(p);
+            for (int j = 0; j < my2; ++j) {
+                for (int k = 0; k < n3; ++k) {
+                    Complex *dst =
+                        &bpart[(static_cast<std::size_t>(j) * n3 + k) *
+                               n1];
+                    for (int i = 0; i < pw; ++i)
+                        dst[lo1(p) + i] = block[r++];
+                }
+            }
+            rt.chargeWork(block.size() * kWorkPerPackElem);
+        }
+        std::uint64_t work = 0;
+        for (int j = 0; j < my2; ++j) {
+            for (int k = 0; k < n3; ++k) {
+                fft1d(&bpart[(static_cast<std::size_t>(j) * n3 + k) *
+                             n1],
+                      n1, false);
+                work += fftWork(n1);
+            }
+        }
+        // ---- Inverse along dim 1 ----
+        for (int j = 0; j < my2; ++j) {
+            for (int k = 0; k < n3; ++k) {
+                fft1d(&bpart[(static_cast<std::size_t>(j) * n3 + k) *
+                             n1],
+                      n1, true);
+                work += fftWork(n1);
+            }
+        }
+        rt.chargeWork(work);
+        rt.writeBuf(my_b, bpart.data(), bpart.size());
+        if (ec)
+            rt.release(b_lock(self));
+
+        // ---- Pack reverse staging ----
+        for (int p = 0; p < np; ++p) {
+            block.resize(stage_r[self][p].size());
+            const int pw = hi1(p) - lo1(p);
+            std::size_t w = 0;
+            for (int i = 0; i < pw; ++i) {
+                for (int j = 0; j < my2; ++j) {
+                    for (int k = 0; k < n3; ++k) {
+                        block[w++] =
+                            bpart[(static_cast<std::size_t>(j) * n3 +
+                                   k) *
+                                      n1 +
+                                  lo1(p) + i];
+                    }
+                }
+            }
+            rt.chargeWork(block.size() * kWorkPerPackElem);
+            if (ec)
+                rt.acquire(r_lock(self, p), AccessMode::Write);
+            stage_r[self][p].store(0, block.data(), block.size());
+            if (ec)
+                rt.release(r_lock(self, p));
+        }
+        rt.barrier(next_barrier++);
+
+        // ---- Unpack into A, inverse dims 2 and 3 ----
+        if (ec)
+            rt.acquire(a_lock(self), AccessMode::Write);
+        for (int q = 0; q < np; ++q) {
+            if (ec)
+                rt.acquire(r_lock(q, self), AccessMode::Read);
+            block.resize(stage_r[q][self].size());
+            stage_r[q][self].load(0, block.data(), block.size());
+            if (ec)
+                rt.release(r_lock(q, self));
+            std::size_t r = 0;
+            for (int i = 0; i < my1; ++i) {
+                for (int j = lo2(q); j < hi2(q); ++j) {
+                    for (int k = 0; k < n3; ++k) {
+                        planes[(static_cast<std::size_t>(i) * n2 + j) *
+                                   n3 +
+                               k] = block[r++];
+                    }
+                }
+            }
+            rt.chargeWork(block.size() * kWorkPerPackElem);
+        }
+        rt.chargeWork(fftDims32(planes.data(), lo1(self), hi1(self), n2,
+                                n3, true));
+        rt.writeBuf(my_a, planes.data(), planes.size());
+        if (ec)
+            rt.release(a_lock(self));
+        rt.barrier(next_barrier++);
+    }
+
+    // Collect the full A on node 0.
+    if (self == 0) {
+        if (ec) {
+            for (int p = 1; p < np; ++p) {
+                rt.acquire(a_lock(p), AccessMode::Read);
+                rt.release(a_lock(p));
+            }
+        } else {
+            std::vector<Complex> all(total);
+            a_arr.load(0, all.data(), total);
+        }
+    }
+    rt.barrier(next_barrier++);
+}
+
+} // namespace
+
+std::unique_ptr<App>
+makeFftApp()
+{
+    return std::make_unique<FftApp>();
+}
+
+} // namespace dsm

@@ -1,0 +1,233 @@
+/**
+ * @file
+ * NAS Integer Sort (Section 2 of the paper): rank N keys in [0, Bmax)
+ * by counting sort. Phase 1: each processor ranks its keys locally,
+ * then adds its counts into the shared bucket array under an exclusive
+ * lock — the bucket array is the paper's canonical *migratory* data
+ * (smaller than a page). Phase 2 (after a barrier): every processor
+ * reads the final buckets (EC: read-only lock) and computes the global
+ * ranks of its own keys, writing them to its slice of the shared rank
+ * array (EC: per-processor exclusive locks).
+ */
+
+#include "apps/app.hh"
+
+#include <numeric>
+
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace dsm {
+
+namespace {
+
+constexpr LockId kBucketLock = 0;
+constexpr std::uint64_t kWorkPerKey = 20;
+
+LockId
+rankLock(int p)
+{
+    return static_cast<LockId>(1 + p);
+}
+
+class IsApp : public App
+{
+  public:
+    std::string name() const override { return "IS"; }
+
+    SeqResult
+    runSequential(const AppParams &params) override
+    {
+        const int n = params.isKeys;
+        const int bmax = params.isBmax;
+
+        keys.resize(n);
+        Rng rng(params.seed);
+        for (int &k : keys)
+            k = static_cast<int>(rng.below(bmax));
+
+        std::uint64_t work = 0;
+        refRanks.assign(n, 0);
+        for (int rep = 0; rep < params.isRankings; ++rep) {
+            std::vector<int> buckets(bmax, 0);
+            for (int k : keys)
+                buckets[k]++;
+            // Exclusive prefix sum: rank of the first key with value v.
+            std::vector<int> prefix(bmax, 0);
+            std::partial_sum(buckets.begin(), buckets.end() - 1,
+                             prefix.begin() + 1);
+            std::vector<int> next = prefix;
+            for (int i = 0; i < n; ++i)
+                refRanks[i] = next[keys[i]]++;
+            work += static_cast<std::uint64_t>(n) * kWorkPerKey +
+                    2 * bmax;
+        }
+
+        SeqResult result;
+        result.workUnits = work;
+        result.checksum = fnv1a(refRanks.data(),
+                                refRanks.size() * sizeof(int));
+        return result;
+    }
+
+    void
+    runNode(Runtime &rt, const AppParams &params) override
+    {
+        const bool ec = rt.clusterConfig().runtime.model == Model::EC;
+        const int n = params.isKeys;
+        const int bmax = params.isBmax;
+        const int self = rt.self();
+        const int np = rt.nprocs();
+        const int lo = self * n / np;
+        const int hi = (self + 1) * n / np;
+
+        auto shared_keys = SharedArray<int>::alloc(rt, n, 4, "is.keys");
+        auto buckets = SharedArray<int>::alloc(rt, bmax, 4, "is.buckets");
+        auto ranks = SharedArray<int>::alloc(rt, n, 4, "is.ranks");
+
+        if (ec) {
+            rt.bindLock(kBucketLock, {buckets.wholeRange()});
+            for (int p = 0; p < np; ++p) {
+                const int plo = p * n / np;
+                const int phi = (p + 1) * n / np;
+                rt.bindLock(rankLock(p), {ranks.range(plo, phi - plo)});
+            }
+        }
+
+        // Keys are input data: identical on every node (data segment).
+        {
+            std::vector<int> init(n);
+            Rng rng(params.seed);
+            for (int &k : init)
+                k = static_cast<int>(rng.below(bmax));
+            rt.initBuf(shared_keys.base(), init.data(), n);
+        }
+
+        BarrierId next_barrier = 0;
+        rt.barrier(next_barrier++);
+
+        std::vector<int> my_keys(hi - lo);
+        shared_keys.load(lo, my_keys.data(), my_keys.size());
+
+        for (int rep = 0; rep < params.isRankings; ++rep) {
+            // Reset the buckets (rotating resetter, under the lock).
+            if (self == rep % np) {
+                rt.acquire(kBucketLock, AccessMode::Write);
+                std::vector<int> zeros(bmax, 0);
+                buckets.store(0, zeros.data(), bmax);
+                rt.release(kBucketLock);
+            }
+            rt.barrier(next_barrier++);
+
+            // Phase 1: local ranking, then merge into shared buckets.
+            std::vector<int> local(bmax, 0);
+            for (int k : my_keys)
+                local[k]++;
+            rt.chargeWork(static_cast<std::uint64_t>(my_keys.size()) *
+                          kWorkPerKey / 2);
+
+            rt.acquire(kBucketLock, AccessMode::Write);
+            std::vector<int> cur(bmax);
+            buckets.load(0, cur.data(), bmax);
+            for (int b = 0; b < bmax; ++b)
+                cur[b] += local[b];
+            buckets.store(0, cur.data(), bmax);
+            rt.release(kBucketLock);
+            rt.chargeWork(2u * bmax);
+            rt.barrier(next_barrier++);
+
+            // Phase 2: read the final buckets, rank my keys.
+            if (ec)
+                rt.acquire(kBucketLock, AccessMode::Read);
+            std::vector<int> final_buckets(bmax);
+            buckets.load(0, final_buckets.data(), bmax);
+            if (ec)
+                rt.release(kBucketLock);
+
+            std::vector<int> prefix(bmax, 0);
+            std::partial_sum(final_buckets.begin(),
+                             final_buckets.end() - 1, prefix.begin() + 1);
+            // Global rank = prefix[key] + number of equal keys at lower
+            // global index. Keys are input data (replicated), so the
+            // equal-keys-before count needs no communication.
+            std::vector<int> seen_before(bmax, 0);
+            {
+                std::vector<int> other(lo);
+                if (lo > 0)
+                    shared_keys.load(0, other.data(), lo);
+                for (int k : other)
+                    seen_before[k]++;
+            }
+            std::vector<int> my_ranks(my_keys.size());
+            for (std::size_t i = 0; i < my_keys.size(); ++i) {
+                const int k = my_keys[i];
+                my_ranks[i] = prefix[k] + seen_before[k]++;
+            }
+            rt.chargeWork(static_cast<std::uint64_t>(n) + 2 * bmax +
+                          my_keys.size() * kWorkPerKey / 2);
+
+            if (ec)
+                rt.acquire(rankLock(self), AccessMode::Write);
+            ranks.store(lo, my_ranks.data(), my_ranks.size());
+            if (ec)
+                rt.release(rankLock(self));
+            rt.barrier(next_barrier++);
+        }
+
+        // Collect on node 0.
+        if (self == 0) {
+            if (ec) {
+                for (int p = 0; p < np; ++p) {
+                    rt.acquire(rankLock(p), AccessMode::Read);
+                    rt.release(rankLock(p));
+                }
+            } else {
+                std::vector<int> all(n);
+                ranks.load(0, all.data(), n);
+            }
+        }
+        rt.barrier(next_barrier++);
+    }
+
+    Verdict
+    validate(Cluster &cluster, const AppParams &params) override
+    {
+        const int n = params.isKeys;
+        const int bmax = params.isBmax;
+        // Allocation order: keys, buckets, ranks (ints, 8-aligned).
+        auto align8 = [](GlobalAddr a) {
+            return (a + 7) & ~GlobalAddr{7};
+        };
+        const GlobalAddr keys_base = 0;
+        const GlobalAddr buckets_base =
+            align8(keys_base + static_cast<GlobalAddr>(n) * 4);
+        const GlobalAddr ranks_base =
+            align8(buckets_base + static_cast<GlobalAddr>(bmax) * 4);
+
+        const int *got = reinterpret_cast<const int *>(
+            cluster.memory(0, ranks_base));
+        for (int i = 0; i < n; ++i) {
+            if (got[i] != refRanks[i]) {
+                return {false,
+                        "rank[" + std::to_string(i) + "] = " +
+                            std::to_string(got[i]) + ", expected " +
+                            std::to_string(refRanks[i])};
+            }
+        }
+        return {true, "all " + std::to_string(n) + " ranks match"};
+    }
+
+  private:
+    std::vector<int> keys;
+    std::vector<int> refRanks;
+};
+
+} // namespace
+
+std::unique_ptr<App>
+makeIsApp()
+{
+    return std::make_unique<IsApp>();
+}
+
+} // namespace dsm

@@ -1,0 +1,428 @@
+/**
+ * @file
+ * Quicksort with a centralized task queue (Section 2 of the paper).
+ * A processor dequeues a sub-array, partitions it, enqueues the
+ * smaller partition, and keeps the larger; partitions at or below the
+ * cutoff are sorted locally with bubblesort.
+ *
+ * LRC program: one exclusive lock protects the queue; the same lock
+ * also makes the task's array data visible to the dequeuer (write
+ * notices piggyback on the lock grant).
+ *
+ * EC program (Section 3.3): the queue lock is bound to the queue
+ * record only, so the task *data* needs its own synchronization — a
+ * lock per queue entry, *rebound* to the sub-array of the task placed
+ * in that entry. The entry is published in the queue only after the
+ * rebinding is complete (entries carry a ready flag), and rebinding
+ * makes the next transfer conservatively carry the whole bound range
+ * (Section 7.1).
+ */
+
+#include "apps/app.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <array>
+
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace dsm {
+
+namespace {
+
+constexpr LockId kQueueLock = 0;
+constexpr std::uint64_t kWorkPerPartitionElem = 8;
+constexpr std::uint64_t kWorkPerBubbleElem = 6;
+constexpr std::int32_t kNotReady = -1;
+
+LockId
+entryLock(int e)
+{
+    return static_cast<LockId>(1 + e);
+}
+
+/** Hoare-style partition with middle pivot; returns the split point
+ *  (first index of the right part), guaranteed in (lo, hi). */
+int
+partitionRange(int *a, int lo, int hi)
+{
+    const int pivot = a[lo + (hi - lo) / 2];
+    int i = lo - 1;
+    int j = hi;
+    for (;;) {
+        do {
+            ++i;
+        } while (a[i] < pivot);
+        do {
+            --j;
+        } while (a[j] > pivot);
+        if (i >= j)
+            return j + 1;
+        std::swap(a[i], a[j]);
+    }
+}
+
+void
+bubbleSort(int *a, int lo, int hi)
+{
+    for (int i = hi - 1; i > lo; --i) {
+        bool swapped = false;
+        for (int j = lo; j < i; ++j) {
+            if (a[j] > a[j + 1]) {
+                std::swap(a[j], a[j + 1]);
+                swapped = true;
+            }
+        }
+        if (!swapped)
+            break;
+    }
+}
+
+/**
+ * Shared queue record layout (int32 words):
+ *   [0] head, [1] tail, [2] remaining, [3] leafCount,
+ *   [4..] ring entries (lo, hi, ready) x capacity,
+ * followed by the leaf log: (lo, hi, sorted, sum31) x maxLeaves.
+ */
+struct QueueView
+{
+    SharedArray<std::int32_t> words;
+    int capacity = 0;
+    int maxLeaves = 0;
+
+    static constexpr int kHead = 0;
+    static constexpr int kTail = 1;
+    static constexpr int kRemaining = 2;
+    static constexpr int kLeafCount = 3;
+    static constexpr int kEntries = 4;
+
+    int entryBase(int slot) const { return kEntries + 3 * slot; }
+
+    int
+    leafBase(int leaf) const
+    {
+        return kEntries + 3 * capacity + 4 * leaf;
+    }
+
+    int
+    totalWords() const
+    {
+        return kEntries + 3 * capacity + 4 * maxLeaves;
+    }
+};
+
+class QuicksortApp : public App
+{
+  public:
+    std::string name() const override { return "QS"; }
+
+    SeqResult
+    runSequential(const AppParams &params) override
+    {
+        const int n = params.qsElems;
+        input.resize(n);
+        Rng rng(params.seed ^ 0x9511);
+        for (int &v : input)
+            v = static_cast<int>(rng.below(1u << 30));
+
+        sorted = input;
+        std::uint64_t work = 0;
+        std::vector<std::pair<int, int>> stack{{0, n}};
+        while (!stack.empty()) {
+            auto [lo, hi] = stack.back();
+            stack.pop_back();
+            while (hi - lo > params.qsCutoff) {
+                const int mid = partitionRange(sorted.data(), lo, hi);
+                work += static_cast<std::uint64_t>(hi - lo) *
+                        kWorkPerPartitionElem;
+                if (mid - lo < hi - mid) {
+                    stack.push_back({lo, mid});
+                    lo = mid;
+                } else {
+                    stack.push_back({mid, hi});
+                    hi = mid;
+                }
+            }
+            bubbleSort(sorted.data(), lo, hi);
+            work += static_cast<std::uint64_t>(hi - lo) * (hi - lo) *
+                    kWorkPerBubbleElem / 2;
+        }
+        DSM_ASSERT(std::is_sorted(sorted.begin(), sorted.end()),
+                   "sequential quicksort failed");
+
+        SeqResult result;
+        result.workUnits = work;
+        result.checksum =
+            fnv1a(sorted.data(), sorted.size() * sizeof(int));
+        return result;
+    }
+
+    void runNode(Runtime &rt, const AppParams &params) override;
+
+    Verdict
+    validate(Cluster &cluster, const AppParams &) override
+    {
+        const std::int32_t verdict = *reinterpret_cast<const int *>(
+            cluster.memory(0, verdictAddr));
+        if (verdict != 1) {
+            return {false, "in-run verification failed (verdict=" +
+                               std::to_string(verdict) + ")"};
+        }
+        return {true, "leaf log covers the array, leaves sorted, "
+                      "checksums match"};
+    }
+
+  private:
+    std::vector<int> input;
+    std::vector<int> sorted;
+    GlobalAddr verdictAddr = 0;
+};
+
+void
+QuicksortApp::runNode(Runtime &rt, const AppParams &params)
+{
+    const bool ec = rt.clusterConfig().runtime.model == Model::EC;
+    const int n = params.qsElems;
+    const int cutoff = params.qsCutoff;
+    const int self = rt.self();
+
+    auto array = SharedArray<int>::alloc(rt, n, 4, "qs.array");
+
+    QueueView q;
+    // Capacity bounds total enqueues over the run (~2N/cutoff), so
+    // ring slots — and their entry locks — are never reused while a
+    // slow dequeuer still holds one.
+    q.maxLeaves = std::max(64, 8 * n / std::max(1, cutoff));
+    q.capacity = q.maxLeaves;
+    q.words = SharedArray<std::int32_t>::alloc(rt, q.totalWords(), 4,
+                                               "qs.queue");
+    auto verdict =
+        SharedArray<std::int32_t>::alloc(rt, 1, 4, "qs.verdict");
+    verdictAddr = verdict.base();
+    const LockId verdict_lock = entryLock(q.capacity);
+
+    if (ec) {
+        rt.bindLock(kQueueLock, {q.words.wholeRange()});
+        for (int e = 0; e < q.capacity; ++e)
+            rt.bindLock(entryLock(e), {});
+        rt.bindLock(verdict_lock, {verdict.wholeRange()});
+    }
+
+    {
+        std::vector<int> init(n);
+        Rng rng(params.seed ^ 0x9511);
+        for (int &v : init)
+            v = static_cast<int>(rng.below(1u << 30));
+        rt.initBuf(array.base(), init.data(), n);
+    }
+
+    rt.barrier(0);
+
+    auto qget = [&](int w) { return q.words.get(w); };
+    auto qset = [&](int w, std::int32_t v) { q.words.set(w, v); };
+
+    /** Reserve a ring slot for [lo, hi), rebind its entry lock (EC),
+     *  then publish it. */
+    auto enqueue = [&](int lo, int hi) {
+        rt.acquire(kQueueLock, AccessMode::Write);
+        const int tail = qget(QueueView::kTail);
+        DSM_ASSERT(tail - qget(QueueView::kHead) < q.capacity,
+                   "task queue overflow");
+        const int slot = tail % q.capacity;
+        qset(q.entryBase(slot) + 0, lo);
+        qset(q.entryBase(slot) + 1, hi);
+        qset(q.entryBase(slot) + 2, kNotReady);
+        qset(QueueView::kTail, tail + 1);
+        rt.release(kQueueLock);
+
+        if (ec) {
+            rt.acquireForRebind(entryLock(slot));
+            rt.rebindLock(entryLock(slot),
+                          {array.range(lo, hi - lo)});
+            rt.release(entryLock(slot));
+        }
+
+        rt.acquire(kQueueLock, AccessMode::Write);
+        qset(q.entryBase(slot) + 2, 1); // ready
+        rt.release(kQueueLock);
+        return slot;
+    };
+
+    // Node 0 seeds the queue with the whole array.
+    if (self == 0) {
+        rt.acquire(kQueueLock, AccessMode::Write);
+        qset(QueueView::kHead, 0);
+        qset(QueueView::kTail, 0);
+        qset(QueueView::kRemaining, n);
+        qset(QueueView::kLeafCount, 0);
+        rt.release(kQueueLock);
+        enqueue(0, n);
+    }
+    rt.barrier(1);
+
+    std::vector<int> buf;
+    for (;;) {
+        // Dequeue the head task if it is ready.
+        int lo = 0, hi = 0, entry = -1;
+        bool done = false;
+        rt.acquire(kQueueLock, AccessMode::Write);
+        if (qget(QueueView::kRemaining) == 0) {
+            done = true;
+        } else {
+            const int head = qget(QueueView::kHead);
+            if (head != qget(QueueView::kTail)) {
+                const int slot = head % q.capacity;
+                if (qget(q.entryBase(slot) + 2) == 1) {
+                    lo = qget(q.entryBase(slot) + 0);
+                    hi = qget(q.entryBase(slot) + 1);
+                    entry = slot;
+                    qset(QueueView::kHead, head + 1);
+                }
+            }
+        }
+        rt.release(kQueueLock);
+        if (done)
+            break;
+        if (entry < 0) {
+            rt.chargeWork(400); // polling backoff
+            continue;
+        }
+
+        // Take the task data (EC: the entry lock's update carries it).
+        if (ec)
+            rt.acquire(entryLock(entry), AccessMode::Write);
+        const int task_lo = lo;
+        buf.resize(hi - lo);
+        array.load(lo, buf.data(), buf.size());
+
+        while (hi - lo > cutoff) {
+            const int mid =
+                lo + partitionRange(buf.data() + (lo - task_lo), 0,
+                                    hi - lo);
+            rt.chargeWork(static_cast<std::uint64_t>(hi - lo) *
+                          kWorkPerPartitionElem);
+            array.store(lo, buf.data() + (lo - task_lo), hi - lo);
+
+            if (mid - lo < hi - mid) {
+                enqueue(lo, mid);
+                lo = mid;
+            } else {
+                enqueue(mid, hi);
+                hi = mid;
+            }
+        }
+
+        // Leaf: bubblesort, write back, publish to the leaf log.
+        bubbleSort(buf.data() + (lo - task_lo), 0, hi - lo);
+        rt.chargeWork(static_cast<std::uint64_t>(hi - lo) * (hi - lo) *
+                      kWorkPerBubbleElem / 2);
+        array.store(lo, buf.data() + (lo - task_lo), hi - lo);
+        std::uint64_t leaf_sum = 0;
+        for (int i = 0; i < hi - lo; ++i)
+            leaf_sum += static_cast<std::uint32_t>(
+                buf[(lo - task_lo) + i]);
+        if (ec)
+            rt.release(entryLock(entry));
+
+        rt.acquire(kQueueLock, AccessMode::Write);
+        const int leaf = qget(QueueView::kLeafCount);
+        DSM_ASSERT(leaf < q.maxLeaves, "leaf log overflow");
+        qset(q.leafBase(leaf) + 0, lo);
+        qset(q.leafBase(leaf) + 1, hi);
+        qset(q.leafBase(leaf) + 2, 1);
+        qset(q.leafBase(leaf) + 3,
+             static_cast<std::int32_t>(leaf_sum & 0x7fffffff));
+        qset(QueueView::kLeafCount, leaf + 1);
+        qset(QueueView::kRemaining,
+             qget(QueueView::kRemaining) - (hi - lo));
+        rt.release(kQueueLock);
+    }
+
+    rt.barrier(2);
+
+    // Node 0 verifies coverage, per-leaf sortedness, boundary order,
+    // and the 31-bit element checksum; LRC additionally re-reads the
+    // whole array and checks global sortedness.
+    if (self == 0) {
+        bool ok = true;
+        rt.acquire(kQueueLock,
+                   ec ? AccessMode::Read : AccessMode::Write);
+        const int leaves = qget(QueueView::kLeafCount);
+        std::vector<std::array<int, 4>> log(leaves);
+        for (int i = 0; i < leaves; ++i) {
+            log[i] = {qget(q.leafBase(i) + 0), qget(q.leafBase(i) + 1),
+                      qget(q.leafBase(i) + 2), qget(q.leafBase(i) + 3)};
+        }
+        rt.release(kQueueLock);
+
+        std::sort(log.begin(), log.end());
+        int expect_lo = 0;
+        for (const auto &leaf : log) {
+            if (leaf[0] != expect_lo || leaf[2] != 1) {
+                std::fprintf(stderr,
+                             "QS verify: coverage broken at leaf "
+                             "[%d,%d) expected lo=%d (leaves=%d)\n",
+                             leaf[0], leaf[1], expect_lo, leaves);
+                ok = false;
+                break;
+            }
+            expect_lo = leaf[1];
+        }
+        if (ok && expect_lo != n) {
+            std::fprintf(stderr,
+                         "QS verify: coverage ends at %d, want %d\n",
+                         expect_lo, n);
+            ok = false;
+        }
+
+        if (ok) {
+            std::uint64_t expect_sum = 0;
+            for (int v : input)
+                expect_sum += static_cast<std::uint32_t>(v);
+            std::uint64_t got_sum = 0;
+            for (const auto &leaf : log)
+                got_sum += static_cast<std::uint32_t>(leaf[3]);
+            if ((expect_sum & 0x7fffffff) != (got_sum & 0x7fffffff)) {
+                std::fprintf(stderr,
+                             "QS verify: checksum mismatch "
+                             "(got %llx want %llx)\n",
+                             static_cast<unsigned long long>(
+                                 got_sum & 0x7fffffff),
+                             static_cast<unsigned long long>(
+                                 expect_sum & 0x7fffffff));
+                ok = false;
+            }
+        }
+
+        if (ok && !ec) {
+            std::vector<int> final_array(n);
+            array.load(0, final_array.data(), n);
+            auto bad = std::is_sorted_until(final_array.begin(),
+                                            final_array.end());
+            if (bad != final_array.end()) {
+                std::fprintf(stderr,
+                             "QS verify: unsorted at index %zd "
+                             "(%d > %d)\n",
+                             bad - final_array.begin() - 1, *(bad - 1),
+                             *bad);
+                ok = false;
+            }
+        }
+
+        rt.acquire(verdict_lock, AccessMode::Write);
+        rt.write<std::int32_t>(verdictAddr, ok ? 1 : 0);
+        rt.release(verdict_lock);
+    }
+    rt.barrier(3);
+}
+
+} // namespace
+
+std::unique_ptr<App>
+makeQuicksortApp()
+{
+    return std::make_unique<QuicksortApp>();
+}
+
+} // namespace dsm

@@ -1,0 +1,388 @@
+/**
+ * @file
+ * Water-style molecular dynamics (Section 2 of the paper; simplified
+ * force field, same sharing structure as the SPLASH code the paper
+ * uses). Molecules are distributed across processors. Each timestep:
+ *
+ *  force phase    — each processor computes pair interactions between
+ *                   its molecules and those of the following half of
+ *                   the processors, accumulating into a private array
+ *                   (as the SPLASH report suggests), then applies the
+ *                   accumulated updates under per-molecule force locks;
+ *  displacement   — each processor updates the displacements of its
+ *  phase            own molecules from the accumulated forces.
+ *
+ * EC program: per-molecule read-only locks on displacements during the
+ * force phase and on forces during the displacement phase; exclusive
+ * per-molecule locks for every update. The molecule record interleaves
+ * displacement and force fields (array-of-records), so EC-ci uses
+ * 8-byte (double-word) trapping granularity.
+ *
+ * The restructured variant (Section 7.2) splits the records into two
+ * arrays and binds one per-processor lock to the displacement chunk of
+ * each owner, trading per-molecule messages for one bulk update.
+ */
+
+#include "apps/app.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace dsm {
+
+namespace {
+
+constexpr std::uint64_t kWorkPerPair = 250;
+constexpr std::uint64_t kWorkPerUpdate = 20;
+constexpr double kDt = 0.004;
+constexpr double kCutoff2 = 6.25; // interaction cutoff squared
+
+/** Lock id spaces. */
+LockId
+dispLock(int m)
+{
+    return static_cast<LockId>(1 + m);
+}
+
+LockId
+forceLock(int nmol, int m)
+{
+    return static_cast<LockId>(1 + nmol + m);
+}
+
+LockId
+procDispLock(int nmol, int p)
+{
+    return static_cast<LockId>(1 + 2 * nmol + p);
+}
+
+/** Simplified pair force: soft-sphere repulsion + weak attraction. */
+inline void
+pairForce(const double *di, const double *dj, double *fi, double *fj)
+{
+    double r2 = 0;
+    double d[3];
+    for (int k = 0; k < 3; ++k) {
+        d[k] = di[k] - dj[k];
+        r2 += d[k] * d[k];
+    }
+    if (r2 >= kCutoff2 || r2 < 1e-12)
+        return;
+    const double inv2 = 1.0 / r2;
+    const double inv6 = inv2 * inv2 * inv2;
+    const double mag = 24.0 * inv6 * (2.0 * inv6 - 1.0) * inv2;
+    for (int k = 0; k < 3; ++k) {
+        const double f = mag * d[k];
+        fi[k] += f;
+        fj[k] -= f;
+    }
+}
+
+class WaterApp : public App
+{
+  public:
+    std::string name() const override { return "Water"; }
+
+    SeqResult
+    runSequential(const AppParams &params) override
+    {
+        const int m = params.waterMolecules;
+        refDisp.assign(3 * m, 0.0);
+        std::vector<double> force(3 * m, 0.0);
+        initDisp(params, refDisp.data());
+
+        std::uint64_t work = 0;
+        for (int step = 0; step < params.waterSteps; ++step) {
+            std::fill(force.begin(), force.end(), 0.0);
+            for (int i = 0; i < m; ++i) {
+                for (int j = i + 1; j < m; ++j) {
+                    pairForce(&refDisp[3 * i], &refDisp[3 * j],
+                              &force[3 * i], &force[3 * j]);
+                }
+            }
+            work += static_cast<std::uint64_t>(m) * (m - 1) / 2 *
+                    kWorkPerPair;
+            for (int i = 0; i < 3 * m; ++i)
+                refDisp[i] += kDt * force[i];
+            work += static_cast<std::uint64_t>(m) * kWorkPerUpdate;
+        }
+
+        SeqResult result;
+        result.workUnits = work;
+        result.checksum = quantizedChecksum(refDisp);
+        return result;
+    }
+
+    void runNode(Runtime &rt, const AppParams &params) override;
+
+    Verdict
+    validate(Cluster &cluster, const AppParams &params) override
+    {
+        const int m = params.waterMolecules;
+        std::vector<double> got(3 * m);
+        if (!params.waterRestructured) {
+            // Array of records: [disp[3] force[3]] per molecule.
+            for (int i = 0; i < m; ++i) {
+                const double *rec = reinterpret_cast<const double *>(
+                    cluster.memory(0, static_cast<GlobalAddr>(i) * 6 *
+                                          sizeof(double)));
+                for (int k = 0; k < 3; ++k)
+                    got[3 * i + k] = rec[k];
+            }
+        } else {
+            const double *disp = reinterpret_cast<const double *>(
+                cluster.memory(0, 0));
+            std::copy(disp, disp + 3 * m, got.begin());
+        }
+        // Force application order differs across processors, so the
+        // sums are not bit-exact; a few steps stay well within 1e-9.
+        return compareDoubles(refDisp, got, 1e-9);
+    }
+
+  private:
+    static void
+    initDisp(const AppParams &params, double *disp)
+    {
+        Rng rng(params.seed ^ 0x4a7e);
+        const int m = params.waterMolecules;
+        // Roughly uniform in a box sized for liquid-like density.
+        const double box = std::cbrt(static_cast<double>(m)) * 1.2;
+        for (int i = 0; i < 3 * m; ++i)
+            disp[i] = rng.uniform() * box;
+    }
+
+    static std::uint64_t
+    quantizedChecksum(const std::vector<double> &v)
+    {
+        std::uint64_t h = 0xcbf29ce484222325ull;
+        for (double x : v) {
+            const auto q = static_cast<std::int64_t>(x * 1e6);
+            h = fnv1a(&q, sizeof(q), h);
+        }
+        return h;
+    }
+
+    std::vector<double> refDisp;
+};
+
+void
+WaterApp::runNode(Runtime &rt, const AppParams &params)
+{
+    const bool ec = rt.clusterConfig().runtime.model == Model::EC;
+    const bool restructured = params.waterRestructured;
+    const int m = params.waterMolecules;
+    const int np = rt.nprocs();
+    const int self = rt.self();
+    const int lo = self * m / np;
+    const int hi = (self + 1) * m / np;
+
+    // Shared layout. Array-of-records: rec i = 6 doubles
+    // (disp x,y,z, force x,y,z). Restructured: two separate arrays.
+    SharedArray<double> records, disp_arr, force_arr;
+    if (!restructured) {
+        records = SharedArray<double>::alloc(rt, 6 * m, 8, "water.mol");
+    } else {
+        disp_arr = SharedArray<double>::alloc(rt, 3 * m, 8,
+                                              "water.disp");
+        force_arr = SharedArray<double>::alloc(rt, 3 * m, 8,
+                                               "water.force");
+    }
+
+    auto disp_range = [&](int i) -> Range {
+        return restructured ? disp_arr.range(3 * i, 3)
+                            : records.range(6 * i, 3);
+    };
+    auto force_range = [&](int i) -> Range {
+        return restructured ? force_arr.range(3 * i, 3)
+                            : records.range(6 * i + 3, 3);
+    };
+    auto disp_addr = [&](int i) {
+        return restructured ? disp_arr.addr(3 * i)
+                            : records.addr(6 * i);
+    };
+    auto force_addr = [&](int i) {
+        return restructured ? force_arr.addr(3 * i)
+                            : records.addr(6 * i + 3);
+    };
+
+    if (ec) {
+        for (int i = 0; i < m; ++i)
+            rt.bindLock(forceLock(m, i), {force_range(i)});
+        if (!restructured) {
+            for (int i = 0; i < m; ++i)
+                rt.bindLock(dispLock(i), {disp_range(i)});
+        } else {
+            // Section 7.2: one per-processor lock over the contiguous
+            // displacement chunk of that processor's molecules.
+            for (int p = 0; p < np; ++p) {
+                const int plo = p * m / np;
+                const int phi = (p + 1) * m / np;
+                rt.bindLock(procDispLock(m, p),
+                            {disp_arr.range(3 * plo,
+                                            3 * (phi - plo))});
+            }
+        }
+    }
+
+    // Identical initial displacements everywhere; forces zero.
+    {
+        std::vector<double> disp(3 * m);
+        initDisp(params, disp.data());
+        for (int i = 0; i < m; ++i)
+            rt.initBuf(disp_addr(i), &disp[3 * i], 3);
+    }
+
+    BarrierId next_barrier = 0;
+    rt.barrier(next_barrier++);
+
+    std::vector<double> acc(3 * m);        // private accumulator
+    std::vector<double> disp_cache(3 * m); // displacements this step
+
+    for (int step = 0; step < params.waterSteps; ++step) {
+        // --- Force phase ---------------------------------------
+        // Zero own forces (owner writes; exclusive lock under EC).
+        for (int i = lo; i < hi; ++i) {
+            if (ec)
+                rt.acquire(forceLock(m, i), AccessMode::Write);
+            const double zero3[3] = {0, 0, 0};
+            rt.writeBuf(force_addr(i), zero3, 3);
+            if (ec)
+                rt.release(forceLock(m, i));
+        }
+        rt.barrier(next_barrier++);
+
+        // Read the displacements I interact with. Interaction set:
+        // my molecules with each other, and with the molecules of the
+        // following floor(np/2) processors (ring), exactly half the
+        // pair matrix when combined across processors.
+        std::vector<int> partners;
+        for (int d = 1; d <= np / 2; ++d) {
+            const int p = (self + d) % np;
+            if (d == np - d && p < self)
+                continue; // even np: split the opposite processor
+            partners.push_back(p);
+        }
+
+        auto load_disp = [&](int i) {
+            if (ec && !restructured && (i < lo || i >= hi))
+                rt.acquire(dispLock(i), AccessMode::Read);
+            rt.readBuf(disp_addr(i), &disp_cache[3 * i], 3);
+            if (ec && !restructured && (i < lo || i >= hi))
+                rt.release(dispLock(i));
+        };
+        for (int i = lo; i < hi; ++i)
+            load_disp(i);
+        for (int p : partners) {
+            const int plo = p * m / np;
+            const int phi = (p + 1) * m / np;
+            if (ec && restructured) {
+                rt.acquire(procDispLock(m, p), AccessMode::Read);
+                rt.readBuf(disp_addr(plo), &disp_cache[3 * plo],
+                           3 * (phi - plo));
+                rt.release(procDispLock(m, p));
+            } else {
+                for (int i = plo; i < phi; ++i)
+                    load_disp(i);
+            }
+        }
+
+        // Accumulate pair forces privately.
+        std::fill(acc.begin(), acc.end(), 0.0);
+        std::uint64_t pairs = 0;
+        for (int i = lo; i < hi; ++i) {
+            for (int j = i + 1; j < hi; ++j) {
+                pairForce(&disp_cache[3 * i], &disp_cache[3 * j],
+                          &acc[3 * i], &acc[3 * j]);
+                ++pairs;
+            }
+            for (int p : partners) {
+                const int plo = p * m / np;
+                const int phi = (p + 1) * m / np;
+                for (int j = plo; j < phi; ++j) {
+                    pairForce(&disp_cache[3 * i], &disp_cache[3 * j],
+                              &acc[3 * i], &acc[3 * j]);
+                    ++pairs;
+                }
+            }
+        }
+        rt.chargeWork(pairs * kWorkPerPair);
+
+        // Apply the accumulated updates at once (SPLASH style): one
+        // exclusive per-molecule lock per touched molecule.
+        for (int i = 0; i < m; ++i) {
+            const double *a = &acc[3 * i];
+            if (a[0] == 0 && a[1] == 0 && a[2] == 0)
+                continue;
+            rt.acquire(forceLock(m, i), AccessMode::Write);
+            double f[3];
+            rt.readBuf(force_addr(i), f, 3);
+            for (int k = 0; k < 3; ++k)
+                f[k] += a[k];
+            rt.writeBuf(force_addr(i), f, 3);
+            rt.release(forceLock(m, i));
+        }
+        rt.barrier(next_barrier++);
+
+        // --- Displacement phase --------------------------------
+        for (int i = lo; i < hi; ++i) {
+            // Read the force (EC: read-only lock — written by several
+            // processors in the force phase).
+            if (ec)
+                rt.acquire(forceLock(m, i), AccessMode::Read);
+            double f[3];
+            rt.readBuf(force_addr(i), f, 3);
+            if (ec)
+                rt.release(forceLock(m, i));
+
+            if (ec) {
+                rt.acquire(restructured ? procDispLock(m, self)
+                                        : dispLock(i),
+                           AccessMode::Write);
+            }
+            double d[3];
+            rt.readBuf(disp_addr(i), d, 3);
+            for (int k = 0; k < 3; ++k)
+                d[k] += kDt * f[k];
+            rt.writeBuf(disp_addr(i), d, 3);
+            if (ec) {
+                rt.release(restructured ? procDispLock(m, self)
+                                        : dispLock(i));
+            }
+        }
+        rt.chargeWork(static_cast<std::uint64_t>(hi - lo) *
+                      kWorkPerUpdate);
+        rt.barrier(next_barrier++);
+    }
+
+    // Collect on node 0: bring every displacement current through the
+    // protocol before reading it.
+    if (self == 0) {
+        if (ec && restructured) {
+            for (int p = 0; p < np; ++p) {
+                rt.acquire(procDispLock(m, p), AccessMode::Read);
+                rt.release(procDispLock(m, p));
+            }
+        }
+        for (int i = 0; i < m; ++i) {
+            if (ec && !restructured) {
+                rt.acquire(dispLock(i), AccessMode::Read);
+                rt.release(dispLock(i));
+            }
+            double d[3];
+            rt.readBuf(disp_addr(i), d, 3);
+        }
+    }
+    rt.barrier(next_barrier++);
+}
+
+} // namespace
+
+std::unique_ptr<App>
+makeWaterApp()
+{
+    return std::make_unique<WaterApp>();
+}
+
+} // namespace dsm

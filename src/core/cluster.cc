@@ -1,0 +1,116 @@
+#include "core/cluster.hh"
+
+#include <exception>
+#include <thread>
+
+#include "util/logging.hh"
+
+namespace dsm {
+
+Cluster::Node::Node(const ClusterConfig &config, Network &net, NodeId id)
+    : arena(config.arenaBytes, config.pageSize),
+      ep(net, id, clock, stats),
+      locks(ep, mu),
+      barriers(ep, mu)
+{
+    Runtime::Deps deps;
+    deps.self = id;
+    deps.nprocs = config.nprocs;
+    deps.arena = &arena;
+    deps.endpoint = &ep;
+    deps.locks = &locks;
+    deps.barriers = &barriers;
+    deps.regions = &regions;
+    deps.nodeMutex = &mu;
+    deps.cluster = &config;
+    if (config.runtime.model == Model::EC)
+        rt = std::make_unique<EcRuntime>(deps);
+    else
+        rt = std::make_unique<LrcRuntime>(deps);
+}
+
+Cluster::Cluster(const ClusterConfig &config) : cfg(config)
+{
+    DSM_ASSERT(cfg.nprocs >= 1 && cfg.nprocs <= 64,
+               "unreasonable node count %d", cfg.nprocs);
+    cfg.runtime.validate();
+
+    LossPlan loss;
+    if (cfg.lossEveryNth > 0)
+        loss = dropEveryNth(cfg.lossEveryNth);
+    net = std::make_unique<Network>(cfg.nprocs, cfg.cost, std::move(loss));
+
+    nodes.reserve(cfg.nprocs);
+    for (int i = 0; i < cfg.nprocs; ++i)
+        nodes.push_back(std::make_unique<Node>(cfg, *net, i));
+
+    for (auto &node : nodes) {
+        Node *n = node.get();
+        n->ep.setHandler([n](Message &msg) {
+            switch (msg.type) {
+              case MsgType::LockRequest:
+              case MsgType::LockForward:
+                n->locks.handleMessage(msg);
+                break;
+              case MsgType::BarrierArrive:
+                n->barriers.handleMessage(msg);
+                break;
+              default:
+                n->rt->handleMessage(msg);
+            }
+        });
+    }
+}
+
+Cluster::~Cluster()
+{
+    for (auto &node : nodes)
+        node->ep.stop();
+    if (net)
+        net->shutdown();
+}
+
+RunResult
+Cluster::run(const std::function<void(Runtime &)> &app_main)
+{
+    DSM_ASSERT(!ran, "a Cluster instance runs exactly one application");
+    ran = true;
+
+    for (auto &node : nodes)
+        node->ep.start();
+
+    std::vector<std::exception_ptr> errors(nodes.size());
+    std::vector<std::thread> threads;
+    threads.reserve(nodes.size());
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+        threads.emplace_back([&, i] {
+            try {
+                app_main(*nodes[i]->rt);
+            } catch (...) {
+                errors[i] = std::current_exception();
+            }
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+    for (auto &node : nodes)
+        node->ep.stop();
+
+    for (std::size_t i = 0; i < errors.size(); ++i) {
+        if (errors[i])
+            std::rethrow_exception(errors[i]);
+    }
+
+    RunResult result;
+    for (auto &node : nodes) {
+        const std::uint64_t t = node->clock.now();
+        result.nodeTimesNs.push_back(t);
+        result.execTimeNs = std::max(result.execTimeNs, t);
+        result.perNode.push_back(node->stats);
+        result.total += node->stats;
+    }
+    result.networkMessages = net->totalMessages();
+    return result;
+}
+
+} // namespace dsm

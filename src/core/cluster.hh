@@ -1,0 +1,101 @@
+/**
+ * @file
+ * The simulated 8-node cluster: per-node arenas, endpoints, lock and
+ * barrier services, and an EC or LRC runtime, all wired to one
+ * simulated network. run() executes an SPMD application function on
+ * one thread per node and reports per-node virtual times and protocol
+ * statistics — the reproduction's equivalent of the paper's
+ * 8-processor execution times.
+ */
+
+#ifndef DSM_CORE_CLUSTER_HH
+#define DSM_CORE_CLUSTER_HH
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/ec_runtime.hh"
+#include "core/lrc_runtime.hh"
+
+namespace dsm {
+
+/** Outcome of one cluster run. */
+struct RunResult
+{
+    /** Simulated execution time: max over nodes of the final clock. */
+    std::uint64_t execTimeNs = 0;
+
+    std::vector<std::uint64_t> nodeTimesNs;
+
+    /** Sum of all nodes' counters. */
+    NodeStats total;
+
+    std::vector<NodeStats> perNode;
+
+    /** Total messages accepted by the network. */
+    std::uint64_t networkMessages = 0;
+
+    double execSeconds() const { return execTimeNs * 1e-9; }
+
+    /** Payload megabytes on the wire (paper's "data transferred"). */
+    double
+    megabytesSent() const
+    {
+        return static_cast<double>(total.bytesSent) / (1024.0 * 1024.0);
+    }
+};
+
+class Cluster
+{
+  public:
+    explicit Cluster(const ClusterConfig &config);
+    ~Cluster();
+
+    Cluster(const Cluster &) = delete;
+    Cluster &operator=(const Cluster &) = delete;
+
+    /**
+     * Run @p app_main once per node, each on its own thread, and
+     * collect the results. A Cluster instance runs one application.
+     */
+    RunResult run(const std::function<void(Runtime &)> &app_main);
+
+    Runtime &runtime(NodeId node) { return *nodes[node]->rt; }
+
+    /** Validation view of one node's memory (after run()). */
+    const std::byte *
+    memory(NodeId node, GlobalAddr addr) const
+    {
+        return nodes[node]->arena.at(addr);
+    }
+
+    const ClusterConfig &config() const { return cfg; }
+
+    int nprocs() const { return cfg.nprocs; }
+
+  private:
+    struct Node
+    {
+        Node(const ClusterConfig &config, Network &net, NodeId id);
+
+        VirtualClock clock;
+        NodeStats stats;
+        std::mutex mu;
+        SharedArena arena;
+        RegionTable regions;
+        Endpoint ep;
+        LockService locks;
+        BarrierService barriers;
+        std::unique_ptr<Runtime> rt;
+    };
+
+    ClusterConfig cfg;
+    std::unique_ptr<Network> net;
+    std::vector<std::unique_ptr<Node>> nodes;
+    bool ran = false;
+};
+
+} // namespace dsm
+
+#endif // DSM_CORE_CLUSTER_HH

@@ -1,0 +1,73 @@
+#include "core/config.hh"
+
+#include "util/logging.hh"
+
+namespace dsm {
+
+const char *
+toString(Model model)
+{
+    return model == Model::EC ? "EC" : "LRC";
+}
+
+const char *
+toString(TrapMethod trap)
+{
+    return trap == TrapMethod::CompilerInstrumentation ? "ci" : "twin";
+}
+
+const char *
+toString(CollectMethod collect)
+{
+    return collect == CollectMethod::Timestamping ? "time" : "diff";
+}
+
+std::string
+RuntimeConfig::name() const
+{
+    std::string base = toString(model);
+    if (trap == TrapMethod::CompilerInstrumentation)
+        return base + "-ci";
+    return base + (collect == CollectMethod::Timestamping ? "-time"
+                                                          : "-diff");
+}
+
+void
+RuntimeConfig::validate() const
+{
+    if (trap == TrapMethod::CompilerInstrumentation &&
+        collect == CollectMethod::Diffing) {
+        fatal("compiler instrumentation + diffing is not supported: its "
+              "memory requirements are prohibitive (Section 1 of the "
+              "paper)");
+    }
+}
+
+RuntimeConfig
+RuntimeConfig::parse(const std::string &name)
+{
+    for (const RuntimeConfig &config : all()) {
+        if (config.name() == name)
+            return config;
+    }
+    fatal("unknown runtime configuration '%s' (expected one of EC-ci, "
+          "EC-time, EC-diff, LRC-ci, LRC-time, LRC-diff)", name.c_str());
+}
+
+const std::vector<RuntimeConfig> &
+RuntimeConfig::all()
+{
+    static const std::vector<RuntimeConfig> kAll = {
+        {Model::EC, TrapMethod::CompilerInstrumentation,
+         CollectMethod::Timestamping},
+        {Model::EC, TrapMethod::Twinning, CollectMethod::Timestamping},
+        {Model::EC, TrapMethod::Twinning, CollectMethod::Diffing},
+        {Model::LRC, TrapMethod::CompilerInstrumentation,
+         CollectMethod::Timestamping},
+        {Model::LRC, TrapMethod::Twinning, CollectMethod::Timestamping},
+        {Model::LRC, TrapMethod::Twinning, CollectMethod::Diffing},
+    };
+    return kAll;
+}
+
+} // namespace dsm

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Named configurations of the design space the paper explores:
+ * consistency model x write trapping x write collection (Table 1).
+ * The combination compiler-instrumentation + diffing is excluded, as
+ * in the paper, because it would pay the memory overhead of both the
+ * software dirty bits and the diffs.
+ */
+
+#ifndef DSM_CORE_CONFIG_HH
+#define DSM_CORE_CONFIG_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "time/cost_model.hh"
+
+namespace dsm {
+
+enum class Model : std::uint8_t { EC, LRC };
+
+enum class TrapMethod : std::uint8_t
+{
+    CompilerInstrumentation,
+    Twinning,
+};
+
+enum class CollectMethod : std::uint8_t
+{
+    Timestamping,
+    Diffing,
+};
+
+const char *toString(Model model);
+const char *toString(TrapMethod trap);
+const char *toString(CollectMethod collect);
+
+struct RuntimeConfig
+{
+    Model model = Model::LRC;
+    TrapMethod trap = TrapMethod::Twinning;
+    CollectMethod collect = CollectMethod::Diffing;
+
+    /** Paper-style name: EC-ci, EC-time, EC-diff, LRC-ci, LRC-time,
+     *  LRC-diff. */
+    std::string name() const;
+
+    /** fatal()s on the excluded ci+diff combination. */
+    void validate() const;
+
+    /** Parse a paper-style name; fatal() on unknown names. */
+    static RuntimeConfig parse(const std::string &name);
+
+    /** The six legal combinations, in Table 4/5 order. */
+    static const std::vector<RuntimeConfig> &all();
+
+    bool operator==(const RuntimeConfig &other) const = default;
+};
+
+/** Parameters of a simulated cluster. */
+struct ClusterConfig
+{
+    int nprocs = 8;
+    RuntimeConfig runtime;
+    std::size_t arenaBytes = 16u << 20;
+    std::size_t pageSize = 4096;
+    CostModel cost;
+
+    /**
+     * Simulate an unreliable AAL3/4 substrate: the first transmission
+     * of every n-th message is lost and recovered by the modeled
+     * retransmission protocol. 0 disables losses.
+     */
+    std::uint64_t lossEveryNth = 0;
+
+    /**
+     * Use the hierarchical (page-level + word-level) dirty bit scheme
+     * for LRC-ci (Section 4.1). Disabling it scans the whole shared
+     * region at every write collection — the ablation the paper argues
+     * against.
+     */
+    bool hierarchicalDirty = true;
+
+    /**
+     * Twin small EC objects eagerly at write-lock acquire (the paper's
+     * improvement over the Midway VM implementation, Sections 4.2 and
+     * 9). Disabling it models the older scheme's cost: one protection
+     * fault per small-object write acquire before the twin is made.
+     */
+    bool ecEagerSmallTwin = true;
+};
+
+} // namespace dsm
+
+#endif // DSM_CORE_CONFIG_HH

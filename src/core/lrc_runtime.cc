@@ -1,0 +1,731 @@
+#include "core/lrc_runtime.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/logging.hh"
+
+namespace dsm {
+
+LrcRuntime::LrcRuntime(const Deps &deps)
+    : Runtime(deps),
+      vt(deps.nprocs),
+      log(deps.nprocs),
+      pages(deps.arena->numPages(),
+            deps.cluster->runtime.trap == TrapMethod::Twinning
+                ? PageAccess::Read
+                : PageAccess::ReadWrite),
+      dirty(deps.arena->size(), deps.arena->pageSize())
+{
+    DSM_ASSERT(cluster->runtime.model == Model::LRC, "config mismatch");
+    cluster->runtime.validate();
+
+    LockHooks lh;
+    lh.makeRequest = [this](LockId lock, AccessMode mode) {
+        return makeLockRequest(lock, mode);
+    };
+    lh.makeGrant = [this](LockId lock, AccessMode mode, NodeId origin,
+                          WireReader &req) {
+        return makeLockGrant(lock, mode, origin, req);
+    };
+    lh.applyGrant = [this](LockId lock, AccessMode mode, WireReader &r) {
+        applyLockGrant(lock, mode, r);
+    };
+    locks->setHooks(std::move(lh));
+
+    BarrierHooks bh;
+    bh.makeArrival = [this](BarrierId b) { return makeArrival(b); };
+    bh.mergeArrival = [this](BarrierId b, NodeId n, WireReader &r) {
+        mergeArrival(b, n, r);
+    };
+    bh.makeDepart = [this](BarrierId b, NodeId n) {
+        return makeDepart(b, n);
+    };
+    bh.applyDepart = [this](BarrierId b, WireReader &r) {
+        applyDepart(b, r);
+    };
+    barriers->setHooks(std::move(bh));
+}
+
+std::string
+LrcRuntime::name() const
+{
+    return cluster->runtime.name();
+}
+
+void
+LrcRuntime::bindLock(LockId, std::vector<Range>)
+{
+    panic("LRC has no association between locks and data (Section 3.2); "
+          "bindLock is an EC-only operation");
+}
+
+void
+LrcRuntime::rebindLock(LockId, std::vector<Range>)
+{
+    panic("rebindLock is an EC-only operation");
+}
+
+LrcRuntime::PageMeta &
+LrcRuntime::meta(PageId page)
+{
+    auto [it, inserted] = pageMeta.try_emplace(page);
+    if (inserted)
+        it->second.copyVt = VectorTime(numProcs);
+    return it->second;
+}
+
+BlockTimestamps &
+LrcRuntime::tsOf(PageId page)
+{
+    auto [it, inserted] = pageTs.try_emplace(page);
+    if (inserted) {
+        it->second = BlockTimestamps(
+            static_cast<std::uint32_t>(arena->pageSize() / 4));
+    }
+    return it->second;
+}
+
+void
+LrcRuntime::closeInterval()
+{
+    std::vector<PageId> modified;
+    if (usesTwinning()) {
+        modified = twins.twinnedPages();
+    } else {
+        if (cluster->hierarchicalDirty) {
+            modified = dirty.dirtyPages();
+        } else {
+            // Flat ablation: no page-level bits, so write collection
+            // must scan the word bits of the entire shared region.
+            const std::uint64_t blocks = arena->used() / 4;
+            clock().add(costModel().perWordScanNs * blocks);
+            stats().tsWordsScanned += blocks;
+            modified = dirty.dirtyPages();
+        }
+    }
+    if (modified.empty())
+        return;
+    std::sort(modified.begin(), modified.end());
+
+    const std::uint32_t idx = ++vt[id];
+    IntervalRec rec;
+    rec.proc = id;
+    rec.idx = idx;
+    rec.vt = vt;
+    rec.pages = modified;
+
+    const std::uint64_t page_words = arena->pageSize() / 4;
+    for (PageId p : modified) {
+        meta(p).copyVt[id] = idx;
+        const GlobalAddr base = arena->pageBase(p);
+        if (usesTwinning()) {
+            const std::byte *cur = arena->at(base);
+            const std::byte *twin = twins.pageTwin(p).data();
+            clock().add(costModel().perWordDiffNs * page_words);
+            if (usesDiffing()) {
+                Diff d = Diff::create(cur, twin,
+                                      static_cast<std::uint32_t>(
+                                          arena->pageSize()),
+                                      &stats());
+                diffStore[{p, packTs(id, idx)}] = {std::move(d),
+                                                   rec.vt.sum()};
+            } else {
+                // Twin + timestamps: changed words get (self, idx).
+                BlockTimestamps &ts = tsOf(p);
+                stats().diffWordsCompared += page_words;
+                for (std::uint64_t w = 0; w < page_words; ++w) {
+                    if (std::memcmp(cur + w * 4, twin + w * 4, 4) != 0)
+                        ts.set(static_cast<std::uint32_t>(w),
+                               packTs(id, idx));
+                }
+            }
+            twins.dropPage(p);
+            // Writable only within an interval: later writes re-fault
+            // and re-twin (as in TreadMarks).
+            pages.setAccess(p, PageAccess::Read);
+        } else {
+            // Compiler instrumentation (+ timestamps): fold the word
+            // dirty bits of this page into word timestamps.
+            BlockTimestamps &ts = tsOf(p);
+            clock().add(costModel().perWordScanNs * page_words);
+            stats().tsWordsScanned += page_words;
+            for (const Run &r :
+                 dirty.dirtyRunsIn(base, arena->pageSize())) {
+                const std::uint32_t rel =
+                    r.start - static_cast<std::uint32_t>(base / 4);
+                ts.setRange(rel, r.length, packTs(id, idx));
+            }
+            dirty.clearRange(base, arena->pageSize());
+        }
+    }
+
+    log[id].push_back(std::move(rec));
+    stats().intervalsCreated++;
+}
+
+const LrcRuntime::IntervalRec &
+LrcRuntime::addRecord(IntervalRec rec)
+{
+    auto &procLog = log[rec.proc];
+    if (rec.idx <= procLog.size()) {
+        // Already known (interval indices are dense per processor).
+        return procLog[rec.idx - 1];
+    }
+    if (rec.idx != procLog.size() + 1) {
+        std::fprintf(stderr,
+                     "[node %d] gap: proc %d have %zu got %u; my vt=%s "
+                     "lastBarrierSent=%u\n",
+                     id, rec.proc, procLog.size(), rec.idx,
+                     vt.toString().c_str(), lastBarrierSentIdx);
+    }
+    DSM_ASSERT(rec.idx == procLog.size() + 1,
+               "gap in interval log of proc %d: have %zu, got %u",
+               rec.proc, procLog.size(), rec.idx);
+    procLog.push_back(std::move(rec));
+    return procLog.back();
+}
+
+void
+LrcRuntime::invalidateFor(const IntervalRec &rec)
+{
+    for (PageId p : rec.pages) {
+        PageMeta &m = meta(p);
+        if (m.copyVt[rec.proc] >= rec.idx)
+            continue;
+        const auto notice = std::make_pair(rec.proc, rec.idx);
+        if (std::find(m.notices.begin(), m.notices.end(), notice) !=
+            m.notices.end()) {
+            continue;
+        }
+        m.notices.push_back(notice);
+        stats().writeNoticesReceived++;
+        if (pages.access(p) != PageAccess::None) {
+            pages.setAccess(p, PageAccess::None);
+            stats().pagesInvalidated++;
+        }
+    }
+}
+
+std::vector<const LrcRuntime::IntervalRec *>
+LrcRuntime::recordsAfter(const VectorTime &since,
+                         const VectorTime *up_to) const
+{
+    std::vector<const IntervalRec *> out;
+    for (int p = 0; p < numProcs; ++p) {
+        std::size_t end = log[p].size();
+        if (up_to)
+            end = std::min<std::size_t>(end, (*up_to)[p]);
+        for (std::size_t i = since[p]; i < end; ++i)
+            out.push_back(&log[p][i]);
+    }
+    return out;
+}
+
+void
+LrcRuntime::encodeRecord(WireWriter &w, const IntervalRec &rec)
+{
+    w.putU16(static_cast<std::uint16_t>(rec.proc));
+    w.putU32(rec.idx);
+    rec.vt.encode(w);
+    w.putU32(static_cast<std::uint32_t>(rec.pages.size()));
+    for (PageId p : rec.pages)
+        w.putU32(p);
+}
+
+LrcRuntime::IntervalRec
+LrcRuntime::decodeRecord(WireReader &r)
+{
+    IntervalRec rec;
+    rec.proc = static_cast<NodeId>(r.getU16());
+    rec.idx = r.getU32();
+    rec.vt = VectorTime::decode(r);
+    rec.pages.resize(r.getU32());
+    for (PageId &p : rec.pages)
+        p = r.getU32();
+    return rec;
+}
+
+// ---------------------------------------------------------------------
+// Lock hooks.
+
+std::vector<std::byte>
+LrcRuntime::makeLockRequest(LockId, AccessMode)
+{
+    // An acquire begins a new interval (Section 5.1).
+    closeInterval();
+    WireWriter w;
+    vt.encode(w);
+    return w.take();
+}
+
+std::vector<std::byte>
+LrcRuntime::makeLockGrant(LockId, AccessMode, NodeId, WireReader &req)
+{
+    VectorTime req_vt = VectorTime::decode(req);
+    closeInterval();
+
+    WireWriter w;
+    vt.encode(w);
+    // Send only records within my own vector. As the centralized
+    // barrier manager, my log can briefly hold records merged from
+    // other nodes' *next-barrier* arrivals that my vector does not yet
+    // cover; leaking those would hand the requester notices it cannot
+    // order or fetch against.
+    auto recs = recordsAfter(req_vt, &vt);
+    w.putU32(static_cast<std::uint32_t>(recs.size()));
+    for (const IntervalRec *rec : recs) {
+        encodeRecord(w, *rec);
+        stats().writeNoticesSent += rec->pages.size();
+    }
+    return w.take();
+}
+
+void
+LrcRuntime::applyLockGrant(LockId, AccessMode, WireReader &r)
+{
+    VectorTime granter_vt = VectorTime::decode(r);
+    const std::uint32_t nrecs = r.getU32();
+    for (std::uint32_t i = 0; i < nrecs; ++i) {
+        const IntervalRec &rec = addRecord(decodeRecord(r));
+        invalidateFor(rec);
+    }
+    vt.mergeMax(granter_vt);
+}
+
+// ---------------------------------------------------------------------
+// Barrier hooks.
+
+std::vector<std::byte>
+LrcRuntime::makeArrival(BarrierId)
+{
+    closeInterval();
+    WireWriter w;
+    vt.encode(w);
+    // Send my own records created since my previous barrier; every
+    // record reaches the manager from its author.
+    std::uint32_t first = lastBarrierSentIdx;
+    const auto &mine = log[id];
+    w.putU32(static_cast<std::uint32_t>(mine.size() - first));
+    for (std::size_t i = first; i < mine.size(); ++i) {
+        encodeRecord(w, mine[i]);
+        stats().writeNoticesSent += mine[i].pages.size();
+    }
+    lastBarrierSentIdx = static_cast<std::uint32_t>(mine.size());
+    return w.take();
+}
+
+void
+LrcRuntime::mergeArrival(BarrierId barrier, NodeId node, WireReader &r)
+{
+    BarrierScratch &scratch = barrierScratch[barrier];
+    if (scratch.arrivalVt.empty())
+        scratch.arrivalVt.assign(numProcs, VectorTime(numProcs));
+    scratch.arrivalVt[node] = VectorTime::decode(r);
+    const std::uint32_t nrecs = r.getU32();
+    for (std::uint32_t i = 0; i < nrecs; ++i)
+        addRecord(decodeRecord(r));
+}
+
+std::vector<std::byte>
+LrcRuntime::makeDepart(BarrierId barrier, NodeId node)
+{
+    BarrierScratch &scratch = barrierScratch[barrier];
+    VectorTime global(numProcs);
+    for (const VectorTime &avt : scratch.arrivalVt)
+        global.mergeMax(avt);
+
+    WireWriter w;
+    global.encode(w);
+    auto recs = recordsAfter(scratch.arrivalVt[node]);
+    w.putU32(static_cast<std::uint32_t>(recs.size()));
+    for (const IntervalRec *rec : recs) {
+        encodeRecord(w, *rec);
+        stats().writeNoticesSent += rec->pages.size();
+    }
+
+    if (++scratch.departsBuilt == numProcs)
+        barrierScratch.erase(barrier);
+    return w.take();
+}
+
+void
+LrcRuntime::applyDepart(BarrierId, WireReader &r)
+{
+    VectorTime global = VectorTime::decode(r);
+    const std::uint32_t nrecs = r.getU32();
+    for (std::uint32_t i = 0; i < nrecs; ++i) {
+        const IntervalRec &rec = addRecord(decodeRecord(r));
+        invalidateFor(rec);
+    }
+    // Records the manager merged from *us* need no invalidation, but
+    // records of other processors we already knew might still have
+    // pending notices; invalidateFor is idempotent either way.
+    vt.mergeMax(global);
+}
+
+// ---------------------------------------------------------------------
+// Access layer.
+
+void
+LrcRuntime::ensurePresent(PageId page)
+{
+    bool missing;
+    {
+        std::lock_guard<std::mutex> g(*mu);
+        missing = pages.access(page) == PageAccess::None;
+    }
+    if (missing)
+        fetchPage(page);
+}
+
+void
+LrcRuntime::doRead(GlobalAddr addr, void *dst, std::size_t size)
+{
+    if (size == 0)
+        return;
+    const PageId first = arena->pageOf(addr);
+    const PageId last = arena->pageOf(addr + size - 1);
+    for (PageId p = first; p <= last; ++p)
+        ensurePresent(p);
+    std::memcpy(dst, arena->at(addr), size);
+}
+
+void
+LrcRuntime::doWrite(GlobalAddr addr, const void *src, std::size_t size,
+                    bool bulk)
+{
+    if (size == 0)
+        return;
+    const PageId first = arena->pageOf(addr);
+    const PageId last = arena->pageOf(addr + size - 1);
+    for (PageId p = first; p <= last; ++p)
+        ensurePresent(p);
+
+    // Trapping and the store itself form one critical section: a
+    // concurrent interval close on the service thread (lock grant)
+    // must see either twin+store or neither.
+    std::lock_guard<std::mutex> g(*mu);
+    if (!usesTwinning()) {
+        // Hierarchical software dirty bits: word-level + page-level.
+        dirty.markRange(addr, size);
+        if (bulk) {
+            const std::uint64_t blocks = (size + 3) / 4;
+            clock().add(costModel().dirtyStoreNs * blocks / 2);
+            stats().dirtyStores += blocks;
+        } else {
+            clock().add(costModel().dirtyStoreNs);
+            stats().dirtyStores++;
+        }
+    } else {
+        // Twinning: write fault on non-writable pages creates the twin.
+        for (PageId p = first; p <= last; ++p) {
+            if (pages.access(p) != PageAccess::Read)
+                continue;
+            const std::uint64_t words = arena->pageSize() / 4;
+            clock().add(costModel().pageFaultNs +
+                        costModel().perWordTwinNs * words);
+            stats().pageFaults++;
+            stats().twinsCreated++;
+            stats().twinWordsCopied += words;
+            twins.makePage(p, arena->at(arena->pageBase(p)),
+                           arena->pageSize());
+            pages.setAccess(p, PageAccess::ReadWrite);
+        }
+    }
+    std::memcpy(arena->at(addr), src, size);
+}
+
+// ---------------------------------------------------------------------
+// Access-miss servicing.
+
+void
+LrcRuntime::fetchPage(PageId page)
+{
+    stats().accessMisses++;
+    clock().add(costModel().pageFaultNs);
+    if (usesDiffing())
+        fetchDiffs(page);
+    else
+        fetchTimestamps(page);
+}
+
+void
+LrcRuntime::fetchDiffs(PageId page)
+{
+    std::vector<NodeId> responders;
+    VectorTime copy_vt;
+    {
+        std::lock_guard<std::mutex> g(*mu);
+        PageMeta &m = meta(page);
+        copy_vt = m.copyVt;
+        for (const auto &[proc, idx] : m.notices) {
+            if (idx > copy_vt[proc] &&
+                std::find(responders.begin(), responders.end(), proc) ==
+                    responders.end() &&
+                proc != id) {
+                responders.push_back(proc);
+            }
+        }
+    }
+
+    struct Fetched
+    {
+        NodeId proc;
+        std::uint32_t idx;
+        std::uint64_t vtSum;
+        Diff diff;
+    };
+    std::vector<Fetched> fetched;
+    for (NodeId q : responders) {
+        WireWriter w;
+        w.putU32(page);
+        copy_vt.encode(w);
+        Message reply = ep->call(q, MsgType::DiffRequest, w.take());
+        WireReader r(reply.payload);
+        const std::uint32_t n = r.getU32();
+        for (std::uint32_t i = 0; i < n; ++i) {
+            Fetched f;
+            f.proc = static_cast<NodeId>(r.getU16());
+            f.idx = r.getU32();
+            f.vtSum = r.getU64();
+            f.diff = Diff::decode(r);
+            fetched.push_back(std::move(f));
+        }
+    }
+
+    // Apply in a linear extension of happens-before (sum order), with
+    // word-granularity merging for concurrent multi-writer diffs.
+    std::sort(fetched.begin(), fetched.end(),
+              [](const Fetched &a, const Fetched &b) {
+                  if (a.vtSum != b.vtSum)
+                      return a.vtSum < b.vtSum;
+                  if (a.proc != b.proc)
+                      return a.proc < b.proc;
+                  return a.idx < b.idx;
+              });
+
+    std::lock_guard<std::mutex> g(*mu);
+    PageMeta &m = meta(page);
+    std::byte *base = arena->at(arena->pageBase(page));
+    for (Fetched &f : fetched) {
+        if (f.idx <= m.copyVt[f.proc])
+            continue; // duplicate from another responder
+        f.diff.apply(base, &stats());
+        clock().add(costModel().perWordApplyNs *
+                    ((f.diff.dataBytes() + 3) / 4));
+        m.copyVt[f.proc] = std::max(m.copyVt[f.proc], f.idx);
+        // Save for possible future transmission (Section 5.2).
+        diffStore[{page, packTs(f.proc, f.idx)}] = {std::move(f.diff),
+                                                    f.vtSum};
+    }
+    std::erase_if(m.notices, [&](const auto &notice) {
+        return notice.second <= m.copyVt[notice.first];
+    });
+    DSM_ASSERT(m.notices.empty(),
+               "page %u still has pending notices after fetch", page);
+    pages.setAccess(page, PageAccess::Read);
+}
+
+void
+LrcRuntime::fetchTimestamps(PageId page)
+{
+    std::vector<NodeId> responders;
+    VectorTime copy_vt;
+    {
+        std::lock_guard<std::mutex> g(*mu);
+        PageMeta &m = meta(page);
+        copy_vt = m.copyVt;
+        for (const auto &[proc, idx] : m.notices) {
+            if (idx > copy_vt[proc] &&
+                std::find(responders.begin(), responders.end(), proc) ==
+                    responders.end() &&
+                proc != id) {
+                responders.push_back(proc);
+            }
+        }
+    }
+
+    struct TsReply
+    {
+        VectorTime pageVt;
+        std::vector<TsRun> runs;
+        std::vector<std::vector<std::byte>> data;
+    };
+    VectorTime global_vt;
+    {
+        std::lock_guard<std::mutex> g(*mu);
+        global_vt = vt;
+    }
+    std::vector<TsReply> replies;
+    for (NodeId q : responders) {
+        WireWriter w;
+        w.putU32(page);
+        copy_vt.encode(w);
+        global_vt.encode(w);
+        Message msg = ep->call(q, MsgType::PageTsRequest, w.take());
+        WireReader r(msg.payload);
+        TsReply reply;
+        reply.pageVt = VectorTime::decode(r);
+        const std::uint32_t nruns = r.getU32();
+        for (std::uint32_t i = 0; i < nruns; ++i) {
+            TsRun run;
+            run.firstBlock = r.getU32();
+            run.numBlocks = r.getU32();
+            run.ts = r.getU64();
+            std::vector<std::byte> bytes(std::size_t{run.numBlocks} * 4);
+            r.getBytes(bytes.data(), bytes.size());
+            reply.runs.push_back(run);
+            reply.data.push_back(std::move(bytes));
+        }
+        replies.push_back(std::move(reply));
+    }
+
+    std::lock_guard<std::mutex> g(*mu);
+    PageMeta &m = meta(page);
+    BlockTimestamps &ts = tsOf(page);
+    std::byte *base = arena->at(arena->pageBase(page));
+
+    // Happens-before check via the interval log: is candidate (p, i)
+    // already covered by the interval that produced current (q, j)?
+    auto dominated = [&](std::uint64_t cand, std::uint64_t cur) {
+        if (cur == 0)
+            return false;
+        const NodeId q = tsProc(cur);
+        const std::uint32_t j = tsInterval(cur);
+        if (j == 0 || j > log[q].size())
+            return false;
+        const IntervalRec &rec = log[q][j - 1];
+        return rec.vt[tsProc(cand)] >= tsInterval(cand);
+    };
+
+    std::uint64_t words_applied = 0;
+    for (const TsReply &reply : replies) {
+        for (std::size_t i = 0; i < reply.runs.size(); ++i) {
+            const TsRun &run = reply.runs[i];
+            const std::vector<std::byte> &bytes = reply.data[i];
+            for (std::uint32_t b = 0; b < run.numBlocks; ++b) {
+                const std::uint32_t block = run.firstBlock + b;
+                const std::uint64_t cur = ts.get(block);
+                if (cur == run.ts)
+                    continue;
+                if (dominated(run.ts, cur))
+                    continue;
+                std::memcpy(base + std::size_t{block} * 4,
+                            bytes.data() + std::size_t{b} * 4, 4);
+                ts.set(block, run.ts);
+                ++words_applied;
+            }
+        }
+        m.copyVt.mergeMax(reply.pageVt);
+    }
+    clock().add(costModel().perWordApplyNs * words_applied);
+
+    std::erase_if(m.notices, [&](const auto &notice) {
+        return notice.second <= m.copyVt[notice.first];
+    });
+    if (!m.notices.empty()) {
+        for (auto &[np_, ni] : m.notices) {
+            std::fprintf(stderr,
+                         "[node %d] page %u leftover notice (%d,%u) "
+                         "copyVt=%s vt=%s global=%s\n",
+                         id, page, np_, ni, m.copyVt.toString().c_str(),
+                         vt.toString().c_str(),
+                         global_vt.toString().c_str());
+        }
+    }
+    DSM_ASSERT(m.notices.empty(),
+               "page %u still has pending notices after ts fetch", page);
+    pages.setAccess(page, PageAccess::Read);
+}
+
+void
+LrcRuntime::handleMessage(Message &msg)
+{
+    switch (msg.type) {
+      case MsgType::DiffRequest:
+        handleDiffRequest(msg);
+        break;
+      case MsgType::PageTsRequest:
+        handlePageTsRequest(msg);
+        break;
+      default:
+        Runtime::handleMessage(msg);
+    }
+}
+
+void
+LrcRuntime::handleDiffRequest(Message &msg)
+{
+    WireReader r(msg.payload);
+    const PageId page = r.getU32();
+    VectorTime req_vt = VectorTime::decode(r);
+
+    std::lock_guard<std::mutex> g(*mu);
+    WireWriter w;
+    std::vector<std::pair<std::uint64_t, const DiffEntry *>> send;
+    auto lo = diffStore.lower_bound({page, 0});
+    auto hi = diffStore.upper_bound({page, ~std::uint64_t{0}});
+    for (auto it = lo; it != hi; ++it) {
+        const std::uint64_t key = it->first.second;
+        if (tsInterval(key) > req_vt[tsProc(key)])
+            send.emplace_back(key, &it->second);
+    }
+    w.putU32(static_cast<std::uint32_t>(send.size()));
+    for (const auto &[key, entry] : send) {
+        w.putU16(static_cast<std::uint16_t>(tsProc(key)));
+        w.putU32(tsInterval(key));
+        w.putU64(entry->vtSum);
+        entry->diff.encode(w);
+        stats().diffBytesSent += entry->diff.wireBytes();
+    }
+    ep->reply(msg.src, MsgType::DiffReply, w.take(), msg.replyToken);
+}
+
+void
+LrcRuntime::handlePageTsRequest(Message &msg)
+{
+    WireReader r(msg.payload);
+    const PageId page = r.getU32();
+    VectorTime req_vt = VectorTime::decode(r);
+    VectorTime req_global = VectorTime::decode(r);
+
+    std::lock_guard<std::mutex> g(*mu);
+    WireWriter w;
+    // The requester's copy will reflect, at most, intervals within its
+    // own vector: cap the advertised knowledge accordingly.
+    VectorTime page_vt = meta(page).copyVt;
+    for (int p = 0; p < numProcs; ++p)
+        page_vt[p] = std::min(page_vt[p], req_global[p]);
+    page_vt.encode(w);
+
+    const BlockTimestamps &ts = tsOf(page);
+    // The responder must scan the page's timestamps on every request —
+    // the repeated-scan computation cost of timestamping (Section 5.3).
+    clock().add(costModel().perWordScanNs * ts.numBlocks());
+    stats().tsWordsScanned += ts.numBlocks();
+
+    // Send blocks newer than the requester's page copy but only up to
+    // the requester's global vector: the requester has interval
+    // records (and thus ordering knowledge) exactly for its vector;
+    // stamps beyond it could not be ordered against other replies.
+    auto runs = ts.collect([&](std::uint64_t t) {
+        return t != 0 && tsInterval(t) > req_vt[tsProc(t)] &&
+               tsInterval(t) <= req_global[tsProc(t)];
+    });
+    const std::byte *base = arena->at(arena->pageBase(page));
+    w.putU32(static_cast<std::uint32_t>(runs.size()));
+    for (const TsRun &run : runs) {
+        w.putU32(run.firstBlock);
+        w.putU32(run.numBlocks);
+        w.putU64(run.ts);
+        w.putBytes(base + std::size_t{run.firstBlock} * 4,
+                   std::size_t{run.numBlocks} * 4);
+        stats().tsBytesSent += TsRunWire::kHeaderBytes +
+                               std::size_t{run.numBlocks} * 4;
+    }
+    stats().tsRunsSent += runs.size();
+    ep->reply(msg.src, MsgType::PageTsReply, w.take(), msg.replyToken);
+}
+
+} // namespace dsm

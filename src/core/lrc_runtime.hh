@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Lazy release consistency runtime (TreadMarks-style; Sections 3.2, 4,
+ * 5 of the paper). No association between locks and data: an acquire
+ * makes all shared data consistent via an invalidate protocol.
+ *
+ * Execution is divided into intervals; each interval that modified
+ * pages is summarized by a record carrying its vector of interval
+ * indices and per-page write notices. On acquire, the granter
+ * piggybacks the records the requester lacks; arriving write notices
+ * invalidate the local page copy. A subsequent access miss fetches the
+ * missing modifications from their writers:
+ *  - diffing: per-(page, interval) diffs applied in happens-before
+ *    order (multiple concurrent writers per page merge word-wise);
+ *  - timestamping: per-word (processor, interval) timestamps; the
+ *    responder scans the page and transmits runs newer than the
+ *    requester's vector.
+ *
+ * Write trapping is twinning (software-VM write faults) or compiler
+ * instrumentation with hierarchical page + word dirty bits.
+ */
+
+#ifndef DSM_CORE_LRC_RUNTIME_HH
+#define DSM_CORE_LRC_RUNTIME_HH
+
+#include <map>
+#include <unordered_map>
+
+#include "core/runtime.hh"
+#include "mem/diff.hh"
+#include "mem/dirty_bits.hh"
+#include "mem/page_table.hh"
+#include "mem/twin_store.hh"
+#include "mem/word_ts.hh"
+#include "sync/vector_time.hh"
+
+namespace dsm {
+
+class LrcRuntime : public Runtime
+{
+  public:
+    explicit LrcRuntime(const Deps &deps);
+
+    void bindLock(LockId lock, std::vector<Range> ranges) override;
+    void rebindLock(LockId lock, std::vector<Range> ranges) override;
+
+    std::string name() const override;
+
+    void handleMessage(Message &msg) override;
+
+  protected:
+    void doRead(GlobalAddr addr, void *dst, std::size_t size) override;
+    void doWrite(GlobalAddr addr, const void *src, std::size_t size,
+                 bool bulk) override;
+
+  private:
+    /** One closed interval that modified pages. */
+    struct IntervalRec
+    {
+        NodeId proc = -1;
+        std::uint32_t idx = 0;
+        VectorTime vt;
+        std::vector<PageId> pages;
+    };
+
+    struct PageMeta
+    {
+        /** Writes reflected in my copy: copyVt[p] = newest interval of
+         *  p whose modifications this copy contains. */
+        VectorTime copyVt;
+        /** Pending write notices (proc, interval) newer than copyVt. */
+        std::vector<std::pair<NodeId, std::uint32_t>> notices;
+    };
+
+    PageMeta &meta(PageId page);
+    BlockTimestamps &tsOf(PageId page);
+
+    /**
+     * Close the current interval: detect the modified pages (drop
+     * twins into diffs, or fold dirty bits into word timestamps),
+     * append the interval record, and advance vt[self]. No-op when
+     * nothing was written. Caller holds the node mutex.
+     */
+    void closeInterval();
+
+    /** Append @p rec to the log if missing; returns the stored rec. */
+    const IntervalRec &addRecord(IntervalRec rec);
+
+    /** Process @p rec's write notices: invalidate stale local copies.
+     *  Idempotent. */
+    void invalidateFor(const IntervalRec &rec);
+
+    /** Service an access miss on @p page (app thread; takes and
+     *  releases the node mutex internally). */
+    void fetchPage(PageId page);
+
+    void fetchDiffs(PageId page);
+    void fetchTimestamps(PageId page);
+
+    /** Ensure @p page is present (fetch on access==None). Returns with
+     *  the node mutex *released*. */
+    void ensurePresent(PageId page);
+
+    // Wire helpers.
+    static void encodeRecord(WireWriter &w, const IntervalRec &rec);
+    static IntervalRec decodeRecord(WireReader &r);
+
+    /** Records with idx > since[proc] (and, if given, <= up_to). */
+    std::vector<const IntervalRec *>
+    recordsAfter(const VectorTime &since,
+                 const VectorTime *up_to = nullptr) const;
+
+    // Lock hooks.
+    std::vector<std::byte> makeLockRequest(LockId lock, AccessMode mode);
+    std::vector<std::byte> makeLockGrant(LockId lock, AccessMode mode,
+                                         NodeId origin, WireReader &req);
+    void applyLockGrant(LockId lock, AccessMode mode, WireReader &r);
+
+    // Barrier hooks.
+    std::vector<std::byte> makeArrival(BarrierId barrier);
+    void mergeArrival(BarrierId barrier, NodeId node, WireReader &r);
+    std::vector<std::byte> makeDepart(BarrierId barrier, NodeId node);
+    void applyDepart(BarrierId barrier, WireReader &r);
+
+    // Access-miss servicing (service thread).
+    void handleDiffRequest(Message &msg);
+    void handlePageTsRequest(Message &msg);
+
+    bool usesTwinning() const
+    {
+        return cluster->runtime.trap == TrapMethod::Twinning;
+    }
+
+    bool usesDiffing() const
+    {
+        return cluster->runtime.collect == CollectMethod::Diffing;
+    }
+
+    /** A stored diff plus the sum of its interval's vector (used to
+     *  order application without requiring the interval record). */
+    struct DiffEntry
+    {
+        Diff diff;
+        std::uint64_t vtSum = 0;
+    };
+
+    VectorTime vt;                          ///< vt[self] = last closed
+    std::vector<std::vector<IntervalRec>> log; ///< per proc, idx order
+    std::map<std::pair<PageId, std::uint64_t>, DiffEntry> diffStore;
+    std::unordered_map<PageId, PageMeta> pageMeta;
+    std::unordered_map<PageId, BlockTimestamps> pageTs;
+    PageTable pages;
+    TwinStore twins;
+    DirtyBitmap dirty;
+    std::uint32_t lastBarrierSentIdx = 0;
+
+    /** Barrier-manager scratch: per barrier, arrival vectors + count of
+     *  departures already built (to reclaim the entry). */
+    struct BarrierScratch
+    {
+        std::vector<VectorTime> arrivalVt;
+        int departsBuilt = 0;
+    };
+    std::unordered_map<BarrierId, BarrierScratch> barrierScratch;
+};
+
+} // namespace dsm
+
+#endif // DSM_CORE_LRC_RUNTIME_HH

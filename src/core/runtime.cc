@@ -1,0 +1,58 @@
+#include "core/runtime.hh"
+
+#include "util/logging.hh"
+
+namespace dsm {
+
+Runtime::Runtime(const Deps &deps)
+    : id(deps.self), numProcs(deps.nprocs), arena(deps.arena),
+      ep(deps.endpoint), locks(deps.locks), barriers(deps.barriers),
+      regions(deps.regions), mu(deps.nodeMutex), cluster(deps.cluster)
+{
+    DSM_ASSERT(arena && ep && locks && barriers && regions && mu && cluster,
+               "incomplete runtime wiring");
+}
+
+GlobalAddr
+Runtime::sharedAlloc(std::size_t bytes, std::size_t align,
+                     std::uint32_t block_size, const std::string &name)
+{
+    std::lock_guard<std::mutex> g(*mu);
+    GlobalAddr addr = arena->alloc(bytes, align);
+    regions->add({addr, bytes, block_size, name});
+    return addr;
+}
+
+void
+Runtime::acquire(LockId lock, AccessMode mode)
+{
+    locks->acquire(lock, mode);
+}
+
+void
+Runtime::release(LockId lock)
+{
+    locks->release(lock);
+}
+
+void
+Runtime::barrier(BarrierId barrier)
+{
+    barriers->wait(barrier);
+}
+
+void
+Runtime::chargeWork(std::uint64_t units)
+{
+    ep->clock().add(units * costModel().workUnitNs);
+    ep->stats().workUnits += units;
+}
+
+void
+Runtime::handleMessage(Message &msg)
+{
+    panic("runtime %s cannot handle message %s", name().c_str(),
+          toString(msg.type));
+}
+
+} // namespace dsm

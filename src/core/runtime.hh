@@ -1,0 +1,215 @@
+/**
+ * @file
+ * The public DSM programming interface shared by the EC and LRC
+ * runtimes: symmetric shared allocation, lock acquire/release,
+ * barriers, and the typed access layer through which applications read
+ * and write shared memory.
+ *
+ * The access layer substitutes for two mechanisms of the original
+ * systems at once (see DESIGN.md):
+ *  - compiler instrumentation: write<T>() executes the dirty-bit code
+ *    a modified gcc would have emitted after each shared store;
+ *  - the VM system: each access checks the software page table and
+ *    triggers the protocol fault handler exactly where mprotect +
+ *    SIGSEGV would have.
+ *
+ * writeBuf()/readBuf() are the "loop-split" bulk forms (Section 4.1's
+ * instrumentation optimization): one trap covers a whole range.
+ */
+
+#ifndef DSM_CORE_RUNTIME_HH
+#define DSM_CORE_RUNTIME_HH
+
+#include <cstring>
+#include <mutex>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "core/config.hh"
+#include "mem/region_table.hh"
+#include "mem/shared_arena.hh"
+#include "net/endpoint.hh"
+#include "sync/barrier_service.hh"
+#include "sync/lock_service.hh"
+
+namespace dsm {
+
+class Runtime
+{
+  public:
+    /** Wiring of one node's per-node services. */
+    struct Deps
+    {
+        NodeId self = 0;
+        int nprocs = 1;
+        SharedArena *arena = nullptr;
+        Endpoint *endpoint = nullptr;
+        LockService *locks = nullptr;
+        BarrierService *barriers = nullptr;
+        RegionTable *regions = nullptr;
+        std::mutex *nodeMutex = nullptr;
+        const ClusterConfig *cluster = nullptr;
+    };
+
+    explicit Runtime(const Deps &deps);
+    virtual ~Runtime() = default;
+
+    Runtime(const Runtime &) = delete;
+    Runtime &operator=(const Runtime &) = delete;
+
+    /**
+     * Allocate shared memory. All nodes must perform identical
+     * allocation sequences (SPMD), so the returned GlobalAddr is valid
+     * cluster-wide.
+     *
+     * @param block_size Granularity of write trapping for this region
+     *        (4 or 8 bytes; 8 models double-word compiler
+     *        instrumentation as used by Water and 3D-FFT).
+     */
+    GlobalAddr sharedAlloc(std::size_t bytes, std::size_t align = 8,
+                           std::uint32_t block_size = 4,
+                           const std::string &name = "");
+
+    /**
+     * EC only: associate @p lock with shared data (possibly several
+     * non-contiguous ranges, as 3D-FFT requires). Must be called
+     * identically on every node before the lock is used.
+     */
+    virtual void bindLock(LockId lock, std::vector<Range> ranges) = 0;
+
+    /**
+     * EC only: change a lock's binding (task queues, memory re-use).
+     * Caller must hold @p lock in Write mode. The next transfer
+     * conservatively carries all bound data (Section 7.1, Rebinding).
+     */
+    virtual void rebindLock(LockId lock, std::vector<Range> ranges) = 0;
+
+    /** Acquire @p lock. Read mode = EC read-only lock. */
+    void acquire(LockId lock, AccessMode mode = AccessMode::Write);
+
+    /**
+     * Acquire @p lock exclusively with the declared intent to rebind
+     * it: the grant transfers ownership but carries no data update
+     * (the old binding's data is about to become meaningless, and
+     * applying it could overwrite live memory under the new use of
+     * the region). EC only; LRC treats it as a plain acquire.
+     */
+    virtual void acquireForRebind(LockId lock) { acquire(lock); }
+
+    void release(LockId lock);
+
+    void barrier(BarrierId barrier);
+
+    /** Typed shared-memory read. */
+    template <typename T>
+    T
+    read(GlobalAddr addr)
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        T v;
+        doRead(addr, &v, sizeof(T));
+        return v;
+    }
+
+    /** Typed shared-memory write (one instrumented store). */
+    template <typename T>
+    void
+    write(GlobalAddr addr, const T &v)
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        doWrite(addr, &v, sizeof(T), false);
+    }
+
+    /** Bulk read of @p n elements. */
+    template <typename T>
+    void
+    readBuf(GlobalAddr addr, T *dst, std::size_t n)
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        doRead(addr, dst, n * sizeof(T));
+    }
+
+    /** Bulk write of @p n elements (split-loop instrumentation). */
+    template <typename T>
+    void
+    writeBuf(GlobalAddr addr, const T *src, std::size_t n)
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        doWrite(addr, src, n * sizeof(T), true);
+    }
+
+    /**
+     * SPMD-identical initialization of shared data *before the first
+     * synchronization*: writes the local copy directly with no write
+     * trapping and no communication. This is the initialized-data-
+     * segment idiom of the original systems — every node computes the
+     * same initial image, so all copies stay consistent.
+     */
+    template <typename T>
+    void
+    initBuf(GlobalAddr addr, const T *src, std::size_t n)
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        std::memcpy(arena->at(addr), src, n * sizeof(T));
+    }
+
+    template <typename T>
+    void
+    initWrite(GlobalAddr addr, const T &v)
+    {
+        initBuf(addr, &v, 1);
+    }
+
+    /**
+     * Charge @p units of application work to the virtual clock (one
+     * unit ~ one inner-loop iteration on the modeled 40-MHz CPU).
+     */
+    void chargeWork(std::uint64_t units);
+
+    NodeId self() const { return id; }
+    int nprocs() const { return numProcs; }
+    NodeStats &stats() { return ep->stats(); }
+    VirtualClock &clock() { return ep->clock(); }
+    const CostModel &costModel() const { return ep->costModel(); }
+    SharedArena &sharedArena() { return *arena; }
+    const ClusterConfig &clusterConfig() const { return *cluster; }
+
+    /** Paper-style configuration name (EC-ci, LRC-diff, ...). */
+    virtual std::string name() const = 0;
+
+    /** Service-thread dispatch for runtime-specific messages
+     *  (LRC diff/timestamp fetches). */
+    virtual void handleMessage(Message &msg);
+
+  protected:
+    /**
+     * Access-layer hook: perform a shared read of @p size bytes into
+     * @p dst, running any consistency actions (LRC access-miss
+     * fetches) first. The implementation owns all locking.
+     */
+    virtual void doRead(GlobalAddr addr, void *dst, std::size_t size) = 0;
+
+    /**
+     * Access-layer hook: perform a shared write, running write
+     * trapping (dirty bits, twin faults) and the copy atomically with
+     * respect to the service thread. @p bulk marks writeBuf
+     * (split-loop instrumentation).
+     */
+    virtual void doWrite(GlobalAddr addr, const void *src,
+                         std::size_t size, bool bulk) = 0;
+
+    NodeId id;
+    int numProcs;
+    SharedArena *arena;
+    Endpoint *ep;
+    LockService *locks;
+    BarrierService *barriers;
+    RegionTable *regions;
+    std::mutex *mu;
+    const ClusterConfig *cluster;
+};
+
+} // namespace dsm
+
+#endif // DSM_CORE_RUNTIME_HH

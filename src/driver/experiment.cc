@@ -1,0 +1,52 @@
+#include "driver/experiment.hh"
+
+#include "util/logging.hh"
+
+namespace dsm {
+
+ExperimentResult
+runExperiment(const std::string &app_name, const RuntimeConfig &config,
+              const AppParams &params, const ClusterConfig &base,
+              bool require_valid)
+{
+    ExperimentResult result;
+    result.app = app_name;
+    result.config = config;
+
+    auto app = makeApp(app_name);
+    result.seq = app->runSequential(params);
+
+    ClusterConfig cc = base;
+    cc.runtime = config;
+    Cluster cluster(cc);
+    result.run = cluster.run([&](Runtime &rt) {
+        app->runNode(rt, params);
+    });
+    result.verdict = app->validate(cluster, params);
+
+    if (require_valid && !result.verdict.ok) {
+        fatal("%s under %s failed validation: %s", app_name.c_str(),
+              config.name().c_str(), result.verdict.detail.c_str());
+    }
+    return result;
+}
+
+ModelSweep
+sweepModel(Model model, const std::string &app_name,
+           const AppParams &params, const ClusterConfig &base)
+{
+    ModelSweep sweep;
+    for (const RuntimeConfig &config : RuntimeConfig::all()) {
+        if (config.model != model)
+            continue;
+        sweep.results.push_back(
+            runExperiment(app_name, config, params, base));
+        if (sweep.results.back().run.execTimeNs <
+            sweep.results[sweep.bestIndex].run.execTimeNs) {
+            sweep.bestIndex = sweep.results.size() - 1;
+        }
+    }
+    return sweep;
+}
+
+} // namespace dsm

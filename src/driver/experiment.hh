@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Experiment plumbing: run one application under one runtime
+ * configuration on a fresh cluster, validate against the sequential
+ * reference, and collect the numbers the paper's tables report.
+ */
+
+#ifndef DSM_DRIVER_EXPERIMENT_HH
+#define DSM_DRIVER_EXPERIMENT_HH
+
+#include <optional>
+#include <string>
+
+#include "apps/app.hh"
+
+namespace dsm {
+
+struct ExperimentResult
+{
+    std::string app;
+    RuntimeConfig config;
+    SeqResult seq;
+    RunResult run;
+    Verdict verdict;
+
+    /** Simulated parallel execution time in seconds. */
+    double execSeconds() const { return run.execSeconds(); }
+
+    /** Simulated 1-processor time in seconds. */
+    double
+    seqSeconds(const CostModel &cm) const
+    {
+        return seq.seconds(cm);
+    }
+};
+
+/**
+ * Run @p app_name under @p config. fatal()s on validation failure when
+ * @p require_valid (benches keep the numbers honest by default).
+ */
+ExperimentResult runExperiment(const std::string &app_name,
+                               const RuntimeConfig &config,
+                               const AppParams &params,
+                               const ClusterConfig &base,
+                               bool require_valid = true);
+
+/**
+ * Run all implementations of @p model for @p app_name and return them
+ * with the index of the fastest — the per-model "best implementation"
+ * selection of Table 3.
+ */
+struct ModelSweep
+{
+    std::vector<ExperimentResult> results;
+    std::size_t bestIndex = 0;
+
+    const ExperimentResult &best() const { return results[bestIndex]; }
+};
+
+ModelSweep sweepModel(Model model, const std::string &app_name,
+                      const AppParams &params, const ClusterConfig &base);
+
+} // namespace dsm
+
+#endif // DSM_DRIVER_EXPERIMENT_HH

@@ -1,0 +1,87 @@
+#include "driver/table.hh"
+
+#include <cstdio>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace dsm {
+
+Table::Table(std::vector<std::string> hdrs) : headers(std::move(hdrs)) {}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    DSM_ASSERT(cells.size() == headers.size(),
+               "row has %zu cells, table has %zu columns", cells.size(),
+               headers.size());
+    rows.push_back(std::move(cells));
+}
+
+std::string
+Table::toString() const
+{
+    std::vector<std::size_t> widths(headers.size());
+    for (std::size_t c = 0; c < headers.size(); ++c)
+        widths[c] = headers[c].size();
+    for (const auto &row : rows) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    std::ostringstream os;
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            if (c)
+                os << "  ";
+            if (c == 0) {
+                os << cells[c]
+                   << std::string(widths[c] - cells[c].size(), ' ');
+            } else {
+                os << std::string(widths[c] - cells[c].size(), ' ')
+                   << cells[c];
+            }
+        }
+        os << "\n";
+    };
+    emit(headers);
+    std::size_t total = 0;
+    for (std::size_t w : widths)
+        total += w + 2;
+    os << std::string(total > 2 ? total - 2 : total, '-') << "\n";
+    for (const auto &row : rows)
+        emit(row);
+    return os.str();
+}
+
+void
+Table::print() const
+{
+    std::fputs(toString().c_str(), stdout);
+}
+
+std::string
+fmtSeconds(double s)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.2f", s);
+    return buf;
+}
+
+std::string
+fmtRatio(double r)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.2fx", r);
+    return buf;
+}
+
+std::string
+fmtMb(double mb)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.1fMB", mb);
+    return buf;
+}
+
+} // namespace dsm

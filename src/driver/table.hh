@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Fixed-width table rendering for the bench binaries that regenerate
+ * the paper's tables.
+ */
+
+#ifndef DSM_DRIVER_TABLE_HH
+#define DSM_DRIVER_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace dsm {
+
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> headers);
+
+    void addRow(std::vector<std::string> cells);
+
+    /** Render with column alignment; first column left-aligned. */
+    std::string toString() const;
+
+    /** Convenience: print to stdout. */
+    void print() const;
+
+  private:
+    std::vector<std::string> headers;
+    std::vector<std::vector<std::string>> rows;
+};
+
+/** Format seconds with two decimals (paper table style). */
+std::string fmtSeconds(double s);
+
+/** Format a ratio like "1.33x". */
+std::string fmtRatio(double r);
+
+/** Format megabytes with one decimal. */
+std::string fmtMb(double mb);
+
+} // namespace dsm
+
+#endif // DSM_DRIVER_TABLE_HH

@@ -1,0 +1,108 @@
+#include "mem/diff.hh"
+
+#include <cstring>
+
+#include "util/logging.hh"
+
+namespace dsm {
+
+Diff
+Diff::create(const std::byte *cur, const std::byte *twin, std::uint32_t len,
+             NodeStats *stats)
+{
+    Diff d;
+    d.areaLen = len;
+
+    const std::uint32_t words = len / 4;
+    std::uint32_t i = 0;
+
+    auto wordDiffers = [&](std::uint32_t w) {
+        return std::memcmp(cur + w * 4, twin + w * 4, 4) != 0;
+    };
+
+    while (i < words) {
+        if (wordDiffers(i)) {
+            std::uint32_t start = i;
+            while (i < words && wordDiffers(i))
+                ++i;
+            DiffRun run;
+            run.offset = start * 4;
+            run.data.assign(cur + start * 4, cur + i * 4);
+            d.runs.push_back(std::move(run));
+        } else {
+            ++i;
+        }
+    }
+
+    // Trailing bytes (objects need not be word multiples).
+    const std::uint32_t tail = words * 4;
+    if (tail < len && std::memcmp(cur + tail, twin + tail, len - tail)) {
+        DiffRun run;
+        run.offset = tail;
+        run.data.assign(cur + tail, cur + len);
+        d.runs.push_back(std::move(run));
+    }
+
+    if (stats) {
+        stats->diffWordsCompared += words + (tail < len ? 1 : 0);
+        stats->diffsCreated++;
+    }
+    return d;
+}
+
+void
+Diff::apply(std::byte *dst, NodeStats *stats) const
+{
+    for (const auto &run : runs) {
+        std::memcpy(dst + run.offset, run.data.data(), run.data.size());
+    }
+    if (stats)
+        stats->diffsApplied++;
+}
+
+std::uint64_t
+Diff::dataBytes() const
+{
+    std::uint64_t total = 0;
+    for (const auto &run : runs)
+        total += run.data.size();
+    return total;
+}
+
+std::uint64_t
+Diff::wireBytes() const
+{
+    // 4 (length) + 4 (nruns) + per run: 4 (offset) + 4 (size) + data.
+    return 8 + runs.size() * 8 + dataBytes();
+}
+
+void
+Diff::encode(WireWriter &w) const
+{
+    w.putU32(areaLen);
+    w.putU32(static_cast<std::uint32_t>(runs.size()));
+    for (const auto &run : runs) {
+        w.putU32(run.offset);
+        w.putU32(static_cast<std::uint32_t>(run.data.size()));
+        w.putBytes(run.data.data(), run.data.size());
+    }
+}
+
+Diff
+Diff::decode(WireReader &r)
+{
+    Diff d;
+    d.areaLen = r.getU32();
+    std::uint32_t nruns = r.getU32();
+    d.runs.resize(nruns);
+    for (auto &run : d.runs) {
+        run.offset = r.getU32();
+        std::uint32_t n = r.getU32();
+        run.data.resize(n);
+        r.getBytes(run.data.data(), n);
+        DSM_ASSERT(run.offset + n <= d.areaLen, "diff run out of bounds");
+    }
+    return d;
+}
+
+} // namespace dsm

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Diffs: run-length encodings of the changes to a shared data object
+ * (EC) or page (LRC) — Section 5.2 of the paper. A diff is created by
+ * comparing the current copy against the twin at word granularity and
+ * applied by splatting its runs onto a destination copy.
+ */
+
+#ifndef DSM_MEM_DIFF_HH
+#define DSM_MEM_DIFF_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "net/serde.hh"
+#include "util/stats.hh"
+#include "util/types.hh"
+
+namespace dsm {
+
+/** One run of changed bytes at @p offset within the diffed area. */
+struct DiffRun
+{
+    std::uint32_t offset = 0;
+    std::vector<std::byte> data;
+
+    bool operator==(const DiffRun &other) const = default;
+};
+
+class Diff
+{
+  public:
+    Diff() = default;
+
+    /**
+     * Build a diff of @p len bytes by comparing @p cur against
+     * @p twin word by word (4-byte granularity, as in the paper's
+     * twinning implementations; trailing bytes are compared as one
+     * short word).
+     *
+     * @param stats If non-null, diffWordsCompared/diffsCreated are
+     *        recorded there.
+     */
+    static Diff create(const std::byte *cur, const std::byte *twin,
+                       std::uint32_t len, NodeStats *stats = nullptr);
+
+    /** Copy every run onto @p dst (an area of at least length()). */
+    void apply(std::byte *dst, NodeStats *stats = nullptr) const;
+
+    bool empty() const { return runs.empty(); }
+
+    /** Length of the area this diff describes. */
+    std::uint32_t length() const { return areaLen; }
+
+    const std::vector<DiffRun> &diffRuns() const { return runs; }
+
+    /** Total payload bytes carried by the runs. */
+    std::uint64_t dataBytes() const;
+
+    /** Modeled wire footprint (runs + offsets + header). */
+    std::uint64_t wireBytes() const;
+
+    void encode(WireWriter &w) const;
+    static Diff decode(WireReader &r);
+
+    bool operator==(const Diff &other) const = default;
+
+  private:
+    std::uint32_t areaLen = 0;
+    std::vector<DiffRun> runs;
+};
+
+} // namespace dsm
+
+#endif // DSM_MEM_DIFF_HH

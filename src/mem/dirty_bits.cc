@@ -1,0 +1,111 @@
+#include "mem/dirty_bits.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace dsm {
+
+DirtyBitmap::DirtyBitmap(std::size_t bytes, std::size_t page_size)
+    : pageBytes(page_size), totalBytes(bytes)
+{
+    const std::size_t blocks = (bytes + 3) / 4;
+    bits.assign((blocks + 63) / 64, 0);
+    pageBits.assign((bytes + page_size - 1) / page_size, 0);
+}
+
+void
+DirtyBitmap::markRange(GlobalAddr addr, std::size_t size)
+{
+    if (size == 0)
+        return;
+    DSM_ASSERT(addr + size <= totalBytes, "dirty mark out of bounds");
+    const std::uint64_t first = addr / 4;
+    const std::uint64_t last = (addr + size - 1) / 4;
+    for (std::uint64_t b = first; b <= last; ++b)
+        set(b);
+    const PageId firstPage = static_cast<PageId>(addr / pageBytes);
+    const PageId lastPage = static_cast<PageId>((addr + size - 1) /
+                                                pageBytes);
+    for (PageId p = firstPage; p <= lastPage; ++p)
+        pageBits[p] = 1;
+}
+
+std::vector<PageId>
+DirtyBitmap::dirtyPages() const
+{
+    std::vector<PageId> pages;
+    for (PageId p = 0; p < pageBits.size(); ++p) {
+        if (pageBits[p])
+            pages.push_back(p);
+    }
+    return pages;
+}
+
+std::vector<Run>
+DirtyBitmap::dirtyRunsIn(GlobalAddr addr, std::size_t size) const
+{
+    std::vector<Run> runs;
+    if (size == 0)
+        return runs;
+    const std::uint64_t first = addr / 4;
+    const std::uint64_t last = (addr + size - 1) / 4;
+    std::uint64_t b = first;
+    while (b <= last) {
+        if (test(b)) {
+            std::uint64_t start = b;
+            while (b <= last && test(b))
+                ++b;
+            runs.push_back({static_cast<std::uint32_t>(start),
+                            static_cast<std::uint32_t>(b - start)});
+        } else {
+            ++b;
+        }
+    }
+    return runs;
+}
+
+std::uint64_t
+DirtyBitmap::countDirtyIn(GlobalAddr addr, std::size_t size) const
+{
+    std::uint64_t count = 0;
+    for (const auto &run : dirtyRunsIn(addr, size))
+        count += run.length;
+    return count;
+}
+
+void
+DirtyBitmap::clearRange(GlobalAddr addr, std::size_t size)
+{
+    if (size == 0)
+        return;
+    const std::uint64_t first = addr / 4;
+    const std::uint64_t last = (addr + size - 1) / 4;
+    for (std::uint64_t b = first; b <= last; ++b)
+        clear(b);
+
+    // Recompute the page summary bits this range touches.
+    const PageId firstPage = static_cast<PageId>(addr / pageBytes);
+    const PageId lastPage = static_cast<PageId>((addr + size - 1) /
+                                                pageBytes);
+    for (PageId p = firstPage; p <= lastPage; ++p) {
+        const std::uint64_t pFirst =
+            static_cast<std::uint64_t>(p) * pageBytes / 4;
+        const std::uint64_t pLastByte = std::min<std::uint64_t>(
+            static_cast<std::uint64_t>(p + 1) * pageBytes, totalBytes);
+        const std::uint64_t pLast = (pLastByte - 1) / 4;
+        bool any = false;
+        for (std::uint64_t b = pFirst; b <= pLast && !any; ++b)
+            any = test(b);
+        pageBits[p] = any ? 1 : 0;
+    }
+}
+
+void
+DirtyBitmap::clearAll()
+{
+    std::fill(bits.begin(), bits.end(), 0);
+    std::fill(pageBits.begin(), pageBits.end(), 0);
+}
+
+} // namespace dsm

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Software dirty bits set by compiler-instrumented stores (Section 4.1
+ * of the paper). Word-level bits record which 4-byte blocks changed;
+ * for LRC a page-level summary ("hierarchical dirty bits") avoids
+ * scanning the whole shared region at collection time.
+ */
+
+#ifndef DSM_MEM_DIRTY_BITS_HH
+#define DSM_MEM_DIRTY_BITS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rle.hh"
+#include "util/types.hh"
+
+namespace dsm {
+
+class DirtyBitmap
+{
+  public:
+    /**
+     * @param bytes Size of the covered address space.
+     * @param page_size Page size for the hierarchical summary bits.
+     */
+    DirtyBitmap(std::size_t bytes, std::size_t page_size);
+
+    /** Mark the 4-byte blocks covering [addr, addr+size) dirty. */
+    void markRange(GlobalAddr addr, std::size_t size);
+
+    /** True if any block of the page is marked. */
+    bool
+    pageDirty(PageId page) const
+    {
+        return pageBits[page] != 0;
+    }
+
+    /** Pages whose summary bit is set, ascending. */
+    std::vector<PageId> dirtyPages() const;
+
+    /**
+     * Runs of dirty 4-byte blocks within [addr, addr+size), as
+     * *absolute* block indices (addr / 4 based).
+     */
+    std::vector<Run> dirtyRunsIn(GlobalAddr addr, std::size_t size) const;
+
+    /** Number of dirty blocks within the range. */
+    std::uint64_t countDirtyIn(GlobalAddr addr, std::size_t size) const;
+
+    /** Clear the word bits (and fix summary bits) for a range. */
+    void clearRange(GlobalAddr addr, std::size_t size);
+
+    /** Clear everything. */
+    void clearAll();
+
+    bool
+    test(std::uint64_t block) const
+    {
+        return (bits[block >> 6] >> (block & 63)) & 1;
+    }
+
+  private:
+    void
+    set(std::uint64_t block)
+    {
+        bits[block >> 6] |= std::uint64_t{1} << (block & 63);
+    }
+
+    void
+    clear(std::uint64_t block)
+    {
+        bits[block >> 6] &= ~(std::uint64_t{1} << (block & 63));
+    }
+
+    std::size_t pageBytes;
+    std::size_t totalBytes;
+    std::vector<std::uint64_t> bits;     ///< one bit per 4-byte block
+    std::vector<std::uint8_t> pageBits;  ///< one byte per page
+};
+
+} // namespace dsm
+
+#endif // DSM_MEM_DIRTY_BITS_HH

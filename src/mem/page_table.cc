@@ -1,0 +1,17 @@
+#include "mem/page_table.hh"
+
+#include <algorithm>
+
+namespace dsm {
+
+PageTable::PageTable(std::size_t npages, PageAccess initial)
+    : accessBits(npages, initial)
+{}
+
+void
+PageTable::setAll(PageAccess a)
+{
+    std::fill(accessBits.begin(), accessBits.end(), a);
+}
+
+} // namespace dsm

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Software MMU: per-page access rights checked by the runtime's access
+ * layer. Substitutes for Ultrix mprotect/SIGSEGV (see DESIGN.md): the
+ * protocol-visible behaviour — which accesses fault and when — is
+ * identical; faults are delivered as synchronous callbacks into the
+ * runtime instead of signals.
+ */
+
+#ifndef DSM_MEM_PAGE_TABLE_HH
+#define DSM_MEM_PAGE_TABLE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "util/types.hh"
+
+namespace dsm {
+
+/** Access rights of one page on one node. */
+enum class PageAccess : std::uint8_t
+{
+    None,      ///< any access faults (LRC invalid page)
+    Read,      ///< writes fault (twin-on-write trapping)
+    ReadWrite, ///< no faults
+};
+
+class PageTable
+{
+  public:
+    /** All pages start with @p initial access. */
+    PageTable(std::size_t npages, PageAccess initial);
+
+    PageAccess
+    access(PageId page) const
+    {
+        return accessBits[page];
+    }
+
+    void
+    setAccess(PageId page, PageAccess a)
+    {
+        accessBits[page] = a;
+    }
+
+    void setAll(PageAccess a);
+
+    std::size_t numPages() const { return accessBits.size(); }
+
+    /** True when a read of the page would fault. */
+    bool
+    readFaults(PageId page) const
+    {
+        return accessBits[page] == PageAccess::None;
+    }
+
+    /** True when a write to the page would fault. */
+    bool
+    writeFaults(PageId page) const
+    {
+        return accessBits[page] != PageAccess::ReadWrite;
+    }
+
+  private:
+    std::vector<PageAccess> accessBits;
+};
+
+} // namespace dsm
+
+#endif // DSM_MEM_PAGE_TABLE_HH

@@ -1,0 +1,43 @@
+#include "mem/region_table.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace dsm {
+
+void
+RegionTable::add(Region region)
+{
+    DSM_ASSERT(region.blockSize == 4 || region.blockSize == 8,
+               "block size must be 4 or 8, got %u", region.blockSize);
+    auto it = std::lower_bound(
+        regions.begin(), regions.end(), region.addr,
+        [](const Region &r, GlobalAddr addr) { return r.addr < addr; });
+    if (it != regions.end())
+        DSM_ASSERT(region.end() <= it->addr, "regions overlap");
+    if (it != regions.begin())
+        DSM_ASSERT(std::prev(it)->end() <= region.addr, "regions overlap");
+    regions.insert(it, std::move(region));
+}
+
+const Region *
+RegionTable::find(GlobalAddr addr) const
+{
+    auto it = std::upper_bound(
+        regions.begin(), regions.end(), addr,
+        [](GlobalAddr a, const Region &r) { return a < r.addr; });
+    if (it == regions.begin())
+        return nullptr;
+    --it;
+    return addr < it->end() ? &*it : nullptr;
+}
+
+std::uint32_t
+RegionTable::blockSizeAt(GlobalAddr addr) const
+{
+    const Region *r = find(addr);
+    return r ? r->blockSize : 4;
+}
+
+} // namespace dsm

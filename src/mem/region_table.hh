@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Registry of shared allocations ("regions" in Midway terminology —
+ * Section 4.1 of the paper). Each region records the block granularity
+ * at which its dirty bits / timestamps operate: one word (4 bytes) by
+ * default, or a double-word (8 bytes) for applications whose smallest
+ * shared datum is larger than a word (Water, 3D-FFT).
+ */
+
+#ifndef DSM_MEM_REGION_TABLE_HH
+#define DSM_MEM_REGION_TABLE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/types.hh"
+
+namespace dsm {
+
+struct Region
+{
+    GlobalAddr addr = 0;
+    std::uint64_t size = 0;
+    std::uint32_t blockSize = 4; ///< 4 or 8 bytes
+    std::string name;
+
+    GlobalAddr end() const { return addr + size; }
+};
+
+class RegionTable
+{
+  public:
+    /** Register a region; regions must not overlap. */
+    void add(Region region);
+
+    /** Region containing @p addr, or nullptr. */
+    const Region *find(GlobalAddr addr) const;
+
+    /** Block granularity at @p addr (4 if the address is unknown). */
+    std::uint32_t blockSizeAt(GlobalAddr addr) const;
+
+    std::size_t count() const { return regions.size(); }
+
+    const std::vector<Region> &all() const { return regions; }
+
+  private:
+    std::vector<Region> regions; ///< sorted by addr
+};
+
+} // namespace dsm
+
+#endif // DSM_MEM_REGION_TABLE_HH

@@ -1,0 +1,54 @@
+#include "mem/shared_arena.hh"
+
+#include "util/logging.hh"
+
+namespace dsm {
+
+namespace {
+
+bool
+isPowerOfTwo(std::size_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+} // namespace
+
+SharedArena::SharedArena(std::size_t bytes, std::size_t page_size)
+    : pageBytes(page_size)
+{
+    DSM_ASSERT(isPowerOfTwo(page_size), "page size must be a power of two");
+    const std::size_t rounded =
+        (bytes + page_size - 1) / page_size * page_size;
+    data.assign(rounded, std::byte{0});
+}
+
+GlobalAddr
+SharedArena::alloc(std::size_t bytes, std::size_t align)
+{
+    DSM_ASSERT(isPowerOfTwo(align), "alignment must be a power of two");
+    std::size_t base = (top + align - 1) & ~(align - 1);
+    if (base + bytes > data.size()) {
+        fatal("shared arena exhausted: need %zu bytes, %zu free "
+              "(increase ClusterConfig::arenaBytes)",
+              bytes, data.size() - base);
+    }
+    top = base + bytes;
+    return static_cast<GlobalAddr>(base);
+}
+
+std::vector<PageId>
+SharedArena::pagesIn(GlobalAddr addr, std::size_t size) const
+{
+    std::vector<PageId> pages;
+    if (size == 0)
+        return pages;
+    PageId first = pageOf(addr);
+    PageId last = pageOf(addr + size - 1);
+    pages.reserve(last - first + 1);
+    for (PageId p = first; p <= last; ++p)
+        pages.push_back(p);
+    return pages;
+}
+
+} // namespace dsm

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Per-node backing store for the shared virtual address space.
+ *
+ * Every node holds its own SharedArena of identical size and performs
+ * the identical allocation sequence (the applications are SPMD), so a
+ * GlobalAddr — an offset into the arena — denotes the same object on
+ * every node. This reproduces the shared-heap convention of Midway and
+ * TreadMarks without address-space tricks.
+ */
+
+#ifndef DSM_MEM_SHARED_ARENA_HH
+#define DSM_MEM_SHARED_ARENA_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "util/types.hh"
+
+namespace dsm {
+
+class SharedArena
+{
+  public:
+    /**
+     * @param bytes Arena capacity (rounded up to a whole page).
+     * @param page_size Virtual page size; must be a power of two.
+     */
+    SharedArena(std::size_t bytes, std::size_t page_size);
+
+    /** Bump allocation; deterministic, symmetric across nodes. */
+    GlobalAddr alloc(std::size_t bytes, std::size_t align = 8);
+
+    /** Local pointer for @p addr on this node. */
+    std::byte *
+    at(GlobalAddr addr)
+    {
+        return data.data() + addr;
+    }
+
+    const std::byte *
+    at(GlobalAddr addr) const
+    {
+        return data.data() + addr;
+    }
+
+    std::size_t size() const { return data.size(); }
+    std::size_t pageSize() const { return pageBytes; }
+    std::size_t numPages() const { return data.size() / pageBytes; }
+
+    PageId
+    pageOf(GlobalAddr addr) const
+    {
+        return static_cast<PageId>(addr / pageBytes);
+    }
+
+    GlobalAddr
+    pageBase(PageId page) const
+    {
+        return static_cast<GlobalAddr>(page) * pageBytes;
+    }
+
+    /** Bytes allocated so far. */
+    std::size_t used() const { return top; }
+
+    /** True when [addr, addr+bytes) lies inside the allocated area. */
+    bool
+    contains(GlobalAddr addr, std::size_t bytes) const
+    {
+        return addr + bytes <= top && addr + bytes >= addr;
+    }
+
+    /** Pages overlapped by the byte range [addr, addr + size). */
+    std::vector<PageId> pagesIn(GlobalAddr addr, std::size_t size) const;
+
+  private:
+    std::vector<std::byte> data;
+    std::size_t pageBytes;
+    std::size_t top = 0;
+};
+
+} // namespace dsm
+
+#endif // DSM_MEM_SHARED_ARENA_HH

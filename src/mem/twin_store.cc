@@ -1,0 +1,73 @@
+#include "mem/twin_store.hh"
+
+#include "util/logging.hh"
+
+namespace dsm {
+
+void
+TwinStore::makePage(PageId page, const std::byte *src, std::size_t size)
+{
+    DSM_ASSERT(!hasPage(page), "page %u already twinned", page);
+    pageTwins.emplace(page, std::vector<std::byte>(src, src + size));
+}
+
+const std::vector<std::byte> &
+TwinStore::pageTwin(PageId page) const
+{
+    auto it = pageTwins.find(page);
+    DSM_ASSERT(it != pageTwins.end(), "page %u not twinned", page);
+    return it->second;
+}
+
+std::vector<std::byte> &
+TwinStore::pageTwinMut(PageId page)
+{
+    auto it = pageTwins.find(page);
+    DSM_ASSERT(it != pageTwins.end(), "page %u not twinned", page);
+    return it->second;
+}
+
+void
+TwinStore::dropPage(PageId page)
+{
+    pageTwins.erase(page);
+}
+
+std::vector<PageId>
+TwinStore::twinnedPages() const
+{
+    std::vector<PageId> pages;
+    pages.reserve(pageTwins.size());
+    for (const auto &[page, twin] : pageTwins)
+        pages.push_back(page);
+    return pages;
+}
+
+void
+TwinStore::makeRange(LockId lock, std::vector<std::byte> bytes)
+{
+    rangeTwins[lock] = std::move(bytes);
+}
+
+const std::vector<std::byte> &
+TwinStore::rangeTwin(LockId lock) const
+{
+    auto it = rangeTwins.find(lock);
+    DSM_ASSERT(it != rangeTwins.end(), "lock %u has no range twin", lock);
+    return it->second;
+}
+
+void
+TwinStore::dropRange(LockId lock)
+{
+    rangeTwins.erase(lock);
+}
+
+void
+TwinStore::clear()
+{
+    pageTwins.clear();
+    rangeTwins.clear();
+}
+
+} // namespace dsm

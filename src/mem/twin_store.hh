@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Storage for twins: unmodified copies of shared data used by the
+ * twinning write-trapping method (Section 4.2 of the paper).
+ *
+ * Two kinds are kept:
+ *  - page twins, used by LRC and by EC for large objects
+ *    (copy-on-write via the software MMU);
+ *  - range twins keyed by lock, used by EC for small objects, which
+ *    are copied eagerly when the write lock is acquired (the paper's
+ *    improvement over the Midway VM implementation).
+ */
+
+#ifndef DSM_MEM_TWIN_STORE_HH
+#define DSM_MEM_TWIN_STORE_HH
+
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+#include "util/types.hh"
+
+namespace dsm {
+
+class TwinStore
+{
+  public:
+    /** Copy @p size bytes at @p src as the twin of @p page. */
+    void makePage(PageId page, const std::byte *src, std::size_t size);
+
+    bool
+    hasPage(PageId page) const
+    {
+        return pageTwins.count(page) != 0;
+    }
+
+    /** Twin bytes of @p page; page must be twinned. */
+    const std::vector<std::byte> &pageTwin(PageId page) const;
+
+    /** Mutable twin bytes (for refreshing after a flush). */
+    std::vector<std::byte> &pageTwinMut(PageId page);
+
+    void dropPage(PageId page);
+
+    /** Pages currently twinned (unordered). */
+    std::vector<PageId> twinnedPages() const;
+
+    /** Copy the concatenated bytes of a lock's bound ranges. */
+    void makeRange(LockId lock, std::vector<std::byte> bytes);
+
+    bool
+    hasRange(LockId lock) const
+    {
+        return rangeTwins.count(lock) != 0;
+    }
+
+    const std::vector<std::byte> &rangeTwin(LockId lock) const;
+
+    void dropRange(LockId lock);
+
+    void clear();
+
+    std::size_t numPageTwins() const { return pageTwins.size(); }
+
+  private:
+    std::unordered_map<PageId, std::vector<std::byte>> pageTwins;
+    std::unordered_map<LockId, std::vector<std::byte>> rangeTwins;
+};
+
+} // namespace dsm
+
+#endif // DSM_MEM_TWIN_STORE_HH

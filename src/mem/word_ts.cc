@@ -1,0 +1,21 @@
+#include "mem/word_ts.hh"
+
+#include <algorithm>
+
+namespace dsm {
+
+void
+BlockTimestamps::setRange(std::uint32_t first, std::uint32_t n,
+                          std::uint64_t value)
+{
+    DSM_ASSERT(first + n <= ts.size(), "range out of bounds");
+    std::fill(ts.begin() + first, ts.begin() + first + n, value);
+}
+
+void
+BlockTimestamps::setAll(std::uint64_t value)
+{
+    std::fill(ts.begin(), ts.end(), value);
+}
+
+} // namespace dsm

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Per-block timestamp arrays used by the timestamping write-collection
+ * method (Section 5.1 of the paper). A block is the resolution of
+ * write trapping: one word (4 bytes) for twinning, one word or
+ * double-word for compiler instrumentation.
+ *
+ * The timestamp value type is a uint64:
+ *  - EC stores the lock incarnation number (low 32 bits);
+ *  - LRC packs (processor id << 32) | interval index.
+ * On the wire, one timestamp value is sent per run of consecutive
+ * blocks with the same timestamp.
+ */
+
+#ifndef DSM_MEM_WORD_TS_HH
+#define DSM_MEM_WORD_TS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "net/serde.hh"
+#include "util/logging.hh"
+#include "util/rle.hh"
+
+namespace dsm {
+
+/** Pack an LRC (processor, interval) timestamp. */
+inline std::uint64_t
+packTs(int proc, std::uint32_t interval)
+{
+    return (static_cast<std::uint64_t>(proc) << 32) | interval;
+}
+
+inline int
+tsProc(std::uint64_t ts)
+{
+    return static_cast<int>(ts >> 32);
+}
+
+inline std::uint32_t
+tsInterval(std::uint64_t ts)
+{
+    return static_cast<std::uint32_t>(ts);
+}
+
+/** A run of consecutive blocks sharing one timestamp value. */
+struct TsRun
+{
+    std::uint32_t firstBlock = 0;
+    std::uint32_t numBlocks = 0;
+    std::uint64_t ts = 0;
+
+    bool operator==(const TsRun &other) const = default;
+};
+
+class BlockTimestamps
+{
+  public:
+    BlockTimestamps() = default;
+
+    explicit BlockTimestamps(std::uint32_t nblocks) : ts(nblocks, 0) {}
+
+    std::uint32_t numBlocks() const
+    {
+        return static_cast<std::uint32_t>(ts.size());
+    }
+
+    std::uint64_t
+    get(std::uint32_t block) const
+    {
+        DSM_ASSERT(block < ts.size(), "block %u out of range", block);
+        return ts[block];
+    }
+
+    void
+    set(std::uint32_t block, std::uint64_t value)
+    {
+        DSM_ASSERT(block < ts.size(), "block %u out of range", block);
+        ts[block] = value;
+    }
+
+    void setRange(std::uint32_t first, std::uint32_t n, std::uint64_t value);
+
+    void setAll(std::uint64_t value);
+
+    /**
+     * Scan all blocks and return runs of equal-timestamp blocks for
+     * which @p newer(ts) is true. This is the collection scan whose
+     * cost the paper charges against timestamping.
+     */
+    template <typename Pred>
+    std::vector<TsRun>
+    collect(Pred newer) const
+    {
+        std::vector<TsRun> out;
+        for (auto &[run, value] : collectValueRuns(ts, newer))
+            out.push_back({run.start, run.length, value});
+        return out;
+    }
+
+    const std::vector<std::uint64_t> &raw() const { return ts; }
+
+  private:
+    std::vector<std::uint64_t> ts;
+};
+
+/**
+ * Wire encoding of a timestamp run together with its data blocks.
+ * Used by both EC lock grants and LRC page fetch replies.
+ */
+struct TsRunWire
+{
+    /** 8 (addr/first) + 4 (count) + 8 (ts value). */
+    static constexpr std::size_t kHeaderBytes = 20;
+};
+
+} // namespace dsm
+
+#endif // DSM_MEM_WORD_TS_HH

@@ -1,0 +1,152 @@
+#include "net/endpoint.hh"
+
+#include "util/logging.hh"
+
+namespace dsm {
+
+Endpoint::Endpoint(Network &network, NodeId self, VirtualClock &clock,
+                   NodeStats &stats)
+    : net(network), id(self), vclock(clock), nodeStats(stats)
+{}
+
+Endpoint::~Endpoint()
+{
+    stop();
+}
+
+void
+Endpoint::setHandler(Handler h)
+{
+    DSM_ASSERT(!running.load(), "handler installed while running");
+    handler = std::move(h);
+}
+
+void
+Endpoint::start()
+{
+    DSM_ASSERT(!running.load(), "endpoint already started");
+    running.store(true);
+    serviceThread = std::thread([this] { serviceLoop(); });
+}
+
+void
+Endpoint::stop()
+{
+    if (!running.exchange(false))
+        return;
+    // Wake our own service thread with a shutdown message.
+    Message msg;
+    msg.src = id;
+    msg.dst = id;
+    msg.type = MsgType::Shutdown;
+    msg.vtSendNs = vclock.now();
+    NodeStats scratch; // teardown traffic is not part of the run
+    net.send(std::move(msg), scratch);
+    if (serviceThread.joinable())
+        serviceThread.join();
+}
+
+void
+Endpoint::send(NodeId dst, MsgType type, std::vector<std::byte> payload,
+               std::uint64_t reply_token)
+{
+    Message msg;
+    msg.src = id;
+    msg.dst = dst;
+    msg.type = type;
+    msg.replyToken = reply_token;
+    msg.vtSendNs = vclock.now();
+    msg.payload = std::move(payload);
+    net.send(std::move(msg), nodeStats);
+}
+
+void
+Endpoint::reply(NodeId dst, MsgType type, std::vector<std::byte> payload,
+                std::uint64_t reply_token)
+{
+    DSM_ASSERT(reply_token != 0, "reply without token");
+    Message msg;
+    msg.src = id;
+    msg.dst = dst;
+    msg.type = type;
+    msg.isReply = true;
+    msg.replyToken = reply_token;
+    msg.vtSendNs = vclock.now();
+    msg.payload = std::move(payload);
+    net.send(std::move(msg), nodeStats);
+}
+
+Message
+Endpoint::call(NodeId dst, MsgType type, std::vector<std::byte> payload)
+{
+    const std::uint64_t token = nextToken.fetch_add(1);
+    PendingReply slot;
+    {
+        std::lock_guard<std::mutex> g(pendingMu);
+        pending.emplace(token, &slot);
+    }
+
+    Message msg;
+    msg.src = id;
+    msg.dst = dst;
+    msg.type = type;
+    msg.replyToken = token;
+    msg.vtSendNs = vclock.now();
+    msg.payload = std::move(payload);
+    net.send(std::move(msg), nodeStats);
+
+    Message out;
+    {
+        std::unique_lock<std::mutex> g(slot.mu);
+        slot.cv.wait(g, [&] { return slot.ready; });
+        out = std::move(slot.msg);
+    }
+    {
+        std::lock_guard<std::mutex> g(pendingMu);
+        pending.erase(token);
+    }
+    // Causality: we cannot proceed before the reply arrived.
+    vclock.advanceTo(out.vtArriveNs);
+    return out;
+}
+
+void
+Endpoint::serviceLoop()
+{
+    Message msg;
+    while (net.recv(id, msg)) {
+        if (msg.type == MsgType::Shutdown)
+            break;
+
+        // The handler runs "on this node's CPU": account arrival.
+        vclock.advanceTo(msg.vtArriveNs);
+        nodeStats.messagesReceived++;
+        nodeStats.bytesReceived += msg.wireSize();
+
+        if (msg.isReply) {
+            PendingReply *slot = nullptr;
+            {
+                std::lock_guard<std::mutex> g(pendingMu);
+                auto it = pending.find(msg.replyToken);
+                if (it != pending.end())
+                    slot = it->second;
+            }
+            if (!slot) {
+                panic("reply token %llu has no waiter on node %d",
+                      static_cast<unsigned long long>(msg.replyToken), id);
+            }
+            {
+                std::lock_guard<std::mutex> g(slot->mu);
+                slot->msg = std::move(msg);
+                slot->ready = true;
+            }
+            slot->cv.notify_one();
+            continue;
+        }
+
+        DSM_ASSERT(handler != nullptr, "message with no handler");
+        handler(msg);
+    }
+}
+
+} // namespace dsm

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Per-node communication endpoint. Plays the role of the Ultrix SIGIO
+ * machinery in the original systems: a dedicated service thread drains
+ * the node's inbox and dispatches requests to a handler, while the
+ * application thread performs blocking RPCs (call) whose replies are
+ * routed back by token.
+ *
+ * Handler discipline (deadlock freedom): handlers run on the service
+ * thread, may send messages, but must never perform a blocking call().
+ * The application thread must not hold runtime state locks across
+ * call().
+ */
+
+#ifndef DSM_NET_ENDPOINT_HH
+#define DSM_NET_ENDPOINT_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+
+#include "net/network.hh"
+#include "time/virtual_clock.hh"
+
+namespace dsm {
+
+class Endpoint
+{
+  public:
+    using Handler = std::function<void(Message &)>;
+
+    Endpoint(Network &network, NodeId self, VirtualClock &clock,
+             NodeStats &stats);
+    ~Endpoint();
+
+    Endpoint(const Endpoint &) = delete;
+    Endpoint &operator=(const Endpoint &) = delete;
+
+    /** Install the request handler. Must be set before start(). */
+    void setHandler(Handler handler);
+
+    /** Launch the service thread. */
+    void start();
+
+    /** Stop the service thread (idempotent). */
+    void stop();
+
+    /**
+     * Fire-and-forget send. @p replyToken propagates a token from a
+     * request being serviced so the final responder can route the
+     * reply (e.g. manager forwarding a lock request to the owner).
+     */
+    void send(NodeId dst, MsgType type, std::vector<std::byte> payload,
+              std::uint64_t reply_token = 0);
+
+    /** Send a reply to a previously received request token. */
+    void reply(NodeId dst, MsgType type, std::vector<std::byte> payload,
+               std::uint64_t reply_token);
+
+    /**
+     * Blocking remote procedure call: sends a tokened request and
+     * waits for the matching reply. The caller's virtual clock is
+     * advanced to the reply's arrival time. Must only be invoked from
+     * the application thread, never from a handler.
+     */
+    Message call(NodeId dst, MsgType type, std::vector<std::byte> payload);
+
+    NodeId self() const { return id; }
+
+    int nnodes() const { return net.nnodes(); }
+
+    const CostModel &costModel() const { return net.costModel(); }
+
+    VirtualClock &clock() { return vclock; }
+
+    NodeStats &stats() { return nodeStats; }
+
+  private:
+    struct PendingReply
+    {
+        std::mutex mu;
+        std::condition_variable cv;
+        bool ready = false;
+        Message msg;
+    };
+
+    void serviceLoop();
+
+    Network &net;
+    NodeId id;
+    VirtualClock &vclock;
+    NodeStats &nodeStats;
+    Handler handler;
+    std::thread serviceThread;
+    std::atomic<bool> running{false};
+
+    std::mutex pendingMu;
+    std::unordered_map<std::uint64_t, PendingReply *> pending;
+    std::atomic<std::uint64_t> nextToken{1};
+};
+
+} // namespace dsm
+
+#endif // DSM_NET_ENDPOINT_HH

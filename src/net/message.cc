@@ -1,0 +1,24 @@
+#include "net/message.hh"
+
+namespace dsm {
+
+const char *
+toString(MsgType type)
+{
+    switch (type) {
+      case MsgType::Invalid: return "Invalid";
+      case MsgType::LockRequest: return "LockRequest";
+      case MsgType::LockForward: return "LockForward";
+      case MsgType::LockGrant: return "LockGrant";
+      case MsgType::BarrierArrive: return "BarrierArrive";
+      case MsgType::BarrierDepart: return "BarrierDepart";
+      case MsgType::DiffRequest: return "DiffRequest";
+      case MsgType::DiffReply: return "DiffReply";
+      case MsgType::PageTsRequest: return "PageTsRequest";
+      case MsgType::PageTsReply: return "PageTsReply";
+      case MsgType::Shutdown: return "Shutdown";
+      default: return "Unknown";
+    }
+}
+
+} // namespace dsm

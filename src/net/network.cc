@@ -1,0 +1,95 @@
+#include "net/network.hh"
+
+#include "util/logging.hh"
+
+namespace dsm {
+
+Network::Network(int nnodes, const CostModel &cost_model, LossPlan loss_plan)
+    : cm(cost_model), loss(std::move(loss_plan))
+{
+    DSM_ASSERT(nnodes > 0, "network needs at least one node");
+    inboxes.reserve(nnodes);
+    for (int i = 0; i < nnodes; ++i)
+        inboxes.push_back(std::make_unique<Inbox>());
+}
+
+void
+Network::send(Message &&msg, NodeStats &sender_stats)
+{
+    DSM_ASSERT(msg.dst >= 0 && msg.dst < nnodes(), "bad destination %d",
+               msg.dst);
+    DSM_ASSERT(msg.type != MsgType::Invalid, "untyped message");
+
+    const std::uint64_t seq = nextSeq.fetch_add(1);
+    const std::size_t bytes = msg.wireSize();
+
+    // Simulate loss + stop-and-wait recovery: each lost attempt costs
+    // the retransmission timeout before the next attempt departs.
+    std::uint64_t depart = msg.vtSendNs;
+    if (loss) {
+        int attempt = 0;
+        while (loss(msg.src, msg.dst, seq, attempt)) {
+            depart += cm.retransTimeoutNs;
+            sender_stats.retransmissions++;
+            sender_stats.messagesSent++;
+            sender_stats.bytesSent += bytes;
+            ++attempt;
+            DSM_ASSERT(attempt < 64, "loss plan drops forever");
+        }
+    }
+    msg.vtArriveNs = depart + cm.transitNs(bytes);
+
+    sender_stats.messagesSent++;
+    sender_stats.bytesSent += bytes;
+    accepted.fetch_add(1);
+
+    Inbox &box = *inboxes[msg.dst];
+    {
+        std::lock_guard<std::mutex> g(box.mu);
+        box.queue.push_back(std::move(msg));
+    }
+    box.cv.notify_one();
+}
+
+bool
+Network::recv(NodeId node, Message &out)
+{
+    DSM_ASSERT(node >= 0 && node < nnodes(), "bad node %d", node);
+    Inbox &box = *inboxes[node];
+    std::unique_lock<std::mutex> g(box.mu);
+    box.cv.wait(g, [&] {
+        return !box.queue.empty() || down.load(std::memory_order_acquire);
+    });
+    if (box.queue.empty())
+        return false;
+    out = std::move(box.queue.front());
+    box.queue.pop_front();
+    return true;
+}
+
+void
+Network::shutdown()
+{
+    down.store(true, std::memory_order_release);
+    for (auto &box : inboxes) {
+        std::lock_guard<std::mutex> g(box->mu);
+        box->cv.notify_all();
+    }
+}
+
+std::uint64_t
+Network::totalMessages() const
+{
+    return accepted.load();
+}
+
+LossPlan
+dropEveryNth(std::uint64_t n)
+{
+    DSM_ASSERT(n > 0, "dropEveryNth(0)");
+    return [n](NodeId, NodeId, std::uint64_t seq, int attempt) {
+        return attempt == 0 && seq % n == 0;
+    };
+}
+
+} // namespace dsm

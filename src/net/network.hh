@@ -1,0 +1,98 @@
+/**
+ * @file
+ * The simulated cluster interconnect. Reliable in-order delivery per
+ * sender/receiver pair over per-node inboxes; a configurable cost model
+ * computes virtual arrival times. An optional loss plan simulates the
+ * paper's unreliable AAL3/4 substrate: dropped transmissions are
+ * recovered by a modeled stop-and-wait retransmission (counted and
+ * charged with the retransmission timeout), after which the message is
+ * delivered — so correctness is never affected, only cost, exactly like
+ * the "operation-specific user-level protocols to insure delivery"
+ * described in Section 6 of the paper.
+ */
+
+#ifndef DSM_NET_NETWORK_HH
+#define DSM_NET_NETWORK_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "net/message.hh"
+#include "time/cost_model.hh"
+#include "util/stats.hh"
+
+namespace dsm {
+
+/**
+ * Decides whether transmission attempt @p attempt (0-based) of message
+ * @p seq from @p src to @p dst is lost. Deterministic functions keep
+ * runs reproducible.
+ */
+using LossPlan = std::function<bool(NodeId src, NodeId dst,
+                                    std::uint64_t seq, int attempt)>;
+
+class Network
+{
+  public:
+    /**
+     * @param nnodes Number of nodes.
+     * @param costModel Timing constants for transit computation.
+     * @param lossPlan Optional deterministic loss injector.
+     */
+    Network(int nnodes, const CostModel &costModel,
+            LossPlan lossPlan = nullptr);
+
+    /**
+     * Send @p msg (src/dst/vtSendNs must be filled in). Computes the
+     * arrival virtual time, simulates losses/retransmissions, and
+     * enqueues into the destination inbox. Thread safe.
+     *
+     * @param senderStats Counters of the sending node (bytes/messages/
+     *        retransmissions are recorded there).
+     */
+    void send(Message &&msg, NodeStats &senderStats);
+
+    /**
+     * Blocking receive of the next message for @p node, in enqueue
+     * order. Returns false if the network was shut down.
+     */
+    bool recv(NodeId node, Message &out);
+
+    /** Wake all receivers and make subsequent recv() return false. */
+    void shutdown();
+
+    int nnodes() const { return static_cast<int>(inboxes.size()); }
+
+    const CostModel &costModel() const { return cm; }
+
+    /** Total messages accepted (including retransmitted ones once). */
+    std::uint64_t totalMessages() const;
+
+  private:
+    struct Inbox
+    {
+        std::mutex mu;
+        std::condition_variable cv;
+        std::deque<Message> queue;
+    };
+
+    CostModel cm;
+    LossPlan loss;
+    std::vector<std::unique_ptr<Inbox>> inboxes;
+    std::atomic<std::uint64_t> nextSeq{1};
+    std::atomic<std::uint64_t> accepted{0};
+    std::atomic<bool> down{false};
+};
+
+/** A loss plan dropping the first attempt of every @p n-th message. */
+LossPlan dropEveryNth(std::uint64_t n);
+
+} // namespace dsm
+
+#endif // DSM_NET_NETWORK_HH

@@ -1,0 +1,2 @@
+// WireWriter/WireReader are header-only; anchor translation unit.
+#include "net/serde.hh"

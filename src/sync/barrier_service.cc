@@ -1,0 +1,85 @@
+#include "sync/barrier_service.hh"
+
+#include "util/logging.hh"
+
+namespace dsm {
+
+BarrierService::BarrierService(Endpoint &endpoint, std::mutex &node_mutex)
+    : ep(endpoint), mu(node_mutex)
+{}
+
+void
+BarrierService::setHooks(BarrierHooks h)
+{
+    hooks = std::move(h);
+}
+
+void
+BarrierService::setPostWait(std::function<void()> action)
+{
+    postWait = std::move(action);
+}
+
+void
+BarrierService::wait(BarrierId barrier)
+{
+    std::vector<std::byte> payload;
+    {
+        std::lock_guard<std::mutex> g(mu);
+        if (hooks.makeArrival)
+            payload = hooks.makeArrival(barrier);
+    }
+
+    WireWriter w;
+    w.putU32(barrier);
+    w.putBlob(payload);
+    Message reply = ep.call(managerOf(barrier), MsgType::BarrierArrive,
+                            w.take());
+    ep.clock().add(ep.costModel().barrierHandlingNs);
+
+    {
+        std::lock_guard<std::mutex> g(mu);
+        WireReader r(reply.payload);
+        if (hooks.applyDepart)
+            hooks.applyDepart(barrier, r);
+        if (postWait)
+            postWait();
+        ep.stats().barriersEntered++;
+    }
+}
+
+void
+BarrierService::handleMessage(Message &msg)
+{
+    DSM_ASSERT(msg.type == MsgType::BarrierArrive, "bad barrier message");
+    WireReader r(msg.payload);
+    BarrierId barrier = r.getU32();
+    std::vector<std::byte> payload = r.getBlob();
+
+    std::lock_guard<std::mutex> g(mu);
+    DSM_ASSERT(managerOf(barrier) == ep.self(),
+               "barrier arrival at non-manager");
+    ep.clock().add(ep.costModel().barrierHandlingNs);
+
+    BarrierState &state = barriers[barrier];
+    if (hooks.mergeArrival) {
+        WireReader pr(payload);
+        hooks.mergeArrival(barrier, msg.src, pr);
+    }
+    state.waiters.push_back({msg.src, msg.replyToken});
+
+    if (static_cast<int>(state.waiters.size()) == ep.nnodes()) {
+        for (const Waiter &waiter : state.waiters) {
+            std::vector<std::byte> depart;
+            if (hooks.makeDepart)
+                depart = hooks.makeDepart(barrier, waiter.node);
+            ep.clock().add(ep.costModel().barrierHandlingNs);
+            ep.reply(waiter.node, MsgType::BarrierDepart, std::move(depart),
+                     waiter.token);
+        }
+        state.waiters.clear();
+        state.generation++;
+    }
+}
+
+} // namespace dsm

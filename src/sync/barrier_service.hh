@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Barriers with a statically assigned manager (Section 6 of the
+ * paper): an arriving processor sends an arrival message to the
+ * manager; once the manager has all arrivals it lowers the barrier
+ * with departure messages. The consistency payloads (LRC: interval
+ * records and vectors; EC: none — data is associated with locks, not
+ * barriers) go through the BarrierHooks callbacks.
+ *
+ * The manager is centralized (node 0), as in TreadMarks. This is also
+ * what makes LRC's interval distribution race-free: the manager builds
+ * every departure from its own (complete) log, so arrivals for a later
+ * barrier can never outrun the knowledge they depend on.
+ */
+
+#ifndef DSM_SYNC_BARRIER_SERVICE_HH
+#define DSM_SYNC_BARRIER_SERVICE_HH
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "net/endpoint.hh"
+#include "net/serde.hh"
+
+namespace dsm {
+
+/** All hooks run with the node mutex held. */
+struct BarrierHooks
+{
+    /** At each node: payload attached to the arrival message. */
+    std::function<std::vector<std::byte>(BarrierId)> makeArrival;
+
+    /** At the manager: merge one node's arrival payload. */
+    std::function<void(BarrierId, NodeId, WireReader &)> mergeArrival;
+
+    /** At the manager: build the departure payload for @p node. */
+    std::function<std::vector<std::byte>(BarrierId, NodeId)> makeDepart;
+
+    /** At each node: apply the departure payload. */
+    std::function<void(BarrierId, WireReader &)> applyDepart;
+};
+
+class BarrierService
+{
+  public:
+    BarrierService(Endpoint &endpoint, std::mutex &node_mutex);
+
+    void setHooks(BarrierHooks hooks);
+
+    /**
+     * Install a local action run (under the node mutex) after every
+     * barrier completes. EC uses this to revalidate cached read locks.
+     */
+    void setPostWait(std::function<void()> action);
+
+    /** Block until all nodes arrive at @p barrier. App thread only. */
+    void wait(BarrierId barrier);
+
+    NodeId
+    managerOf(BarrierId) const
+    {
+        return 0; // centralized barrier manager, as in TreadMarks
+    }
+
+    /** Service-thread dispatch for BarrierArrive messages. */
+    void handleMessage(Message &msg);
+
+  private:
+    struct Waiter
+    {
+        NodeId node = -1;
+        std::uint64_t token = 0;
+    };
+
+    struct BarrierState
+    {
+        std::vector<Waiter> waiters;
+        std::uint64_t generation = 0;
+    };
+
+    Endpoint &ep;
+    std::mutex &mu;
+    BarrierHooks hooks;
+    std::function<void()> postWait;
+    std::unordered_map<BarrierId, BarrierState> barriers;
+};
+
+} // namespace dsm
+
+#endif // DSM_SYNC_BARRIER_SERVICE_HH

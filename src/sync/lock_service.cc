@@ -1,0 +1,221 @@
+#include "sync/lock_service.hh"
+
+#include "util/logging.hh"
+
+namespace dsm {
+
+LockService::LockService(Endpoint &endpoint, std::mutex &node_mutex)
+    : ep(endpoint), mu(node_mutex)
+{}
+
+void
+LockService::setHooks(LockHooks h)
+{
+    hooks = std::move(h);
+}
+
+LockService::LockLocal &
+LockService::localState(LockId lock)
+{
+    auto [it, inserted] = locks.try_emplace(lock);
+    if (inserted) {
+        // The manager initially owns every lock it manages.
+        it->second.owned = isManager(lock);
+    }
+    return it->second;
+}
+
+bool
+LockService::holds(LockId lock) const
+{
+    auto it = locks.find(lock);
+    return it != locks.end() && it->second.held;
+}
+
+void
+LockService::acquire(LockId lock, AccessMode mode)
+{
+    std::vector<std::byte> info;
+    {
+        std::lock_guard<std::mutex> g(mu);
+        LockLocal &state = localState(lock);
+        DSM_ASSERT(!state.held, "recursive acquire of lock %u", lock);
+        if (state.owned ||
+            (mode == AccessMode::Read && state.readCached)) {
+            // Local reacquire: the owner's copy of the associated data
+            // is current, and a cached read grant is valid until the
+            // next barrier; no messages (Midway/TreadMarks fast path).
+            state.held = true;
+            state.heldMode = mode;
+            ep.stats().localLockHits++;
+            if (mode == AccessMode::Write)
+                ep.stats().locksAcquired++;
+            else
+                ep.stats().roLocksAcquired++;
+            if (hooks.onAcquired)
+                hooks.onAcquired(lock, mode);
+            return;
+        }
+        if (hooks.makeRequest)
+            info = hooks.makeRequest(lock, mode);
+    }
+
+    WireWriter w;
+    w.putU32(lock);
+    w.putU8(static_cast<std::uint8_t>(mode));
+    w.putBlob(info);
+    Message reply = ep.call(managerOf(lock), MsgType::LockRequest,
+                            w.take());
+    ep.clock().add(ep.costModel().lockHandlingNs);
+
+    {
+        std::lock_guard<std::mutex> g(mu);
+        WireReader r(reply.payload);
+        LockId granted = r.getU32();
+        auto granted_mode = static_cast<AccessMode>(r.getU8());
+        DSM_ASSERT(granted == lock && granted_mode == mode,
+                   "grant does not match request");
+        if (hooks.applyGrant)
+            hooks.applyGrant(lock, mode, r);
+        LockLocal &state = localState(lock);
+        state.held = true;
+        state.heldMode = mode;
+        if (mode == AccessMode::Write) {
+            state.owned = true;
+            ep.stats().locksAcquired++;
+        } else {
+            state.readCached = true;
+            ep.stats().roLocksAcquired++;
+        }
+        if (hooks.onAcquired)
+            hooks.onAcquired(lock, mode);
+    }
+}
+
+void
+LockService::release(LockId lock)
+{
+    std::lock_guard<std::mutex> g(mu);
+    LockLocal &state = localState(lock);
+    DSM_ASSERT(state.held, "release of unheld lock %u", lock);
+    state.held = false;
+    if (state.owned)
+        drainPending(lock, state);
+}
+
+void
+LockService::grantNow(LockId lock, LockLocal &state, const Forward &fwd)
+{
+    DSM_ASSERT(fwd.origin != ep.self(), "self-grant");
+    std::vector<std::byte> payload;
+    if (hooks.makeGrant) {
+        WireReader rinfo(fwd.requestInfo);
+        payload = hooks.makeGrant(lock, fwd.mode, fwd.origin, rinfo);
+    }
+    WireWriter w;
+    w.putU32(lock);
+    w.putU8(static_cast<std::uint8_t>(fwd.mode));
+    w.putBytes(payload.data(), payload.size());
+    if (fwd.mode == AccessMode::Write)
+        state.owned = false;
+    ep.clock().add(ep.costModel().lockHandlingNs);
+    ep.reply(fwd.origin, MsgType::LockGrant, w.take(), fwd.token);
+}
+
+void
+LockService::drainPending(LockId lock, LockLocal &state)
+{
+    while (!state.pending.empty()) {
+        Forward fwd = std::move(state.pending.front());
+        state.pending.pop_front();
+        grantNow(lock, state, fwd);
+        if (fwd.mode == AccessMode::Write) {
+            // Ownership moved; later forwards are chained to the new
+            // owner by the manager, never to us (FIFO channels make
+            // anything still queued here a protocol bug).
+            DSM_ASSERT(state.pending.empty(),
+                       "forwards queued behind an exclusive transfer");
+            break;
+        }
+    }
+}
+
+void
+LockService::clearReadCaches()
+{
+    for (auto &[lock, state] : locks)
+        state.readCached = false;
+}
+
+void
+LockService::handleMessage(Message &msg)
+{
+    switch (msg.type) {
+      case MsgType::LockRequest:
+        handleRequest(msg);
+        break;
+      case MsgType::LockForward:
+        handleForward(msg);
+        break;
+      default:
+        panic("lock service got %s", toString(msg.type));
+    }
+}
+
+void
+LockService::handleRequest(Message &msg)
+{
+    WireReader r(msg.payload);
+    LockId lock = r.getU32();
+    auto mode = static_cast<AccessMode>(r.getU8());
+    std::vector<std::byte> info = r.getBlob();
+
+    std::lock_guard<std::mutex> g(mu);
+    DSM_ASSERT(isManager(lock), "lock request at non-manager");
+    ep.clock().add(ep.costModel().lockHandlingNs);
+    ep.stats().lockForwards++;
+
+    auto [it, inserted] = managed.try_emplace(lock);
+    if (inserted)
+        it->second.lastOwner = ep.self();
+    NodeId target = it->second.lastOwner;
+    if (mode == AccessMode::Write)
+        it->second.lastOwner = msg.src;
+
+    Forward fwd{msg.src, msg.replyToken, mode, std::move(info)};
+    if (target == ep.self()) {
+        LockLocal &state = localState(lock);
+        if (state.owned && !state.held)
+            grantNow(lock, state, fwd);
+        else
+            state.pending.push_back(std::move(fwd));
+    } else {
+        WireWriter w;
+        w.putU32(lock);
+        w.putU8(static_cast<std::uint8_t>(mode));
+        w.putU16(static_cast<std::uint16_t>(fwd.origin));
+        w.putBlob(fwd.requestInfo);
+        ep.send(target, MsgType::LockForward, w.take(), fwd.token);
+    }
+}
+
+void
+LockService::handleForward(Message &msg)
+{
+    WireReader r(msg.payload);
+    LockId lock = r.getU32();
+    auto mode = static_cast<AccessMode>(r.getU8());
+    NodeId origin = static_cast<NodeId>(r.getU16());
+    std::vector<std::byte> info = r.getBlob();
+
+    std::lock_guard<std::mutex> g(mu);
+    ep.clock().add(ep.costModel().lockHandlingNs);
+    Forward fwd{origin, msg.replyToken, mode, std::move(info)};
+    LockLocal &state = localState(lock);
+    if (state.owned && !state.held)
+        grantNow(lock, state, fwd);
+    else
+        state.pending.push_back(std::move(fwd));
+}
+
+} // namespace dsm

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Distributed lock protocol shared by the EC and LRC runtimes, exactly
+ * as Section 6 of the paper prescribes: "the location and
+ * synchronization aspects of locks ... are implemented in the same
+ * way, although the consistency aspects differ."
+ *
+ * Each lock has a statically assigned manager (round-robin by lock
+ * id). A request goes to the manager, which forwards it to the
+ * processor that last requested the lock; the grant travels directly
+ * from that owner to the requester. Requests for held locks queue at
+ * the owner and are granted on release.
+ *
+ * The consistency payloads (EC: incarnation numbers + data updates;
+ * LRC: vectors + write notices) are produced and consumed through the
+ * LockHooks callbacks supplied by the runtime.
+ *
+ * Read-only locks (EC) are consistency-transfer grants: the owner
+ * replies with current data and retains ownership. A reader's release
+ * requires no message. Writers exclude concurrently queued requests at
+ * the owner; the applications in the paper access read-locked data
+ * only in barrier-separated read phases, so reader/writer exclusion
+ * across phases is provided by the barriers, as in the original
+ * programs.
+ */
+
+#ifndef DSM_SYNC_LOCK_SERVICE_HH
+#define DSM_SYNC_LOCK_SERVICE_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "net/endpoint.hh"
+#include "net/serde.hh"
+
+namespace dsm {
+
+/** Consistency callbacks a runtime installs into the lock service.
+ *  All hooks are invoked with the node mutex held. */
+struct LockHooks
+{
+    /** At the requester: encode request info (EC: my incarnation;
+     *  LRC: my vector). */
+    std::function<std::vector<std::byte>(LockId, AccessMode)> makeRequest;
+
+    /** At the owner: consume request info, produce the grant payload
+     *  (EC: data newer than the requester's incarnation; LRC: write
+     *  notices). */
+    std::function<std::vector<std::byte>(LockId, AccessMode, NodeId,
+                                         WireReader &)>
+        makeGrant;
+
+    /** At the requester: apply the grant payload. */
+    std::function<void(LockId, AccessMode, WireReader &)> applyGrant;
+
+    /**
+     * At the acquirer, after the lock is held (local fast path or
+     * remote grant). EC write-trapping setup happens here: eager
+     * twinning of small bound objects, write-protection of large ones.
+     */
+    std::function<void(LockId, AccessMode)> onAcquired;
+};
+
+class LockService
+{
+  public:
+    /**
+     * @param endpoint Communication endpoint of this node.
+     * @param node_mutex The per-node state mutex shared with the
+     *        runtime (hooks run under it).
+     */
+    LockService(Endpoint &endpoint, std::mutex &node_mutex);
+
+    void setHooks(LockHooks hooks);
+
+    /**
+     * Acquire @p lock in @p mode. Write acquires by the current owner
+     * with no competing request complete locally without messages
+     * (both Midway and TreadMarks have this fast path). Blocking; must
+     * be called from the application thread.
+     */
+    void acquire(LockId lock, AccessMode mode);
+
+    /** Release a held lock; grants any queued requests. */
+    void release(LockId lock);
+
+    /** True when this node is the lock's statically assigned manager. */
+    bool
+    isManager(LockId lock) const
+    {
+        return managerOf(lock) == ep.self();
+    }
+
+    NodeId
+    managerOf(LockId lock) const
+    {
+        return static_cast<NodeId>(lock % ep.nnodes());
+    }
+
+    /** Service-thread dispatch for LockRequest/LockForward messages. */
+    void handleMessage(Message &msg);
+
+    /** True if the app currently holds @p lock. */
+    bool holds(LockId lock) const;
+
+    /**
+     * Drop all cached read grants. Midway caches read locks at the
+     * reader; our implementation revalidates them at barriers, which
+     * is sufficient for the paper's applications because every one of
+     * them separates write phases from read phases with barriers.
+     * Caller must hold the node mutex.
+     */
+    void clearReadCaches();
+
+  private:
+    struct Forward
+    {
+        NodeId origin = -1;
+        std::uint64_t token = 0;
+        AccessMode mode = AccessMode::Write;
+        std::vector<std::byte> requestInfo;
+    };
+
+    struct LockLocal
+    {
+        bool owned = false; ///< this node holds the ownership token
+        bool held = false;  ///< the app thread is inside acquire..release
+        /** Read grant cached locally; valid until the next barrier. */
+        bool readCached = false;
+        AccessMode heldMode = AccessMode::Write;
+        std::deque<Forward> pending;
+    };
+
+    struct ManagerState
+    {
+        NodeId lastOwner = -1; ///< tail of the request chain
+    };
+
+    /** Grant to @p fwd now; caller holds the node mutex. */
+    void grantNow(LockId lock, LockLocal &state, const Forward &fwd);
+
+    /** Grant queued requests after a release; caller holds the mutex. */
+    void drainPending(LockId lock, LockLocal &state);
+
+    void handleRequest(Message &msg);
+    void handleForward(Message &msg);
+
+    LockLocal &localState(LockId lock);
+
+    Endpoint &ep;
+    std::mutex &mu;
+    LockHooks hooks;
+    std::unordered_map<LockId, LockLocal> locks;
+    std::unordered_map<LockId, ManagerState> managed;
+};
+
+} // namespace dsm
+
+#endif // DSM_SYNC_LOCK_SERVICE_HH

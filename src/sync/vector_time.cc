@@ -1,0 +1,66 @@
+#include "sync/vector_time.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace dsm {
+
+void
+VectorTime::mergeMax(const VectorTime &other)
+{
+    DSM_ASSERT(size() == other.size(), "vector size mismatch");
+    for (int i = 0; i < size(); ++i)
+        v[i] = std::max(v[i], other.v[i]);
+}
+
+bool
+VectorTime::dominates(const VectorTime &other) const
+{
+    DSM_ASSERT(size() == other.size(), "vector size mismatch");
+    for (int i = 0; i < size(); ++i) {
+        if (v[i] < other.v[i])
+            return false;
+    }
+    return true;
+}
+
+std::uint64_t
+VectorTime::sum() const
+{
+    std::uint64_t total = 0;
+    for (std::uint32_t x : v)
+        total += x;
+    return total;
+}
+
+void
+VectorTime::encode(WireWriter &w) const
+{
+    w.putU16(static_cast<std::uint16_t>(v.size()));
+    for (std::uint32_t x : v)
+        w.putU32(x);
+}
+
+VectorTime
+VectorTime::decode(WireReader &r)
+{
+    VectorTime vt(r.getU16());
+    for (int i = 0; i < vt.size(); ++i)
+        vt.v[i] = r.getU32();
+    return vt;
+}
+
+std::string
+VectorTime::toString() const
+{
+    std::ostringstream os;
+    os << "[";
+    for (int i = 0; i < size(); ++i)
+        os << (i ? "," : "") << v[i];
+    os << "]";
+    return os.str();
+}
+
+} // namespace dsm

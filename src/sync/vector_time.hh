@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Vector of interval indices, one entry per processor (Section 5.1 of
+ * the paper). Entry p of the vector for an interval of processor q
+ * names the most recent interval of p that precedes it in the partial
+ * order. (The paper avoids the term "vector timestamp" to prevent
+ * confusion with per-block timestamps; we follow suit.)
+ */
+
+#ifndef DSM_SYNC_VECTOR_TIME_HH
+#define DSM_SYNC_VECTOR_TIME_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/serde.hh"
+#include "util/types.hh"
+
+namespace dsm {
+
+class VectorTime
+{
+  public:
+    VectorTime() = default;
+
+    explicit VectorTime(int nprocs) : v(nprocs, 0) {}
+
+    int size() const { return static_cast<int>(v.size()); }
+
+    std::uint32_t
+    operator[](int proc) const
+    {
+        return v[proc];
+    }
+
+    std::uint32_t &
+    operator[](int proc)
+    {
+        return v[proc];
+    }
+
+    /** Pairwise maximum with @p other (the acquire merge rule). */
+    void mergeMax(const VectorTime &other);
+
+    /** True when this >= other pointwise. */
+    bool dominates(const VectorTime &other) const;
+
+    /**
+     * Sum of entries. If interval A happens-before interval B then
+     * sum(A.vt) < sum(B.vt), so sorting by sum yields a valid linear
+     * extension of the happens-before partial order — used to order
+     * diff application.
+     */
+    std::uint64_t sum() const;
+
+    void encode(WireWriter &w) const;
+    static VectorTime decode(WireReader &r);
+
+    std::string toString() const;
+
+    bool operator==(const VectorTime &other) const = default;
+
+  private:
+    std::vector<std::uint32_t> v;
+};
+
+} // namespace dsm
+
+#endif // DSM_SYNC_VECTOR_TIME_HH

@@ -1,0 +1,20 @@
+#include "time/cost_model.hh"
+
+#include <sstream>
+
+namespace dsm {
+
+std::string
+CostModel::toString() const
+{
+    std::ostringstream os;
+    os << "cost model (virtual ns): msgFixed=" << msgFixedNs
+       << " perByte=" << perByteNs << " pageFault=" << pageFaultNs
+       << " twin/word=" << perWordTwinNs << " diff/word=" << perWordDiffNs
+       << " scan/word=" << perWordScanNs << " apply/word=" << perWordApplyNs
+       << " dirtyStore=" << dirtyStoreNs << " lock=" << lockHandlingNs
+       << " barrier=" << barrierHandlingNs << " workUnit=" << workUnitNs;
+    return os.str();
+}
+
+} // namespace dsm

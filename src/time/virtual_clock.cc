@@ -1,0 +1,3 @@
+// VirtualClock is header-only; this translation unit anchors the
+// dsm_time library so every subsystem has a .cc file to link.
+#include "time/virtual_clock.hh"

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Per-node virtual clock. The clock advances by explicit charges (work
+ * units, protocol costs) and by Lamport-style causal maxima when
+ * messages arrive, so the final per-node values give a deterministic
+ * simulated execution time irrespective of host scheduling.
+ *
+ * Both the application thread and the service thread of a node advance
+ * the same clock; this mirrors the real systems, where the SIGIO
+ * handler stole cycles from the application processor.
+ */
+
+#ifndef DSM_TIME_VIRTUAL_CLOCK_HH
+#define DSM_TIME_VIRTUAL_CLOCK_HH
+
+#include <atomic>
+#include <cstdint>
+
+namespace dsm {
+
+class VirtualClock
+{
+  public:
+    VirtualClock() : nowNs(0) {}
+
+    /** Current virtual time in nanoseconds. */
+    std::uint64_t
+    now() const
+    {
+        return nowNs.load(std::memory_order_acquire);
+    }
+
+    /** Advance by @p deltaNs; returns the new time. */
+    std::uint64_t
+    add(std::uint64_t delta_ns)
+    {
+        return nowNs.fetch_add(delta_ns, std::memory_order_acq_rel) +
+               delta_ns;
+    }
+
+    /** Causal merge: now = max(now, @p t). Returns the new time. */
+    std::uint64_t
+    advanceTo(std::uint64_t t)
+    {
+        std::uint64_t cur = nowNs.load(std::memory_order_acquire);
+        while (cur < t &&
+               !nowNs.compare_exchange_weak(cur, t,
+                                            std::memory_order_acq_rel)) {
+            // cur reloaded by compare_exchange_weak.
+        }
+        return now();
+    }
+
+    /** Reset to zero (between runs). */
+    void reset() { nowNs.store(0, std::memory_order_release); }
+
+  private:
+    std::atomic<std::uint64_t> nowNs;
+};
+
+} // namespace dsm
+
+#endif // DSM_TIME_VIRTUAL_CLOCK_HH

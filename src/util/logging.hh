@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Status and error reporting in the gem5 style: panic() for internal
+ * invariant violations (aborts), fatal() for user errors (clean exit),
+ * warn()/inform() for non-fatal status messages.
+ */
+
+#ifndef DSM_UTIL_LOGGING_HH
+#define DSM_UTIL_LOGGING_HH
+
+#include <cstdarg>
+
+namespace dsm {
+
+/**
+ * Report an internal error that should never happen regardless of user
+ * input (a dsmcmp bug) and abort, possibly dumping core.
+ */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Report a condition that prevents the run from continuing but is the
+ * user's fault (bad configuration, invalid arguments) and exit(1).
+ */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Warn about behaviour that may be incorrect but allows continuing. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Informational message with no connotation of incorrect behaviour. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Enable or disable inform() output (warnings always print). */
+void setVerbose(bool verbose);
+
+/** True when inform() output is enabled. */
+bool verbose();
+
+} // namespace dsm
+
+/** Assert an internal invariant; calls panic() with location on failure. */
+#define DSM_ASSERT(cond, ...)                                               \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            ::dsm::warn("" __VA_ARGS__);                                    \
+            ::dsm::panic("assertion '%s' failed at %s:%d", #cond,           \
+                         __FILE__, __LINE__);                               \
+        }                                                                   \
+    } while (0)
+
+#endif // DSM_UTIL_LOGGING_HH

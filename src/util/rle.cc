@@ -1,0 +1,37 @@
+#include "util/rle.hh"
+
+#include <algorithm>
+
+namespace dsm {
+
+std::uint64_t
+runsCoverage(const std::vector<Run> &runs)
+{
+    std::uint64_t total = 0;
+    for (const auto &r : runs)
+        total += r.length;
+    return total;
+}
+
+std::vector<Run>
+normalizeRuns(std::vector<Run> runs)
+{
+    if (runs.empty())
+        return runs;
+    std::sort(runs.begin(), runs.end(),
+              [](const Run &a, const Run &b) { return a.start < b.start; });
+    std::vector<Run> out;
+    out.push_back(runs.front());
+    for (std::size_t i = 1; i < runs.size(); ++i) {
+        Run &last = out.back();
+        const Run &cur = runs[i];
+        if (cur.start <= last.end()) {
+            last.length = std::max(last.end(), cur.end()) - last.start;
+        } else {
+            out.push_back(cur);
+        }
+    }
+    return out;
+}
+
+} // namespace dsm

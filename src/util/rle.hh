@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Run-length helpers used by both diff creation and timestamp
+ * transmission: collapse a sequence of per-block predicates or values
+ * into (start, length) runs.
+ */
+
+#ifndef DSM_UTIL_RLE_HH
+#define DSM_UTIL_RLE_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace dsm {
+
+/** A run of consecutive block indices [start, start + length). */
+struct Run
+{
+    std::uint32_t start = 0;
+    std::uint32_t length = 0;
+
+    std::uint32_t end() const { return start + length; }
+    bool operator==(const Run &other) const = default;
+};
+
+/**
+ * Collect maximal runs of indices in [0, n) for which @p pred is true.
+ *
+ * @param n Number of blocks to examine.
+ * @param pred Callable bool(uint32_t index).
+ * @return Runs in increasing index order.
+ */
+template <typename Pred>
+std::vector<Run>
+collectRuns(std::uint32_t n, Pred pred)
+{
+    std::vector<Run> runs;
+    std::uint32_t i = 0;
+    while (i < n) {
+        if (pred(i)) {
+            std::uint32_t start = i;
+            while (i < n && pred(i))
+                ++i;
+            runs.push_back({start, i - start});
+        } else {
+            ++i;
+        }
+    }
+    return runs;
+}
+
+/**
+ * Collect maximal runs of equal values for which @p keep is true.
+ * Used for wire encoding of timestamps: one timestamp value is sent per
+ * run of blocks with the same timestamp (Section 5.1 of the paper).
+ */
+template <typename T, typename Keep>
+std::vector<std::pair<Run, T>>
+collectValueRuns(const std::vector<T> &values, Keep keep)
+{
+    std::vector<std::pair<Run, T>> runs;
+    std::uint32_t n = static_cast<std::uint32_t>(values.size());
+    std::uint32_t i = 0;
+    while (i < n) {
+        if (keep(values[i])) {
+            std::uint32_t start = i;
+            T v = values[i];
+            while (i < n && keep(values[i]) && values[i] == v)
+                ++i;
+            runs.push_back({{start, i - start}, v});
+        } else {
+            ++i;
+        }
+    }
+    return runs;
+}
+
+/** Total number of indices covered by @p runs. */
+std::uint64_t runsCoverage(const std::vector<Run> &runs);
+
+/** Merge adjacent/overlapping runs into a minimal sorted set. */
+std::vector<Run> normalizeRuns(std::vector<Run> runs);
+
+} // namespace dsm
+
+#endif // DSM_UTIL_RLE_HH

@@ -1,0 +1,88 @@
+#include "util/stats.hh"
+
+#include <sstream>
+
+namespace dsm {
+
+namespace {
+
+/** Apply @p fn(name, field-reference) to every counter of @p s. */
+template <typename Stats, typename Fn>
+void
+forEachField(Stats &s, Fn fn)
+{
+    fn("messagesSent", s.messagesSent);
+    fn("messagesReceived", s.messagesReceived);
+    fn("bytesSent", s.bytesSent);
+    fn("bytesReceived", s.bytesReceived);
+    fn("retransmissions", s.retransmissions);
+    fn("locksAcquired", s.locksAcquired);
+    fn("roLocksAcquired", s.roLocksAcquired);
+    fn("localLockHits", s.localLockHits);
+    fn("lockForwards", s.lockForwards);
+    fn("barriersEntered", s.barriersEntered);
+    fn("pageFaults", s.pageFaults);
+    fn("twinsCreated", s.twinsCreated);
+    fn("twinWordsCopied", s.twinWordsCopied);
+    fn("dirtyStores", s.dirtyStores);
+    fn("diffsCreated", s.diffsCreated);
+    fn("diffsApplied", s.diffsApplied);
+    fn("diffWordsCompared", s.diffWordsCompared);
+    fn("diffBytesSent", s.diffBytesSent);
+    fn("tsWordsScanned", s.tsWordsScanned);
+    fn("tsRunsSent", s.tsRunsSent);
+    fn("tsBytesSent", s.tsBytesSent);
+    fn("intervalsCreated", s.intervalsCreated);
+    fn("writeNoticesSent", s.writeNoticesSent);
+    fn("writeNoticesReceived", s.writeNoticesReceived);
+    fn("pagesInvalidated", s.pagesInvalidated);
+    fn("accessMisses", s.accessMisses);
+    fn("updatesSent", s.updatesSent);
+    fn("updateBytesSent", s.updateBytesSent);
+    fn("rebinds", s.rebinds);
+    fn("workUnits", s.workUnits);
+}
+
+} // namespace
+
+NodeStats &
+NodeStats::operator+=(const NodeStats &other)
+{
+    std::vector<std::uint64_t> vals;
+    forEachField(other, [&](const char *, const std::uint64_t &v) {
+        vals.push_back(v);
+    });
+    std::size_t i = 0;
+    forEachField(*this, [&](const char *, std::uint64_t &v) {
+        v += vals[i++];
+    });
+    return *this;
+}
+
+std::vector<std::pair<std::string, std::uint64_t>>
+NodeStats::items() const
+{
+    std::vector<std::pair<std::string, std::uint64_t>> out;
+    forEachField(*this, [&](const char *name, const std::uint64_t &v) {
+        out.emplace_back(name, v);
+    });
+    return out;
+}
+
+std::string
+NodeStats::toString() const
+{
+    std::ostringstream os;
+    bool first = true;
+    for (const auto &[name, value] : items()) {
+        if (value == 0)
+            continue;
+        if (!first)
+            os << " ";
+        os << name << "=" << value;
+        first = false;
+    }
+    return os.str();
+}
+
+} // namespace dsm

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Per-node statistics counters. Every protocol event the paper reasons
+ * about (messages, bytes, faults, twins, diffs, timestamp scans, dirty
+ * stores, ...) has a named counter here; benches print them next to the
+ * reproduced tables.
+ */
+
+#ifndef DSM_UTIL_STATS_HH
+#define DSM_UTIL_STATS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dsm {
+
+/**
+ * Counters for one node. Plain uint64 fields; single-writer per field
+ * in steady state (app thread or service thread), merged after a run.
+ * The service and app threads of one node synchronize through the node
+ * state mutex, so plain fields are safe.
+ */
+struct NodeStats
+{
+    // Network.
+    std::uint64_t messagesSent = 0;
+    std::uint64_t messagesReceived = 0;
+    std::uint64_t bytesSent = 0;
+    std::uint64_t bytesReceived = 0;
+    std::uint64_t retransmissions = 0;
+
+    // Synchronization.
+    std::uint64_t locksAcquired = 0;
+    std::uint64_t roLocksAcquired = 0;
+    std::uint64_t localLockHits = 0;
+    std::uint64_t lockForwards = 0;
+    std::uint64_t barriersEntered = 0;
+
+    // Write trapping.
+    std::uint64_t pageFaults = 0;
+    std::uint64_t twinsCreated = 0;
+    std::uint64_t twinWordsCopied = 0;
+    std::uint64_t dirtyStores = 0;
+
+    // Write collection.
+    std::uint64_t diffsCreated = 0;
+    std::uint64_t diffsApplied = 0;
+    std::uint64_t diffWordsCompared = 0;
+    std::uint64_t diffBytesSent = 0;
+    std::uint64_t tsWordsScanned = 0;
+    std::uint64_t tsRunsSent = 0;
+    std::uint64_t tsBytesSent = 0;
+
+    // LRC protocol.
+    std::uint64_t intervalsCreated = 0;
+    std::uint64_t writeNoticesSent = 0;
+    std::uint64_t writeNoticesReceived = 0;
+    std::uint64_t pagesInvalidated = 0;
+    std::uint64_t accessMisses = 0;
+
+    // EC protocol.
+    std::uint64_t updatesSent = 0;
+    std::uint64_t updateBytesSent = 0;
+    std::uint64_t rebinds = 0;
+
+    // Application-reported work units (drives the compute time model).
+    std::uint64_t workUnits = 0;
+
+    /** Accumulate @p other into this. */
+    NodeStats &operator+=(const NodeStats &other);
+
+    /** (name, value) pairs for printing, in declaration order. */
+    std::vector<std::pair<std::string, std::uint64_t>> items() const;
+
+    /** Compact single-line rendering of the nonzero counters. */
+    std::string toString() const;
+};
+
+} // namespace dsm
+
+#endif // DSM_UTIL_STATS_HH

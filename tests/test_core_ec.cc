@@ -1,0 +1,345 @@
+/**
+ * @file
+ * Protocol tests for the EC runtime: update protocol, incarnation
+ * numbers, small/large twinning, compiler-instrumented trapping,
+ * diff-history migration, read-only locks, rebinding, non-contiguous
+ * bindings.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/cluster.hh"
+#include "core/shared_array.hh"
+
+namespace dsm {
+namespace {
+
+ClusterConfig
+ecConfig(const std::string &name, int nprocs = 4,
+         std::size_t page_size = 1024)
+{
+    ClusterConfig cc;
+    cc.nprocs = nprocs;
+    cc.arenaBytes = 1u << 20;
+    cc.pageSize = page_size;
+    cc.runtime = RuntimeConfig::parse(name);
+    return cc;
+}
+
+class EcConfigTest : public ::testing::TestWithParam<std::string>
+{};
+
+/** Writer updates bound data under the lock; reader acquires and must
+ *  see the latest version (update protocol). */
+TEST_P(EcConfigTest, UpdateProtocolDeliversBoundData)
+{
+    Cluster cluster(ecConfig(GetParam(), 2));
+    cluster.run([](Runtime &rt) {
+        auto arr = SharedArray<int>::alloc(rt, 64);
+        rt.bindLock(1, {arr.wholeRange()});
+        rt.barrier(0);
+        if (rt.self() == 0) {
+            rt.acquire(1, AccessMode::Write);
+            for (int i = 0; i < 64; ++i)
+                arr.set(i, i * 3);
+            rt.release(1);
+        }
+        rt.barrier(1);
+        if (rt.self() == 1) {
+            rt.acquire(1, AccessMode::Read);
+            for (int i = 0; i < 64; ++i)
+                ASSERT_EQ(arr.get(i), i * 3);
+            rt.release(1);
+        }
+        rt.barrier(2);
+    });
+}
+
+/** Incremental transfers: a reader that saw version k receives only
+ *  the changes made after k. */
+TEST_P(EcConfigTest, IncrementalTransfers)
+{
+    Cluster cluster(ecConfig(GetParam(), 2));
+    cluster.run([](Runtime &rt) {
+        auto arr = SharedArray<int>::alloc(rt, 32);
+        rt.bindLock(1, {arr.wholeRange()});
+        rt.barrier(0);
+        for (int round = 1; round <= 3; ++round) {
+            if (rt.self() == 0) {
+                rt.acquire(1, AccessMode::Write);
+                arr.set(round, round * 100);
+                rt.release(1);
+            }
+            rt.barrier(round);
+            if (rt.self() == 1) {
+                rt.acquire(1, AccessMode::Read);
+                for (int k = 1; k <= round; ++k)
+                    ASSERT_EQ(arr.get(k), k * 100);
+                rt.release(1);
+            }
+            rt.barrier(100 + round);
+        }
+    });
+}
+
+/** Data moves only with its own lock: an unrelated lock's acquire must
+ *  not make other data consistent. */
+TEST_P(EcConfigTest, OnlyBoundDataMovesWithLock)
+{
+    Cluster cluster(ecConfig(GetParam(), 2));
+    cluster.run([](Runtime &rt) {
+        auto a = SharedArray<int>::alloc(rt, 8);
+        auto b = SharedArray<int>::alloc(rt, 8);
+        rt.bindLock(1, {a.wholeRange()});
+        rt.bindLock(2, {b.wholeRange()});
+        rt.barrier(0);
+        if (rt.self() == 0) {
+            rt.acquire(1, AccessMode::Write);
+            a.set(0, 42);
+            rt.release(1);
+            rt.acquire(2, AccessMode::Write);
+            b.set(0, 43);
+            rt.release(2);
+        }
+        rt.barrier(1);
+        if (rt.self() == 1) {
+            rt.acquire(2, AccessMode::Read);
+            ASSERT_EQ(b.get(0), 43); // bound to lock 2: current
+            ASSERT_EQ(a.get(0), 0);  // not bound to lock 2: stale
+            rt.release(2);
+        }
+        rt.barrier(2);
+    });
+}
+
+/** Non-contiguous binding (3D-FFT requirement): one lock over two
+ *  separate ranges. */
+TEST_P(EcConfigTest, NonContiguousBinding)
+{
+    Cluster cluster(ecConfig(GetParam(), 2));
+    cluster.run([](Runtime &rt) {
+        auto a = SharedArray<int>::alloc(rt, 256);
+        rt.bindLock(1, {a.range(0, 8), a.range(200, 8)});
+        rt.barrier(0);
+        if (rt.self() == 0) {
+            rt.acquire(1, AccessMode::Write);
+            a.set(2, 7);
+            a.set(204, 9);
+            rt.release(1);
+        }
+        rt.barrier(1);
+        if (rt.self() == 1) {
+            rt.acquire(1, AccessMode::Read);
+            ASSERT_EQ(a.get(2), 7);
+            ASSERT_EQ(a.get(204), 9);
+            ASSERT_EQ(a.get(100), 0); // between the ranges: unbound
+            rt.release(1);
+        }
+        rt.barrier(2);
+    });
+}
+
+/** Rebinding conservatively transfers the newly bound data. */
+TEST_P(EcConfigTest, RebindTransfersFullNewBinding)
+{
+    Cluster cluster(ecConfig(GetParam(), 2));
+    cluster.run([](Runtime &rt) {
+        auto a = SharedArray<int>::alloc(rt, 128);
+        rt.bindLock(1, {a.range(0, 16)});
+        rt.barrier(0);
+        if (rt.self() == 0) {
+            // Write the future binding's data under the OLD binding's
+            // epoch (plain writes, then rebind while holding).
+            rt.acquire(1, AccessMode::Write);
+            for (int i = 64; i < 80; ++i)
+                a.set(i, i);
+            rt.rebindLock(1, {a.range(64, 16)});
+            for (int i = 64; i < 68; ++i)
+                a.set(i, i * 2);
+            rt.release(1);
+        }
+        rt.barrier(1);
+        if (rt.self() == 1) {
+            rt.acquire(1, AccessMode::Write);
+            for (int i = 64; i < 68; ++i)
+                ASSERT_EQ(a.get(i), i * 2);
+            for (int i = 68; i < 80; ++i)
+                ASSERT_EQ(a.get(i), i);
+            rt.release(1);
+        }
+        rt.barrier(2);
+    });
+}
+
+/** Migratory pattern: the lock (and its data/diff history) hops
+ *  around the ring; every node increments every counter once. */
+TEST_P(EcConfigTest, MigratoryRing)
+{
+    Cluster cluster(ecConfig(GetParam(), 4));
+    cluster.run([](Runtime &rt) {
+        auto a = SharedArray<int>::alloc(rt, 16);
+        rt.bindLock(1, {a.wholeRange()});
+        rt.barrier(0);
+        for (int round = 0; round < 4; ++round) {
+            if (round % rt.nprocs() == rt.self()) {
+                rt.acquire(1, AccessMode::Write);
+                for (int i = 0; i < 16; ++i)
+                    a.set(i, a.get(i) + 1);
+                rt.release(1);
+            }
+            rt.barrier(1 + round);
+        }
+        if (rt.self() == 0) {
+            rt.acquire(1, AccessMode::Read);
+            for (int i = 0; i < 16; ++i)
+                ASSERT_EQ(a.get(i), 4);
+            rt.release(1);
+        }
+        rt.barrier(99);
+    });
+}
+
+/** Large objects (bigger than a page) go through copy-on-write
+ *  twinning; sparse writes must still be collected correctly. */
+TEST_P(EcConfigTest, LargeObjectSparseWrites)
+{
+    Cluster cluster(ecConfig(GetParam(), 2, 512));
+    cluster.run([](Runtime &rt) {
+        auto a = SharedArray<int>::alloc(rt, 1024); // 4 KB: 8 pages
+        rt.bindLock(1, {a.wholeRange()});
+        rt.barrier(0);
+        if (rt.self() == 0) {
+            rt.acquire(1, AccessMode::Write);
+            a.set(0, 1);
+            a.set(500, 2);
+            a.set(1023, 3);
+            rt.release(1);
+        }
+        rt.barrier(1);
+        if (rt.self() == 1) {
+            rt.acquire(1, AccessMode::Read);
+            ASSERT_EQ(a.get(0), 1);
+            ASSERT_EQ(a.get(500), 2);
+            ASSERT_EQ(a.get(1023), 3);
+            ASSERT_EQ(a.get(100), 0);
+            rt.release(1);
+        }
+        rt.barrier(2);
+    });
+}
+
+/** Ownership migration carries the diff history: A writes, B writes,
+ *  C must see both (its grant comes from B only). */
+TEST_P(EcConfigTest, HistoryMigratesWithOwnership)
+{
+    Cluster cluster(ecConfig(GetParam(), 3));
+    cluster.run([](Runtime &rt) {
+        auto a = SharedArray<int>::alloc(rt, 8);
+        rt.bindLock(1, {a.wholeRange()});
+        rt.barrier(0);
+        if (rt.self() == 0) {
+            rt.acquire(1, AccessMode::Write);
+            a.set(0, 10);
+            rt.release(1);
+        }
+        rt.barrier(1);
+        if (rt.self() == 1) {
+            rt.acquire(1, AccessMode::Write);
+            a.set(1, 20);
+            rt.release(1);
+        }
+        rt.barrier(2);
+        if (rt.self() == 2) {
+            rt.acquire(1, AccessMode::Read);
+            ASSERT_EQ(a.get(0), 10);
+            ASSERT_EQ(a.get(1), 20);
+            rt.release(1);
+        }
+        rt.barrier(3);
+    });
+}
+
+/** Write trapping must catch single-byte and unaligned stores. */
+TEST_P(EcConfigTest, SubWordStores)
+{
+    Cluster cluster(ecConfig(GetParam(), 2));
+    cluster.run([](Runtime &rt) {
+        GlobalAddr base = rt.sharedAlloc(64, 8, 4, "bytes");
+        rt.bindLock(1, {{base, 64}});
+        rt.barrier(0);
+        if (rt.self() == 0) {
+            rt.acquire(1, AccessMode::Write);
+            rt.write<std::uint8_t>(base + 13, 0x5a);
+            rt.write<std::uint16_t>(base + 30, 0xbeef);
+            rt.release(1);
+        }
+        rt.barrier(1);
+        if (rt.self() == 1) {
+            rt.acquire(1, AccessMode::Read);
+            ASSERT_EQ(rt.read<std::uint8_t>(base + 13), 0x5a);
+            ASSERT_EQ(rt.read<std::uint16_t>(base + 30), 0xbeef);
+            rt.release(1);
+        }
+        rt.barrier(2);
+    });
+}
+
+INSTANTIATE_TEST_SUITE_P(Configs, EcConfigTest,
+                         ::testing::Values("EC-ci", "EC-time",
+                                           "EC-diff"),
+                         [](const auto &info) {
+                             std::string n = info.param;
+                             for (char &c : n) {
+                                 if (c == '-')
+                                     c = '_';
+                             }
+                             return n;
+                         });
+
+TEST(EcRuntimeMisc, CiDiffCombinationRejected)
+{
+    RuntimeConfig config{Model::EC, TrapMethod::CompilerInstrumentation,
+                         CollectMethod::Diffing};
+    EXPECT_DEATH({ config.validate(); }, "prohibitive");
+}
+
+TEST(EcRuntimeMisc, StatsReflectMechanisms)
+{
+    // EC-ci counts dirty stores; EC-time scans timestamps; EC-diff
+    // creates diffs.
+    auto run = [](const std::string &name) {
+        Cluster cluster(ecConfig(name, 2));
+        return cluster.run([](Runtime &rt) {
+            auto arr = SharedArray<int>::alloc(rt, 64);
+            rt.bindLock(1, {arr.wholeRange()});
+            rt.barrier(0);
+            if (rt.self() == 0) {
+                rt.acquire(1, AccessMode::Write);
+                for (int i = 0; i < 64; ++i)
+                    arr.set(i, i);
+                rt.release(1);
+            }
+            rt.barrier(1);
+            if (rt.self() == 1) {
+                rt.acquire(1, AccessMode::Read);
+                rt.release(1);
+            }
+            rt.barrier(2);
+        });
+    };
+    RunResult ci = run("EC-ci");
+    EXPECT_GT(ci.total.dirtyStores, 0u);
+    EXPECT_EQ(ci.total.twinsCreated, 0u);
+
+    RunResult time = run("EC-time");
+    EXPECT_GT(time.total.twinsCreated, 0u);
+    EXPECT_GT(time.total.tsRunsSent, 0u);
+
+    RunResult diff = run("EC-diff");
+    EXPECT_GT(diff.total.diffsCreated, 0u);
+    EXPECT_GT(diff.total.diffsApplied, 0u);
+    EXPECT_GT(diff.total.updatesSent, 0u);
+}
+
+} // namespace
+} // namespace dsm

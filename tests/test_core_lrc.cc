@@ -1,0 +1,279 @@
+/**
+ * @file
+ * Protocol tests for the LRC runtime: lazy invalidation at acquires
+ * and barriers, access-miss fetches (diffs and timestamps), multiple
+ * concurrent writers per page, interval/vector bookkeeping.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/cluster.hh"
+#include "core/shared_array.hh"
+
+namespace dsm {
+namespace {
+
+ClusterConfig
+lrcConfig(const std::string &name, int nprocs = 4,
+          std::size_t page_size = 1024)
+{
+    ClusterConfig cc;
+    cc.nprocs = nprocs;
+    cc.arenaBytes = 1u << 20;
+    cc.pageSize = page_size;
+    cc.runtime = RuntimeConfig::parse(name);
+    return cc;
+}
+
+class LrcConfigTest : public ::testing::TestWithParam<std::string>
+{};
+
+/** Lock acquire makes *all* shared data consistent (no binding). */
+TEST_P(LrcConfigTest, AcquireCoversAllSharedData)
+{
+    Cluster cluster(lrcConfig(GetParam(), 2));
+    cluster.run([](Runtime &rt) {
+        auto a = SharedArray<int>::alloc(rt, 64);
+        auto b = SharedArray<int>::alloc(rt, 64);
+        rt.barrier(0);
+        if (rt.self() == 0) {
+            rt.acquire(1, AccessMode::Write);
+            a.set(3, 33);
+            b.set(5, 55);
+            rt.release(1);
+        }
+        rt.barrier(1);
+        if (rt.self() == 1) {
+            rt.acquire(1, AccessMode::Write);
+            // Both arrays are consistent after one acquire.
+            ASSERT_EQ(a.get(3), 33);
+            ASSERT_EQ(b.get(5), 55);
+            rt.release(1);
+        }
+        rt.barrier(2);
+    });
+}
+
+/** Causal chain through different locks: A -(L1)-> B -(L2)-> C must
+ *  deliver A's writes to C. */
+TEST_P(LrcConfigTest, CausalChainAcrossLocks)
+{
+    Cluster cluster(lrcConfig(GetParam(), 3));
+    cluster.run([](Runtime &rt) {
+        auto a = SharedArray<int>::alloc(rt, 16);
+        rt.barrier(0);
+        if (rt.self() == 0) {
+            rt.acquire(1, AccessMode::Write);
+            a.set(0, 100);
+            rt.release(1);
+        }
+        rt.barrier(1);
+        if (rt.self() == 1) {
+            rt.acquire(1, AccessMode::Write);
+            ASSERT_EQ(a.get(0), 100);
+            a.set(1, a.get(0) + 1);
+            rt.release(1);
+            rt.acquire(2, AccessMode::Write);
+            rt.release(2);
+        }
+        rt.barrier(2);
+        if (rt.self() == 2) {
+            rt.acquire(2, AccessMode::Write);
+            ASSERT_EQ(a.get(0), 100);
+            ASSERT_EQ(a.get(1), 101);
+            rt.release(2);
+        }
+        rt.barrier(3);
+    });
+}
+
+/** The multiple-writer protocol: two nodes write disjoint halves of
+ *  the same page concurrently; both sets of writes survive the merge
+ *  (no ping-pong, no lost updates). */
+TEST_P(LrcConfigTest, MultiWriterPageMerges)
+{
+    Cluster cluster(lrcConfig(GetParam(), 2, 1024));
+    cluster.run([](Runtime &rt) {
+        auto a = SharedArray<int>::alloc(rt, 256); // exactly one page
+        rt.barrier(0);
+        const int self = rt.self();
+        // Concurrent writers, disjoint words, same page.
+        for (int i = 0; i < 128; ++i)
+            a.set(self * 128 + i, self * 1000 + i);
+        rt.barrier(1);
+        for (int i = 0; i < 128; ++i) {
+            ASSERT_EQ(a.get(i), i);
+            ASSERT_EQ(a.get(128 + i), 1000 + i);
+        }
+        rt.barrier(2);
+    });
+}
+
+/** Barrier distributes write notices globally. */
+TEST_P(LrcConfigTest, BarrierPropagatesToAll)
+{
+    Cluster cluster(lrcConfig(GetParam(), 4));
+    cluster.run([](Runtime &rt) {
+        auto a = SharedArray<int>::alloc(rt, 64);
+        rt.barrier(0);
+        if (rt.self() == 2)
+            a.set(7, 77);
+        rt.barrier(1);
+        ASSERT_EQ(a.get(7), 77);
+        rt.barrier(2);
+    });
+}
+
+/** Repeated producer/consumer rounds: intervals accumulate and the
+ *  consumer always sees the newest value. */
+TEST_P(LrcConfigTest, ProducerConsumerRounds)
+{
+    Cluster cluster(lrcConfig(GetParam(), 2));
+    cluster.run([](Runtime &rt) {
+        auto a = SharedArray<int>::alloc(rt, 8);
+        rt.barrier(0);
+        for (int round = 1; round <= 5; ++round) {
+            if (rt.self() == 0)
+                a.set(0, round);
+            rt.barrier(2 * round - 1);
+            ASSERT_EQ(a.get(0), round);
+            rt.barrier(2 * round);
+        }
+    });
+}
+
+/** Migratory data under locks (the IS bucket pattern). */
+TEST_P(LrcConfigTest, MigratoryCounterRing)
+{
+    Cluster cluster(lrcConfig(GetParam(), 4));
+    RunResult result = cluster.run([](Runtime &rt) {
+        auto a = SharedArray<int>::alloc(rt, 64);
+        rt.barrier(0);
+        for (int round = 0; round < 8; ++round) {
+            rt.acquire(5, AccessMode::Write);
+            // Each node increments every word once per turn; the lock
+            // serializes, the protocol must deliver the predecessor's
+            // writes.
+            if (round % rt.nprocs() == static_cast<unsigned>(rt.self())
+                % rt.nprocs()) {
+                for (int i = 0; i < 64; ++i)
+                    a.set(i, a.get(i) + 1);
+            }
+            rt.release(5);
+            rt.barrier(1 + round);
+        }
+        for (int i = 0; i < 64; ++i)
+            ASSERT_EQ(a.get(i), 8);
+        rt.barrier(100);
+    });
+    EXPECT_GT(result.total.pagesInvalidated, 0u);
+    EXPECT_GT(result.total.accessMisses, 0u);
+}
+
+/** Stale pages are only refreshed on access (laziness): acquiring an
+ *  unrelated lock does not fetch data, the later read does. */
+TEST_P(LrcConfigTest, FetchIsLazy)
+{
+    Cluster cluster(lrcConfig(GetParam(), 2));
+    cluster.run([](Runtime &rt) {
+        auto a = SharedArray<int>::alloc(rt, 64);
+        rt.barrier(0);
+        if (rt.self() == 0) {
+            for (int i = 0; i < 64; ++i)
+                a.set(i, 9);
+        }
+        rt.barrier(1);
+        if (rt.self() == 1) {
+            const auto misses_before = rt.stats().accessMisses;
+            rt.acquire(3, AccessMode::Write);
+            rt.release(3);
+            // No data was touched: no access misses yet.
+            EXPECT_EQ(rt.stats().accessMisses, misses_before);
+            ASSERT_EQ(a.get(0), 9); // now the miss happens
+            EXPECT_GT(rt.stats().accessMisses, misses_before);
+        }
+        rt.barrier(2);
+    });
+}
+
+/** Sub-word stores are trapped at word granularity. */
+TEST_P(LrcConfigTest, SubWordStores)
+{
+    Cluster cluster(lrcConfig(GetParam(), 2));
+    cluster.run([](Runtime &rt) {
+        GlobalAddr base = rt.sharedAlloc(64, 8, 4, "bytes");
+        rt.barrier(0);
+        if (rt.self() == 0) {
+            rt.write<std::uint8_t>(base + 13, 0x5a);
+            rt.write<std::uint16_t>(base + 30, 0xbeef);
+        }
+        rt.barrier(1);
+        if (rt.self() == 1) {
+            ASSERT_EQ(rt.read<std::uint8_t>(base + 13), 0x5a);
+            ASSERT_EQ(rt.read<std::uint16_t>(base + 30), 0xbeef);
+        }
+        rt.barrier(2);
+    });
+}
+
+INSTANTIATE_TEST_SUITE_P(Configs, LrcConfigTest,
+                         ::testing::Values("LRC-ci", "LRC-time",
+                                           "LRC-diff"),
+                         [](const auto &info) {
+                             std::string n = info.param;
+                             for (char &c : n) {
+                                 if (c == '-')
+                                     c = '_';
+                             }
+                             return n;
+                         });
+
+TEST(LrcRuntimeMisc, BindLockIsEcOnly)
+{
+    ClusterConfig cc = lrcConfig("LRC-diff", 1);
+    Cluster cluster(cc);
+    EXPECT_DEATH(
+        {
+            cluster.run([](Runtime &rt) {
+                GlobalAddr a = rt.sharedAlloc(16);
+                rt.bindLock(1, {{a, 16}});
+            });
+        },
+        "EC-only");
+}
+
+TEST(LrcRuntimeMisc, StatsReflectMechanisms)
+{
+    auto run = [](const std::string &name) {
+        Cluster cluster(lrcConfig(name, 2));
+        return cluster.run([](Runtime &rt) {
+            auto arr = SharedArray<int>::alloc(rt, 64);
+            rt.barrier(0);
+            if (rt.self() == 0) {
+                for (int i = 0; i < 64; ++i)
+                    arr.set(i, i);
+            }
+            rt.barrier(1);
+            if (rt.self() == 1)
+                ASSERT_EQ(arr.get(10), 10);
+            rt.barrier(2);
+        });
+    };
+    RunResult ci = run("LRC-ci");
+    EXPECT_GT(ci.total.dirtyStores, 0u);
+    EXPECT_GT(ci.total.tsRunsSent, 0u);
+    EXPECT_EQ(ci.total.twinsCreated, 0u);
+
+    RunResult time = run("LRC-time");
+    EXPECT_GT(time.total.twinsCreated, 0u);
+    EXPECT_GT(time.total.tsRunsSent, 0u);
+    EXPECT_EQ(time.total.diffsCreated, 0u);
+
+    RunResult diff = run("LRC-diff");
+    EXPECT_GT(diff.total.twinsCreated, 0u);
+    EXPECT_GT(diff.total.diffsCreated, 0u);
+    EXPECT_GT(diff.total.writeNoticesSent, 0u);
+}
+
+} // namespace
+} // namespace dsm

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * End-to-end smoke: SOR and SOR+ at test scale on every runtime
+ * configuration must match the sequential reference bit-exactly.
+ */
+
+#include <gtest/gtest.h>
+
+#include "driver/experiment.hh"
+
+namespace dsm {
+namespace {
+
+class SmokeTest : public ::testing::TestWithParam<
+                      std::tuple<std::string, std::string>>
+{};
+
+TEST_P(SmokeTest, MatchesSequential)
+{
+    const auto &[app, config_name] = GetParam();
+    AppParams params = AppParams::testScale();
+    ClusterConfig base;
+    base.nprocs = 4;
+    base.arenaBytes = 4u << 20;
+    base.pageSize = 1024;
+
+    ExperimentResult r = runExperiment(
+        app, RuntimeConfig::parse(config_name), params, base,
+        /*require_valid=*/false);
+    EXPECT_TRUE(r.verdict.ok) << r.verdict.detail;
+    EXPECT_GT(r.run.execTimeNs, 0u);
+    EXPECT_GT(r.run.total.messagesSent, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllConfigs, SmokeTest,
+    ::testing::Combine(::testing::Values("SOR", "SOR+"),
+                       ::testing::Values("EC-ci", "EC-time", "EC-diff",
+                                         "LRC-ci", "LRC-time",
+                                         "LRC-diff")),
+    [](const auto &info) {
+        std::string name = std::get<0>(info.param) + "_" +
+                           std::get<1>(info.param);
+        for (char &c : name) {
+            if (c == '-' || c == '+')
+                c = '_';
+        }
+        return name;
+    });
+
+} // namespace
+} // namespace dsm

@@ -1,0 +1,292 @@
+/**
+ * @file
+ * Unit tests for the synchronization layer: vector times, distributed
+ * lock protocol (manager forwarding, queueing, mutual exclusion, read
+ * caching), and barriers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "sync/barrier_service.hh"
+#include "sync/lock_service.hh"
+#include "sync/vector_time.hh"
+
+namespace dsm {
+namespace {
+
+TEST(VectorTime, MergeDominatesSum)
+{
+    VectorTime a(3), b(3);
+    a[0] = 5;
+    a[2] = 1;
+    b[1] = 4;
+    b[2] = 3;
+    EXPECT_FALSE(a.dominates(b));
+    EXPECT_FALSE(b.dominates(a));
+    VectorTime m = a;
+    m.mergeMax(b);
+    EXPECT_TRUE(m.dominates(a));
+    EXPECT_TRUE(m.dominates(b));
+    EXPECT_EQ(m.sum(), 5u + 4u + 3u);
+    EXPECT_EQ(m[2], 3u);
+}
+
+TEST(VectorTime, WireRoundTrip)
+{
+    VectorTime a(4);
+    a[0] = 1;
+    a[3] = 99;
+    WireWriter w;
+    a.encode(w);
+    auto bytes = w.take();
+    WireReader r(bytes);
+    EXPECT_EQ(VectorTime::decode(r), a);
+}
+
+TEST(VectorTime, SumIsLinearExtension)
+{
+    // If a happens-before b (pointwise <=, strictly less somewhere),
+    // then sum(a) < sum(b).
+    VectorTime a(2), b(2);
+    a[0] = 1;
+    b[0] = 1;
+    b[1] = 2;
+    EXPECT_TRUE(b.dominates(a));
+    EXPECT_LT(a.sum(), b.sum());
+}
+
+/** A little fixture wiring N nodes' lock/barrier services directly. */
+class SyncFixture : public ::testing::Test
+{
+  protected:
+    static constexpr int kNodes = 4;
+
+    void
+    SetUp() override
+    {
+        net = std::make_unique<Network>(kNodes, cm);
+        for (int i = 0; i < kNodes; ++i) {
+            nodes.push_back(std::make_unique<NodeBits>(*net, i));
+        }
+        for (auto &n : nodes) {
+            NodeBits *raw = n.get();
+            raw->ep.setHandler([raw](Message &msg) {
+                switch (msg.type) {
+                  case MsgType::LockRequest:
+                  case MsgType::LockForward:
+                    raw->locks.handleMessage(msg);
+                    break;
+                  case MsgType::BarrierArrive:
+                    raw->barriers.handleMessage(msg);
+                    break;
+                  default:
+                    FAIL() << "unexpected message";
+                }
+            });
+            raw->ep.start();
+        }
+    }
+
+    void
+    TearDown() override
+    {
+        for (auto &n : nodes)
+            n->ep.stop();
+        net->shutdown();
+    }
+
+    struct NodeBits
+    {
+        NodeBits(Network &net, NodeId id)
+            : ep(net, id, clock, stats), locks(ep, mu),
+              barriers(ep, mu)
+        {}
+
+        VirtualClock clock;
+        NodeStats stats;
+        std::mutex mu;
+        Endpoint ep;
+        LockService locks;
+        BarrierService barriers;
+    };
+
+    CostModel cm;
+    std::unique_ptr<Network> net;
+    std::vector<std::unique_ptr<NodeBits>> nodes;
+};
+
+TEST_F(SyncFixture, MutualExclusionUnderContention)
+{
+    // N threads hammer one lock; a plain int counts critical sections.
+    constexpr int kIters = 50;
+    int counter = 0;
+    std::vector<std::thread> threads;
+    for (int i = 0; i < kNodes; ++i) {
+        threads.emplace_back([&, i] {
+            for (int k = 0; k < kIters; ++k) {
+                nodes[i]->locks.acquire(7, AccessMode::Write);
+                const int seen = counter;
+                std::this_thread::yield();
+                counter = seen + 1;
+                nodes[i]->locks.release(7);
+            }
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+    EXPECT_EQ(counter, kNodes * kIters);
+}
+
+TEST_F(SyncFixture, LocalReacquireIsFree)
+{
+    nodes[1]->locks.acquire(3, AccessMode::Write);
+    nodes[1]->locks.release(3);
+    const auto sent = nodes[1]->stats.messagesSent;
+    for (int i = 0; i < 10; ++i) {
+        nodes[1]->locks.acquire(3, AccessMode::Write);
+        nodes[1]->locks.release(3);
+    }
+    EXPECT_EQ(nodes[1]->stats.messagesSent, sent);
+    EXPECT_GE(nodes[1]->stats.localLockHits, 10u);
+}
+
+TEST_F(SyncFixture, ManagerOwnsInitially)
+{
+    // Lock 2's manager is node 2: its first acquire is message-free.
+    nodes[2]->locks.acquire(2, AccessMode::Write);
+    nodes[2]->locks.release(2);
+    EXPECT_EQ(nodes[2]->stats.messagesSent, 0u);
+}
+
+TEST_F(SyncFixture, GrantHooksCarryPayload)
+{
+    // Owner-side makeGrant payload reaches the requester's applyGrant.
+    std::vector<std::byte> seen;
+    LockHooks hooks0;
+    hooks0.makeGrant = [](LockId, AccessMode, NodeId, WireReader &) {
+        WireWriter w;
+        w.putU32(0xfeed);
+        return w.take();
+    };
+    nodes[0]->locks.setHooks(std::move(hooks0));
+
+    LockHooks hooks1;
+    hooks1.applyGrant = [&](LockId, AccessMode, WireReader &r) {
+        WireWriter w;
+        w.putU32(r.getU32());
+        seen = w.take();
+    };
+    nodes[1]->locks.setHooks(std::move(hooks1));
+
+    // Lock 0 is managed (and initially owned) by node 0.
+    nodes[1]->locks.acquire(0, AccessMode::Write);
+    nodes[1]->locks.release(0);
+    ASSERT_EQ(seen.size(), 4u);
+    WireReader r(seen);
+    EXPECT_EQ(r.getU32(), 0xfeedu);
+}
+
+TEST_F(SyncFixture, ReadLocksCacheUntilBarrier)
+{
+    // Node 0 owns lock 1 after an exclusive acquire.
+    nodes[1]->locks.acquire(1, AccessMode::Write);
+    nodes[1]->locks.release(1);
+
+    // First read acquire on node 2: remote; repeats: cached (free).
+    nodes[2]->locks.acquire(1, AccessMode::Read);
+    nodes[2]->locks.release(1);
+    const auto sent = nodes[2]->stats.messagesSent;
+    nodes[2]->locks.acquire(1, AccessMode::Read);
+    nodes[2]->locks.release(1);
+    EXPECT_EQ(nodes[2]->stats.messagesSent, sent);
+
+    // After a barrier the cache is revalidated (the barrier's
+    // post-wait action calls clearReadCaches): next read is remote.
+    {
+        std::lock_guard<std::mutex> g(nodes[2]->mu);
+        nodes[2]->locks.clearReadCaches();
+    }
+    nodes[2]->locks.acquire(1, AccessMode::Read);
+    nodes[2]->locks.release(1);
+    EXPECT_GT(nodes[2]->stats.messagesSent, sent);
+}
+
+TEST_F(SyncFixture, BarrierBlocksUntilAllArrive)
+{
+    std::atomic<int> arrived{0};
+    std::atomic<int> departed{0};
+    std::vector<std::thread> threads;
+    for (int i = 0; i < kNodes; ++i) {
+        threads.emplace_back([&, i] {
+            arrived.fetch_add(1);
+            nodes[i]->barriers.wait(9);
+            // Everyone must have arrived before anyone departs.
+            EXPECT_EQ(arrived.load(), kNodes);
+            departed.fetch_add(1);
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+    EXPECT_EQ(departed.load(), kNodes);
+}
+
+TEST_F(SyncFixture, BarrierReusableAcrossGenerations)
+{
+    for (int round = 0; round < 3; ++round) {
+        std::vector<std::thread> threads;
+        for (int i = 0; i < kNodes; ++i) {
+            threads.emplace_back(
+                [&, i] { nodes[i]->barriers.wait(4); });
+        }
+        for (auto &t : threads)
+            t.join();
+    }
+    for (int i = 0; i < kNodes; ++i)
+        EXPECT_EQ(nodes[i]->stats.barriersEntered, 3u);
+}
+
+TEST_F(SyncFixture, BarrierHooksMergeAndDistribute)
+{
+    // Manager (node 0) sums arrival payloads and broadcasts the total.
+    std::atomic<std::uint32_t> merged{0};
+    BarrierHooks mgr;
+    mgr.mergeArrival = [&](BarrierId, NodeId, WireReader &r) {
+        merged.fetch_add(r.getU32());
+    };
+    mgr.makeDepart = [&](BarrierId, NodeId) {
+        WireWriter w;
+        w.putU32(merged.load());
+        return w.take();
+    };
+
+    std::vector<std::uint32_t> got(kNodes, 0);
+    for (int i = 0; i < kNodes; ++i) {
+        BarrierHooks h = i == 0 ? mgr : BarrierHooks{};
+        h.makeArrival = [i](BarrierId) {
+            WireWriter w;
+            w.putU32(1u << i);
+            return w.take();
+        };
+        h.applyDepart = [&, i](BarrierId, WireReader &r) {
+            got[i] = r.getU32();
+        };
+        if (i == 0) {
+            h.mergeArrival = mgr.mergeArrival;
+            h.makeDepart = mgr.makeDepart;
+        }
+        nodes[i]->barriers.setHooks(std::move(h));
+    }
+
+    std::vector<std::thread> threads;
+    for (int i = 0; i < kNodes; ++i)
+        threads.emplace_back([&, i] { nodes[i]->barriers.wait(2); });
+    for (auto &t : threads)
+        t.join();
+    for (int i = 0; i < kNodes; ++i)
+        EXPECT_EQ(got[i], 0b1111u) << "node " << i;
+}
+
+} // namespace
+} // namespace dsm

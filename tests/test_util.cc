@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Unit tests for the util layer: run-length helpers, deterministic
+ * RNG, statistics counters.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/rle.hh"
+#include "util/rng.hh"
+#include "util/stats.hh"
+
+namespace dsm {
+namespace {
+
+TEST(Rle, CollectRunsEmpty)
+{
+    auto runs = collectRuns(0, [](std::uint32_t) { return true; });
+    EXPECT_TRUE(runs.empty());
+}
+
+TEST(Rle, CollectRunsAll)
+{
+    auto runs = collectRuns(10, [](std::uint32_t) { return true; });
+    ASSERT_EQ(runs.size(), 1u);
+    EXPECT_EQ(runs[0], (::dsm::Run{0, 10}));
+}
+
+TEST(Rle, CollectRunsAlternating)
+{
+    auto runs = collectRuns(6, [](std::uint32_t i) { return i % 2 == 0; });
+    ASSERT_EQ(runs.size(), 3u);
+    EXPECT_EQ(runs[0], (::dsm::Run{0, 1}));
+    EXPECT_EQ(runs[1], (::dsm::Run{2, 1}));
+    EXPECT_EQ(runs[2], (::dsm::Run{4, 1}));
+}
+
+TEST(Rle, CollectRunsBlocks)
+{
+    std::vector<bool> bits = {false, true, true, false, true, true,
+                              true,  false};
+    auto runs = collectRuns(static_cast<std::uint32_t>(bits.size()),
+                            [&](std::uint32_t i) { return bits[i]; });
+    ASSERT_EQ(runs.size(), 2u);
+    EXPECT_EQ(runs[0], (::dsm::Run{1, 2}));
+    EXPECT_EQ(runs[1], (::dsm::Run{4, 3}));
+}
+
+TEST(Rle, ValueRunsSplitOnValueChange)
+{
+    std::vector<std::uint64_t> ts = {0, 5, 5, 7, 7, 7, 0, 5};
+    auto runs = collectValueRuns(ts, [](std::uint64_t v) { return v != 0; });
+    ASSERT_EQ(runs.size(), 3u);
+    EXPECT_EQ(runs[0].first, (::dsm::Run{1, 2}));
+    EXPECT_EQ(runs[0].second, 5u);
+    EXPECT_EQ(runs[1].first, (::dsm::Run{3, 3}));
+    EXPECT_EQ(runs[1].second, 7u);
+    EXPECT_EQ(runs[2].first, (::dsm::Run{7, 1}));
+}
+
+TEST(Rle, NormalizeMergesOverlaps)
+{
+    auto out = normalizeRuns({{10, 5}, {0, 3}, {12, 6}, {3, 2}});
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_EQ(out[0], (::dsm::Run{0, 5}));
+    EXPECT_EQ(out[1], (::dsm::Run{10, 8}));
+}
+
+TEST(Rle, Coverage)
+{
+    EXPECT_EQ(runsCoverage({{0, 3}, {10, 7}}), 10u);
+}
+
+TEST(Rng, Deterministic)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, SeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i) {
+        if (a.next() == b.next())
+            ++same;
+    }
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, BelowInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(rng.below(17), 17u);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(9);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Stats, AccumulateAndItems)
+{
+    NodeStats a, b;
+    a.messagesSent = 3;
+    a.diffsCreated = 2;
+    b.messagesSent = 4;
+    b.tsWordsScanned = 9;
+    a += b;
+    EXPECT_EQ(a.messagesSent, 7u);
+    EXPECT_EQ(a.diffsCreated, 2u);
+    EXPECT_EQ(a.tsWordsScanned, 9u);
+
+    bool found = false;
+    for (const auto &[name, value] : a.items()) {
+        if (name == "messagesSent") {
+            EXPECT_EQ(value, 7u);
+            found = true;
+        }
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(Stats, ToStringSkipsZeros)
+{
+    NodeStats s;
+    s.pageFaults = 5;
+    const std::string str = s.toString();
+    EXPECT_NE(str.find("pageFaults=5"), std::string::npos);
+    EXPECT_EQ(str.find("messagesSent"), std::string::npos);
+}
+
+} // namespace
+} // namespace dsm
