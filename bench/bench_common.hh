@@ -38,6 +38,18 @@ benchCluster()
     cc.pageSize = 4096;
     if (const char *np = std::getenv("DSM_NPROCS"))
         cc.nprocs = std::atoi(np);
+    // Fast-path ablations (default on; set to 0 to fall back to the
+    // seed behavior for old-vs-new comparisons in the table drivers).
+    if (const char *v = std::getenv("DSM_BATCH_DIFF"))
+        cc.batchDiffFetch = std::atoi(v) != 0;
+    if (const char *v = std::getenv("DSM_GC"))
+        cc.gcAtBarriers = std::atoi(v) != 0;
+    if (const char *v = std::getenv("DSM_WIDE_SCAN"))
+        cc.wideDiffScan = std::atoi(v) != 0;
+    if (const char *v = std::getenv("DSM_POOL"))
+        cc.pooledBuffers = std::atoi(v) != 0;
+    if (const char *v = std::getenv("DSM_DIFF_GAP"))
+        cc.diffGapWords = static_cast<std::uint32_t>(std::atoi(v));
     return cc;
 }
 

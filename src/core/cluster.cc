@@ -3,6 +3,7 @@
 #include <exception>
 #include <thread>
 
+#include "util/buffer_pool.hh"
 #include "util/logging.hh"
 
 namespace dsm {
@@ -34,6 +35,9 @@ Cluster::Cluster(const ClusterConfig &config) : cfg(config)
     DSM_ASSERT(cfg.nprocs >= 1 && cfg.nprocs <= 64,
                "unreasonable node count %d", cfg.nprocs);
     cfg.runtime.validate();
+    // The pool is process-wide; the newest cluster's ablation setting
+    // wins (clusters run sequentially in tests and benches).
+    BufferPool::instance().setEnabled(cfg.pooledBuffers);
 
     LossPlan loss;
     if (cfg.lossEveryNth > 0)

@@ -89,6 +89,51 @@ struct ClusterConfig
      * fault per small-object write acquire before the twin is made.
      */
     bool ecEagerSmallTwin = true;
+
+    // --- Fast-path memory pipeline (ablatable against the seed paths).
+
+    /**
+     * Compare 64-bit blocks during diff creation and twin-vs-copy
+     * timestamp stamping, skipping clean memory 32 bytes at a time.
+     * Disabling it reproduces the seed per-4-byte memcmp scan. Both
+     * emit identical word-granularity runs.
+     */
+    bool wideDiffScan = true;
+
+    /**
+     * Coalesce diff runs separated by at most this many unchanged
+     * words into one run (fewer per-run wire headers, more payload
+     * bytes). 0 keeps runs word-exact — required whenever concurrent
+     * writers of one page may interleave within the gap, so it is the
+     * only safe general default for LRC's multi-writer protocol.
+     */
+    std::uint32_t diffGapWords = 0;
+
+    /**
+     * Batch LRC access-miss traffic: one diff request/reply pair per
+     * writer carries all of a page's missing intervals and piggybacks
+     * other invalid pages whose pending writers are already being
+     * contacted. Disabling it falls back to the seed one-request-per-
+     * (page, writer) protocol.
+     */
+    bool batchDiffFetch = true;
+
+    /**
+     * Recycle wire payload and twin buffers through the process-wide
+     * BufferPool instead of allocating a fresh vector per message.
+     */
+    bool pooledBuffers = true;
+
+    /**
+     * Garbage-collect interval records and stored diffs at barriers
+     * once the interval log holds at least gcIntervalThreshold
+     * records: every node validates its invalid pages before arriving,
+     * the manager computes the minimum arrival vector, and departures
+     * instruct all nodes to discard records/diffs below it. Keeps
+     * long-running LRC executions' memory bounded (TreadMarks-style).
+     */
+    bool gcAtBarriers = true;
+    std::uint32_t gcIntervalThreshold = 256;
 };
 
 } // namespace dsm

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "mem/wide_scan.hh"
 #include "util/logging.hh"
 
 namespace dsm {
@@ -248,25 +249,19 @@ std::vector<Run>
 EcRuntime::twinChanges(LockId lock, LockInfo &li)
 {
     std::vector<Run> byte_runs;
+    const bool wide = cluster->wideDiffScan;
     auto compare = [&](const std::byte *cur, const std::byte *twin,
                        std::uint64_t len, std::uint64_t concat_base) {
-        const std::uint64_t words = len / 4;
-        std::uint64_t w = 0;
+        const std::uint32_t words = static_cast<std::uint32_t>(len / 4);
+        std::uint32_t w = findDiffWord(cur, twin, 0, words, wide);
         while (w < words) {
-            if (std::memcmp(cur + w * 4, twin + w * 4, 4) != 0) {
-                std::uint64_t start = w;
-                while (w < words &&
-                       std::memcmp(cur + w * 4, twin + w * 4, 4) != 0) {
-                    ++w;
-                }
-                byte_runs.push_back(
-                    {static_cast<std::uint32_t>(concat_base + start * 4),
-                     static_cast<std::uint32_t>((w - start) * 4)});
-            } else {
-                ++w;
-            }
+            const std::uint32_t e = findSameWord(cur, twin, w, words);
+            byte_runs.push_back(
+                {static_cast<std::uint32_t>(concat_base + w * 4),
+                 (e - w) * 4});
+            w = findDiffWord(cur, twin, e, words, wide);
         }
-        const std::uint64_t tail = words * 4;
+        const std::uint64_t tail = std::uint64_t{words} * 4;
         if (tail < len && std::memcmp(cur + tail, twin + tail,
                                       len - tail) != 0) {
             byte_runs.push_back(

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "util/buffer_pool.hh"
 #include "util/logging.hh"
 
 namespace dsm {
@@ -10,7 +11,7 @@ namespace dsm {
 LrcRuntime::LrcRuntime(const Deps &deps)
     : Runtime(deps),
       vt(deps.nprocs),
-      log(deps.nprocs),
+      ilog(deps.nprocs),
       pages(deps.arena->numPages(),
             deps.cluster->runtime.trap == TrapMethod::Twinning
                 ? PageAccess::Read
@@ -123,22 +124,23 @@ LrcRuntime::closeInterval()
             const std::byte *cur = arena->at(base);
             const std::byte *twin = twins.pageTwin(p).data();
             clock().add(costModel().perWordDiffNs * page_words);
+            const DiffScan scan{cluster->wideDiffScan,
+                                cluster->diffGapWords};
             if (usesDiffing()) {
                 Diff d = Diff::create(cur, twin,
                                       static_cast<std::uint32_t>(
                                           arena->pageSize()),
-                                      &stats());
+                                      &stats(), scan);
                 diffStore[{p, packTs(id, idx)}] = {std::move(d),
                                                    rec.vt.sum()};
             } else {
                 // Twin + timestamps: changed words get (self, idx).
                 BlockTimestamps &ts = tsOf(p);
                 stats().diffWordsCompared += page_words;
-                for (std::uint64_t w = 0; w < page_words; ++w) {
-                    if (std::memcmp(cur + w * 4, twin + w * 4, 4) != 0)
-                        ts.set(static_cast<std::uint32_t>(w),
-                               packTs(id, idx));
-                }
+                stampChangedWords(ts, cur, twin,
+                                  static_cast<std::uint32_t>(
+                                      arena->pageSize()),
+                                  packTs(id, idx), scan.wide);
             }
             twins.dropPage(p);
             // Writable only within an interval: later writes re-fault
@@ -160,30 +162,8 @@ LrcRuntime::closeInterval()
         }
     }
 
-    log[id].push_back(std::move(rec));
+    ilog.add(std::move(rec));
     stats().intervalsCreated++;
-}
-
-const LrcRuntime::IntervalRec &
-LrcRuntime::addRecord(IntervalRec rec)
-{
-    auto &procLog = log[rec.proc];
-    if (rec.idx <= procLog.size()) {
-        // Already known (interval indices are dense per processor).
-        return procLog[rec.idx - 1];
-    }
-    if (rec.idx != procLog.size() + 1) {
-        std::fprintf(stderr,
-                     "[node %d] gap: proc %d have %zu got %u; my vt=%s "
-                     "lastBarrierSent=%u\n",
-                     id, rec.proc, procLog.size(), rec.idx,
-                     vt.toString().c_str(), lastBarrierSentIdx);
-    }
-    DSM_ASSERT(rec.idx == procLog.size() + 1,
-               "gap in interval log of proc %d: have %zu, got %u",
-               rec.proc, procLog.size(), rec.idx);
-    procLog.push_back(std::move(rec));
-    return procLog.back();
 }
 
 void
@@ -207,21 +187,6 @@ LrcRuntime::invalidateFor(const IntervalRec &rec)
     }
 }
 
-std::vector<const LrcRuntime::IntervalRec *>
-LrcRuntime::recordsAfter(const VectorTime &since,
-                         const VectorTime *up_to) const
-{
-    std::vector<const IntervalRec *> out;
-    for (int p = 0; p < numProcs; ++p) {
-        std::size_t end = log[p].size();
-        if (up_to)
-            end = std::min<std::size_t>(end, (*up_to)[p]);
-        for (std::size_t i = since[p]; i < end; ++i)
-            out.push_back(&log[p][i]);
-    }
-    return out;
-}
-
 void
 LrcRuntime::encodeRecord(WireWriter &w, const IntervalRec &rec)
 {
@@ -233,7 +198,7 @@ LrcRuntime::encodeRecord(WireWriter &w, const IntervalRec &rec)
         w.putU32(p);
 }
 
-LrcRuntime::IntervalRec
+IntervalRec
 LrcRuntime::decodeRecord(WireReader &r)
 {
     IntervalRec rec;
@@ -272,7 +237,7 @@ LrcRuntime::makeLockGrant(LockId, AccessMode, NodeId, WireReader &req)
     // other nodes' *next-barrier* arrivals that my vector does not yet
     // cover; leaking those would hand the requester notices it cannot
     // order or fetch against.
-    auto recs = recordsAfter(req_vt, &vt);
+    auto recs = ilog.recordsAfter(req_vt, &vt);
     w.putU32(static_cast<std::uint32_t>(recs.size()));
     for (const IntervalRec *rec : recs) {
         encodeRecord(w, *rec);
@@ -287,7 +252,7 @@ LrcRuntime::applyLockGrant(LockId, AccessMode, WireReader &r)
     VectorTime granter_vt = VectorTime::decode(r);
     const std::uint32_t nrecs = r.getU32();
     for (std::uint32_t i = 0; i < nrecs; ++i) {
-        const IntervalRec &rec = addRecord(decodeRecord(r));
+        const IntervalRec &rec = ilog.add(decodeRecord(r));
         invalidateFor(rec);
     }
     vt.mergeMax(granter_vt);
@@ -302,16 +267,20 @@ LrcRuntime::makeArrival(BarrierId)
     closeInterval();
     WireWriter w;
     vt.encode(w);
+    // GC handshake, local half: did this node validate every invalid
+    // page before arriving? (The interval just closed above is our own
+    // data and trivially applied locally, so the flag still holds.)
+    w.putU8(gcValidated ? 1 : 0);
+    gcValidated = false;
     // Send my own records created since my previous barrier; every
     // record reaches the manager from its author.
-    std::uint32_t first = lastBarrierSentIdx;
-    const auto &mine = log[id];
-    w.putU32(static_cast<std::uint32_t>(mine.size() - first));
-    for (std::size_t i = first; i < mine.size(); ++i) {
-        encodeRecord(w, mine[i]);
-        stats().writeNoticesSent += mine[i].pages.size();
+    auto recs = ilog.recordsOfAfter(id, lastBarrierSentIdx);
+    w.putU32(static_cast<std::uint32_t>(recs.size()));
+    for (const IntervalRec *rec : recs) {
+        encodeRecord(w, *rec);
+        stats().writeNoticesSent += rec->pages.size();
     }
-    lastBarrierSentIdx = static_cast<std::uint32_t>(mine.size());
+    lastBarrierSentIdx = ilog.lastIdxOf(id);
     return w.take();
 }
 
@@ -322,9 +291,11 @@ LrcRuntime::mergeArrival(BarrierId barrier, NodeId node, WireReader &r)
     if (scratch.arrivalVt.empty())
         scratch.arrivalVt.assign(numProcs, VectorTime(numProcs));
     scratch.arrivalVt[node] = VectorTime::decode(r);
+    if (r.getU8())
+        scratch.validatedArrivals++;
     const std::uint32_t nrecs = r.getU32();
     for (std::uint32_t i = 0; i < nrecs; ++i)
-        addRecord(decodeRecord(r));
+        ilog.add(decodeRecord(r));
 }
 
 std::vector<std::byte>
@@ -335,9 +306,24 @@ LrcRuntime::makeDepart(BarrierId barrier, NodeId node)
     for (const VectorTime &avt : scratch.arrivalVt)
         global.mergeMax(avt);
 
+    // GC handshake, global half: when every node arrived validated,
+    // the elementwise minimum of the arrival vectors bounds what all
+    // nodes have applied to all their copies; everything at or below
+    // it can be discarded everywhere. Otherwise send the zero vector
+    // (pruneThrough of zeros is a no-op).
+    VectorTime gc_vt(numProcs);
+    if (scratch.validatedArrivals == numProcs) {
+        gc_vt = scratch.arrivalVt[0];
+        for (const VectorTime &avt : scratch.arrivalVt) {
+            for (int p = 0; p < numProcs; ++p)
+                gc_vt[p] = std::min(gc_vt[p], avt[p]);
+        }
+    }
+
     WireWriter w;
     global.encode(w);
-    auto recs = recordsAfter(scratch.arrivalVt[node]);
+    gc_vt.encode(w);
+    auto recs = ilog.recordsAfter(scratch.arrivalVt[node]);
     w.putU32(static_cast<std::uint32_t>(recs.size()));
     for (const IntervalRec *rec : recs) {
         encodeRecord(w, *rec);
@@ -353,19 +339,81 @@ void
 LrcRuntime::applyDepart(BarrierId, WireReader &r)
 {
     VectorTime global = VectorTime::decode(r);
+    VectorTime gc_vt = VectorTime::decode(r);
     const std::uint32_t nrecs = r.getU32();
     for (std::uint32_t i = 0; i < nrecs; ++i) {
-        const IntervalRec &rec = addRecord(decodeRecord(r));
+        const IntervalRec &rec = ilog.add(decodeRecord(r));
         invalidateFor(rec);
     }
     // Records the manager merged from *us* need no invalidation, but
     // records of other processors we already knew might still have
     // pending notices; invalidateFor is idempotent either way.
     vt.mergeMax(global);
+
+    // The departure records above all carry idx > our arrival vector
+    // >= gc_vt, so pruning cannot touch anything still pending.
+    const std::uint64_t pruned = ilog.pruneThrough(gc_vt);
+    if (pruned > 0) {
+        stats().gcRecordsReclaimed += pruned;
+        stats().gcRounds++;
+        std::uint64_t diffs_pruned = 0;
+        for (auto it = diffStore.begin(); it != diffStore.end();) {
+            const std::uint64_t key = it->first.second;
+            if (tsInterval(key) <= gc_vt[tsProc(key)]) {
+                it = diffStore.erase(it);
+                ++diffs_pruned;
+            } else {
+                ++it;
+            }
+        }
+        stats().gcDiffsReclaimed += diffs_pruned;
+    }
 }
 
 // ---------------------------------------------------------------------
 // Access layer.
+
+void
+LrcRuntime::preBarrier()
+{
+    // Barrier-time GC, validation half (TreadMarks-style): once the
+    // interval log is big enough, bring every invalid page current so
+    // that all records within our vector are fully applied locally.
+    // Log sizes converge at barriers, so all nodes cross the threshold
+    // within one barrier of each other and the handshake completes.
+    if (!cluster->gcAtBarriers)
+        return;
+    std::vector<PageId> invalid;
+    {
+        std::lock_guard<std::mutex> g(*mu);
+        if (ilog.totalRecords() < cluster->gcIntervalThreshold)
+            return;
+        for (const auto &[p, m] : pageMeta) {
+            if (!m.notices.empty())
+                invalid.push_back(p);
+        }
+    }
+    std::sort(invalid.begin(), invalid.end());
+    for (PageId p : invalid) {
+        bool still_invalid;
+        {
+            // A batched fetch may have validated p as a piggyback of
+            // an earlier page in this loop.
+            std::lock_guard<std::mutex> g(*mu);
+            still_invalid = !meta(p).notices.empty();
+        }
+        if (!still_invalid)
+            continue;
+        // Proactive fetch, not an access fault: skip fetchPage's trap
+        // accounting (accessMisses / pageFaultNs) so GC-on vs GC-off
+        // ablations attribute this traffic to GC, not to misses.
+        if (usesDiffing())
+            fetchDiffs(p);
+        else
+            fetchTimestamps(p);
+    }
+    gcValidated = true;
+}
 
 void
 LrcRuntime::ensurePresent(PageId page)
@@ -450,8 +498,144 @@ LrcRuntime::fetchPage(PageId page)
         fetchTimestamps(page);
 }
 
+namespace {
+
+/** One diff pulled off the wire, tagged with its page and interval. */
+struct FetchedDiff
+{
+    PageId page;
+    NodeId proc;
+    std::uint32_t idx;
+    std::uint64_t vtSum;
+    Diff diff;
+};
+
+/** Happens-before linear extension (sum order) within each page. */
+void
+sortForApply(std::vector<FetchedDiff> &fetched)
+{
+    std::sort(fetched.begin(), fetched.end(),
+              [](const FetchedDiff &a, const FetchedDiff &b) {
+                  if (a.vtSum != b.vtSum)
+                      return a.vtSum < b.vtSum;
+                  if (a.proc != b.proc)
+                      return a.proc < b.proc;
+                  return a.idx < b.idx;
+              });
+}
+
+} // namespace
+
 void
 LrcRuntime::fetchDiffs(PageId page)
+{
+    if (!cluster->batchDiffFetch) {
+        fetchDiffsLegacy(page);
+        return;
+    }
+
+    // Snapshot the target page's pending writers, then piggyback every
+    // other invalid page whose pending writers are a subset of those —
+    // they can be made fully consistent by the same round trips. The
+    // app thread is the only one that adds or clears notices, so the
+    // snapshot stays valid across the blocking calls below.
+    std::vector<NodeId> responders;
+    struct PageReq
+    {
+        PageId page;
+        VectorTime copyVt;
+    };
+    std::vector<PageReq> reqs;
+    {
+        std::lock_guard<std::mutex> g(*mu);
+        PageMeta &m = meta(page);
+        for (const auto &[proc, idx] : m.notices) {
+            if (idx > m.copyVt[proc] && proc != id &&
+                std::find(responders.begin(), responders.end(), proc) ==
+                    responders.end()) {
+                responders.push_back(proc);
+            }
+        }
+        reqs.push_back({page, m.copyVt});
+        for (const auto &[p2, m2] : pageMeta) {
+            if (p2 == page || m2.notices.empty())
+                continue;
+            const bool covered = std::all_of(
+                m2.notices.begin(), m2.notices.end(),
+                [&](const auto &notice) {
+                    return notice.second <= m2.copyVt[notice.first] ||
+                           std::find(responders.begin(), responders.end(),
+                                     notice.first) != responders.end();
+                });
+            if (covered)
+                reqs.push_back({p2, m2.copyVt});
+        }
+    }
+
+    std::vector<FetchedDiff> fetched;
+    for (NodeId q : responders) {
+        WireWriter w;
+        w.putU32(static_cast<std::uint32_t>(reqs.size()));
+        for (const PageReq &pr : reqs) {
+            w.putU32(pr.page);
+            pr.copyVt.encode(w);
+        }
+        stats().diffRequestsSent++;
+        Message reply = ep->call(q, MsgType::DiffBatchRequest, w.take());
+        WireReader r(reply.payload);
+        const std::uint32_t npages = r.getU32();
+        for (std::uint32_t i = 0; i < npages; ++i) {
+            const PageId p = r.getU32();
+            const std::uint32_t n = r.getU32();
+            for (std::uint32_t j = 0; j < n; ++j) {
+                FetchedDiff f;
+                f.page = p;
+                f.proc = static_cast<NodeId>(r.getU16());
+                f.idx = r.getU32();
+                f.vtSum = r.getU64();
+                f.diff = Diff::decode(r);
+                fetched.push_back(std::move(f));
+            }
+        }
+        BufferPool::instance().release(std::move(reply.payload));
+    }
+
+    // Apply in a linear extension of happens-before (sum order), with
+    // word-granularity merging for concurrent multi-writer diffs.
+    // Sorting globally keeps the per-page subsequences ordered.
+    sortForApply(fetched);
+
+    std::lock_guard<std::mutex> g(*mu);
+    for (FetchedDiff &f : fetched) {
+        PageMeta &m = meta(f.page);
+        if (f.idx <= m.copyVt[f.proc])
+            continue; // duplicate from another responder
+        std::byte *base = arena->at(arena->pageBase(f.page));
+        f.diff.apply(base, &stats());
+        clock().add(costModel().perWordApplyNs *
+                    ((f.diff.dataBytes() + 3) / 4));
+        m.copyVt[f.proc] = std::max(m.copyVt[f.proc], f.idx);
+        // Save for possible future transmission (Section 5.2).
+        diffStore[{f.page, packTs(f.proc, f.idx)}] = {std::move(f.diff),
+                                                      f.vtSum};
+    }
+    for (const PageReq &pr : reqs) {
+        PageMeta &m = meta(pr.page);
+        std::erase_if(m.notices, [&](const auto &notice) {
+            return notice.second <= m.copyVt[notice.first];
+        });
+        DSM_ASSERT(m.notices.empty(),
+                   "page %u still has pending notices after batched "
+                   "fetch",
+                   pr.page);
+        pages.setAccess(pr.page, PageAccess::Read);
+        if (pr.page != page)
+            stats().diffPagesPiggybacked++;
+    }
+}
+
+void
+LrcRuntime::fetchDiffsLegacy(PageId page)
 {
     std::vector<NodeId> responders;
     VectorTime copy_vt;
@@ -469,46 +653,35 @@ LrcRuntime::fetchDiffs(PageId page)
         }
     }
 
-    struct Fetched
-    {
-        NodeId proc;
-        std::uint32_t idx;
-        std::uint64_t vtSum;
-        Diff diff;
-    };
-    std::vector<Fetched> fetched;
+    std::vector<FetchedDiff> fetched;
     for (NodeId q : responders) {
         WireWriter w;
         w.putU32(page);
         copy_vt.encode(w);
+        stats().diffRequestsSent++;
         Message reply = ep->call(q, MsgType::DiffRequest, w.take());
         WireReader r(reply.payload);
         const std::uint32_t n = r.getU32();
         for (std::uint32_t i = 0; i < n; ++i) {
-            Fetched f;
+            FetchedDiff f;
+            f.page = page;
             f.proc = static_cast<NodeId>(r.getU16());
             f.idx = r.getU32();
             f.vtSum = r.getU64();
             f.diff = Diff::decode(r);
             fetched.push_back(std::move(f));
         }
+        BufferPool::instance().release(std::move(reply.payload));
     }
 
     // Apply in a linear extension of happens-before (sum order), with
     // word-granularity merging for concurrent multi-writer diffs.
-    std::sort(fetched.begin(), fetched.end(),
-              [](const Fetched &a, const Fetched &b) {
-                  if (a.vtSum != b.vtSum)
-                      return a.vtSum < b.vtSum;
-                  if (a.proc != b.proc)
-                      return a.proc < b.proc;
-                  return a.idx < b.idx;
-              });
+    sortForApply(fetched);
 
     std::lock_guard<std::mutex> g(*mu);
     PageMeta &m = meta(page);
     std::byte *base = arena->at(arena->pageBase(page));
-    for (Fetched &f : fetched) {
+    for (FetchedDiff &f : fetched) {
         if (f.idx <= m.copyVt[f.proc])
             continue; // duplicate from another responder
         f.diff.apply(base, &stats());
@@ -579,6 +752,7 @@ LrcRuntime::fetchTimestamps(PageId page)
             reply.data.push_back(std::move(bytes));
         }
         replies.push_back(std::move(reply));
+        BufferPool::instance().release(std::move(msg.payload));
     }
 
     std::lock_guard<std::mutex> g(*mu);
@@ -588,15 +762,21 @@ LrcRuntime::fetchTimestamps(PageId page)
 
     // Happens-before check via the interval log: is candidate (p, i)
     // already covered by the interval that produced current (q, j)?
+    // A record the GC pruned was globally applied before every
+    // candidate a responder can still send, so its vector could not
+    // have covered the candidate — "not dominated" is exact, and it
+    // matches the seed's treatment of unknown records.
     auto dominated = [&](std::uint64_t cand, std::uint64_t cur) {
         if (cur == 0)
             return false;
         const NodeId q = tsProc(cur);
         const std::uint32_t j = tsInterval(cur);
-        if (j == 0 || j > log[q].size())
+        if (j == 0)
             return false;
-        const IntervalRec &rec = log[q][j - 1];
-        return rec.vt[tsProc(cand)] >= tsInterval(cand);
+        const IntervalRec *rec = ilog.find(q, j);
+        if (!rec)
+            return false;
+        return rec->vt[tsProc(cand)] >= tsInterval(cand);
     };
 
     std::uint64_t words_applied = 0;
@@ -646,6 +826,9 @@ LrcRuntime::handleMessage(Message &msg)
       case MsgType::DiffRequest:
         handleDiffRequest(msg);
         break;
+      case MsgType::DiffBatchRequest:
+        handleDiffBatchRequest(msg);
+        break;
       case MsgType::PageTsRequest:
         handlePageTsRequest(msg);
         break;
@@ -655,14 +838,9 @@ LrcRuntime::handleMessage(Message &msg)
 }
 
 void
-LrcRuntime::handleDiffRequest(Message &msg)
+LrcRuntime::encodeDiffsNewerThan(WireWriter &w, PageId page,
+                                 const VectorTime &req_vt)
 {
-    WireReader r(msg.payload);
-    const PageId page = r.getU32();
-    VectorTime req_vt = VectorTime::decode(r);
-
-    std::lock_guard<std::mutex> g(*mu);
-    WireWriter w;
     std::vector<std::pair<std::uint64_t, const DiffEntry *>> send;
     auto lo = diffStore.lower_bound({page, 0});
     auto hi = diffStore.upper_bound({page, ~std::uint64_t{0}});
@@ -679,7 +857,38 @@ LrcRuntime::handleDiffRequest(Message &msg)
         entry->diff.encode(w);
         stats().diffBytesSent += entry->diff.wireBytes();
     }
+}
+
+void
+LrcRuntime::handleDiffRequest(Message &msg)
+{
+    WireReader r(msg.payload);
+    const PageId page = r.getU32();
+    VectorTime req_vt = VectorTime::decode(r);
+
+    std::lock_guard<std::mutex> g(*mu);
+    WireWriter w;
+    encodeDiffsNewerThan(w, page, req_vt);
     ep->reply(msg.src, MsgType::DiffReply, w.take(), msg.replyToken);
+}
+
+void
+LrcRuntime::handleDiffBatchRequest(Message &msg)
+{
+    WireReader r(msg.payload);
+    const std::uint32_t npages = r.getU32();
+
+    std::lock_guard<std::mutex> g(*mu);
+    WireWriter w;
+    w.putU32(npages);
+    for (std::uint32_t i = 0; i < npages; ++i) {
+        const PageId page = r.getU32();
+        VectorTime req_vt = VectorTime::decode(r);
+        w.putU32(page);
+        encodeDiffsNewerThan(w, page, req_vt);
+    }
+    ep->reply(msg.src, MsgType::DiffBatchReply, w.take(),
+              msg.replyToken);
 }
 
 void

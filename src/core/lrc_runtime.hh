@@ -26,6 +26,7 @@
 #include <map>
 #include <unordered_map>
 
+#include "core/interval_log.hh"
 #include "core/runtime.hh"
 #include "mem/diff.hh"
 #include "mem/dirty_bits.hh"
@@ -48,21 +49,18 @@ class LrcRuntime : public Runtime
 
     void handleMessage(Message &msg) override;
 
+    // Introspection for tests and long-run memory accounting (call
+    // only while the cluster is quiescent, e.g. after run()).
+    std::size_t intervalRecordCount() const { return ilog.totalRecords(); }
+    std::size_t diffStoreSize() const { return diffStore.size(); }
+
   protected:
+    void preBarrier() override;
     void doRead(GlobalAddr addr, void *dst, std::size_t size) override;
     void doWrite(GlobalAddr addr, const void *src, std::size_t size,
                  bool bulk) override;
 
   private:
-    /** One closed interval that modified pages. */
-    struct IntervalRec
-    {
-        NodeId proc = -1;
-        std::uint32_t idx = 0;
-        VectorTime vt;
-        std::vector<PageId> pages;
-    };
-
     struct PageMeta
     {
         /** Writes reflected in my copy: copyVt[p] = newest interval of
@@ -83,9 +81,6 @@ class LrcRuntime : public Runtime
      */
     void closeInterval();
 
-    /** Append @p rec to the log if missing; returns the stored rec. */
-    const IntervalRec &addRecord(IntervalRec rec);
-
     /** Process @p rec's write notices: invalidate stale local copies.
      *  Idempotent. */
     void invalidateFor(const IntervalRec &rec);
@@ -95,6 +90,7 @@ class LrcRuntime : public Runtime
     void fetchPage(PageId page);
 
     void fetchDiffs(PageId page);
+    void fetchDiffsLegacy(PageId page);
     void fetchTimestamps(PageId page);
 
     /** Ensure @p page is present (fetch on access==None). Returns with
@@ -104,11 +100,6 @@ class LrcRuntime : public Runtime
     // Wire helpers.
     static void encodeRecord(WireWriter &w, const IntervalRec &rec);
     static IntervalRec decodeRecord(WireReader &r);
-
-    /** Records with idx > since[proc] (and, if given, <= up_to). */
-    std::vector<const IntervalRec *>
-    recordsAfter(const VectorTime &since,
-                 const VectorTime *up_to = nullptr) const;
 
     // Lock hooks.
     std::vector<std::byte> makeLockRequest(LockId lock, AccessMode mode);
@@ -124,7 +115,13 @@ class LrcRuntime : public Runtime
 
     // Access-miss servicing (service thread).
     void handleDiffRequest(Message &msg);
+    void handleDiffBatchRequest(Message &msg);
     void handlePageTsRequest(Message &msg);
+
+    /** Encode every stored diff of @p page newer than @p req_vt (one
+     *  count prefix plus (proc, idx, vtSum, diff) tuples). */
+    void encodeDiffsNewerThan(WireWriter &w, PageId page,
+                              const VectorTime &req_vt);
 
     bool usesTwinning() const
     {
@@ -144,8 +141,8 @@ class LrcRuntime : public Runtime
         std::uint64_t vtSum = 0;
     };
 
-    VectorTime vt;                          ///< vt[self] = last closed
-    std::vector<std::vector<IntervalRec>> log; ///< per proc, idx order
+    VectorTime vt;  ///< vt[self] = last closed
+    IntervalLog ilog;
     std::map<std::pair<PageId, std::uint64_t>, DiffEntry> diffStore;
     std::unordered_map<PageId, PageMeta> pageMeta;
     std::unordered_map<PageId, BlockTimestamps> pageTs;
@@ -154,11 +151,16 @@ class LrcRuntime : public Runtime
     DirtyBitmap dirty;
     std::uint32_t lastBarrierSentIdx = 0;
 
+    /** Set by preBarrier when this node validated all its pages ahead
+     *  of the upcoming arrival (the local half of the GC handshake). */
+    bool gcValidated = false;
+
     /** Barrier-manager scratch: per barrier, arrival vectors + count of
      *  departures already built (to reclaim the entry). */
     struct BarrierScratch
     {
         std::vector<VectorTime> arrivalVt;
+        int validatedArrivals = 0;
         int departsBuilt = 0;
     };
     std::unordered_map<BarrierId, BarrierScratch> barrierScratch;

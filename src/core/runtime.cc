@@ -38,6 +38,7 @@ Runtime::release(LockId lock)
 void
 Runtime::barrier(BarrierId barrier)
 {
+    preBarrier();
     barriers->wait(barrier);
 }
 

@@ -184,6 +184,14 @@ class Runtime
 
   protected:
     /**
+     * Hook run on the application thread just before joining a
+     * barrier, outside any runtime lock — the place for blocking
+     * protocol work that must precede the arrival message (LRC uses it
+     * to validate pages ahead of barrier-time garbage collection).
+     */
+    virtual void preBarrier() {}
+
+    /**
      * Access-layer hook: perform a shared read of @p size bytes into
      * @p dst, running any consistency actions (LRC access-miss
      * fetches) first. The implementation owns all locking.

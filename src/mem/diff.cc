@@ -2,49 +2,76 @@
 
 #include <cstring>
 
+#include "mem/wide_scan.hh"
 #include "util/logging.hh"
 
 namespace dsm {
 
 Diff
 Diff::create(const std::byte *cur, const std::byte *twin, std::uint32_t len,
-             NodeStats *stats)
+             NodeStats *stats, DiffScan scan)
 {
     Diff d;
     d.areaLen = len;
 
-    const std::uint32_t words = len / 4;
-    std::uint32_t i = 0;
+    const std::uint32_t words = len / kWordBytes;
 
-    auto wordDiffers = [&](std::uint32_t w) {
-        return std::memcmp(cur + w * 4, twin + w * 4, 4) != 0;
+    // One up-front allocation covers the common sparse-page shape;
+    // denser diffs grow geometrically from there.
+    d.runs.reserve(16);
+    d.payload.reserve(std::min<std::size_t>(len, 256));
+
+    // Open word run [openStart, openEnd) of content to transmit. With
+    // gapWords > 0 a run may bridge short unchanged stretches.
+    bool open = false;
+    std::uint32_t openStart = 0;
+    std::uint32_t openEnd = 0;
+
+    auto emit = [&](std::uint32_t lastByte) {
+        const std::uint32_t firstByte = openStart * kWordBytes;
+        DiffRun run;
+        run.offset = firstByte;
+        run.size = lastByte - firstByte;
+        run.dataPos = static_cast<std::uint32_t>(d.payload.size());
+        d.payload.insert(d.payload.end(), cur + firstByte,
+                         cur + lastByte);
+        d.runs.push_back(run);
     };
 
-    while (i < words) {
-        if (wordDiffers(i)) {
-            std::uint32_t start = i;
-            while (i < words && wordDiffers(i))
-                ++i;
-            DiffRun run;
-            run.offset = start * 4;
-            run.data.assign(cur + start * 4, cur + i * 4);
-            d.runs.push_back(std::move(run));
+    std::uint32_t w = findDiffWord(cur, twin, 0, words, scan.wide);
+    while (w < words) {
+        const std::uint32_t e = findSameWord(cur, twin, w, words);
+        if (open && w - openEnd <= scan.gapWords) {
+            openEnd = e;
         } else {
-            ++i;
+            if (open)
+                emit(openEnd * kWordBytes);
+            open = true;
+            openStart = w;
+            openEnd = e;
+        }
+        w = findDiffWord(cur, twin, e, words, scan.wide);
+    }
+
+    // Trailing bytes (objects need not be word multiples); the tail is
+    // compared as one short word and may coalesce with the final run.
+    const std::uint32_t tail = words * kWordBytes;
+    const bool tail_differs =
+        tail < len && std::memcmp(cur + tail, twin + tail, len - tail) != 0;
+    if (tail_differs && open && scan.gapWords > 0 &&
+        words - openEnd <= scan.gapWords) {
+        emit(len);
+    } else {
+        if (open)
+            emit(openEnd * kWordBytes);
+        if (tail_differs) {
+            openStart = words;
+            emit(len);
         }
     }
 
-    // Trailing bytes (objects need not be word multiples).
-    const std::uint32_t tail = words * 4;
-    if (tail < len && std::memcmp(cur + tail, twin + tail, len - tail)) {
-        DiffRun run;
-        run.offset = tail;
-        run.data.assign(cur + tail, cur + len);
-        d.runs.push_back(std::move(run));
-    }
-
     if (stats) {
-        stats->diffWordsCompared += words + (tail < len ? 1 : 0);
+        stats->diffWordsCompared += comparedWords(len);
         stats->diffsCreated++;
     }
     return d;
@@ -54,26 +81,17 @@ void
 Diff::apply(std::byte *dst, NodeStats *stats) const
 {
     for (const auto &run : runs) {
-        std::memcpy(dst + run.offset, run.data.data(), run.data.size());
+        std::memcpy(dst + run.offset, payload.data() + run.dataPos,
+                    run.size);
     }
     if (stats)
         stats->diffsApplied++;
 }
 
 std::uint64_t
-Diff::dataBytes() const
-{
-    std::uint64_t total = 0;
-    for (const auto &run : runs)
-        total += run.data.size();
-    return total;
-}
-
-std::uint64_t
 Diff::wireBytes() const
 {
-    // 4 (length) + 4 (nruns) + per run: 4 (offset) + 4 (size) + data.
-    return 8 + runs.size() * 8 + dataBytes();
+    return kHeaderBytes + runs.size() * kRunHeaderBytes + dataBytes();
 }
 
 void
@@ -83,8 +101,8 @@ Diff::encode(WireWriter &w) const
     w.putU32(static_cast<std::uint32_t>(runs.size()));
     for (const auto &run : runs) {
         w.putU32(run.offset);
-        w.putU32(static_cast<std::uint32_t>(run.data.size()));
-        w.putBytes(run.data.data(), run.data.size());
+        w.putU32(run.size);
+        w.putBytes(payload.data() + run.dataPos, run.size);
     }
 }
 
@@ -97,10 +115,12 @@ Diff::decode(WireReader &r)
     d.runs.resize(nruns);
     for (auto &run : d.runs) {
         run.offset = r.getU32();
-        std::uint32_t n = r.getU32();
-        run.data.resize(n);
-        r.getBytes(run.data.data(), n);
-        DSM_ASSERT(run.offset + n <= d.areaLen, "diff run out of bounds");
+        run.size = r.getU32();
+        run.dataPos = static_cast<std::uint32_t>(d.payload.size());
+        d.payload.resize(d.payload.size() + run.size);
+        r.getBytes(d.payload.data() + run.dataPos, run.size);
+        DSM_ASSERT(std::uint64_t{run.offset} + run.size <= d.areaLen,
+                   "diff run out of bounds");
     }
     return d;
 }

@@ -10,6 +10,7 @@
 #define DSM_MEM_DIFF_HH
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "net/serde.hh"
@@ -18,19 +19,66 @@
 
 namespace dsm {
 
-/** One run of changed bytes at @p offset within the diffed area. */
+/**
+ * One run of changed bytes: @p size bytes at @p offset within the
+ * diffed area. The bytes themselves live at @p dataPos in the diff's
+ * shared payload buffer (see Diff::runData) — keeping run descriptors
+ * POD means creating a diff with many runs costs one payload
+ * allocation, not one per run.
+ */
 struct DiffRun
 {
     std::uint32_t offset = 0;
-    std::vector<std::byte> data;
+    std::uint32_t size = 0;
+    std::uint32_t dataPos = 0;
 
     bool operator==(const DiffRun &other) const = default;
+};
+
+/** How Diff::create scans the copy against the twin. */
+struct DiffScan
+{
+    /**
+     * Compare 64-bit blocks (with memcpy-safe loads) and skip clean
+     * memory 32 bytes at a time; false reproduces the seed per-word
+     * memcmp loop for ablation. Both emit identical word-granularity
+     * runs.
+     */
+    bool wide = true;
+
+    /**
+     * Coalesce runs separated by at most this many unchanged words
+     * into one run (carrying the unchanged bytes), trading payload
+     * bytes for fewer per-run wire headers. 0 keeps runs word-exact.
+     *
+     * Caution: a coalesced run overwrites the bridged unchanged words
+     * on apply, which is only safe when diffs from concurrent writers
+     * of the same page cannot interleave within the gap (single-writer
+     * pages, or EC's lock-serialized objects).
+     */
+    std::uint32_t gapWords = 0;
 };
 
 class Diff
 {
   public:
     Diff() = default;
+
+    // One shared wire layout: encode(), decode() and wireBytes() all
+    // derive from these constants.
+    static constexpr std::uint32_t kWordBytes = 4;
+    /** 4 (area length) + 4 (run count). */
+    static constexpr std::uint64_t kHeaderBytes = 8;
+    /** Per run: 4 (offset) + 4 (size). */
+    static constexpr std::uint64_t kRunHeaderBytes = 8;
+
+    /** Words a scan of @p len bytes compares; the trailing non-word
+     *  tail (1-3 bytes) counts as one short word. */
+    static constexpr std::uint64_t
+    comparedWords(std::uint32_t len)
+    {
+        return (std::uint64_t{len} + kWordBytes - 1) / kWordBytes;
+    }
 
     /**
      * Build a diff of @p len bytes by comparing @p cur against
@@ -40,9 +88,12 @@ class Diff
      *
      * @param stats If non-null, diffWordsCompared/diffsCreated are
      *        recorded there.
+     * @param scan Scan strategy (wide 64-bit vs. seed per-word) and
+     *        run coalescing; the default is word-exact wide scanning.
      */
     static Diff create(const std::byte *cur, const std::byte *twin,
-                       std::uint32_t len, NodeStats *stats = nullptr);
+                       std::uint32_t len, NodeStats *stats = nullptr,
+                       DiffScan scan = {});
 
     /** Copy every run onto @p dst (an area of at least length()). */
     void apply(std::byte *dst, NodeStats *stats = nullptr) const;
@@ -54,8 +105,15 @@ class Diff
 
     const std::vector<DiffRun> &diffRuns() const { return runs; }
 
+    /** Payload bytes of @p run. */
+    std::span<const std::byte>
+    runData(const DiffRun &run) const
+    {
+        return {payload.data() + run.dataPos, run.size};
+    }
+
     /** Total payload bytes carried by the runs. */
-    std::uint64_t dataBytes() const;
+    std::uint64_t dataBytes() const { return payload.size(); }
 
     /** Modeled wire footprint (runs + offsets + header). */
     std::uint64_t wireBytes() const;
@@ -68,6 +126,7 @@ class Diff
   private:
     std::uint32_t areaLen = 0;
     std::vector<DiffRun> runs;
+    std::vector<std::byte> payload; ///< concatenated run bytes
 };
 
 } // namespace dsm

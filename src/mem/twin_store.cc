@@ -1,5 +1,6 @@
 #include "mem/twin_store.hh"
 
+#include "util/buffer_pool.hh"
 #include "util/logging.hh"
 
 namespace dsm {
@@ -8,7 +9,10 @@ void
 TwinStore::makePage(PageId page, const std::byte *src, std::size_t size)
 {
     DSM_ASSERT(!hasPage(page), "page %u already twinned", page);
-    pageTwins.emplace(page, std::vector<std::byte>(src, src + size));
+    // Twins churn once per (page, interval); reuse retired capacity.
+    std::vector<std::byte> twin = BufferPool::instance().acquire(size);
+    twin.assign(src, src + size);
+    pageTwins.emplace(page, std::move(twin));
 }
 
 const std::vector<std::byte> &
@@ -30,7 +34,11 @@ TwinStore::pageTwinMut(PageId page)
 void
 TwinStore::dropPage(PageId page)
 {
-    pageTwins.erase(page);
+    auto it = pageTwins.find(page);
+    if (it == pageTwins.end())
+        return;
+    BufferPool::instance().release(std::move(it->second));
+    pageTwins.erase(it);
 }
 
 std::vector<PageId>
@@ -66,6 +74,8 @@ TwinStore::dropRange(LockId lock)
 void
 TwinStore::clear()
 {
+    for (auto &[page, twin] : pageTwins)
+        BufferPool::instance().release(std::move(twin));
     pageTwins.clear();
     rangeTwins.clear();
 }

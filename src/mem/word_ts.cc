@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "mem/wide_scan.hh"
+
 namespace dsm {
 
 void
@@ -16,6 +18,24 @@ void
 BlockTimestamps::setAll(std::uint64_t value)
 {
     std::fill(ts.begin(), ts.end(), value);
+}
+
+std::uint64_t
+stampChangedWords(BlockTimestamps &ts, const std::byte *cur,
+                  const std::byte *twin, std::uint32_t len,
+                  std::uint64_t value, bool wide)
+{
+    const std::uint32_t words = len / kScanWordBytes;
+    DSM_ASSERT(words <= ts.numBlocks(), "stamp range exceeds timestamps");
+    std::uint64_t stamped = 0;
+    std::uint32_t w = findDiffWord(cur, twin, 0, words, wide);
+    while (w < words) {
+        const std::uint32_t e = findSameWord(cur, twin, w, words);
+        ts.setRange(w, e - w, value);
+        stamped += e - w;
+        w = findDiffWord(cur, twin, e, words, wide);
+    }
+    return stamped;
 }
 
 } // namespace dsm

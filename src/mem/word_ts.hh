@@ -105,6 +105,18 @@ class BlockTimestamps
 };
 
 /**
+ * Stamp every word (4-byte block) of @p len bytes whose contents
+ * differ between @p cur and @p twin with @p value — the twin+timestamp
+ * collection step of LRC-time. @p wide selects the 64-bit block scan
+ * (mem/wide_scan.hh); false reproduces the seed per-word memcmp loop.
+ *
+ * @return Number of words stamped.
+ */
+std::uint64_t stampChangedWords(BlockTimestamps &ts, const std::byte *cur,
+                                const std::byte *twin, std::uint32_t len,
+                                std::uint64_t value, bool wide = true);
+
+/**
  * Wire encoding of a timestamp run together with its data blocks.
  * Used by both EC lock grants and LRC page fetch replies.
  */

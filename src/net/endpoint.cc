@@ -1,5 +1,6 @@
 #include "net/endpoint.hh"
 
+#include "util/buffer_pool.hh"
 #include "util/logging.hh"
 
 namespace dsm {
@@ -146,6 +147,8 @@ Endpoint::serviceLoop()
 
         DSM_ASSERT(handler != nullptr, "message with no handler");
         handler(msg);
+        // The request payload is dead once handled; recycle it.
+        BufferPool::instance().release(std::move(msg.payload));
     }
 }
 

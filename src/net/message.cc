@@ -16,6 +16,8 @@ toString(MsgType type)
       case MsgType::DiffReply: return "DiffReply";
       case MsgType::PageTsRequest: return "PageTsRequest";
       case MsgType::PageTsReply: return "PageTsReply";
+      case MsgType::DiffBatchRequest: return "DiffBatchRequest";
+      case MsgType::DiffBatchReply: return "DiffBatchReply";
       case MsgType::Shutdown: return "Shutdown";
       default: return "Unknown";
     }

@@ -33,6 +33,9 @@ enum class MsgType : std::uint8_t
     DiffReply,
     PageTsRequest, ///< faulting node -> writer (timestamp collection)
     PageTsReply,
+    DiffBatchRequest, ///< faulting node -> writer: several pages' worth
+                      ///< of missing intervals in one round trip
+    DiffBatchReply,
 
     // Infrastructure.
     Shutdown,      ///< cluster teardown of the service loop

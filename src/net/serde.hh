@@ -15,14 +15,30 @@
 #include <type_traits>
 #include <vector>
 
+#include "util/buffer_pool.hh"
 #include "util/logging.hh"
 
 namespace dsm {
 
-/** Append-only little-endian encoder. */
+/**
+ * Append-only little-endian encoder. The backing buffer comes from the
+ * process-wide BufferPool, so a writer whose payload is taken and
+ * later recycled costs no allocation in steady state; a writer that is
+ * destroyed without take() parks its buffer back in the pool.
+ */
 class WireWriter
 {
   public:
+    WireWriter() : buf(BufferPool::instance().acquire()) {}
+
+    ~WireWriter()
+    {
+        BufferPool::instance().release(std::move(buf));
+    }
+
+    WireWriter(const WireWriter &) = delete;
+    WireWriter &operator=(const WireWriter &) = delete;
+
     void putU8(std::uint8_t v) { putPod(v); }
     void putU16(std::uint16_t v) { putPod(v); }
     void putU32(std::uint32_t v) { putPod(v); }

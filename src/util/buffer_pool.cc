@@ -1,0 +1,79 @@
+#include "util/buffer_pool.hh"
+
+namespace dsm {
+
+BufferPool &
+BufferPool::instance()
+{
+    static BufferPool pool;
+    return pool;
+}
+
+std::vector<std::byte>
+BufferPool::acquire(std::size_t reserve_hint)
+{
+    std::vector<std::byte> buf;
+    {
+        std::lock_guard<std::mutex> g(mu);
+        counters.acquires++;
+        if (on && !cache.empty()) {
+            counters.hits++;
+            buf = std::move(cache.back());
+            cache.pop_back();
+            counters.cached = cache.size();
+        }
+    }
+    buf.clear();
+    if (reserve_hint > buf.capacity())
+        buf.reserve(reserve_hint);
+    return buf;
+}
+
+void
+BufferPool::release(std::vector<std::byte> &&buf)
+{
+    std::lock_guard<std::mutex> g(mu);
+    counters.releases++;
+    if (!on || buf.capacity() < kMinUsefulCapacity ||
+        buf.capacity() > kMaxCachedCapacity || cache.size() >= kMaxCached) {
+        counters.discarded++;
+        return; // freed when buf goes out of scope
+    }
+    buf.clear();
+    cache.push_back(std::move(buf));
+    counters.cached = cache.size();
+}
+
+void
+BufferPool::setEnabled(bool enabled)
+{
+    std::lock_guard<std::mutex> g(mu);
+    on = enabled;
+    if (!on)
+        cache.clear();
+    counters.cached = cache.size();
+}
+
+bool
+BufferPool::enabled() const
+{
+    std::lock_guard<std::mutex> g(mu);
+    return on;
+}
+
+BufferPool::PoolStats
+BufferPool::stats() const
+{
+    std::lock_guard<std::mutex> g(mu);
+    return counters;
+}
+
+void
+BufferPool::drain()
+{
+    std::lock_guard<std::mutex> g(mu);
+    cache.clear();
+    counters = PoolStats{};
+}
+
+} // namespace dsm

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Process-wide recycler of byte buffers. The encode/apply fast paths
+ * (WireWriter payloads, page twins) used to allocate a fresh
+ * std::vector<std::byte> per message or twin; the pool hands the
+ * capacity of retired buffers back to the next producer instead.
+ *
+ * The pool is bounded (a fixed number of cached buffers, each capped
+ * in capacity) so a burst of large messages cannot pin memory forever.
+ * All operations are mutex-guarded: the simulated nodes of one cluster
+ * live in a single process and share it. Disabling the pool (see
+ * ClusterConfig::pooledBuffers) turns acquire/release into plain
+ * allocate/free, which is the seed behavior for ablation runs.
+ */
+
+#ifndef DSM_UTIL_BUFFER_POOL_HH
+#define DSM_UTIL_BUFFER_POOL_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace dsm {
+
+class BufferPool
+{
+  public:
+    /** The single process-wide pool. */
+    static BufferPool &instance();
+
+    /** Caching limits: how many buffers may be parked at once and how
+     *  large a buffer is still worth keeping. */
+    static constexpr std::size_t kMaxCached = 256;
+    static constexpr std::size_t kMaxCachedCapacity = 1u << 20;
+    static constexpr std::size_t kMinUsefulCapacity = 64;
+
+    /**
+     * Obtain an empty buffer, reusing a cached one when available.
+     * @p reserve_hint pre-reserves capacity for the expected payload.
+     */
+    std::vector<std::byte> acquire(std::size_t reserve_hint = 0);
+
+    /** Return a retired buffer; its contents are discarded. Buffers
+     *  that are too small, too large, or beyond the cache bound are
+     *  simply freed. */
+    void release(std::vector<std::byte> &&buf);
+
+    /** Enable/disable recycling (disabled = plain allocate/free). */
+    void setEnabled(bool on);
+
+    bool enabled() const;
+
+    struct PoolStats
+    {
+        std::uint64_t acquires = 0;
+        std::uint64_t hits = 0;     ///< acquires served from the cache
+        std::uint64_t releases = 0;
+        std::uint64_t discarded = 0; ///< releases the cache rejected
+        std::size_t cached = 0;      ///< buffers currently parked
+    };
+
+    PoolStats stats() const;
+
+    /** Drop every cached buffer and reset counters (tests, ablations). */
+    void drain();
+
+  private:
+    mutable std::mutex mu;
+    std::vector<std::vector<std::byte>> cache; ///< LIFO for warmth
+    bool on = true;
+    PoolStats counters;
+};
+
+} // namespace dsm
+
+#endif // DSM_UTIL_BUFFER_POOL_HH

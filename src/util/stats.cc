@@ -37,6 +37,11 @@ forEachField(Stats &s, Fn fn)
     fn("writeNoticesReceived", s.writeNoticesReceived);
     fn("pagesInvalidated", s.pagesInvalidated);
     fn("accessMisses", s.accessMisses);
+    fn("diffRequestsSent", s.diffRequestsSent);
+    fn("diffPagesPiggybacked", s.diffPagesPiggybacked);
+    fn("gcRounds", s.gcRounds);
+    fn("gcRecordsReclaimed", s.gcRecordsReclaimed);
+    fn("gcDiffsReclaimed", s.gcDiffsReclaimed);
     fn("updatesSent", s.updatesSent);
     fn("updateBytesSent", s.updateBytesSent);
     fn("rebinds", s.rebinds);

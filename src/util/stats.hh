@@ -58,6 +58,13 @@ struct NodeStats
     std::uint64_t writeNoticesReceived = 0;
     std::uint64_t pagesInvalidated = 0;
     std::uint64_t accessMisses = 0;
+    std::uint64_t diffRequestsSent = 0;
+    std::uint64_t diffPagesPiggybacked = 0;
+
+    // Barrier-time interval/diff garbage collection.
+    std::uint64_t gcRounds = 0;
+    std::uint64_t gcRecordsReclaimed = 0;
+    std::uint64_t gcDiffsReclaimed = 0;
 
     // EC protocol.
     std::uint64_t updatesSent = 0;

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Tests for the process-wide buffer pool backing WireWriter payloads
+ * and page twins.
+ */
+
+#include <gtest/gtest.h>
+
+#include "net/serde.hh"
+#include "util/buffer_pool.hh"
+
+namespace dsm {
+namespace {
+
+class BufferPoolTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        BufferPool::instance().drain();
+        BufferPool::instance().setEnabled(true);
+    }
+
+    void
+    TearDown() override
+    {
+        BufferPool::instance().drain();
+        BufferPool::instance().setEnabled(true);
+    }
+};
+
+TEST_F(BufferPoolTest, RecyclesCapacity)
+{
+    BufferPool &pool = BufferPool::instance();
+
+    std::vector<std::byte> buf = pool.acquire(1024);
+    buf.resize(777);
+    const std::byte *data = buf.data();
+    const std::size_t cap = buf.capacity();
+    pool.release(std::move(buf));
+
+    std::vector<std::byte> again = pool.acquire();
+    EXPECT_TRUE(again.empty());
+    EXPECT_EQ(again.data(), data); // same allocation came back
+    EXPECT_EQ(again.capacity(), cap);
+
+    const auto stats = pool.stats();
+    EXPECT_EQ(stats.acquires, 2u);
+    EXPECT_EQ(stats.hits, 1u);
+    EXPECT_EQ(stats.releases, 1u);
+}
+
+TEST_F(BufferPoolTest, RejectsUselessBuffers)
+{
+    BufferPool &pool = BufferPool::instance();
+    // Too small to be worth caching.
+    pool.release(std::vector<std::byte>(8));
+    EXPECT_EQ(pool.stats().cached, 0u);
+    EXPECT_EQ(pool.stats().discarded, 1u);
+    // No capacity at all.
+    pool.release(std::vector<std::byte>{});
+    EXPECT_EQ(pool.stats().cached, 0u);
+}
+
+TEST_F(BufferPoolTest, CacheIsBounded)
+{
+    BufferPool &pool = BufferPool::instance();
+    for (std::size_t i = 0; i < BufferPool::kMaxCached + 10; ++i)
+        pool.release(std::vector<std::byte>(256));
+    EXPECT_EQ(pool.stats().cached, BufferPool::kMaxCached);
+    EXPECT_EQ(pool.stats().discarded, 10u);
+}
+
+TEST_F(BufferPoolTest, DisabledMeansPlainAllocate)
+{
+    BufferPool &pool = BufferPool::instance();
+    pool.setEnabled(false);
+    pool.release(std::vector<std::byte>(256));
+    EXPECT_EQ(pool.stats().cached, 0u);
+    std::vector<std::byte> buf = pool.acquire(64);
+    EXPECT_EQ(pool.stats().hits, 0u);
+    pool.setEnabled(true);
+}
+
+TEST_F(BufferPoolTest, WireWriterRoundTripsThroughPool)
+{
+    BufferPool &pool = BufferPool::instance();
+    std::vector<std::byte> taken;
+    {
+        WireWriter w;
+        for (int i = 0; i < 100; ++i)
+            w.putU64(i);
+        taken = w.take();
+    }
+    // The writer's leftover (moved-from) buffer had no useful capacity;
+    // returning the taken payload parks the real allocation.
+    pool.release(std::move(taken));
+    ASSERT_GE(pool.stats().cached, 1u);
+
+    // The next writer reuses it.
+    const auto hits_before = pool.stats().hits;
+    WireWriter w2;
+    w2.putU32(7);
+    EXPECT_EQ(pool.stats().hits, hits_before + 1);
+}
+
+/** An abandoned WireWriter (error path, never taken) parks its buffer
+ *  instead of leaking the capacity to the allocator. */
+TEST_F(BufferPoolTest, AbandonedWriterReleasesBuffer)
+{
+    BufferPool &pool = BufferPool::instance();
+    {
+        WireWriter w;
+        for (int i = 0; i < 64; ++i)
+            w.putU64(i);
+    }
+    EXPECT_GE(pool.stats().cached, 1u);
+}
+
+} // namespace
+} // namespace dsm

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Tests for the LRC interval record log: dense-append semantics,
+ * reference stability across growth (the seed's vector-backed log
+ * dangled recordsAfter() results on reallocation), and barrier-time
+ * pruning.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/interval_log.hh"
+
+namespace dsm {
+namespace {
+
+IntervalRec
+makeRec(NodeId proc, std::uint32_t idx, int nprocs,
+        std::vector<PageId> pages = {1})
+{
+    IntervalRec rec;
+    rec.proc = proc;
+    rec.idx = idx;
+    rec.vt = VectorTime(nprocs);
+    rec.vt[proc] = idx;
+    rec.pages = std::move(pages);
+    return rec;
+}
+
+TEST(IntervalLog, AppendAndLookup)
+{
+    IntervalLog log(2);
+    EXPECT_EQ(log.totalRecords(), 0u);
+    EXPECT_EQ(log.lastIdxOf(0), 0u);
+    EXPECT_EQ(log.find(0, 1), nullptr);
+
+    log.add(makeRec(0, 1, 2, {7}));
+    log.add(makeRec(0, 2, 2, {8}));
+    log.add(makeRec(1, 1, 2, {9}));
+
+    EXPECT_EQ(log.totalRecords(), 3u);
+    EXPECT_EQ(log.lastIdxOf(0), 2u);
+    EXPECT_EQ(log.lastIdxOf(1), 1u);
+    ASSERT_NE(log.find(0, 2), nullptr);
+    EXPECT_EQ(log.find(0, 2)->pages[0], 8u);
+    EXPECT_EQ(log.find(0, 3), nullptr);
+}
+
+TEST(IntervalLog, DuplicateAddReturnsStoredRecord)
+{
+    IntervalLog log(1);
+    const IntervalRec &first = log.add(makeRec(0, 1, 1, {42}));
+    const IntervalRec &again = log.add(makeRec(0, 1, 1, {99}));
+    // The original record wins; the duplicate is dropped.
+    EXPECT_EQ(&first, &again);
+    EXPECT_EQ(again.pages[0], 42u);
+}
+
+/** Regression for the seed dangling-pointer hazard: pointers handed
+ *  out by recordsAfter() must survive arbitrarily many later adds
+ *  (std::vector inner storage invalidated them on reallocation). */
+TEST(IntervalLog, RecordPointersSurviveGrowth)
+{
+    IntervalLog log(1);
+    log.add(makeRec(0, 1, 1, {1111}));
+    auto early = log.recordsAfter(VectorTime(1));
+    ASSERT_EQ(early.size(), 1u);
+    const IntervalRec *pinned = early[0];
+
+    for (std::uint32_t idx = 2; idx <= 2000; ++idx)
+        log.add(makeRec(0, idx, 1));
+
+    // The pinned record is still the same object with intact contents.
+    EXPECT_EQ(pinned, log.find(0, 1));
+    EXPECT_EQ(pinned->idx, 1u);
+    ASSERT_EQ(pinned->pages.size(), 1u);
+    EXPECT_EQ(pinned->pages[0], 1111u);
+}
+
+TEST(IntervalLog, RecordsAfterRespectsSinceAndUpTo)
+{
+    IntervalLog log(2);
+    for (std::uint32_t idx = 1; idx <= 5; ++idx)
+        log.add(makeRec(0, idx, 2));
+    log.add(makeRec(1, 1, 2));
+
+    VectorTime since(2);
+    since[0] = 2;
+    auto recs = log.recordsAfter(since);
+    ASSERT_EQ(recs.size(), 4u); // proc 0: 3,4,5; proc 1: 1
+    EXPECT_EQ(recs[0]->idx, 3u);
+
+    VectorTime up_to(2);
+    up_to[0] = 4;
+    recs = log.recordsAfter(since, &up_to);
+    ASSERT_EQ(recs.size(), 2u); // proc 0: 3,4; proc 1: nothing (cap 0)
+    EXPECT_EQ(recs.back()->idx, 4u);
+}
+
+TEST(IntervalLog, PruneThroughDropsAppliedPrefix)
+{
+    IntervalLog log(2);
+    for (std::uint32_t idx = 1; idx <= 6; ++idx)
+        log.add(makeRec(0, idx, 2));
+    for (std::uint32_t idx = 1; idx <= 3; ++idx)
+        log.add(makeRec(1, idx, 2));
+
+    VectorTime gc(2);
+    gc[0] = 4;
+    gc[1] = 3;
+    EXPECT_EQ(log.pruneThrough(gc), 7u);
+    EXPECT_EQ(log.totalRecords(), 2u);
+    EXPECT_EQ(log.baseOf(0), 4u);
+    EXPECT_EQ(log.baseOf(1), 3u);
+    EXPECT_EQ(log.find(0, 4), nullptr); // pruned
+    ASSERT_NE(log.find(0, 5), nullptr); // retained
+    EXPECT_EQ(log.lastIdxOf(0), 6u);
+
+    // Appending continues densely after the prune.
+    log.add(makeRec(0, 7, 2));
+    EXPECT_EQ(log.lastIdxOf(0), 7u);
+
+    // recordsAfter from a vector at/above the GC floor still works.
+    auto recs = log.recordsAfter(gc);
+    ASSERT_EQ(recs.size(), 3u);
+    EXPECT_EQ(recs[0]->idx, 5u);
+
+    // Pruning is idempotent.
+    EXPECT_EQ(log.pruneThrough(gc), 0u);
+}
+
+TEST(IntervalLog, SurvivorsKeepStableAddressesAcrossPrune)
+{
+    IntervalLog log(1);
+    for (std::uint32_t idx = 1; idx <= 100; ++idx)
+        log.add(makeRec(0, idx, 1));
+    const IntervalRec *survivor = log.find(0, 60);
+    VectorTime gc(1);
+    gc[0] = 50;
+    log.pruneThrough(gc);
+    EXPECT_EQ(log.find(0, 60), survivor);
+    EXPECT_EQ(survivor->idx, 60u);
+}
+
+TEST(IntervalLogDeath, GapAndResendAreProtocolErrors)
+{
+    IntervalLog log(1);
+    log.add(makeRec(0, 1, 1));
+    EXPECT_DEATH(log.add(makeRec(0, 3, 1)), "gap");
+
+    VectorTime gc(1);
+    gc[0] = 1;
+    log.pruneThrough(gc);
+    EXPECT_DEATH(log.add(makeRec(0, 1, 1)), "garbage collection");
+}
+
+} // namespace
+} // namespace dsm

@@ -107,7 +107,7 @@ TEST(Diff, CapturesChangedRuns)
     Diff d = Diff::create(cur.data(), twin.data(), 64, &stats);
     ASSERT_EQ(d.diffRuns().size(), 2u);
     EXPECT_EQ(d.diffRuns()[0].offset, 4u);
-    EXPECT_EQ(d.diffRuns()[0].data.size(), 4u); // word granularity
+    EXPECT_EQ(d.diffRuns()[0].size, 4u); // word granularity
     EXPECT_EQ(d.diffRuns()[1].offset, 40u);
     EXPECT_EQ(stats.diffsCreated, 1u);
 
@@ -181,6 +181,259 @@ TEST_P(DiffProperty, RoundTripRandomBuffers)
 
 INSTANTIATE_TEST_SUITE_P(Seeds, DiffProperty,
                          ::testing::Range<std::uint64_t>(0, 24));
+
+// ---------------------------------------------------------------------
+// Equivalence and property tests for the wide (64-bit) diff scan.
+
+/** Reference scan: straight per-word byte comparison at word
+ *  granularity, the seed algorithm restated as simply as possible.
+ *  Returns (offset, data) pairs. */
+std::vector<std::pair<std::uint32_t, std::vector<std::byte>>>
+referenceScan(const std::byte *cur, const std::byte *twin,
+              std::uint32_t len)
+{
+    std::vector<std::pair<std::uint32_t, std::vector<std::byte>>> runs;
+    const std::uint32_t words = len / 4;
+    auto differs = [&](std::uint32_t w) {
+        return std::memcmp(cur + w * 4, twin + w * 4, 4) != 0;
+    };
+    std::uint32_t w = 0;
+    while (w < words) {
+        if (differs(w)) {
+            const std::uint32_t start = w;
+            while (w < words && differs(w))
+                ++w;
+            runs.emplace_back(start * 4,
+                              std::vector<std::byte>(cur + start * 4,
+                                                     cur + w * 4));
+        } else {
+            ++w;
+        }
+    }
+    const std::uint32_t tail = words * 4;
+    if (tail < len && std::memcmp(cur + tail, twin + tail, len - tail)) {
+        runs.emplace_back(tail,
+                          std::vector<std::byte>(cur + tail, cur + len));
+    }
+    return runs;
+}
+
+void
+expectMatchesReference(const Diff &d, const std::byte *cur,
+                       const std::byte *twin, std::uint32_t len)
+{
+    auto ref = referenceScan(cur, twin, len);
+    ASSERT_EQ(d.diffRuns().size(), ref.size());
+    for (std::size_t i = 0; i < ref.size(); ++i) {
+        const DiffRun &run = d.diffRuns()[i];
+        EXPECT_EQ(run.offset, ref[i].first);
+        ASSERT_EQ(run.size, ref[i].second.size());
+        auto data = d.runData(run);
+        EXPECT_TRUE(std::equal(data.begin(), data.end(),
+                               ref[i].second.begin()));
+    }
+}
+
+/** Mutation patterns the scan must not mis-coalesce or miss. */
+std::vector<std::byte>
+adversarialMutate(std::vector<std::byte> cur, int pattern, Rng &rng)
+{
+    const std::uint32_t len = static_cast<std::uint32_t>(cur.size());
+    auto flip = [&](std::uint32_t i) {
+        cur[i] = cur[i] ^ std::byte{0xff};
+    };
+    switch (pattern) {
+      case 0: // every other word changed (maximal run count)
+        for (std::uint32_t w = 0; w * 4 + 3 < len; w += 2)
+            flip(w * 4);
+        break;
+      case 1: // first and last byte only
+        flip(0);
+        flip(len - 1);
+        break;
+      case 2: // everything changed
+        for (std::uint32_t i = 0; i < len; ++i)
+            flip(i);
+        break;
+      case 3: // one 8-byte-aligned block boundary straddle
+        if (len >= 12)
+            for (std::uint32_t i = 6; i < 10; ++i)
+                flip(i);
+        break;
+      case 4: // random scatter
+        for (int i = 0; i < 25; ++i)
+            flip(static_cast<std::uint32_t>(rng.below(len)));
+        break;
+      case 5: // tail-only change (non-word lengths)
+        flip(len - 1);
+        break;
+      default:
+        break;
+    }
+    return cur;
+}
+
+class DiffScanEquivalence
+    : public ::testing::TestWithParam<std::uint64_t>
+{};
+
+TEST_P(DiffScanEquivalence, WideMatchesReferenceAndNarrow)
+{
+    Rng rng(GetParam() * 977 + 11);
+    // Lengths deliberately include non-word multiples and tiny areas.
+    const std::uint32_t len =
+        1 + static_cast<std::uint32_t>(rng.below(700));
+    std::vector<std::byte> twin(len);
+    for (auto &b : twin)
+        b = std::byte{static_cast<unsigned char>(rng.below(256))};
+
+    for (int pattern = 0; pattern <= 6; ++pattern) {
+        std::vector<std::byte> cur =
+            adversarialMutate(twin, pattern, rng);
+        Diff wide = Diff::create(cur.data(), twin.data(), len, nullptr,
+                                 {true, 0});
+        Diff narrow = Diff::create(cur.data(), twin.data(), len, nullptr,
+                                   {false, 0});
+        // Byte-identical diffs: same runs, same payload, same wire form.
+        EXPECT_EQ(wide, narrow);
+        expectMatchesReference(wide, cur.data(), twin.data(), len);
+
+        // And both reconstruct the modified buffer.
+        std::vector<std::byte> dst = twin;
+        wide.apply(dst.data());
+        EXPECT_EQ(dst, cur);
+
+        WireWriter w;
+        wide.encode(w);
+        auto bytes = w.take();
+        EXPECT_EQ(bytes.size(), wide.wireBytes());
+        WireReader r(bytes);
+        EXPECT_EQ(Diff::decode(r), wide);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DiffScanEquivalence,
+                         ::testing::Range<std::uint64_t>(0, 16));
+
+TEST(DiffScan, EmptyDiffOnIdenticalBuffers)
+{
+    for (std::uint32_t len : {0u, 1u, 3u, 4u, 7u, 64u, 4096u}) {
+        std::vector<std::byte> buf(len, std::byte{0x5a});
+        Diff d = Diff::create(buf.data(), buf.data(), len);
+        EXPECT_TRUE(d.empty());
+        EXPECT_EQ(d.wireBytes(), Diff::kHeaderBytes);
+        WireWriter w;
+        d.encode(w);
+        auto bytes = w.take();
+        EXPECT_EQ(bytes.size(), d.wireBytes());
+        WireReader r(bytes);
+        EXPECT_EQ(Diff::decode(r), d);
+    }
+}
+
+TEST(DiffScan, StatsCountTailAsOneShortWord)
+{
+    NodeStats stats;
+    std::vector<std::byte> buf(10, std::byte{1});
+    Diff::create(buf.data(), buf.data(), 10, &stats);
+    EXPECT_EQ(stats.diffWordsCompared, Diff::comparedWords(10));
+    EXPECT_EQ(stats.diffWordsCompared, 3u); // 2 words + 1 short tail
+
+    stats = NodeStats{};
+    Diff::create(buf.data(), buf.data(), 8, &stats);
+    EXPECT_EQ(stats.diffWordsCompared, 2u); // no tail, no extra word
+}
+
+TEST(DiffGap, CoalescesRunsAcrossSmallGaps)
+{
+    std::vector<std::byte> twin(64, std::byte{0});
+    std::vector<std::byte> cur = twin;
+    cur[0] = std::byte{1};  // word 0
+    cur[12] = std::byte{2}; // word 3 (gap of 2 words)
+    cur[40] = std::byte{3}; // word 10 (gap of 6 words)
+
+    Diff exact = Diff::create(cur.data(), twin.data(), 64, nullptr,
+                              {true, 0});
+    ASSERT_EQ(exact.diffRuns().size(), 3u);
+
+    Diff gap2 = Diff::create(cur.data(), twin.data(), 64, nullptr,
+                             {true, 2});
+    ASSERT_EQ(gap2.diffRuns().size(), 2u);
+    EXPECT_EQ(gap2.diffRuns()[0].offset, 0u);
+    EXPECT_EQ(gap2.diffRuns()[0].size, 16u); // words 0..3 incl. bridge
+    EXPECT_LT(gap2.wireBytes(), exact.wireBytes() + 8);
+
+    Diff gap16 = Diff::create(cur.data(), twin.data(), 64, nullptr,
+                              {true, 16});
+    ASSERT_EQ(gap16.diffRuns().size(), 1u);
+
+    // Coalesced diffs still reconstruct exactly (bridged bytes carry
+    // the current copy's values).
+    for (const Diff *d : {&exact, &gap2, &gap16}) {
+        std::vector<std::byte> dst = twin;
+        d->apply(dst.data());
+        EXPECT_EQ(dst, cur);
+    }
+}
+
+TEST(DiffGap, RandomizedCoalescedRoundTrip)
+{
+    Rng rng(123);
+    for (int trial = 0; trial < 50; ++trial) {
+        const std::uint32_t len =
+            16 + static_cast<std::uint32_t>(rng.below(500));
+        std::vector<std::byte> twin(len);
+        for (auto &b : twin)
+            b = std::byte{static_cast<unsigned char>(rng.below(256))};
+        std::vector<std::byte> cur = twin;
+        const int nmods = 1 + static_cast<int>(rng.below(30));
+        for (int i = 0; i < nmods; ++i)
+            cur[rng.below(len)] ^= std::byte{0x3c};
+        const std::uint32_t gap =
+            static_cast<std::uint32_t>(rng.below(8));
+        Diff d = Diff::create(cur.data(), twin.data(), len, nullptr,
+                              {true, gap});
+        std::vector<std::byte> dst = twin;
+        d.apply(dst.data());
+        EXPECT_EQ(dst, cur);
+
+        WireWriter w;
+        d.encode(w);
+        auto bytes = w.take();
+        WireReader r(bytes);
+        EXPECT_EQ(Diff::decode(r), d);
+    }
+}
+
+TEST(StampChangedWords, WideMatchesNarrowAndStampsExactly)
+{
+    Rng rng(7);
+    const std::uint32_t len = 512;
+    std::vector<std::byte> twin(len);
+    for (auto &b : twin)
+        b = std::byte{static_cast<unsigned char>(rng.below(256))};
+    std::vector<std::byte> cur = twin;
+    for (int i = 0; i < 30; ++i)
+        cur[rng.below(len)] ^= std::byte{0x80};
+
+    BlockTimestamps wide(len / 4);
+    BlockTimestamps narrow(len / 4);
+    const std::uint64_t value = packTs(3, 9);
+    const std::uint64_t nw = stampChangedWords(wide, cur.data(),
+                                               twin.data(), len, value,
+                                               true);
+    const std::uint64_t nn = stampChangedWords(narrow, cur.data(),
+                                               twin.data(), len, value,
+                                               false);
+    EXPECT_EQ(nw, nn);
+    EXPECT_GT(nw, 0u);
+    for (std::uint32_t w = 0; w < len / 4; ++w) {
+        EXPECT_EQ(wide.get(w), narrow.get(w));
+        const bool changed =
+            std::memcmp(cur.data() + w * 4, twin.data() + w * 4, 4) != 0;
+        EXPECT_EQ(wide.get(w) == value, changed);
+    }
+}
 
 TEST(BlockTimestamps, CollectRunsByEqualValue)
 {
