@@ -50,6 +50,12 @@ benchCluster()
         cc.pooledBuffers = std::atoi(v) != 0;
     if (const char *v = std::getenv("DSM_DIFF_GAP"))
         cc.diffGapWords = static_cast<std::uint32_t>(std::atoi(v));
+    // Home-based LRC (LRC-diff only; timestamping stays homeless).
+    if (const char *v = std::getenv("DSM_HOME"))
+        cc.homeBasedLrc = std::atoi(v) != 0;
+    if (const char *v = std::getenv("DSM_HOME_MIG"))
+        cc.homeMigrateThreshold =
+            static_cast<std::uint32_t>(std::atoi(v));
     return cc;
 }
 

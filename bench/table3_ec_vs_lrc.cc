@@ -18,14 +18,26 @@ main()
     printHeader("Table 3: EC vs. LRC (best implementation per model)",
                 cc);
 
-    Table table({"Application", "1 proc.", "EC", "LRC", "EC Imp.",
-                 "LRC Imp.", "EC msgs", "LRC msgs", "EC MB", "LRC MB"});
+    Table table({"Application", "1 proc.", "EC", "LRC", "LRC-home",
+                 "EC Imp.", "LRC Imp.", "EC msgs", "LRC msgs",
+                 "LRCh msgs", "EC MB", "LRC MB", "LRCh MB"});
     Table paper({"Application", "paper EC", "paper LRC", "paper winner",
                  "ours winner", "shape"});
+
+    // Three protocol columns: the EC and LRC sweeps are pinned
+    // homeless (so DSM_HOME=1 cannot silently turn the LRC baseline
+    // into a second home-based run), and the home column pins the
+    // home-based variant of the diffing implementation (timestamping
+    // has no home-based variant).
+    cc.homeBasedLrc = false;
+    ClusterConfig hc = cc;
+    hc.homeBasedLrc = true;
 
     for (const std::string &app : allAppNames()) {
         ModelSweep ec = sweepModel(Model::EC, app, params, cc);
         ModelSweep lrc = sweepModel(Model::LRC, app, params, cc);
+        ExperimentResult home = runExperiment(
+            app, RuntimeConfig::parse("LRC-diff"), params, hc);
         const ExperimentResult &be = ec.best();
         const ExperimentResult &bl = lrc.best();
 
@@ -35,12 +47,15 @@ main()
         };
         table.addRow({app, fmtSeconds(be.seqSeconds(cc.cost)),
                       fmtSeconds(be.execSeconds()),
-                      fmtSeconds(bl.execSeconds()), impl(be.config),
+                      fmtSeconds(bl.execSeconds()),
+                      fmtSeconds(home.execSeconds()), impl(be.config),
                       impl(bl.config),
                       std::to_string(be.run.total.messagesSent),
                       std::to_string(bl.run.total.messagesSent),
+                      std::to_string(home.run.total.messagesSent),
                       fmtMb(be.run.megabytesSent()),
-                      fmtMb(bl.run.megabytesSent())});
+                      fmtMb(bl.run.megabytesSent()),
+                      fmtMb(home.run.megabytesSent())});
 
         for (const PaperRow &row : paperTable3()) {
             if (row.app != app || row.lrc < 0)

@@ -18,11 +18,21 @@ using namespace dsm;
 int
 main()
 {
-    for (const char *config : {"EC-diff", "LRC-diff"}) {
+    struct Variant
+    {
+        const char *label;
+        const char *config;
+        bool home;
+    };
+    for (const Variant &v : {Variant{"EC-diff", "EC-diff", false},
+                             Variant{"LRC-diff", "LRC-diff", false},
+                             Variant{"LRC-diff+home", "LRC-diff", true}}) {
+        const char *config = v.label;
         ClusterConfig cc;
         cc.nprocs = 4;
         cc.arenaBytes = 1u << 20;
-        cc.runtime = RuntimeConfig::parse(config);
+        cc.runtime = RuntimeConfig::parse(v.config);
+        cc.homeBasedLrc = v.home;
         Cluster cluster(cc);
 
         RunResult result = cluster.run([](Runtime &rt) {

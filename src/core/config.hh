@@ -134,6 +134,24 @@ struct ClusterConfig
      */
     bool gcAtBarriers = true;
     std::uint32_t gcIntervalThreshold = 256;
+
+    /**
+     * Home-based LRC (HLRC-style): every page has a home node
+     * (round-robin, migratable) that absorbs diffs eagerly at interval
+     * close, so an access miss is exactly one request/reply pair
+     * against the home and no diffs are ever stored — the barrier-time
+     * diff GC handshake becomes a no-op. Takes effect for LRC with
+     * diff collection (LRC-diff); the timestamping implementations
+     * remain homeless.
+     */
+    bool homeBasedLrc = false;
+
+    /**
+     * Remote accesses (diff flushes + page fetches) by a single node
+     * to a page homed elsewhere before the home migrates to that node.
+     * 0 disables migration.
+     */
+    std::uint32_t homeMigrateThreshold = 64;
 };
 
 } // namespace dsm

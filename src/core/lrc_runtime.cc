@@ -16,7 +16,9 @@ LrcRuntime::LrcRuntime(const Deps &deps)
             deps.cluster->runtime.trap == TrapMethod::Twinning
                 ? PageAccess::Read
                 : PageAccess::ReadWrite),
-      dirty(deps.arena->size(), deps.arena->pageSize())
+      dirty(deps.arena->size(), deps.arena->pageSize()),
+      homes(deps.nprocs, deps.self,
+            deps.cluster->homeMigrateThreshold)
 {
     DSM_ASSERT(cluster->runtime.model == Model::LRC, "config mismatch");
     cluster->runtime.validate();
@@ -51,7 +53,10 @@ LrcRuntime::LrcRuntime(const Deps &deps)
 std::string
 LrcRuntime::name() const
 {
-    return cluster->runtime.name();
+    std::string n = cluster->runtime.name();
+    if (homeMode())
+        n += "+home";
+    return n;
 }
 
 void
@@ -117,22 +122,57 @@ LrcRuntime::closeInterval()
     rec.pages = modified;
 
     const std::uint64_t page_words = arena->pageSize() / 4;
+    const std::uint64_t vt_sum = rec.vt.sum();
+    // Home mode: diffs of one close, grouped by home, flushed below.
+    // Each carries the writer's previous interval for its page so the
+    // home can apply one writer's flushes in order even when
+    // forwarding chains reorder their arrival.
+    struct FlushEntry
+    {
+        PageId page;
+        std::uint32_t prevIdx;
+        Diff diff;
+    };
+    std::map<NodeId, std::vector<FlushEntry>> flushes;
     for (PageId p : modified) {
+        const std::uint32_t prev_idx = meta(p).copyVt[id];
         meta(p).copyVt[id] = idx;
         const GlobalAddr base = arena->pageBase(p);
         if (usesTwinning()) {
             const std::byte *cur = arena->at(base);
             const std::byte *twin = twins.pageTwin(p).data();
             clock().add(costModel().perWordDiffNs * page_words);
+            // Gap coalescing bridges unchanged words with their local
+            // contents; at a home those words may carry concurrent
+            // writers' flushes, so home mode keeps runs word-exact.
             const DiffScan scan{cluster->wideDiffScan,
-                                cluster->diffGapWords};
+                                homeMode() ? 0 : cluster->diffGapWords};
             if (usesDiffing()) {
-                Diff d = Diff::create(cur, twin,
-                                      static_cast<std::uint32_t>(
-                                          arena->pageSize()),
-                                      &stats(), scan);
-                diffStore[{p, packTs(id, idx)}] = {std::move(d),
-                                                   rec.vt.sum()};
+                if (homeMode() && homes.isHome(p)) {
+                    // Our copy is the home copy and already holds the
+                    // writes; stamp the word ordering sums straight
+                    // off the cur-vs-twin scan, no diff needed.
+                    auto &hs = homes.state(
+                        p, static_cast<std::uint32_t>(page_words));
+                    stats().diffWordsCompared += page_words;
+                    stampChangedWordSums(
+                        hs.wordSums, cur, twin,
+                        static_cast<std::uint32_t>(arena->pageSize()),
+                        vt_sum, scan.wide);
+                    hs.appliedVt[id] = idx;
+                } else {
+                    Diff d = Diff::create(cur, twin,
+                                          static_cast<std::uint32_t>(
+                                              arena->pageSize()),
+                                          &stats(), scan);
+                    if (!homeMode()) {
+                        diffStore[{p, packTs(id, idx)}] = {std::move(d),
+                                                           vt_sum};
+                    } else {
+                        flushes[homes.homeOf(p)].push_back(
+                            {p, prev_idx, std::move(d)});
+                    }
+                }
             } else {
                 // Twin + timestamps: changed words get (self, idx).
                 BlockTimestamps &ts = tsOf(p);
@@ -160,6 +200,25 @@ LrcRuntime::closeInterval()
             }
             dirty.clearRange(base, arena->pageSize());
         }
+    }
+
+    // Eager flush to the homes, one message per home, before the
+    // interval record can leave this node: any write notice another
+    // node receives refers to a flush already in flight.
+    for (auto &[home, entries] : flushes) {
+        WireWriter w;
+        w.putU16(static_cast<std::uint16_t>(id));
+        w.putU32(idx);
+        w.putU64(vt_sum);
+        w.putU32(static_cast<std::uint32_t>(entries.size()));
+        for (auto &e : entries) {
+            w.putU32(e.page);
+            w.putU32(e.prevIdx);
+            e.diff.encode(w);
+            stats().diffBytesSent += e.diff.wireBytes();
+        }
+        stats().homeFlushesSent++;
+        ep->send(home, MsgType::HomeDiffFlush, w.take());
     }
 
     ilog.add(std::move(rec));
@@ -407,7 +466,9 @@ LrcRuntime::preBarrier()
         // Proactive fetch, not an access fault: skip fetchPage's trap
         // accounting (accessMisses / pageFaultNs) so GC-on vs GC-off
         // ablations attribute this traffic to GC, not to misses.
-        if (usesDiffing())
+        if (homeMode())
+            fetchFromHome(p);
+        else if (usesDiffing())
             fetchDiffs(p);
         else
             fetchTimestamps(p);
@@ -492,7 +553,9 @@ LrcRuntime::fetchPage(PageId page)
 {
     stats().accessMisses++;
     clock().add(costModel().pageFaultNs);
-    if (usesDiffing())
+    if (homeMode())
+        fetchFromHome(page);
+    else if (usesDiffing())
         fetchDiffs(page);
     else
         fetchTimestamps(page);
@@ -509,6 +572,18 @@ struct FetchedDiff
     std::uint64_t vtSum;
     Diff diff;
 };
+
+/** HomePageRequest payload; shared by the fresh-request and the two
+ *  forwarding paths so the wire layout lives in one place. */
+std::vector<std::byte>
+encodePageRequest(NodeId origin, PageId page, const VectorTime &need)
+{
+    WireWriter w;
+    w.putU16(static_cast<std::uint16_t>(origin));
+    w.putU32(page);
+    need.encode(w);
+    return w.take();
+}
 
 /** Happens-before linear extension (sum order) within each page. */
 void
@@ -527,6 +602,36 @@ sortForApply(std::vector<FetchedDiff> &fetched)
 } // namespace
 
 void
+LrcRuntime::snapshotBatchTargets(PageId page,
+                                 std::vector<NodeId> &responders,
+                                 std::vector<BatchPageReq> &reqs)
+{
+    std::lock_guard<std::mutex> g(*mu);
+    PageMeta &m = meta(page);
+    for (const auto &[proc, idx] : m.notices) {
+        if (idx > m.copyVt[proc] && proc != id &&
+            std::find(responders.begin(), responders.end(), proc) ==
+                responders.end()) {
+            responders.push_back(proc);
+        }
+    }
+    reqs.push_back({page, m.copyVt});
+    for (const auto &[p2, m2] : pageMeta) {
+        if (p2 == page || m2.notices.empty())
+            continue;
+        const bool covered = std::all_of(
+            m2.notices.begin(), m2.notices.end(),
+            [&](const auto &notice) {
+                return notice.second <= m2.copyVt[notice.first] ||
+                       std::find(responders.begin(), responders.end(),
+                                 notice.first) != responders.end();
+            });
+        if (covered)
+            reqs.push_back({p2, m2.copyVt});
+    }
+}
+
+void
 LrcRuntime::fetchDiffs(PageId page)
 {
     if (!cluster->batchDiffFetch) {
@@ -534,49 +639,15 @@ LrcRuntime::fetchDiffs(PageId page)
         return;
     }
 
-    // Snapshot the target page's pending writers, then piggyback every
-    // other invalid page whose pending writers are a subset of those —
-    // they can be made fully consistent by the same round trips. The
-    // app thread is the only one that adds or clears notices, so the
-    // snapshot stays valid across the blocking calls below.
     std::vector<NodeId> responders;
-    struct PageReq
-    {
-        PageId page;
-        VectorTime copyVt;
-    };
-    std::vector<PageReq> reqs;
-    {
-        std::lock_guard<std::mutex> g(*mu);
-        PageMeta &m = meta(page);
-        for (const auto &[proc, idx] : m.notices) {
-            if (idx > m.copyVt[proc] && proc != id &&
-                std::find(responders.begin(), responders.end(), proc) ==
-                    responders.end()) {
-                responders.push_back(proc);
-            }
-        }
-        reqs.push_back({page, m.copyVt});
-        for (const auto &[p2, m2] : pageMeta) {
-            if (p2 == page || m2.notices.empty())
-                continue;
-            const bool covered = std::all_of(
-                m2.notices.begin(), m2.notices.end(),
-                [&](const auto &notice) {
-                    return notice.second <= m2.copyVt[notice.first] ||
-                           std::find(responders.begin(), responders.end(),
-                                     notice.first) != responders.end();
-                });
-            if (covered)
-                reqs.push_back({p2, m2.copyVt});
-        }
-    }
+    std::vector<BatchPageReq> reqs;
+    snapshotBatchTargets(page, responders, reqs);
 
     std::vector<FetchedDiff> fetched;
     for (NodeId q : responders) {
         WireWriter w;
         w.putU32(static_cast<std::uint32_t>(reqs.size()));
-        for (const PageReq &pr : reqs) {
+        for (const BatchPageReq &pr : reqs) {
             w.putU32(pr.page);
             pr.copyVt.encode(w);
         }
@@ -619,7 +690,7 @@ LrcRuntime::fetchDiffs(PageId page)
         diffStore[{f.page, packTs(f.proc, f.idx)}] = {std::move(f.diff),
                                                       f.vtSum};
     }
-    for (const PageReq &pr : reqs) {
+    for (const BatchPageReq &pr : reqs) {
         PageMeta &m = meta(pr.page);
         std::erase_if(m.notices, [&](const auto &notice) {
             return notice.second <= m.copyVt[notice.first];
@@ -701,7 +772,130 @@ LrcRuntime::fetchDiffsLegacy(PageId page)
 }
 
 void
+LrcRuntime::fetchFromHome(PageId page)
+{
+    std::unique_lock<std::mutex> g(*mu);
+    for (;;) {
+        if (pages.access(page) != PageAccess::None)
+            return; // resolved concurrently (flush apply or migration)
+
+        if (homes.isHome(page)) {
+            // Our copy is the home copy: every pending notice names an
+            // interval whose flush was sent before the notice could
+            // reach us, so the service thread will apply it in place.
+            // (A concurrent migration away hands the role — and the
+            // wait — over to the remote-fetch branch below.)
+            homeCv.wait(g, [&] {
+                return pages.access(page) != PageAccess::None ||
+                       !homes.isHome(page);
+            });
+            continue;
+        }
+
+        const NodeId home = homes.homeOf(page);
+        VectorTime need;
+        {
+            PageMeta &m = meta(page);
+            need = m.copyVt;
+            for (const auto &[proc, idx] : m.notices)
+                need[proc] = std::max(need[proc], idx);
+        }
+        g.unlock();
+        stats().pageFetchRoundTrips++;
+        Message reply = ep->call(home, MsgType::HomePageRequest,
+                                 encodePageRequest(id, page, need));
+        g.lock();
+        if (homes.isHome(page)) {
+            // The page migrated to us while the request was in flight
+            // (the reply is our own copy, possibly older than what the
+            // migration installed): discard it and wait as the home.
+            BufferPool::instance().release(std::move(reply.payload));
+            continue;
+        }
+        WireReader r(reply.payload);
+        VectorTime got = VectorTime::decode(r);
+        r.getBytes(arena->at(arena->pageBase(page)), arena->pageSize());
+        clock().add(costModel().perWordApplyNs *
+                    (arena->pageSize() / 4));
+        PageMeta &m = meta(page);
+        m.copyVt.mergeMax(got);
+        std::erase_if(m.notices, [&](const auto &notice) {
+            return notice.second <= m.copyVt[notice.first];
+        });
+        DSM_ASSERT(m.notices.empty(),
+                   "page %u still has pending notices after home fetch",
+                   page);
+        pages.setAccess(page, PageAccess::Read);
+        BufferPool::instance().release(std::move(reply.payload));
+        return;
+    }
+}
+
+void
 LrcRuntime::fetchTimestamps(PageId page)
+{
+    if (!cluster->batchDiffFetch) {
+        fetchTimestampsLegacy(page);
+        return;
+    }
+
+    // One batched request per writer instead of one per (page,
+    // writer): snapshot the target page's pending writers, piggyback
+    // every other invalid page whose pending writers are a subset, and
+    // reuse the DiffBatchRequest framing for timestamp runs.
+    std::vector<NodeId> responders;
+    std::vector<BatchPageReq> reqs;
+    snapshotBatchTargets(page, responders, reqs);
+    VectorTime global_vt;
+    {
+        std::lock_guard<std::mutex> g(*mu);
+        global_vt = vt;
+    }
+
+    std::map<PageId, std::vector<TsReplySet>> replies;
+    for (NodeId q : responders) {
+        WireWriter w;
+        global_vt.encode(w);
+        w.putU32(static_cast<std::uint32_t>(reqs.size()));
+        for (const BatchPageReq &pr : reqs) {
+            w.putU32(pr.page);
+            pr.copyVt.encode(w);
+        }
+        stats().tsRequestsSent++;
+        Message msg = ep->call(q, MsgType::PageTsBatchRequest, w.take());
+        WireReader r(msg.payload);
+        const std::uint32_t npages = r.getU32();
+        for (std::uint32_t i = 0; i < npages; ++i) {
+            const PageId p = r.getU32();
+            TsReplySet reply;
+            reply.pageVt = VectorTime::decode(r);
+            const std::uint32_t nruns = r.getU32();
+            for (std::uint32_t j = 0; j < nruns; ++j) {
+                TsRun run;
+                run.firstBlock = r.getU32();
+                run.numBlocks = r.getU32();
+                run.ts = r.getU64();
+                std::vector<std::byte> bytes(std::size_t{run.numBlocks} *
+                                             4);
+                r.getBytes(bytes.data(), bytes.size());
+                reply.runs.push_back(run);
+                reply.data.push_back(std::move(bytes));
+            }
+            replies[p].push_back(std::move(reply));
+        }
+        BufferPool::instance().release(std::move(msg.payload));
+    }
+
+    std::lock_guard<std::mutex> g(*mu);
+    for (const BatchPageReq &pr : reqs) {
+        applyTsReplies(pr.page, replies[pr.page]);
+        if (pr.page != page)
+            stats().tsPagesPiggybacked++;
+    }
+}
+
+void
+LrcRuntime::fetchTimestampsLegacy(PageId page)
 {
     std::vector<NodeId> responders;
     VectorTime copy_vt;
@@ -719,26 +913,21 @@ LrcRuntime::fetchTimestamps(PageId page)
         }
     }
 
-    struct TsReply
-    {
-        VectorTime pageVt;
-        std::vector<TsRun> runs;
-        std::vector<std::vector<std::byte>> data;
-    };
     VectorTime global_vt;
     {
         std::lock_guard<std::mutex> g(*mu);
         global_vt = vt;
     }
-    std::vector<TsReply> replies;
+    std::vector<TsReplySet> replies;
     for (NodeId q : responders) {
         WireWriter w;
         w.putU32(page);
         copy_vt.encode(w);
         global_vt.encode(w);
+        stats().tsRequestsSent++;
         Message msg = ep->call(q, MsgType::PageTsRequest, w.take());
         WireReader r(msg.payload);
-        TsReply reply;
+        TsReplySet reply;
         reply.pageVt = VectorTime::decode(r);
         const std::uint32_t nruns = r.getU32();
         for (std::uint32_t i = 0; i < nruns; ++i) {
@@ -756,6 +945,13 @@ LrcRuntime::fetchTimestamps(PageId page)
     }
 
     std::lock_guard<std::mutex> g(*mu);
+    applyTsReplies(page, replies);
+}
+
+void
+LrcRuntime::applyTsReplies(PageId page,
+                           const std::vector<TsReplySet> &replies)
+{
     PageMeta &m = meta(page);
     BlockTimestamps &ts = tsOf(page);
     std::byte *base = arena->at(arena->pageBase(page));
@@ -780,7 +976,7 @@ LrcRuntime::fetchTimestamps(PageId page)
     };
 
     std::uint64_t words_applied = 0;
-    for (const TsReply &reply : replies) {
+    for (const TsReplySet &reply : replies) {
         for (std::size_t i = 0; i < reply.runs.size(); ++i) {
             const TsRun &run = reply.runs[i];
             const std::vector<std::byte> &bytes = reply.data[i];
@@ -808,10 +1004,9 @@ LrcRuntime::fetchTimestamps(PageId page)
         for (auto &[np_, ni] : m.notices) {
             std::fprintf(stderr,
                          "[node %d] page %u leftover notice (%d,%u) "
-                         "copyVt=%s vt=%s global=%s\n",
+                         "copyVt=%s vt=%s\n",
                          id, page, np_, ni, m.copyVt.toString().c_str(),
-                         vt.toString().c_str(),
-                         global_vt.toString().c_str());
+                         vt.toString().c_str());
         }
     }
     DSM_ASSERT(m.notices.empty(),
@@ -831,6 +1026,18 @@ LrcRuntime::handleMessage(Message &msg)
         break;
       case MsgType::PageTsRequest:
         handlePageTsRequest(msg);
+        break;
+      case MsgType::PageTsBatchRequest:
+        handlePageTsBatchRequest(msg);
+        break;
+      case MsgType::HomeDiffFlush:
+        handleHomeDiffFlush(msg);
+        break;
+      case MsgType::HomePageRequest:
+        handleHomePageRequest(msg);
+        break;
+      case MsgType::HomeMigrate:
+        handleHomeMigrate(msg);
         break;
       default:
         Runtime::handleMessage(msg);
@@ -892,15 +1099,10 @@ LrcRuntime::handleDiffBatchRequest(Message &msg)
 }
 
 void
-LrcRuntime::handlePageTsRequest(Message &msg)
+LrcRuntime::encodeTsNewerThan(WireWriter &w, PageId page,
+                              const VectorTime &req_vt,
+                              const VectorTime &req_global)
 {
-    WireReader r(msg.payload);
-    const PageId page = r.getU32();
-    VectorTime req_vt = VectorTime::decode(r);
-    VectorTime req_global = VectorTime::decode(r);
-
-    std::lock_guard<std::mutex> g(*mu);
-    WireWriter w;
     // The requester's copy will reflect, at most, intervals within its
     // own vector: cap the advertised knowledge accordingly.
     VectorTime page_vt = meta(page).copyVt;
@@ -934,7 +1136,371 @@ LrcRuntime::handlePageTsRequest(Message &msg)
                                std::size_t{run.numBlocks} * 4;
     }
     stats().tsRunsSent += runs.size();
+}
+
+void
+LrcRuntime::handlePageTsRequest(Message &msg)
+{
+    WireReader r(msg.payload);
+    const PageId page = r.getU32();
+    VectorTime req_vt = VectorTime::decode(r);
+    VectorTime req_global = VectorTime::decode(r);
+
+    std::lock_guard<std::mutex> g(*mu);
+    WireWriter w;
+    encodeTsNewerThan(w, page, req_vt, req_global);
     ep->reply(msg.src, MsgType::PageTsReply, w.take(), msg.replyToken);
+}
+
+void
+LrcRuntime::handlePageTsBatchRequest(Message &msg)
+{
+    WireReader r(msg.payload);
+    VectorTime req_global = VectorTime::decode(r);
+    const std::uint32_t npages = r.getU32();
+
+    std::lock_guard<std::mutex> g(*mu);
+    WireWriter w;
+    w.putU32(npages);
+    for (std::uint32_t i = 0; i < npages; ++i) {
+        const PageId page = r.getU32();
+        VectorTime req_vt = VectorTime::decode(r);
+        w.putU32(page);
+        encodeTsNewerThan(w, page, req_vt, req_global);
+    }
+    ep->reply(msg.src, MsgType::PageTsBatchReply, w.take(),
+              msg.replyToken);
+}
+
+// ---------------------------------------------------------------------
+// Home-based protocol servicing.
+
+void
+LrcRuntime::replyHomePage(NodeId origin, std::uint64_t token,
+                          PageId page, const PageHomeTable::HomeState &hs)
+{
+    WireWriter w;
+    hs.appliedVt.encode(w);
+    w.putBytes(arena->at(arena->pageBase(page)), arena->pageSize());
+    ep->reply(origin, MsgType::HomePageReply, w.take(), token);
+}
+
+void
+LrcRuntime::serveParkedPageRequests()
+{
+    for (auto it = parkedPageReqs.begin();
+         it != parkedPageReqs.end();) {
+        if (!homes.isHome(it->page)) {
+            // Migrated away while parked: the request chases the home.
+            ep->send(homes.homeOf(it->page), MsgType::HomePageRequest,
+                     encodePageRequest(it->origin, it->page, it->need),
+                     it->token);
+            it = parkedPageReqs.erase(it);
+            continue;
+        }
+        PageHomeTable::HomeState *hs = homes.find(it->page);
+        if (hs && hs->appliedVt.dominates(it->need)) {
+            replyHomePage(it->origin, it->token, it->page, *hs);
+            it = parkedPageReqs.erase(it);
+            continue;
+        }
+        ++it;
+    }
+}
+
+void
+LrcRuntime::migrateHome(PageId page, NodeId new_home)
+{
+    PageHomeTable::HomeState *hs = homes.find(page);
+    DSM_ASSERT(hs && new_home != id, "bad migration of page %u", page);
+    stats().homeMigrations++;
+    const std::uint32_t epoch = homes.epochOf(page) + 1;
+
+    for (NodeId n = 0; n < numProcs; ++n) {
+        if (n == id)
+            continue;
+        WireWriter w;
+        w.putU32(page);
+        w.putU16(static_cast<std::uint16_t>(new_home));
+        w.putU32(epoch);
+        if (n == new_home) {
+            // The new home gets the full role: copy, applied vector,
+            // and the word ordering sums (run-length encoded; most
+            // words of a typical page are unstamped).
+            w.putU8(1);
+            hs->appliedVt.encode(w);
+            auto runs = collectValueRuns(
+                hs->wordSums, [](std::uint64_t v) { return v != 0; });
+            w.putU32(static_cast<std::uint32_t>(runs.size()));
+            for (const auto &[run, value] : runs) {
+                w.putU32(run.start);
+                w.putU32(run.length);
+                w.putU64(value);
+            }
+            w.putBytes(arena->at(arena->pageBase(page)),
+                       arena->pageSize());
+        } else {
+            w.putU8(0);
+        }
+        ep->send(n, MsgType::HomeMigrate, w.take());
+    }
+
+    homes.setHome(page, new_home, epoch);
+    homes.drop(page);
+    // Our copy stays behind as an ordinary cached replica; meta.copyVt
+    // already tracks what it contains, and future notices invalidate
+    // it like any other copy.
+    serveParkedPageRequests(); // forwards this page's parked requests
+    for (auto it = parkedFlushes.begin(); it != parkedFlushes.end();) {
+        if (it->page != page) {
+            ++it;
+            continue;
+        }
+        sendSingleFlush(new_home, it->page, it->proc, it->idx,
+                        it->prevIdx, it->vtSum, it->diff);
+        it = parkedFlushes.erase(it);
+    }
+    homeCv.notify_all(); // a local app thread may be waiting as home
+}
+
+void
+LrcRuntime::sendSingleFlush(NodeId dst, PageId page, NodeId proc,
+                            std::uint32_t idx, std::uint32_t prev_idx,
+                            std::uint64_t vt_sum, const Diff &diff)
+{
+    WireWriter w;
+    w.putU16(static_cast<std::uint16_t>(proc));
+    w.putU32(idx);
+    w.putU64(vt_sum);
+    w.putU32(1);
+    w.putU32(page);
+    w.putU32(prev_idx);
+    diff.encode(w);
+    ep->send(dst, MsgType::HomeDiffFlush, w.take());
+}
+
+bool
+LrcRuntime::applyFlushAtHome(PageId page, NodeId proc, std::uint32_t idx,
+                             std::uint64_t vt_sum, const Diff &diff)
+{
+    PageHomeTable::HomeState &hs = homes.state(
+        page, static_cast<std::uint32_t>(arena->pageSize() / 4));
+    std::byte *base = arena->at(arena->pageBase(page));
+    // Mirror the flush into an open twin so the next cur-vs-twin diff
+    // stays exactly our own writes (see applyDiffGuarded's doc).
+    std::byte *twin = twins.hasPage(page)
+                          ? twins.pageTwinMut(page).data()
+                          : nullptr;
+    const std::uint64_t words = applyDiffGuarded(
+        base, hs.wordSums, diff, vt_sum, &stats(), twin);
+    clock().add(costModel().perWordApplyNs * words);
+    hs.appliedVt[proc] = std::max(hs.appliedVt[proc], idx);
+
+    // The home's own copy is always current: fold the flush into the
+    // regular per-page bookkeeping so pending notices resolve and the
+    // page never needs a fetch here. Local access additionally waits
+    // for our own writes to finish chasing a migration hand-off (the
+    // install may have regressed them; program order for own reads).
+    PageMeta &m = meta(page);
+    m.copyVt[proc] = std::max(m.copyVt[proc], idx);
+    std::erase_if(m.notices, [&](const auto &notice) {
+        return notice.second <= m.copyVt[notice.first];
+    });
+    if (m.notices.empty() && hs.appliedVt[id] >= m.copyVt[id] &&
+        pages.access(page) == PageAccess::None) {
+        pages.setAccess(page, PageAccess::Read);
+    }
+    return homes.countAccess(hs, proc);
+}
+
+void
+LrcRuntime::drainParkedFlushes()
+{
+    std::vector<std::pair<PageId, NodeId>> migrate;
+    bool progress = true;
+    while (progress) {
+        progress = false;
+        for (auto it = parkedFlushes.begin();
+             it != parkedFlushes.end();) {
+            if (!homes.isHome(it->page)) {
+                sendSingleFlush(homes.homeOf(it->page), it->page,
+                                it->proc, it->idx, it->prevIdx,
+                                it->vtSum, it->diff);
+                it = parkedFlushes.erase(it);
+                continue;
+            }
+            PageHomeTable::HomeState &hs = homes.state(
+                it->page,
+                static_cast<std::uint32_t>(arena->pageSize() / 4));
+            if (hs.appliedVt[it->proc] < it->prevIdx) {
+                ++it;
+                continue;
+            }
+            if (applyFlushAtHome(it->page, it->proc, it->idx, it->vtSum,
+                                 it->diff)) {
+                migrate.emplace_back(it->page, it->proc);
+            }
+            it = parkedFlushes.erase(it);
+            progress = true;
+        }
+    }
+    for (const auto &[page, node] : migrate) {
+        if (homes.isHome(page))
+            migrateHome(page, node);
+    }
+}
+
+void
+LrcRuntime::handleHomeDiffFlush(Message &msg)
+{
+    WireReader r(msg.payload);
+    const NodeId proc = static_cast<NodeId>(r.getU16());
+    const std::uint32_t idx = r.getU32();
+    const std::uint64_t vt_sum = r.getU64();
+    const std::uint32_t npages = r.getU32();
+
+    std::lock_guard<std::mutex> g(*mu);
+    const std::uint32_t page_words =
+        static_cast<std::uint32_t>(arena->pageSize() / 4);
+    std::vector<std::pair<PageId, NodeId>> migrate;
+    for (std::uint32_t i = 0; i < npages; ++i) {
+        const PageId page = r.getU32();
+        const std::uint32_t prev_idx = r.getU32();
+        Diff d = Diff::decode(r);
+        if (!homes.isHome(page)) {
+            // Stale mapping somewhere along the chain: pass the diff
+            // to whoever we believe is the home now.
+            sendSingleFlush(homes.homeOf(page), page, proc, idx,
+                            prev_idx, vt_sum, d);
+            continue;
+        }
+        PageHomeTable::HomeState &hs = homes.state(page, page_words);
+        if (hs.appliedVt[proc] < prev_idx) {
+            // The writer's previous flush for this page is still in
+            // flight (it took a longer forwarding chain than this
+            // one): hold this diff, or appliedVt would claim an
+            // interval whose words the copy does not have.
+            parkedFlushes.push_back(
+                {proc, idx, prev_idx, vt_sum, page, std::move(d)});
+            continue;
+        }
+        if (applyFlushAtHome(page, proc, idx, vt_sum, d))
+            migrate.emplace_back(page, proc);
+    }
+    drainParkedFlushes();
+    serveParkedPageRequests();
+    for (const auto &[page, node] : migrate) {
+        if (homes.isHome(page))
+            migrateHome(page, node);
+    }
+    homeCv.notify_all();
+}
+
+void
+LrcRuntime::handleHomePageRequest(Message &msg)
+{
+    WireReader r(msg.payload);
+    const NodeId origin = static_cast<NodeId>(r.getU16());
+    const PageId page = r.getU32();
+    VectorTime need = VectorTime::decode(r);
+
+    std::lock_guard<std::mutex> g(*mu);
+    if (!homes.isHome(page)) {
+        // Stale mapping: forward along the chain, keeping the reply
+        // token so the current home answers the origin directly.
+        ep->send(homes.homeOf(page), MsgType::HomePageRequest,
+                 encodePageRequest(origin, page, need), msg.replyToken);
+        return;
+    }
+
+    PageHomeTable::HomeState &hs = homes.state(
+        page, static_cast<std::uint32_t>(arena->pageSize() / 4));
+    const bool migrate = homes.countAccess(hs, origin);
+    if (hs.appliedVt.dominates(need)) {
+        replyHomePage(origin, msg.replyToken, page, hs);
+    } else {
+        // The flushes the requester's notices announce are in flight;
+        // park the request and answer when they have been applied.
+        parkedPageReqs.push_back({origin, msg.replyToken, page, need});
+    }
+    if (migrate)
+        migrateHome(page, origin);
+}
+
+void
+LrcRuntime::handleHomeMigrate(Message &msg)
+{
+    WireReader r(msg.payload);
+    const PageId page = r.getU32();
+    const NodeId new_home = static_cast<NodeId>(r.getU16());
+    const std::uint32_t epoch = r.getU32();
+    const bool full = r.getU8() != 0;
+
+    std::lock_guard<std::mutex> g(*mu);
+    if (!homes.setHome(page, new_home, epoch))
+        return; // stale broadcast of an already superseded migration
+    if (!full) {
+        serveParkedPageRequests(); // parked entries may need to chase
+        return;
+    }
+
+    // We are the new home: install the applied vector, word sums and
+    // the authoritative copy.
+    DSM_ASSERT(new_home == id, "full migration payload sent to node %d",
+               id);
+    const std::uint32_t page_words =
+        static_cast<std::uint32_t>(arena->pageSize() / 4);
+    homes.drop(page); // any stale state from an earlier tenure
+    PageHomeTable::HomeState &hs = homes.state(page, page_words);
+    hs.appliedVt = VectorTime::decode(r);
+    const std::uint32_t nruns = r.getU32();
+    for (std::uint32_t i = 0; i < nruns; ++i) {
+        const std::uint32_t start = r.getU32();
+        const std::uint32_t length = r.getU32();
+        const std::uint64_t value = r.getU64();
+        for (std::uint32_t k = 0; k < length; ++k)
+            hs.wordSums[start + k] = value;
+    }
+
+    std::byte *base = arena->at(arena->pageBase(page));
+    if (twins.hasPage(page)) {
+        // Mid-interval migration: our uncommitted writes live only in
+        // the local copy. Re-base both the copy and the twin on the
+        // incoming home copy, then replay our writes on top so the
+        // next interval close still captures exactly them.
+        Diff local = Diff::create(base, twins.pageTwin(page).data(),
+                                  static_cast<std::uint32_t>(
+                                      arena->pageSize()));
+        r.getBytes(twins.pageTwinMut(page).data(), arena->pageSize());
+        std::memcpy(base, twins.pageTwin(page).data(),
+                    arena->pageSize());
+        local.apply(base);
+    } else {
+        r.getBytes(base, arena->pageSize());
+    }
+
+    PageMeta &m = meta(page);
+    m.copyVt.mergeMax(hs.appliedVt);
+    std::erase_if(m.notices, [&](const auto &notice) {
+        return notice.second <= m.copyVt[notice.first];
+    });
+    if (!twins.hasPage(page) && m.copyVt[id] > hs.appliedVt[id]) {
+        // Our own committed writes for this page are still chasing the
+        // home chain (flushed to a stale home, not yet forwarded back
+        // to us), so the installed copy regresses them. appliedVt
+        // describes the copy truthfully for remote requests, but our
+        // own reads expect program order: hold local access until the
+        // chain catches up. (With an open twin the page must stay
+        // writable; that doubly-migrated window is a known residual,
+        // see ROADMAP.)
+        pages.setAccess(page, PageAccess::None);
+    } else if (m.notices.empty() && m.copyVt[id] <= hs.appliedVt[id] &&
+               pages.access(page) == PageAccess::None) {
+        pages.setAccess(page, PageAccess::Read);
+    }
+
+    serveParkedPageRequests();
+    homeCv.notify_all();
 }
 
 } // namespace dsm

@@ -18,15 +18,26 @@
  *
  * Write trapping is twinning (software-VM write faults) or compiler
  * instrumentation with hierarchical page + word dirty bits.
+ *
+ * A second, home-based variant (ClusterConfig::homeBasedLrc, diffing
+ * only) gives every page a home node: interval close flushes diffs to
+ * the homes eagerly (HomeDiffFlush), homes apply them in place, and an
+ * access miss fetches one full up-to-date page copy from the home
+ * (HomePageRequest/Reply) instead of collecting a diff chain from
+ * every concurrent writer. No diffs are stored anywhere, so the
+ * barrier-time diff GC handshake is a no-op, and homes migrate to the
+ * dominant remote accessor past a configurable threshold.
  */
 
 #ifndef DSM_CORE_LRC_RUNTIME_HH
 #define DSM_CORE_LRC_RUNTIME_HH
 
+#include <condition_variable>
 #include <map>
 #include <unordered_map>
 
 #include "core/interval_log.hh"
+#include "core/page_home.hh"
 #include "core/runtime.hh"
 #include "mem/diff.hh"
 #include "mem/dirty_bits.hh"
@@ -53,6 +64,14 @@ class LrcRuntime : public Runtime
     // only while the cluster is quiescent, e.g. after run()).
     std::size_t intervalRecordCount() const { return ilog.totalRecords(); }
     std::size_t diffStoreSize() const { return diffStore.size(); }
+    NodeId pageHomeOf(PageId page) const { return homes.homeOf(page); }
+
+    /** Home-based variant active? (homeBasedLrc + diff collection) */
+    bool
+    homeMode() const
+    {
+        return cluster->homeBasedLrc && usesDiffing();
+    }
 
   protected:
     void preBarrier() override;
@@ -92,6 +111,12 @@ class LrcRuntime : public Runtime
     void fetchDiffs(PageId page);
     void fetchDiffsLegacy(PageId page);
     void fetchTimestamps(PageId page);
+    void fetchTimestampsLegacy(PageId page);
+
+    /** Home mode: make @p page current with one request/reply against
+     *  its home (or, at the home itself, by waiting for the in-flight
+     *  flushes the pending notices announce). */
+    void fetchFromHome(PageId page);
 
     /** Ensure @p page is present (fetch on access==None). Returns with
      *  the node mutex *released*. */
@@ -117,11 +142,54 @@ class LrcRuntime : public Runtime
     void handleDiffRequest(Message &msg);
     void handleDiffBatchRequest(Message &msg);
     void handlePageTsRequest(Message &msg);
+    void handlePageTsBatchRequest(Message &msg);
+
+    // Home-based protocol (service thread; all take the node mutex).
+    void handleHomeDiffFlush(Message &msg);
+    void handleHomePageRequest(Message &msg);
+    void handleHomeMigrate(Message &msg);
+
+    /** Reply to a page request with the home's full copy. Mutex held. */
+    void replyHomePage(NodeId origin, std::uint64_t token, PageId page,
+                       const PageHomeTable::HomeState &hs);
+
+    /** Serve, forward or keep each parked page request. Mutex held. */
+    void serveParkedPageRequests();
+
+    /** Re-encode one page's flush and send it to @p dst (forwarding on
+     *  stale mappings and migration hand-offs). Mutex held. */
+    void sendSingleFlush(NodeId dst, PageId page, NodeId proc,
+                         std::uint32_t idx, std::uint32_t prev_idx,
+                         std::uint64_t vt_sum, const Diff &diff);
+
+    /**
+     * Apply one flushed diff in place at the home (the caller has
+     * checked the writer chain: the writer's previous flush for this
+     * page is already applied). Returns true when the access counter
+     * says the home should migrate to @p proc. Mutex held.
+     */
+    bool applyFlushAtHome(PageId page, NodeId proc, std::uint32_t idx,
+                          std::uint64_t vt_sum, const Diff &diff);
+
+    /** Apply every parked flush whose predecessor has arrived, forward
+     *  those whose page migrated away, and run any migrations they
+     *  trigger. Mutex held. */
+    void drainParkedFlushes();
+
+    /** Hand @p page's home role to @p new_home. Mutex held. */
+    void migrateHome(PageId page, NodeId new_home);
 
     /** Encode every stored diff of @p page newer than @p req_vt (one
      *  count prefix plus (proc, idx, vtSum, diff) tuples). */
     void encodeDiffsNewerThan(WireWriter &w, PageId page,
                               const VectorTime &req_vt);
+
+    /** Encode the timestamp runs of @p page newer than the requester's
+     *  page copy @p req_vt, capped at its global vector @p req_global
+     *  (the page vector prefix plus counted runs). */
+    void encodeTsNewerThan(WireWriter &w, PageId page,
+                           const VectorTime &req_vt,
+                           const VectorTime &req_global);
 
     bool usesTwinning() const
     {
@@ -141,6 +209,40 @@ class LrcRuntime : public Runtime
         std::uint64_t vtSum = 0;
     };
 
+    /** A page in a batched fetch: its id plus the vector of writes the
+     *  local copy already contains. */
+    struct BatchPageReq
+    {
+        PageId page;
+        VectorTime copyVt;
+    };
+
+    /**
+     * Snapshot @p page's pending writers into @p responders, and into
+     * @p reqs the page itself plus every other invalid page whose
+     * pending writers are a subset (the piggyback set — those pages
+     * become fully consistent from the same round trips). Takes the
+     * node mutex; the snapshot stays valid across the blocking fetch
+     * calls because only the app thread adds or clears notices.
+     */
+    void snapshotBatchTargets(PageId page,
+                              std::vector<NodeId> &responders,
+                              std::vector<BatchPageReq> &reqs);
+
+    /** One responder's timestamp runs for one page. */
+    struct TsReplySet
+    {
+        VectorTime pageVt;
+        std::vector<TsRun> runs;
+        std::vector<std::vector<std::byte>> data;
+    };
+
+    /** Merge all responders' runs for @p page into the local copy in
+     *  happens-before order, clear its notices and revalidate it.
+     *  Caller holds the node mutex. */
+    void applyTsReplies(PageId page,
+                        const std::vector<TsReplySet> &replies);
+
     VectorTime vt;  ///< vt[self] = last closed
     IntervalLog ilog;
     std::map<std::pair<PageId, std::uint64_t>, DiffEntry> diffStore;
@@ -150,6 +252,36 @@ class LrcRuntime : public Runtime
     TwinStore twins;
     DirtyBitmap dirty;
     std::uint32_t lastBarrierSentIdx = 0;
+
+    // Home-based state (unused in homeless mode).
+    PageHomeTable homes;
+    /** Wakes an app thread blocked on its own home copy (waiting for
+     *  in-flight flushes) or on a mid-fetch home migration. */
+    std::condition_variable homeCv;
+    /** Page requests the home cannot answer yet: the needed flushes
+     *  are in flight but not applied. */
+    struct ParkedPageReq
+    {
+        NodeId origin;
+        std::uint64_t token;
+        PageId page;
+        VectorTime need;
+    };
+    std::vector<ParkedPageReq> parkedPageReqs;
+    /** Flushes the home cannot apply yet: the writer's previous flush
+     *  for the page (prevIdx) is still in flight on a forwarding
+     *  chain, so applying this one would let appliedVt claim an
+     *  interval whose words the copy does not hold. */
+    struct ParkedFlush
+    {
+        NodeId proc;
+        std::uint32_t idx;
+        std::uint32_t prevIdx;
+        std::uint64_t vtSum;
+        PageId page;
+        Diff diff;
+    };
+    std::vector<ParkedFlush> parkedFlushes;
 
     /** Set by preBarrier when this node validated all its pages ahead
      *  of the upcoming arrival (the local half of the GC handshake). */

@@ -1,0 +1,71 @@
+#include "core/page_home.hh"
+
+#include <algorithm>
+#include <cstring>
+
+#include "mem/wide_scan.hh"
+#include "util/logging.hh"
+
+namespace dsm {
+
+std::uint64_t
+applyDiffGuarded(std::byte *dst, std::vector<std::uint64_t> &word_sums,
+                 const Diff &diff, std::uint64_t vt_sum, NodeStats *stats,
+                 std::byte *shadow)
+{
+    std::uint64_t words_written = 0;
+    for (const DiffRun &run : diff.diffRuns()) {
+        const std::span<const std::byte> data = diff.runData(run);
+        const std::uint32_t first_word = run.offset / Diff::kWordBytes;
+        const std::uint32_t nwords =
+            (run.size + Diff::kWordBytes - 1) / Diff::kWordBytes;
+        DSM_ASSERT(run.offset % Diff::kWordBytes == 0 &&
+                       first_word + nwords <= word_sums.size(),
+                   "flush run outside the page");
+        for (std::uint32_t k = 0; k < nwords; ++k) {
+            const std::uint32_t word = first_word + k;
+            if (vt_sum < word_sums[word])
+                continue;
+            const std::uint32_t byte = k * Diff::kWordBytes;
+            const std::uint32_t len = std::min<std::uint32_t>(
+                Diff::kWordBytes, run.size - byte);
+            std::memcpy(dst + run.offset + byte, data.data() + byte,
+                        len);
+            if (shadow) {
+                std::memcpy(shadow + run.offset + byte,
+                            data.data() + byte, len);
+            }
+            word_sums[word] = vt_sum;
+            ++words_written;
+        }
+    }
+    if (stats)
+        stats->diffsApplied++;
+    return words_written;
+}
+
+std::uint64_t
+stampChangedWordSums(std::vector<std::uint64_t> &word_sums,
+                     const std::byte *cur, const std::byte *twin,
+                     std::uint32_t len, std::uint64_t vt_sum, bool wide)
+{
+    const std::uint32_t words = len / Diff::kWordBytes;
+    std::uint64_t stamped = 0;
+    std::uint32_t w = findDiffWord(cur, twin, 0, words, wide);
+    while (w < words) {
+        const std::uint32_t e = findSameWord(cur, twin, w, words);
+        for (std::uint32_t k = w; k < e; ++k)
+            word_sums[k] = std::max(word_sums[k], vt_sum);
+        stamped += e - w;
+        w = findDiffWord(cur, twin, e, words, wide);
+    }
+    // Trailing short word (objects need not be word multiples).
+    const std::uint32_t tail = words * Diff::kWordBytes;
+    if (tail < len && std::memcmp(cur + tail, twin + tail, len - tail)) {
+        word_sums[words] = std::max(word_sums[words], vt_sum);
+        ++stamped;
+    }
+    return stamped;
+}
+
+} // namespace dsm

@@ -18,6 +18,12 @@ toString(MsgType type)
       case MsgType::PageTsReply: return "PageTsReply";
       case MsgType::DiffBatchRequest: return "DiffBatchRequest";
       case MsgType::DiffBatchReply: return "DiffBatchReply";
+      case MsgType::PageTsBatchRequest: return "PageTsBatchRequest";
+      case MsgType::PageTsBatchReply: return "PageTsBatchReply";
+      case MsgType::HomeDiffFlush: return "HomeDiffFlush";
+      case MsgType::HomePageRequest: return "HomePageRequest";
+      case MsgType::HomePageReply: return "HomePageReply";
+      case MsgType::HomeMigrate: return "HomeMigrate";
       case MsgType::Shutdown: return "Shutdown";
       default: return "Unknown";
     }

@@ -36,6 +36,16 @@ enum class MsgType : std::uint8_t
     DiffBatchRequest, ///< faulting node -> writer: several pages' worth
                       ///< of missing intervals in one round trip
     DiffBatchReply,
+    PageTsBatchRequest, ///< faulting node -> writer: timestamp runs for
+                        ///< several pages in one round trip
+    PageTsBatchReply,
+
+    // Home-based LRC (pages have homes that absorb diffs eagerly).
+    HomeDiffFlush,   ///< writer -> home: diffs of one closed interval
+    HomePageRequest, ///< faulting node -> home (forwarded on stale maps)
+    HomePageReply,   ///< home -> faulting node: full up-to-date copy
+    HomeMigrate,     ///< old home -> everyone: mapping update, plus the
+                     ///< page copy + home state for the new home
 
     // Infrastructure.
     Shutdown,      ///< cluster teardown of the service loop

@@ -39,6 +39,11 @@ forEachField(Stats &s, Fn fn)
     fn("accessMisses", s.accessMisses);
     fn("diffRequestsSent", s.diffRequestsSent);
     fn("diffPagesPiggybacked", s.diffPagesPiggybacked);
+    fn("tsRequestsSent", s.tsRequestsSent);
+    fn("tsPagesPiggybacked", s.tsPagesPiggybacked);
+    fn("homeFlushesSent", s.homeFlushesSent);
+    fn("pageFetchRoundTrips", s.pageFetchRoundTrips);
+    fn("homeMigrations", s.homeMigrations);
     fn("gcRounds", s.gcRounds);
     fn("gcRecordsReclaimed", s.gcRecordsReclaimed);
     fn("gcDiffsReclaimed", s.gcDiffsReclaimed);

@@ -60,6 +60,13 @@ struct NodeStats
     std::uint64_t accessMisses = 0;
     std::uint64_t diffRequestsSent = 0;
     std::uint64_t diffPagesPiggybacked = 0;
+    std::uint64_t tsRequestsSent = 0;
+    std::uint64_t tsPagesPiggybacked = 0;
+
+    // Home-based LRC.
+    std::uint64_t homeFlushesSent = 0;
+    std::uint64_t pageFetchRoundTrips = 0;
+    std::uint64_t homeMigrations = 0;
 
     // Barrier-time interval/diff garbage collection.
     std::uint64_t gcRounds = 0;

@@ -8,10 +8,27 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+
 #include "driver/experiment.hh"
 
 namespace dsm {
 namespace {
+
+/** Shared cluster base; the DSM_HOME=1 CI leg runs the entire sweep
+ *  in home-based LRC mode (effective for LRC-diff, a no-op for the
+ *  other configurations). */
+ClusterConfig
+baseConfig()
+{
+    ClusterConfig base;
+    base.nprocs = 4;
+    base.arenaBytes = 8u << 20;
+    base.pageSize = 1024;
+    if (const char *v = std::getenv("DSM_HOME"))
+        base.homeBasedLrc = std::atoi(v) != 0;
+    return base;
+}
 
 class AppConfigTest : public ::testing::TestWithParam<
                           std::tuple<std::string, std::string>>
@@ -21,10 +38,7 @@ TEST_P(AppConfigTest, MatchesSequential)
 {
     const auto &[app, config_name] = GetParam();
     AppParams params = AppParams::testScale();
-    ClusterConfig base;
-    base.nprocs = 4;
-    base.arenaBytes = 8u << 20;
-    base.pageSize = 1024;
+    ClusterConfig base = baseConfig();
 
     ExperimentResult r = runExperiment(
         app, RuntimeConfig::parse(config_name), params, base,
@@ -56,10 +70,7 @@ TEST(WaterRestructured, MatchesSequential)
 {
     AppParams params = AppParams::testScale();
     params.waterRestructured = true;
-    ClusterConfig base;
-    base.nprocs = 4;
-    base.arenaBytes = 8u << 20;
-    base.pageSize = 1024;
+    ClusterConfig base = baseConfig();
     for (const char *config : {"EC-time", "LRC-diff"}) {
         ExperimentResult r =
             runExperiment("Water", RuntimeConfig::parse(config), params,
@@ -75,10 +86,9 @@ class NprocsTest : public ::testing::TestWithParam<int>
 TEST_P(NprocsTest, SorAcrossClusterSizes)
 {
     AppParams params = AppParams::testScale();
-    ClusterConfig base;
+    ClusterConfig base = baseConfig();
     base.nprocs = GetParam();
     base.arenaBytes = 4u << 20;
-    base.pageSize = 1024;
     for (const char *config : {"EC-diff", "LRC-diff"}) {
         ExperimentResult r = runExperiment(
             "SOR", RuntimeConfig::parse(config), params, base, false);
@@ -95,10 +105,7 @@ INSTANTIATE_TEST_SUITE_P(Sizes, NprocsTest,
 TEST(ModelSweep, PicksFastest)
 {
     AppParams params = AppParams::testScale();
-    ClusterConfig base;
-    base.nprocs = 4;
-    base.arenaBytes = 8u << 20;
-    base.pageSize = 1024;
+    ClusterConfig base = baseConfig();
     ModelSweep sweep = sweepModel(Model::EC, "IS", params, base);
     ASSERT_EQ(sweep.results.size(), 3u);
     for (const auto &r : sweep.results) {

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Home-based LRC invariants:
+ *  - no node ever stores a diff (homes apply flushes in place, clients
+ *    fetch full copies), across dozens of epochs;
+ *  - an access miss on a remotely homed page costs exactly one
+ *    request/reply round trip, counter-asserted;
+ *  - a deliberately skewed access pattern migrates the home past the
+ *    threshold and stays correct before, during and after the move.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/cluster.hh"
+#include "core/shared_array.hh"
+
+namespace dsm {
+namespace {
+
+ClusterConfig
+homeConfig(int nprocs, std::uint32_t migrate_threshold)
+{
+    ClusterConfig cc;
+    cc.nprocs = nprocs;
+    cc.arenaBytes = 1u << 20;
+    cc.pageSize = 1024;
+    cc.runtime = RuntimeConfig::parse("LRC-diff");
+    cc.homeBasedLrc = true;
+    cc.homeMigrateThreshold = migrate_threshold;
+    return cc;
+}
+
+LrcRuntime &
+lrcOf(Cluster &cluster, NodeId node)
+{
+    auto *lrc = dynamic_cast<LrcRuntime *>(&cluster.runtime(node));
+    EXPECT_NE(lrc, nullptr);
+    return *lrc;
+}
+
+/** 44 epochs of cross-node producing and consuming: the diff store
+ *  stays empty on every node, while the same run in homeless mode
+ *  does store diffs. */
+TEST(HomeLrc, DiffStoreStaysEmptyAcrossEpochs)
+{
+    constexpr int kEpochs = 44;
+    constexpr int kWords = 1024; // 4 pages of 1024 bytes
+    auto run = [&](bool home) {
+        ClusterConfig cc = homeConfig(4, 0);
+        cc.homeBasedLrc = home;
+        auto cluster = std::make_unique<Cluster>(cc);
+        cluster->run([&](Runtime &rt) {
+            auto a = SharedArray<int>::alloc(rt, kWords, 4, "epochs");
+            const int np = rt.nprocs();
+            const int self = rt.self();
+            const int chunk = kWords / np;
+            rt.barrier(0);
+            for (int e = 0; e < kEpochs; ++e) {
+                // Write my chunk, then read my right neighbour's.
+                for (int i = 0; i < chunk; ++i)
+                    a.set(self * chunk + i, e * 100 + self + i);
+                rt.barrier(1 + 2 * e);
+                const int peer = (self + 1) % np;
+                for (int i = 0; i < chunk; i += 7)
+                    ASSERT_EQ(a.get(peer * chunk + i),
+                              e * 100 + peer + i);
+                rt.barrier(2 + 2 * e);
+            }
+        });
+        return cluster;
+    };
+
+    auto home_cluster = run(true);
+    std::size_t homeless_diffs = 0;
+    {
+        auto homeless_cluster = run(false);
+        for (int n = 0; n < 4; ++n)
+            homeless_diffs +=
+                lrcOf(*homeless_cluster, n).diffStoreSize();
+    }
+    for (int n = 0; n < 4; ++n) {
+        EXPECT_EQ(lrcOf(*home_cluster, n).diffStoreSize(), 0u)
+            << "node " << n << " stored diffs in home mode";
+    }
+    EXPECT_GT(homeless_diffs, 0u)
+        << "homeless control run should have stored diffs";
+}
+
+/** Every cold miss on a remotely homed page is exactly one
+ *  request/reply pair: pageFetchRoundTrips == accessMisses on the
+ *  consumer, one per epoch. */
+TEST(HomeLrc, OneRoundTripPerColdMiss)
+{
+    constexpr int kEpochs = 40;
+    ClusterConfig cc = homeConfig(2, 0); // migration off
+    cc.gcAtBarriers = false; // keep proactive GC fetches out of the count
+    Cluster cluster(cc);
+    RunResult result = cluster.run([&](Runtime &rt) {
+        // One page (256 ints x 4 bytes = 1024 = page 0, homed at 0).
+        auto a = SharedArray<int>::alloc(rt, 256, 4, "page0");
+        rt.barrier(0);
+        for (int e = 0; e < kEpochs; ++e) {
+            if (rt.self() == 0) {
+                for (int i = 0; i < 256; ++i)
+                    a.set(i, e * 1000 + i);
+            }
+            rt.barrier(1 + 2 * e);
+            if (rt.self() == 1) {
+                ASSERT_EQ(a.get(17), e * 1000 + 17);
+                ASSERT_EQ(a.get(255), e * 1000 + 255);
+            }
+            rt.barrier(2 + 2 * e);
+        }
+    });
+
+    ASSERT_EQ(lrcOf(cluster, 1).pageHomeOf(0), 0);
+    const NodeStats &consumer = result.perNode[1];
+    EXPECT_EQ(consumer.accessMisses,
+              static_cast<std::uint64_t>(kEpochs));
+    EXPECT_EQ(consumer.pageFetchRoundTrips, consumer.accessMisses)
+        << "every miss must be exactly one request/reply pair";
+    // The producer writes its own homed page: no misses, no fetches.
+    EXPECT_EQ(result.perNode[0].pageFetchRoundTrips, 0u);
+    EXPECT_EQ(result.total.diffRequestsSent, 0u)
+        << "home mode must never run the homeless diff protocol";
+}
+
+/** Skewed access: node 1 writes and node 2 reads a page homed at node
+ *  0. Past the threshold the home migrates off node 0, and the data
+ *  stays correct through and after the move. */
+TEST(HomeLrc, MigratesUnderSkewedAccess)
+{
+    constexpr int kEpochs = 16;
+    ClusterConfig cc = homeConfig(4, 4);
+    Cluster cluster(cc);
+    RunResult result = cluster.run([&](Runtime &rt) {
+        auto a = SharedArray<int>::alloc(rt, 256, 4, "skew");
+        rt.barrier(0);
+        for (int e = 0; e < kEpochs; ++e) {
+            if (rt.self() == 1) {
+                for (int i = 0; i < 256; ++i)
+                    a.set(i, e * 10 + i);
+            }
+            rt.barrier(1 + 2 * e);
+            if (rt.self() == 2) {
+                for (int i = 0; i < 256; i += 13)
+                    ASSERT_EQ(a.get(i), e * 10 + i);
+            }
+            rt.barrier(2 + 2 * e);
+        }
+    });
+
+    EXPECT_GE(result.total.homeMigrations, 1u)
+        << "the skewed accessor should have pulled the home over";
+    // All nodes agree on the final mapping, and it moved off node 0.
+    const NodeId final_home = lrcOf(cluster, 0).pageHomeOf(0);
+    EXPECT_NE(final_home, 0);
+    for (int n = 1; n < 4; ++n)
+        EXPECT_EQ(lrcOf(cluster, n).pageHomeOf(0), final_home);
+    for (int n = 0; n < 4; ++n)
+        EXPECT_EQ(lrcOf(cluster, n).diffStoreSize(), 0u);
+}
+
+} // namespace
+} // namespace dsm

@@ -8,7 +8,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <numeric>
+
 #include "core/cluster.hh"
+#include "core/page_home.hh"
 #include "core/shared_array.hh"
 #include "util/rng.hh"
 
@@ -21,13 +25,15 @@ struct ChaosCase
     std::size_t pageSize;
     std::uint64_t seed;
     std::uint64_t lossEveryNth;
+    bool homeBased = false;
 };
 
 std::string
 caseName(const ChaosCase &c)
 {
-    std::string n = c.config + "_p" + std::to_string(c.pageSize) +
-                    "_s" + std::to_string(c.seed) +
+    std::string n = c.config + (c.homeBased ? "_home" : "") + "_p" +
+                    std::to_string(c.pageSize) + "_s" +
+                    std::to_string(c.seed) +
                     (c.lossEveryNth ? "_lossy" : "");
     for (char &ch : n) {
         if (ch == '-')
@@ -60,6 +66,9 @@ TEST_P(ChaosCounter, NoLostUpdates)
     cc.pageSize = c.pageSize;
     cc.runtime = RuntimeConfig::parse(c.config);
     cc.lossEveryNth = c.lossEveryNth;
+    cc.homeBasedLrc = c.homeBased;
+    // Aggressive migration so home hand-offs happen mid-chaos.
+    cc.homeMigrateThreshold = c.homeBased ? 6 : 0;
     Cluster cluster(cc);
 
     // Expected tallies are deterministic given the seeds.
@@ -153,6 +162,11 @@ chaosCases()
         cases.push_back({config.name(), 256, 7, 0});
         cases.push_back({config.name(), 1024, 11, 10});
     }
+    // The home-based LRC variant, with migrations mid-run.
+    for (std::uint64_t seed : {1ull, 2ull, 3ull})
+        cases.push_back({"LRC-diff", 1024, seed, 0, true});
+    cases.push_back({"LRC-diff", 256, 7, 0, true});
+    cases.push_back({"LRC-diff", 1024, 11, 10, true});
     return cases;
 }
 
@@ -161,6 +175,122 @@ INSTANTIATE_TEST_SUITE_P(Sweep, ChaosCounter,
                          [](const auto &info) {
                              return caseName(info.param);
                          });
+
+/**
+ * Homeless vs home-based diff application: a randomized multi-writer
+ * page history — causally ordered rounds of 1-3 concurrent writers
+ * touching disjoint words, with byte-granularity (non-word-aligned)
+ * writes and occasional gap-coalesced diffs on single-writer rounds —
+ * must converge to the same page bytes whether the diffs are applied
+ * in happens-before (sum) order, as the homeless protocol does after
+ * collecting a diff chain, or in an adversarially shuffled arrival
+ * order through the home's sum-guarded in-place application.
+ */
+TEST(HomeDiffApplication, ConvergesWithHomelessOrder)
+{
+    constexpr std::uint32_t kPageBytes = 512;
+    constexpr std::uint32_t kPageWords = kPageBytes / 4;
+
+    for (std::uint64_t trial = 0; trial < 60; ++trial) {
+        Rng rng(0xd1f5ull * 131 + trial);
+
+        std::vector<std::byte> truth(kPageBytes);
+        for (auto &b : truth)
+            b = static_cast<std::byte>(rng.below(256));
+        const std::vector<std::byte> base = truth;
+
+        struct HistoryDiff
+        {
+            Diff diff;
+            std::uint64_t vtSum;
+            std::uint64_t order; ///< tiebreak within equal sums
+        };
+        std::vector<HistoryDiff> history;
+
+        const int rounds = static_cast<int>(rng.range(2, 6));
+        for (int round = 0; round < rounds; ++round) {
+            const std::vector<std::byte> twin = truth;
+            const int writers = static_cast<int>(rng.range(1, 3));
+            // Concurrent writers of a data-race-free program touch
+            // disjoint words: partition the page among this round's
+            // writers.
+            const std::uint32_t band = kPageWords / writers;
+            for (int w = 0; w < writers; ++w) {
+                std::vector<std::byte> copy = twin;
+                const std::uint32_t lo_word = w * band;
+                const std::uint32_t hi_word =
+                    (w == writers - 1) ? kPageWords : lo_word + band;
+                const int nwrites = static_cast<int>(rng.range(1, 6));
+                for (int i = 0; i < nwrites; ++i) {
+                    // Byte-granularity writes, deliberately unaligned.
+                    const std::uint32_t lo = lo_word * 4;
+                    const std::uint32_t hi = hi_word * 4;
+                    const std::uint32_t off = static_cast<std::uint32_t>(
+                        lo + rng.below(hi - lo));
+                    const std::uint32_t len =
+                        std::min<std::uint32_t>(
+                            static_cast<std::uint32_t>(1 +
+                                                       rng.below(21)),
+                            hi - off);
+                    for (std::uint32_t b = 0; b < len; ++b) {
+                        copy[off + b] =
+                            static_cast<std::byte>(rng.below(256));
+                    }
+                }
+                // Single-writer rounds may coalesce runs across gaps
+                // (bridged words carry round-start content, which is
+                // exactly what in-order application would leave there).
+                DiffScan scan;
+                scan.gapWords =
+                    (writers == 1)
+                        ? static_cast<std::uint32_t>(rng.below(5))
+                        : 0;
+                Diff d = Diff::create(copy.data(), twin.data(),
+                                      kPageBytes, nullptr, scan);
+                // Later rounds dominate earlier ones: strictly larger
+                // sums. Concurrent writers get arbitrary close sums.
+                const std::uint64_t vt_sum =
+                    static_cast<std::uint64_t>(round + 1) * 100 +
+                    rng.below(10);
+                history.push_back(
+                    {std::move(d), vt_sum, history.size()});
+                // Fold this writer's words into the evolving truth.
+                for (std::uint32_t word = lo_word; word < hi_word;
+                     ++word) {
+                    std::copy_n(copy.begin() + word * 4, 4,
+                                truth.begin() + word * 4);
+                }
+            }
+        }
+
+        // Homeless replay: happens-before (sum) order, as the
+        // faulting node applies a collected diff chain.
+        std::vector<std::size_t> order(history.size());
+        std::iota(order.begin(), order.end(), 0);
+        std::sort(order.begin(), order.end(),
+                  [&](std::size_t a, std::size_t b) {
+                      if (history[a].vtSum != history[b].vtSum)
+                          return history[a].vtSum < history[b].vtSum;
+                      return history[a].order < history[b].order;
+                  });
+        std::vector<std::byte> homeless = base;
+        for (std::size_t i : order)
+            history[i].diff.apply(homeless.data());
+        ASSERT_EQ(homeless, truth) << "trial " << trial;
+
+        // Home replay: adversarially shuffled arrival order through
+        // the guarded in-place application.
+        for (std::size_t i = history.size(); i > 1; --i) {
+            std::swap(history[i - 1],
+                      history[rng.below(i)]);
+        }
+        std::vector<std::byte> home = base;
+        std::vector<std::uint64_t> word_sums(kPageWords, 0);
+        for (const HistoryDiff &h : history)
+            applyDiffGuarded(home.data(), word_sums, h.diff, h.vtSum);
+        ASSERT_EQ(home, truth) << "trial " << trial;
+    }
+}
 
 /** Virtual time monotonicity: more lock hops cannot make the modeled
  *  execution cheaper; a lossy network is never faster than a reliable
