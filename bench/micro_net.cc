@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Microbenchmark of the node inbox: the seed mutex+condvar deque
+ * (InboxPolicy::MutexQueue) against the bounded lock-free MPSC ring
+ * with a futex-parked consumer (InboxPolicy::LockFreeRing).
+ *
+ * Two shapes are measured, both in real (wall-clock) nanoseconds:
+ *  - rpc: Endpoint::call round trips between two nodes' app threads
+ *    through both service threads — the service-thread round-trip
+ *    latency every LRC access miss and lock hand-off pays;
+ *  - fanin: 7 producer threads blasting one consumer — the batched
+ *    diff/timestamp request traffic shape, measuring throughput.
+ *
+ * Emits BENCH_net.json (tracked in the repo) so the inbox latency
+ * trajectory is visible across PRs. Acceptance bar for this PR: the
+ * ring's rpc round trip beats the mutex inbox.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/endpoint.hh"
+
+using namespace dsm;
+
+namespace {
+
+double
+rpcRoundTripNs(InboxPolicy policy, int iters)
+{
+    CostModel cm;
+    Network net(2, cm, nullptr, policy);
+    VirtualClock clocks[2];
+    NodeStats stats[2];
+    Endpoint a(net, 0, clocks[0], stats[0]);
+    Endpoint b(net, 1, clocks[1], stats[1]);
+    b.setHandler([&](Message &msg) {
+        b.reply(msg.src, MsgType::LockGrant, {}, msg.replyToken);
+    });
+    a.setHandler([](Message &) {});
+    a.start();
+    b.start();
+
+    // Warm up the path (thread creation, first futex round trips).
+    for (int i = 0; i < 2000; ++i)
+        a.call(1, MsgType::LockRequest, {});
+
+    const auto start = std::chrono::steady_clock::now();
+    for (int i = 0; i < iters; ++i)
+        a.call(1, MsgType::LockRequest, {});
+    const auto end = std::chrono::steady_clock::now();
+
+    a.stop();
+    b.stop();
+    net.shutdown();
+    return std::chrono::duration<double, std::nano>(end - start)
+               .count() /
+           iters;
+}
+
+double
+faninNsPerMsg(InboxPolicy policy, int producers, int per_producer)
+{
+    CostModel cm;
+    Network net(producers + 1, cm, nullptr, policy);
+    const int total = producers * per_producer;
+
+    const auto start = std::chrono::steady_clock::now();
+    std::vector<std::thread> threads;
+    threads.reserve(producers);
+    for (int p = 0; p < producers; ++p) {
+        threads.emplace_back([&, p] {
+            NodeStats stats;
+            for (int i = 0; i < per_producer; ++i) {
+                Message m;
+                m.src = 1 + p;
+                m.dst = 0;
+                m.type = MsgType::LockRequest;
+                m.replyToken = static_cast<std::uint64_t>(i) + 1;
+                net.send(std::move(m), stats);
+            }
+        });
+    }
+    Message out;
+    for (int i = 0; i < total; ++i) {
+        if (!net.recv(0, out))
+            break;
+    }
+    for (auto &t : threads)
+        t.join();
+    const auto end = std::chrono::steady_clock::now();
+    net.shutdown();
+    return std::chrono::duration<double, std::nano>(end - start)
+               .count() /
+           total;
+}
+
+} // namespace
+
+int
+main()
+{
+    const int rpc_iters = 20000;
+    const int producers = 7;
+    const int per_producer = 60000;
+
+    std::printf("=== micro_net: inbox latency, old (mutex+cv) vs new "
+                "(lock-free MPSC ring) ===\n");
+
+    const double rpc_mutex =
+        rpcRoundTripNs(InboxPolicy::MutexQueue, rpc_iters);
+    const double rpc_ring =
+        rpcRoundTripNs(InboxPolicy::LockFreeRing, rpc_iters);
+    const double fan_mutex =
+        faninNsPerMsg(InboxPolicy::MutexQueue, producers, per_producer);
+    const double fan_ring =
+        faninNsPerMsg(InboxPolicy::LockFreeRing, producers,
+                      per_producer);
+
+    std::printf("%-28s %12s %12s %9s\n", "shape", "mutex ns", "ring ns",
+                "speedup");
+    std::printf("%-28s %12.0f %12.0f %8.2fx\n",
+                "rpc round trip (2 nodes)", rpc_mutex, rpc_ring,
+                rpc_mutex / rpc_ring);
+    std::printf("%-28s %12.0f %12.0f %8.2fx\n", "fan-in msg (7 -> 1)",
+                fan_mutex, fan_ring, fan_mutex / fan_ring);
+
+    char json[768];
+    std::snprintf(
+        json, sizeof(json),
+        "{\n"
+        "  \"rpc_iters\": %d,\n"
+        "  \"fanin_producers\": %d,\n"
+        "  \"fanin_msgs_per_producer\": %d,\n"
+        "  \"rpc_roundtrip_mutex_ns\": %.0f,\n"
+        "  \"rpc_roundtrip_ring_ns\": %.0f,\n"
+        "  \"rpc_speedup\": %.2f,\n"
+        "  \"fanin_mutex_ns_per_msg\": %.0f,\n"
+        "  \"fanin_ring_ns_per_msg\": %.0f,\n"
+        "  \"fanin_speedup\": %.2f\n"
+        "}\n",
+        rpc_iters, producers, per_producer, rpc_mutex, rpc_ring,
+        rpc_mutex / rpc_ring, fan_mutex, fan_ring,
+        fan_mutex / fan_ring);
+
+    const char *out_path = "BENCH_net.json";
+    if (FILE *f = std::fopen(out_path, "w")) {
+        std::fputs(json, f);
+        std::fclose(f);
+        std::printf("\nwrote %s\n", out_path);
+    } else {
+        std::fprintf(stderr, "cannot write %s\n", out_path);
+        return 1;
+    }
+    return 0;
+}

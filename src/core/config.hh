@@ -125,6 +125,20 @@ struct ClusterConfig
     bool pooledBuffers = true;
 
     /**
+     * Piggyback write notices (interval records) on LRC fetch replies
+     * (diff, timestamp and home-page), TreadMarks-style: a requester
+     * advertises its interval-log coverage and the responder appends
+     * the records it lacks, so the data a miss brings back cannot be
+     * followed by an immediate re-invalidation of the same page for
+     * an interval the reply already contained. For the timestamping
+     * implementations this also lifts the requester-vector cap on
+     * transmitted runs (the piggybacked records supply the ordering
+     * knowledge the cap protected). Counted by noticesPiggybacked /
+     * reinvalidationsAvoided.
+     */
+    bool piggybackWriteNotices = true;
+
+    /**
      * Garbage-collect interval records and stored diffs at barriers
      * once the interval log holds at least gcIntervalThreshold
      * records: every node validates its invalid pages before arriving,

@@ -249,18 +249,17 @@ std::vector<Run>
 EcRuntime::twinChanges(LockId lock, LockInfo &li)
 {
     std::vector<Run> byte_runs;
-    const bool wide = cluster->wideDiffScan;
+    const ScanKernel kernel = scanKernelFor(cluster->wideDiffScan);
     auto compare = [&](const std::byte *cur, const std::byte *twin,
                        std::uint64_t len, std::uint64_t concat_base) {
         const std::uint32_t words = static_cast<std::uint32_t>(len / 4);
-        std::uint32_t w = findDiffWord(cur, twin, 0, words, wide);
-        while (w < words) {
-            const std::uint32_t e = findSameWord(cur, twin, w, words);
-            byte_runs.push_back(
-                {static_cast<std::uint32_t>(concat_base + w * 4),
-                 (e - w) * 4});
-            w = findDiffWord(cur, twin, e, words, wide);
-        }
+        scanChangedRuns(
+            cur, twin, words, kernel,
+            [&](std::uint32_t w, std::uint32_t e) {
+                byte_runs.push_back(
+                    {static_cast<std::uint32_t>(concat_base + w * 4),
+                     (e - w) * 4});
+            });
         const std::uint64_t tail = std::uint64_t{words} * 4;
         if (tail < len && std::memcmp(cur + tail, twin + tail,
                                       len - tail) != 0) {

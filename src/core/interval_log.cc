@@ -7,10 +7,12 @@
 namespace dsm {
 
 const IntervalRec &
-IntervalLog::add(IntervalRec rec)
+IntervalLog::add(IntervalRec rec, bool *was_new)
 {
     ProcLog &pl = procs[rec.proc];
     const std::uint32_t last = lastIdxOf(rec.proc);
+    if (was_new)
+        *was_new = rec.idx > last;
     if (rec.idx <= last) {
         // Already known (interval indices are dense per processor) —
         // unless GC pruned it, in which case no peer should still be

@@ -45,8 +45,13 @@ class IntervalLog
      * indices are dense per processor: appending idx n+2 when only n
      * records are known is a protocol error, as is re-adding a record
      * that garbage collection already pruned.
+     *
+     * @param was_new If non-null, set to whether the record was
+     *        actually appended (false: it was already known). Lets
+     *        callers distinguish the first processing of a record
+     *        from idempotent re-deliveries.
      */
-    const IntervalRec &add(IntervalRec rec);
+    const IntervalRec &add(IntervalRec rec, bool *was_new = nullptr);
 
     /** Largest interval index of @p proc present (0 = none yet). */
     std::uint32_t

@@ -21,6 +21,10 @@ LrcRuntime::LrcRuntime(const Deps &deps)
             deps.cluster->homeMigrateThreshold)
 {
     DSM_ASSERT(cluster->runtime.model == Model::LRC, "config mismatch");
+    // PageMeta::writerMask is one bit per node; Cluster enforces the
+    // same bound, but the shift width is this class's invariant.
+    DSM_ASSERT(deps.nprocs >= 1 && deps.nprocs <= 64,
+               "writerMask holds at most 64 nodes, got %d", deps.nprocs);
     cluster->runtime.validate();
 
     LockHooks lh;
@@ -81,6 +85,16 @@ LrcRuntime::meta(PageId page)
     return it->second;
 }
 
+void
+LrcRuntime::resolveCoveredNotices(PageId page, PageMeta &m)
+{
+    std::erase_if(m.notices, [&](const auto &notice) {
+        return notice.second <= m.copyVt[notice.first];
+    });
+    if (m.notices.empty())
+        invalidPages.erase(page);
+}
+
 BlockTimestamps &
 LrcRuntime::tsOf(PageId page)
 {
@@ -137,6 +151,7 @@ LrcRuntime::closeInterval()
     for (PageId p : modified) {
         const std::uint32_t prev_idx = meta(p).copyVt[id];
         meta(p).copyVt[id] = idx;
+        meta(p).writerMask |= std::uint64_t{1} << id;
         const GlobalAddr base = arena->pageBase(p);
         if (usesTwinning()) {
             const std::byte *cur = arena->at(base);
@@ -145,8 +160,15 @@ LrcRuntime::closeInterval()
             // Gap coalescing bridges unchanged words with their local
             // contents; at a home those words may carry concurrent
             // writers' flushes, so home mode keeps runs word-exact.
-            const DiffScan scan{cluster->wideDiffScan,
-                                homeMode() ? 0 : cluster->diffGapWords};
+            // Elsewhere it is only safe when no concurrent writer can
+            // interleave in the gap: gate it on the page's observed
+            // writer history (adaptive single-writer coalescing).
+            const bool single_writer =
+                (meta(p).writerMask & ~(std::uint64_t{1} << id)) == 0;
+            const DiffScan scan{scanKernelFor(cluster->wideDiffScan),
+                                (homeMode() || !single_writer)
+                                    ? 0
+                                    : cluster->diffGapWords};
             if (usesDiffing()) {
                 if (homeMode() && homes.isHome(p)) {
                     // Our copy is the home copy and already holds the
@@ -158,7 +180,7 @@ LrcRuntime::closeInterval()
                     stampChangedWordSums(
                         hs.wordSums, cur, twin,
                         static_cast<std::uint32_t>(arena->pageSize()),
-                        vt_sum, scan.wide);
+                        vt_sum, scan.kernel);
                     hs.appliedVt[id] = idx;
                 } else {
                     Diff d = Diff::create(cur, twin,
@@ -180,7 +202,7 @@ LrcRuntime::closeInterval()
                 stampChangedWords(ts, cur, twin,
                                   static_cast<std::uint32_t>(
                                       arena->pageSize()),
-                                  packTs(id, idx), scan.wide);
+                                  packTs(id, idx), scan.kernel);
             }
             twins.dropPage(p);
             // Writable only within an interval: later writes re-fault
@@ -226,24 +248,125 @@ LrcRuntime::closeInterval()
 }
 
 void
-LrcRuntime::invalidateFor(const IntervalRec &rec)
+LrcRuntime::invalidateFor(const IntervalRec &rec, bool fresh)
 {
     for (PageId p : rec.pages) {
         PageMeta &m = meta(p);
-        if (m.copyVt[rec.proc] >= rec.idx)
+        m.writerMask |= std::uint64_t{1} << rec.proc;
+        if (m.copyVt[rec.proc] >= rec.idx) {
+            // First delivery of a notice whose data an earlier fetch
+            // reply already piggybacked: the seed protocol would have
+            // invalidated and refetched the page here. Counted only
+            // while the feature is on so the DSM_NOTICE=0 ablation
+            // reads a true zero baseline (diff replies ship eager
+            // data either way; the counter measures the feature).
+            if (fresh && cluster->piggybackWriteNotices &&
+                pages.access(p) != PageAccess::None) {
+                stats().reinvalidationsAvoided++;
+            }
             continue;
+        }
         const auto notice = std::make_pair(rec.proc, rec.idx);
         if (std::find(m.notices.begin(), m.notices.end(), notice) !=
             m.notices.end()) {
             continue;
         }
         m.notices.push_back(notice);
+        invalidPages.insert(p);
         stats().writeNoticesReceived++;
         if (pages.access(p) != PageAccess::None) {
             pages.setAccess(p, PageAccess::None);
             stats().pagesInvalidated++;
         }
     }
+}
+
+// ---------------------------------------------------------------------
+// Write-notice piggybacking on fetch replies.
+
+VectorTime
+LrcRuntime::logCoverage() const
+{
+    VectorTime cov(numProcs);
+    for (int p = 0; p < numProcs; ++p)
+        cov[p] = ilog.lastIdxOf(p);
+    return cov;
+}
+
+void
+LrcRuntime::encodePiggybackedRecords(WireWriter &w,
+                                     const VectorTime &req_log)
+{
+    if (!cluster->piggybackWriteNotices) {
+        w.putU32(0);
+        return;
+    }
+    // Everything the requester's log lacks, dense per processor (so
+    // the requester's IntervalLog::add sees no gaps). The GC floor
+    // cannot exceed the requester's coverage: pruning waits for a
+    // barrier every node passed with its pages validated, and a
+    // fetching node cannot be inside that barrier.
+    auto recs = ilog.recordsAfter(req_log);
+    w.putU32(static_cast<std::uint32_t>(recs.size()));
+    for (const IntervalRec *rec : recs) {
+        encodeRecord(w, *rec);
+        stats().noticesPiggybacked += rec->pages.size();
+    }
+}
+
+void
+LrcRuntime::decodePiggybackedRecords(WireReader &r,
+                                     std::vector<IntervalRec> &out)
+{
+    const std::uint32_t nrecs = r.getU32();
+    for (std::uint32_t i = 0; i < nrecs; ++i)
+        out.push_back(decodeRecord(r));
+}
+
+std::vector<const IntervalRec *>
+LrcRuntime::ingestPiggybackedRecords(std::vector<IntervalRec> &recs)
+{
+    std::vector<const IntervalRec *> fresh;
+    for (IntervalRec &rec : recs) {
+        bool was_new = false;
+        const IntervalRec &stored = ilog.add(std::move(rec), &was_new);
+        // No notices are added here: piggybacked records carry
+        // ordering knowledge (and writer history) early, while
+        // invalidation stays as lazy as the seed protocol.
+        for (PageId p : stored.pages)
+            meta(p).writerMask |= std::uint64_t{1} << stored.proc;
+        if (was_new)
+            fresh.push_back(&stored);
+    }
+    return fresh;
+}
+
+void
+LrcRuntime::countAvoidedReinvalidations(
+    const std::vector<const IntervalRec *> &fresh,
+    const std::vector<BatchPageReq> &fetched)
+{
+    for (const IntervalRec *rec : fresh) {
+        for (const BatchPageReq &pr : fetched) {
+            if (!std::binary_search(rec->pages.begin(),
+                                    rec->pages.end(), pr.page)) {
+                continue;
+            }
+            PageMeta &m = meta(pr.page);
+            if (m.copyVt[rec->proc] >= rec->idx &&
+                pages.access(pr.page) != PageAccess::None) {
+                stats().reinvalidationsAvoided++;
+            }
+        }
+    }
+}
+
+void
+LrcRuntime::applyPiggybackedRecords(
+    std::vector<IntervalRec> &recs,
+    const std::vector<BatchPageReq> &fetched)
+{
+    countAvoidedReinvalidations(ingestPiggybackedRecords(recs), fetched);
 }
 
 void
@@ -311,8 +434,9 @@ LrcRuntime::applyLockGrant(LockId, AccessMode, WireReader &r)
     VectorTime granter_vt = VectorTime::decode(r);
     const std::uint32_t nrecs = r.getU32();
     for (std::uint32_t i = 0; i < nrecs; ++i) {
-        const IntervalRec &rec = ilog.add(decodeRecord(r));
-        invalidateFor(rec);
+        bool fresh = false;
+        const IntervalRec &rec = ilog.add(decodeRecord(r), &fresh);
+        invalidateFor(rec, fresh);
     }
     vt.mergeMax(granter_vt);
 }
@@ -401,8 +525,9 @@ LrcRuntime::applyDepart(BarrierId, WireReader &r)
     VectorTime gc_vt = VectorTime::decode(r);
     const std::uint32_t nrecs = r.getU32();
     for (std::uint32_t i = 0; i < nrecs; ++i) {
-        const IntervalRec &rec = ilog.add(decodeRecord(r));
-        invalidateFor(rec);
+        bool fresh = false;
+        const IntervalRec &rec = ilog.add(decodeRecord(r), &fresh);
+        invalidateFor(rec, fresh);
     }
     // Records the manager merged from *us* need no invalidation, but
     // records of other processors we already knew might still have
@@ -447,12 +572,10 @@ LrcRuntime::preBarrier()
         std::lock_guard<std::mutex> g(*mu);
         if (ilog.totalRecords() < cluster->gcIntervalThreshold)
             return;
-        for (const auto &[p, m] : pageMeta) {
-            if (!m.notices.empty())
-                invalid.push_back(p);
-        }
+        // The maintained invalid-page set is already sorted and holds
+        // exactly the pages with pending notices.
+        invalid.assign(invalidPages.begin(), invalidPages.end());
     }
-    std::sort(invalid.begin(), invalid.end());
     for (PageId p : invalid) {
         bool still_invalid;
         {
@@ -576,12 +699,14 @@ struct FetchedDiff
 /** HomePageRequest payload; shared by the fresh-request and the two
  *  forwarding paths so the wire layout lives in one place. */
 std::vector<std::byte>
-encodePageRequest(NodeId origin, PageId page, const VectorTime &need)
+encodePageRequest(NodeId origin, PageId page, const VectorTime &need,
+                  const VectorTime &req_log)
 {
     WireWriter w;
     w.putU16(static_cast<std::uint16_t>(origin));
     w.putU32(page);
     need.encode(w);
+    req_log.encode(w);
     return w.take();
 }
 
@@ -604,9 +729,14 @@ sortForApply(std::vector<FetchedDiff> &fetched)
 void
 LrcRuntime::snapshotBatchTargets(PageId page,
                                  std::vector<NodeId> &responders,
-                                 std::vector<BatchPageReq> &reqs)
+                                 std::vector<BatchPageReq> &reqs,
+                                 VectorTime &log_cov,
+                                 VectorTime *global_vt)
 {
     std::lock_guard<std::mutex> g(*mu);
+    log_cov = logCoverage();
+    if (global_vt)
+        *global_vt = vt;
     PageMeta &m = meta(page);
     for (const auto &[proc, idx] : m.notices) {
         if (idx > m.copyVt[proc] && proc != id &&
@@ -616,9 +746,13 @@ LrcRuntime::snapshotBatchTargets(PageId page,
         }
     }
     reqs.push_back({page, m.copyVt});
-    for (const auto &[p2, m2] : pageMeta) {
-        if (p2 == page || m2.notices.empty())
+    // Piggyback candidates come from the maintained invalid-page set
+    // (exactly the pages with pending notices), not a walk over every
+    // page ever touched: O(pending) under the node mutex.
+    for (PageId p2 : invalidPages) {
+        if (p2 == page)
             continue;
+        const PageMeta &m2 = meta(p2);
         const bool covered = std::all_of(
             m2.notices.begin(), m2.notices.end(),
             [&](const auto &notice) {
@@ -641,11 +775,14 @@ LrcRuntime::fetchDiffs(PageId page)
 
     std::vector<NodeId> responders;
     std::vector<BatchPageReq> reqs;
-    snapshotBatchTargets(page, responders, reqs);
+    VectorTime log_cov;
+    snapshotBatchTargets(page, responders, reqs, log_cov);
 
     std::vector<FetchedDiff> fetched;
+    std::vector<IntervalRec> precs;
     for (NodeId q : responders) {
         WireWriter w;
+        log_cov.encode(w);
         w.putU32(static_cast<std::uint32_t>(reqs.size()));
         for (const BatchPageReq &pr : reqs) {
             w.putU32(pr.page);
@@ -668,6 +805,7 @@ LrcRuntime::fetchDiffs(PageId page)
                 fetched.push_back(std::move(f));
             }
         }
+        decodePiggybackedRecords(r, precs);
         BufferPool::instance().release(std::move(reply.payload));
     }
 
@@ -692,9 +830,7 @@ LrcRuntime::fetchDiffs(PageId page)
     }
     for (const BatchPageReq &pr : reqs) {
         PageMeta &m = meta(pr.page);
-        std::erase_if(m.notices, [&](const auto &notice) {
-            return notice.second <= m.copyVt[notice.first];
-        });
+        resolveCoveredNotices(pr.page, m);
         DSM_ASSERT(m.notices.empty(),
                    "page %u still has pending notices after batched "
                    "fetch",
@@ -703,6 +839,7 @@ LrcRuntime::fetchDiffs(PageId page)
         if (pr.page != page)
             stats().diffPagesPiggybacked++;
     }
+    applyPiggybackedRecords(precs, reqs);
 }
 
 void
@@ -710,10 +847,12 @@ LrcRuntime::fetchDiffsLegacy(PageId page)
 {
     std::vector<NodeId> responders;
     VectorTime copy_vt;
+    VectorTime log_cov;
     {
         std::lock_guard<std::mutex> g(*mu);
         PageMeta &m = meta(page);
         copy_vt = m.copyVt;
+        log_cov = logCoverage();
         for (const auto &[proc, idx] : m.notices) {
             if (idx > copy_vt[proc] &&
                 std::find(responders.begin(), responders.end(), proc) ==
@@ -725,10 +864,12 @@ LrcRuntime::fetchDiffsLegacy(PageId page)
     }
 
     std::vector<FetchedDiff> fetched;
+    std::vector<IntervalRec> precs;
     for (NodeId q : responders) {
         WireWriter w;
         w.putU32(page);
         copy_vt.encode(w);
+        log_cov.encode(w);
         stats().diffRequestsSent++;
         Message reply = ep->call(q, MsgType::DiffRequest, w.take());
         WireReader r(reply.payload);
@@ -742,6 +883,7 @@ LrcRuntime::fetchDiffsLegacy(PageId page)
             f.diff = Diff::decode(r);
             fetched.push_back(std::move(f));
         }
+        decodePiggybackedRecords(r, precs);
         BufferPool::instance().release(std::move(reply.payload));
     }
 
@@ -763,12 +905,11 @@ LrcRuntime::fetchDiffsLegacy(PageId page)
         diffStore[{page, packTs(f.proc, f.idx)}] = {std::move(f.diff),
                                                     f.vtSum};
     }
-    std::erase_if(m.notices, [&](const auto &notice) {
-        return notice.second <= m.copyVt[notice.first];
-    });
+    resolveCoveredNotices(page, m);
     DSM_ASSERT(m.notices.empty(),
                "page %u still has pending notices after fetch", page);
     pages.setAccess(page, PageAccess::Read);
+    applyPiggybackedRecords(precs, {{page, VectorTime()}});
 }
 
 void
@@ -800,10 +941,12 @@ LrcRuntime::fetchFromHome(PageId page)
             for (const auto &[proc, idx] : m.notices)
                 need[proc] = std::max(need[proc], idx);
         }
+        VectorTime log_cov = logCoverage();
         g.unlock();
         stats().pageFetchRoundTrips++;
-        Message reply = ep->call(home, MsgType::HomePageRequest,
-                                 encodePageRequest(id, page, need));
+        Message reply =
+            ep->call(home, MsgType::HomePageRequest,
+                     encodePageRequest(id, page, need, log_cov));
         g.lock();
         if (homes.isHome(page)) {
             // The page migrated to us while the request was in flight
@@ -815,18 +958,19 @@ LrcRuntime::fetchFromHome(PageId page)
         WireReader r(reply.payload);
         VectorTime got = VectorTime::decode(r);
         r.getBytes(arena->at(arena->pageBase(page)), arena->pageSize());
+        std::vector<IntervalRec> precs;
+        decodePiggybackedRecords(r, precs);
         clock().add(costModel().perWordApplyNs *
                     (arena->pageSize() / 4));
         PageMeta &m = meta(page);
         m.copyVt.mergeMax(got);
-        std::erase_if(m.notices, [&](const auto &notice) {
-            return notice.second <= m.copyVt[notice.first];
-        });
+        resolveCoveredNotices(page, m);
         DSM_ASSERT(m.notices.empty(),
                    "page %u still has pending notices after home fetch",
                    page);
         pages.setAccess(page, PageAccess::Read);
         BufferPool::instance().release(std::move(reply.payload));
+        applyPiggybackedRecords(precs, {{page, VectorTime()}});
         return;
     }
 }
@@ -845,17 +989,16 @@ LrcRuntime::fetchTimestamps(PageId page)
     // reuse the DiffBatchRequest framing for timestamp runs.
     std::vector<NodeId> responders;
     std::vector<BatchPageReq> reqs;
-    snapshotBatchTargets(page, responders, reqs);
+    VectorTime log_cov;
     VectorTime global_vt;
-    {
-        std::lock_guard<std::mutex> g(*mu);
-        global_vt = vt;
-    }
+    snapshotBatchTargets(page, responders, reqs, log_cov, &global_vt);
 
     std::map<PageId, std::vector<TsReplySet>> replies;
+    std::vector<IntervalRec> precs;
     for (NodeId q : responders) {
         WireWriter w;
         global_vt.encode(w);
+        log_cov.encode(w);
         w.putU32(static_cast<std::uint32_t>(reqs.size()));
         for (const BatchPageReq &pr : reqs) {
             w.putU32(pr.page);
@@ -883,15 +1026,22 @@ LrcRuntime::fetchTimestamps(PageId page)
             }
             replies[p].push_back(std::move(reply));
         }
+        decodePiggybackedRecords(r, precs);
         BufferPool::instance().release(std::move(msg.payload));
     }
 
     std::lock_guard<std::mutex> g(*mu);
+    // Records first: the happens-before checks in applyTsReplies need
+    // them to order stamps beyond our own vector (the cap those
+    // records replace). Avoided re-invalidations are counted after the
+    // copies are current.
+    auto fresh_recs = ingestPiggybackedRecords(precs);
     for (const BatchPageReq &pr : reqs) {
         applyTsReplies(pr.page, replies[pr.page]);
         if (pr.page != page)
             stats().tsPagesPiggybacked++;
     }
+    countAvoidedReinvalidations(fresh_recs, reqs);
 }
 
 void
@@ -899,10 +1049,14 @@ LrcRuntime::fetchTimestampsLegacy(PageId page)
 {
     std::vector<NodeId> responders;
     VectorTime copy_vt;
+    VectorTime global_vt;
+    VectorTime log_cov;
     {
         std::lock_guard<std::mutex> g(*mu);
         PageMeta &m = meta(page);
         copy_vt = m.copyVt;
+        global_vt = vt;
+        log_cov = logCoverage();
         for (const auto &[proc, idx] : m.notices) {
             if (idx > copy_vt[proc] &&
                 std::find(responders.begin(), responders.end(), proc) ==
@@ -913,17 +1067,14 @@ LrcRuntime::fetchTimestampsLegacy(PageId page)
         }
     }
 
-    VectorTime global_vt;
-    {
-        std::lock_guard<std::mutex> g(*mu);
-        global_vt = vt;
-    }
     std::vector<TsReplySet> replies;
+    std::vector<IntervalRec> precs;
     for (NodeId q : responders) {
         WireWriter w;
         w.putU32(page);
         copy_vt.encode(w);
         global_vt.encode(w);
+        log_cov.encode(w);
         stats().tsRequestsSent++;
         Message msg = ep->call(q, MsgType::PageTsRequest, w.take());
         WireReader r(msg.payload);
@@ -940,12 +1091,15 @@ LrcRuntime::fetchTimestampsLegacy(PageId page)
             reply.runs.push_back(run);
             reply.data.push_back(std::move(bytes));
         }
+        decodePiggybackedRecords(r, precs);
         replies.push_back(std::move(reply));
         BufferPool::instance().release(std::move(msg.payload));
     }
 
     std::lock_guard<std::mutex> g(*mu);
+    auto fresh_recs = ingestPiggybackedRecords(precs);
     applyTsReplies(page, replies);
+    countAvoidedReinvalidations(fresh_recs, {{page, VectorTime()}});
 }
 
 void
@@ -997,9 +1151,7 @@ LrcRuntime::applyTsReplies(PageId page,
     }
     clock().add(costModel().perWordApplyNs * words_applied);
 
-    std::erase_if(m.notices, [&](const auto &notice) {
-        return notice.second <= m.copyVt[notice.first];
-    });
+    resolveCoveredNotices(page, m);
     if (!m.notices.empty()) {
         for (auto &[np_, ni] : m.notices) {
             std::fprintf(stderr,
@@ -1072,10 +1224,12 @@ LrcRuntime::handleDiffRequest(Message &msg)
     WireReader r(msg.payload);
     const PageId page = r.getU32();
     VectorTime req_vt = VectorTime::decode(r);
+    VectorTime req_log = VectorTime::decode(r);
 
     std::lock_guard<std::mutex> g(*mu);
     WireWriter w;
     encodeDiffsNewerThan(w, page, req_vt);
+    encodePiggybackedRecords(w, req_log);
     ep->reply(msg.src, MsgType::DiffReply, w.take(), msg.replyToken);
 }
 
@@ -1083,6 +1237,7 @@ void
 LrcRuntime::handleDiffBatchRequest(Message &msg)
 {
     WireReader r(msg.payload);
+    VectorTime req_log = VectorTime::decode(r);
     const std::uint32_t npages = r.getU32();
 
     std::lock_guard<std::mutex> g(*mu);
@@ -1094,6 +1249,7 @@ LrcRuntime::handleDiffBatchRequest(Message &msg)
         w.putU32(page);
         encodeDiffsNewerThan(w, page, req_vt);
     }
+    encodePiggybackedRecords(w, req_log);
     ep->reply(msg.src, MsgType::DiffBatchReply, w.take(),
               msg.replyToken);
 }
@@ -1103,11 +1259,18 @@ LrcRuntime::encodeTsNewerThan(WireWriter &w, PageId page,
                               const VectorTime &req_vt,
                               const VectorTime &req_global)
 {
-    // The requester's copy will reflect, at most, intervals within its
-    // own vector: cap the advertised knowledge accordingly.
+    // Without write-notice piggybacking, the requester's copy can
+    // reflect, at most, intervals within its own vector: cap the
+    // advertised knowledge (and the transmitted runs, below)
+    // accordingly. With piggybacking the reply carries the interval
+    // records alongside the stamps, so the cap — and the
+    // re-invalidation the capped-out stamps cause later — disappears.
+    const bool piggy = cluster->piggybackWriteNotices;
     VectorTime page_vt = meta(page).copyVt;
-    for (int p = 0; p < numProcs; ++p)
-        page_vt[p] = std::min(page_vt[p], req_global[p]);
+    if (!piggy) {
+        for (int p = 0; p < numProcs; ++p)
+            page_vt[p] = std::min(page_vt[p], req_global[p]);
+    }
     page_vt.encode(w);
 
     const BlockTimestamps &ts = tsOf(page);
@@ -1116,13 +1279,12 @@ LrcRuntime::encodeTsNewerThan(WireWriter &w, PageId page,
     clock().add(costModel().perWordScanNs * ts.numBlocks());
     stats().tsWordsScanned += ts.numBlocks();
 
-    // Send blocks newer than the requester's page copy but only up to
-    // the requester's global vector: the requester has interval
-    // records (and thus ordering knowledge) exactly for its vector;
-    // stamps beyond it could not be ordered against other replies.
+    // Send blocks newer than the requester's page copy; capped at the
+    // requester's global vector when the ordering knowledge (interval
+    // records) cannot travel with the reply.
     auto runs = ts.collect([&](std::uint64_t t) {
         return t != 0 && tsInterval(t) > req_vt[tsProc(t)] &&
-               tsInterval(t) <= req_global[tsProc(t)];
+               (piggy || tsInterval(t) <= req_global[tsProc(t)]);
     });
     const std::byte *base = arena->at(arena->pageBase(page));
     w.putU32(static_cast<std::uint32_t>(runs.size()));
@@ -1145,10 +1307,12 @@ LrcRuntime::handlePageTsRequest(Message &msg)
     const PageId page = r.getU32();
     VectorTime req_vt = VectorTime::decode(r);
     VectorTime req_global = VectorTime::decode(r);
+    VectorTime req_log = VectorTime::decode(r);
 
     std::lock_guard<std::mutex> g(*mu);
     WireWriter w;
     encodeTsNewerThan(w, page, req_vt, req_global);
+    encodePiggybackedRecords(w, req_log);
     ep->reply(msg.src, MsgType::PageTsReply, w.take(), msg.replyToken);
 }
 
@@ -1157,6 +1321,7 @@ LrcRuntime::handlePageTsBatchRequest(Message &msg)
 {
     WireReader r(msg.payload);
     VectorTime req_global = VectorTime::decode(r);
+    VectorTime req_log = VectorTime::decode(r);
     const std::uint32_t npages = r.getU32();
 
     std::lock_guard<std::mutex> g(*mu);
@@ -1168,6 +1333,7 @@ LrcRuntime::handlePageTsBatchRequest(Message &msg)
         w.putU32(page);
         encodeTsNewerThan(w, page, req_vt, req_global);
     }
+    encodePiggybackedRecords(w, req_log);
     ep->reply(msg.src, MsgType::PageTsBatchReply, w.take(),
               msg.replyToken);
 }
@@ -1177,11 +1343,17 @@ LrcRuntime::handlePageTsBatchRequest(Message &msg)
 
 void
 LrcRuntime::replyHomePage(NodeId origin, std::uint64_t token,
-                          PageId page, const PageHomeTable::HomeState &hs)
+                          PageId page, const PageHomeTable::HomeState &hs,
+                          const VectorTime &req_log)
 {
     WireWriter w;
     hs.appliedVt.encode(w);
     w.putBytes(arena->at(arena->pageBase(page)), arena->pageSize());
+    // Best effort: flushes can reach the home before the matching
+    // records do, so appliedVt may briefly exceed what we can
+    // document; those notices arrive through the regular channels and
+    // find the copy already covering them.
+    encodePiggybackedRecords(w, req_log);
     ep->reply(origin, MsgType::HomePageReply, w.take(), token);
 }
 
@@ -1193,14 +1365,16 @@ LrcRuntime::serveParkedPageRequests()
         if (!homes.isHome(it->page)) {
             // Migrated away while parked: the request chases the home.
             ep->send(homes.homeOf(it->page), MsgType::HomePageRequest,
-                     encodePageRequest(it->origin, it->page, it->need),
+                     encodePageRequest(it->origin, it->page, it->need,
+                                       it->reqLog),
                      it->token);
             it = parkedPageReqs.erase(it);
             continue;
         }
         PageHomeTable::HomeState *hs = homes.find(it->page);
         if (hs && hs->appliedVt.dominates(it->need)) {
-            replyHomePage(it->origin, it->token, it->page, *hs);
+            replyHomePage(it->origin, it->token, it->page, *hs,
+                          it->reqLog);
             it = parkedPageReqs.erase(it);
             continue;
         }
@@ -1302,10 +1476,9 @@ LrcRuntime::applyFlushAtHome(PageId page, NodeId proc, std::uint32_t idx,
     // for our own writes to finish chasing a migration hand-off (the
     // install may have regressed them; program order for own reads).
     PageMeta &m = meta(page);
+    m.writerMask |= std::uint64_t{1} << proc;
     m.copyVt[proc] = std::max(m.copyVt[proc], idx);
-    std::erase_if(m.notices, [&](const auto &notice) {
-        return notice.second <= m.copyVt[notice.first];
-    });
+    resolveCoveredNotices(page, m);
     if (m.notices.empty() && hs.appliedVt[id] >= m.copyVt[id] &&
         pages.access(page) == PageAccess::None) {
         pages.setAccess(page, PageAccess::Read);
@@ -1403,13 +1576,15 @@ LrcRuntime::handleHomePageRequest(Message &msg)
     const NodeId origin = static_cast<NodeId>(r.getU16());
     const PageId page = r.getU32();
     VectorTime need = VectorTime::decode(r);
+    VectorTime req_log = VectorTime::decode(r);
 
     std::lock_guard<std::mutex> g(*mu);
     if (!homes.isHome(page)) {
         // Stale mapping: forward along the chain, keeping the reply
         // token so the current home answers the origin directly.
         ep->send(homes.homeOf(page), MsgType::HomePageRequest,
-                 encodePageRequest(origin, page, need), msg.replyToken);
+                 encodePageRequest(origin, page, need, req_log),
+                 msg.replyToken);
         return;
     }
 
@@ -1417,11 +1592,12 @@ LrcRuntime::handleHomePageRequest(Message &msg)
         page, static_cast<std::uint32_t>(arena->pageSize() / 4));
     const bool migrate = homes.countAccess(hs, origin);
     if (hs.appliedVt.dominates(need)) {
-        replyHomePage(origin, msg.replyToken, page, hs);
+        replyHomePage(origin, msg.replyToken, page, hs, req_log);
     } else {
         // The flushes the requester's notices announce are in flight;
         // park the request and answer when they have been applied.
-        parkedPageReqs.push_back({origin, msg.replyToken, page, need});
+        parkedPageReqs.push_back(
+            {origin, msg.replyToken, page, need, req_log});
     }
     if (migrate)
         migrateHome(page, origin);
@@ -1481,9 +1657,7 @@ LrcRuntime::handleHomeMigrate(Message &msg)
 
     PageMeta &m = meta(page);
     m.copyVt.mergeMax(hs.appliedVt);
-    std::erase_if(m.notices, [&](const auto &notice) {
-        return notice.second <= m.copyVt[notice.first];
-    });
+    resolveCoveredNotices(page, m);
     if (!twins.hasPage(page) && m.copyVt[id] > hs.appliedVt[id]) {
         // Our own committed writes for this page are still chasing the
         // home chain (flushed to a stale home, not yet forwarded back

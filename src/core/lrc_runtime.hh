@@ -34,6 +34,7 @@
 
 #include <condition_variable>
 #include <map>
+#include <set>
 #include <unordered_map>
 
 #include "core/interval_log.hh"
@@ -87,10 +88,26 @@ class LrcRuntime : public Runtime
         VectorTime copyVt;
         /** Pending write notices (proc, interval) newer than copyVt. */
         std::vector<std::pair<NodeId, std::uint32_t>> notices;
+        /**
+         * Every processor ever observed writing this page (bit per
+         * node: own interval closes plus the writers named by every
+         * record processed for it). Gap-coalesced diffs are only
+         * enabled while no processor but ourselves has ever written
+         * the page — a conservative gate that turns the global unsafe
+         * diffGapWords knob into an adaptive single-writer
+         * optimization. (A page's very first concurrently-written
+         * interval can precede the knowledge, so the knob remains
+         * opt-in.)
+         */
+        std::uint64_t writerMask = 0;
     };
 
     PageMeta &meta(PageId page);
     BlockTimestamps &tsOf(PageId page);
+
+    /** Erase @p page's notices covered by its copyVt and keep
+     *  invalidPages exact. Caller holds the node mutex. */
+    void resolveCoveredNotices(PageId page, PageMeta &m);
 
     /**
      * Close the current interval: detect the modified pages (drop
@@ -100,9 +117,57 @@ class LrcRuntime : public Runtime
      */
     void closeInterval();
 
-    /** Process @p rec's write notices: invalidate stale local copies.
-     *  Idempotent. */
-    void invalidateFor(const IntervalRec &rec);
+    /**
+     * Process @p rec's write notices: invalidate stale local copies.
+     * Idempotent. @p fresh marks the first processing of the record
+     * on this node; a fresh notice already covered by a page's valid
+     * copy is an avoided re-invalidation (the data piggybacked on an
+     * earlier fetch outran the notice) and is counted as such.
+     */
+    void invalidateFor(const IntervalRec &rec, bool fresh = true);
+
+    /** A page in a batched fetch: its id plus the vector of writes the
+     *  local copy already contains. */
+    struct BatchPageReq
+    {
+        PageId page;
+        VectorTime copyVt;
+    };
+
+    // --- Write-notice piggybacking on fetch replies (TreadMarks).
+    // Requests advertise the requester's interval-log coverage;
+    // responders append the records the requester lacks. Piggybacked
+    // records add no notices (laziness is preserved): they only carry
+    // ordering knowledge early, so a later regular delivery of the
+    // notice finds the page's copy already covering it.
+
+    /** My interval-log coverage (lastIdxOf per proc). Mutex held. */
+    VectorTime logCoverage() const;
+
+    /** Responder half: append count-prefixed records beyond
+     *  @p req_log (empty when the feature is off). Mutex held. */
+    void encodePiggybackedRecords(WireWriter &w,
+                                  const VectorTime &req_log);
+
+    /** Requester half: decode one reply's record section. */
+    static void decodePiggybackedRecords(WireReader &r,
+                                         std::vector<IntervalRec> &out);
+
+    /** Fold piggybacked records into the log; returns the ones that
+     *  were new to this node. Mutex held. */
+    std::vector<const IntervalRec *>
+    ingestPiggybackedRecords(std::vector<IntervalRec> &recs);
+
+    /** Count fetched pages whose fresh copy already covers a freshly
+     *  learned record while staying valid. Mutex held. */
+    void countAvoidedReinvalidations(
+        const std::vector<const IntervalRec *> &fresh,
+        const std::vector<BatchPageReq> &fetched);
+
+    /** ingest + count, for paths with no ordering dependency between
+     *  record insertion and data application. Mutex held. */
+    void applyPiggybackedRecords(std::vector<IntervalRec> &recs,
+                                 const std::vector<BatchPageReq> &fetched);
 
     /** Service an access miss on @p page (app thread; takes and
      *  releases the node mutex internally). */
@@ -149,9 +214,11 @@ class LrcRuntime : public Runtime
     void handleHomePageRequest(Message &msg);
     void handleHomeMigrate(Message &msg);
 
-    /** Reply to a page request with the home's full copy. Mutex held. */
+    /** Reply to a page request with the home's full copy (plus the
+     *  records the origin lacks, per @p req_log). Mutex held. */
     void replyHomePage(NodeId origin, std::uint64_t token, PageId page,
-                       const PageHomeTable::HomeState &hs);
+                       const PageHomeTable::HomeState &hs,
+                       const VectorTime &req_log);
 
     /** Serve, forward or keep each parked page request. Mutex held. */
     void serveParkedPageRequests();
@@ -209,25 +276,22 @@ class LrcRuntime : public Runtime
         std::uint64_t vtSum = 0;
     };
 
-    /** A page in a batched fetch: its id plus the vector of writes the
-     *  local copy already contains. */
-    struct BatchPageReq
-    {
-        PageId page;
-        VectorTime copyVt;
-    };
-
     /**
      * Snapshot @p page's pending writers into @p responders, and into
      * @p reqs the page itself plus every other invalid page whose
      * pending writers are a subset (the piggyback set — those pages
-     * become fully consistent from the same round trips). Takes the
-     * node mutex; the snapshot stays valid across the blocking fetch
-     * calls because only the app thread adds or clears notices.
+     * become fully consistent from the same round trips). Also
+     * snapshots the interval-log coverage into @p log_cov and, when
+     * non-null, the global vector into @p global_vt, all under one
+     * acquisition of the node mutex; the snapshot stays valid across
+     * the blocking fetch calls because only the app thread adds or
+     * clears notices.
      */
     void snapshotBatchTargets(PageId page,
                               std::vector<NodeId> &responders,
-                              std::vector<BatchPageReq> &reqs);
+                              std::vector<BatchPageReq> &reqs,
+                              VectorTime &log_cov,
+                              VectorTime *global_vt = nullptr);
 
     /** One responder's timestamp runs for one page. */
     struct TsReplySet
@@ -247,6 +311,14 @@ class LrcRuntime : public Runtime
     IntervalLog ilog;
     std::map<std::pair<PageId, std::uint64_t>, DiffEntry> diffStore;
     std::unordered_map<PageId, PageMeta> pageMeta;
+    /**
+     * Exactly the pages with pending notices (invariant:
+     * p ∈ invalidPages ⇔ !meta(p).notices.empty()), kept sorted so
+     * the batched-miss piggyback scan and barrier-time GC validation
+     * are O(pending) instead of walking all of pageMeta under the
+     * node mutex.
+     */
+    std::set<PageId> invalidPages;
     std::unordered_map<PageId, BlockTimestamps> pageTs;
     PageTable pages;
     TwinStore twins;
@@ -266,6 +338,8 @@ class LrcRuntime : public Runtime
         std::uint64_t token;
         PageId page;
         VectorTime need;
+        /** Origin's interval-log coverage (for reply piggybacking). */
+        VectorTime reqLog;
     };
     std::vector<ParkedPageReq> parkedPageReqs;
     /** Flushes the home cannot apply yet: the writer's previous flush

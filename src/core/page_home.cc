@@ -47,18 +47,17 @@ applyDiffGuarded(std::byte *dst, std::vector<std::uint64_t> &word_sums,
 std::uint64_t
 stampChangedWordSums(std::vector<std::uint64_t> &word_sums,
                      const std::byte *cur, const std::byte *twin,
-                     std::uint32_t len, std::uint64_t vt_sum, bool wide)
+                     std::uint32_t len, std::uint64_t vt_sum,
+                     ScanKernel kernel)
 {
     const std::uint32_t words = len / Diff::kWordBytes;
     std::uint64_t stamped = 0;
-    std::uint32_t w = findDiffWord(cur, twin, 0, words, wide);
-    while (w < words) {
-        const std::uint32_t e = findSameWord(cur, twin, w, words);
-        for (std::uint32_t k = w; k < e; ++k)
-            word_sums[k] = std::max(word_sums[k], vt_sum);
-        stamped += e - w;
-        w = findDiffWord(cur, twin, e, words, wide);
-    }
+    scanChangedRuns(cur, twin, words, kernel,
+                    [&](std::uint32_t w, std::uint32_t e) {
+                        for (std::uint32_t k = w; k < e; ++k)
+                            word_sums[k] = std::max(word_sums[k], vt_sum);
+                        stamped += e - w;
+                    });
     // Trailing short word (objects need not be word multiples).
     const std::uint32_t tail = words * Diff::kWordBytes;
     if (tail < len && std::memcmp(cur + tail, twin + tail, len - tail)) {

@@ -180,15 +180,15 @@ std::uint64_t applyDiffGuarded(std::byte *dst,
  * in-place writes this way (its copy already holds them), without
  * materializing a diff payload just to read the run offsets.
  *
- * @param wide 64-bit block scan vs the seed per-word loop (matches
- *        DiffScan::wide).
+ * @param kernel Comparison scan kernel (matches DiffScan::kernel).
  * @return Number of words stamped.
  */
 std::uint64_t stampChangedWordSums(std::vector<std::uint64_t> &word_sums,
                                    const std::byte *cur,
                                    const std::byte *twin,
                                    std::uint32_t len,
-                                   std::uint64_t vt_sum, bool wide);
+                                   std::uint64_t vt_sum,
+                                   ScanKernel kernel);
 
 } // namespace dsm
 

@@ -38,20 +38,18 @@ Diff::create(const std::byte *cur, const std::byte *twin, std::uint32_t len,
         d.runs.push_back(run);
     };
 
-    std::uint32_t w = findDiffWord(cur, twin, 0, words, scan.wide);
-    while (w < words) {
-        const std::uint32_t e = findSameWord(cur, twin, w, words);
-        if (open && w - openEnd <= scan.gapWords) {
-            openEnd = e;
-        } else {
-            if (open)
-                emit(openEnd * kWordBytes);
-            open = true;
-            openStart = w;
-            openEnd = e;
-        }
-        w = findDiffWord(cur, twin, e, words, scan.wide);
-    }
+    scanChangedRuns(cur, twin, words, scan.kernel,
+                    [&](std::uint32_t w, std::uint32_t e) {
+                        if (open && w - openEnd <= scan.gapWords) {
+                            openEnd = e;
+                            return;
+                        }
+                        if (open)
+                            emit(openEnd * kWordBytes);
+                        open = true;
+                        openStart = w;
+                        openEnd = e;
+                    });
 
     // Trailing bytes (objects need not be word multiples); the tail is
     // compared as one short word and may coalesce with the final run.

@@ -13,6 +13,7 @@
 #include <span>
 #include <vector>
 
+#include "mem/wide_scan.hh"
 #include "net/serde.hh"
 #include "util/stats.hh"
 #include "util/types.hh"
@@ -39,12 +40,13 @@ struct DiffRun
 struct DiffScan
 {
     /**
-     * Compare 64-bit blocks (with memcpy-safe loads) and skip clean
-     * memory 32 bytes at a time; false reproduces the seed per-word
-     * memcmp loop for ablation. Both emit identical word-granularity
-     * runs.
+     * Comparison kernel (mem/wide_scan.hh): the seed per-word memcmp
+     * loop (Scalar), the 64-bit/memcmp-chunked walk (Wide), or the
+     * explicit AVX2/NEON kernels (Simd, with internal fallback on
+     * CPUs without the extension). All emit identical
+     * word-granularity runs. Defaults to the best kernel available.
      */
-    bool wide = true;
+    ScanKernel kernel = bestScanKernel();
 
     /**
      * Coalesce runs separated by at most this many unchanged words
@@ -88,8 +90,8 @@ class Diff
      *
      * @param stats If non-null, diffWordsCompared/diffsCreated are
      *        recorded there.
-     * @param scan Scan strategy (wide 64-bit vs. seed per-word) and
-     *        run coalescing; the default is word-exact wide scanning.
+     * @param scan Scan kernel and run coalescing; the default is
+     *        word-exact scanning with the best available kernel.
      */
     static Diff create(const std::byte *cur, const std::byte *twin,
                        std::uint32_t len, NodeStats *stats = nullptr,

@@ -23,18 +23,16 @@ BlockTimestamps::setAll(std::uint64_t value)
 std::uint64_t
 stampChangedWords(BlockTimestamps &ts, const std::byte *cur,
                   const std::byte *twin, std::uint32_t len,
-                  std::uint64_t value, bool wide)
+                  std::uint64_t value, ScanKernel kernel)
 {
     const std::uint32_t words = len / kScanWordBytes;
     DSM_ASSERT(words <= ts.numBlocks(), "stamp range exceeds timestamps");
     std::uint64_t stamped = 0;
-    std::uint32_t w = findDiffWord(cur, twin, 0, words, wide);
-    while (w < words) {
-        const std::uint32_t e = findSameWord(cur, twin, w, words);
-        ts.setRange(w, e - w, value);
-        stamped += e - w;
-        w = findDiffWord(cur, twin, e, words, wide);
-    }
+    scanChangedRuns(cur, twin, words, kernel,
+                    [&](std::uint32_t w, std::uint32_t e) {
+                        ts.setRange(w, e - w, value);
+                        stamped += e - w;
+                    });
     return stamped;
 }
 

@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "mem/wide_scan.hh"
 #include "net/serde.hh"
 #include "util/logging.hh"
 #include "util/rle.hh"
@@ -107,14 +108,15 @@ class BlockTimestamps
 /**
  * Stamp every word (4-byte block) of @p len bytes whose contents
  * differ between @p cur and @p twin with @p value — the twin+timestamp
- * collection step of LRC-time. @p wide selects the 64-bit block scan
- * (mem/wide_scan.hh); false reproduces the seed per-word memcmp loop.
+ * collection step of LRC-time. @p kernel selects the comparison scan
+ * (mem/wide_scan.hh); Scalar reproduces the seed per-word memcmp loop.
  *
  * @return Number of words stamped.
  */
 std::uint64_t stampChangedWords(BlockTimestamps &ts, const std::byte *cur,
                                 const std::byte *twin, std::uint32_t len,
-                                std::uint64_t value, bool wide = true);
+                                std::uint64_t value,
+                                ScanKernel kernel = bestScanKernel());
 
 /**
  * Wire encoding of a timestamp run together with its data blocks.

@@ -96,12 +96,9 @@ Endpoint::call(NodeId dst, MsgType type, std::vector<std::byte> payload)
     msg.payload = std::move(payload);
     net.send(std::move(msg), nodeStats);
 
-    Message out;
-    {
-        std::unique_lock<std::mutex> g(slot.mu);
-        slot.cv.wait(g, [&] { return slot.ready; });
-        out = std::move(slot.msg);
-    }
+    while (slot.ready.load(std::memory_order_acquire) == 0)
+        slot.ready.wait(0, std::memory_order_acquire);
+    Message out = std::move(slot.msg);
     {
         std::lock_guard<std::mutex> g(pendingMu);
         pending.erase(token);
@@ -125,23 +122,20 @@ Endpoint::serviceLoop()
         nodeStats.bytesReceived += msg.wireSize();
 
         if (msg.isReply) {
-            PendingReply *slot = nullptr;
-            {
-                std::lock_guard<std::mutex> g(pendingMu);
-                auto it = pending.find(msg.replyToken);
-                if (it != pending.end())
-                    slot = it->second;
-            }
-            if (!slot) {
+            // Fill + notify under pendingMu: the caller must reacquire
+            // it to erase the token before its stack slot dies, so the
+            // notify always lands on a live PendingReply even when the
+            // waiter observes the ready store without ever sleeping.
+            std::lock_guard<std::mutex> g(pendingMu);
+            auto it = pending.find(msg.replyToken);
+            if (it == pending.end()) {
                 panic("reply token %llu has no waiter on node %d",
                       static_cast<unsigned long long>(msg.replyToken), id);
             }
-            {
-                std::lock_guard<std::mutex> g(slot->mu);
-                slot->msg = std::move(msg);
-                slot->ready = true;
-            }
-            slot->cv.notify_one();
+            PendingReply *slot = it->second;
+            slot->msg = std::move(msg);
+            slot->ready.store(1, std::memory_order_release);
+            slot->ready.notify_one();
             continue;
         }
 

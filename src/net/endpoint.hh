@@ -80,11 +80,12 @@ class Endpoint
     NodeStats &stats() { return nodeStats; }
 
   private:
+    /** One blocked call(): the service thread moves the reply in and
+     *  flips ready; the caller futex-waits on it (no mutex/cv — the
+     *  reply hand-off is the hottest wait in the system). */
     struct PendingReply
     {
-        std::mutex mu;
-        std::condition_variable cv;
-        bool ready = false;
+        std::atomic<std::uint32_t> ready{0};
         Message msg;
     };
 

@@ -73,6 +73,13 @@ struct Message
     std::uint64_t vtSendNs = 0;
     /** Computed arrival virtual time (set by the network). */
     std::uint64_t vtArriveNs = 0;
+    /**
+     * Delivery-order stamp assigned by the network inbox (ring ticket
+     * or per-pair counter; 0 = unstamped). Simulation metadata, not
+     * on the modeled wire; recv() asserts it increases per (src, dst)
+     * pair — the in-order-per-pair delivery guarantee.
+     */
+    std::uint64_t pairSeq = 0;
     std::vector<std::byte> payload;
 
     /** Modeled wire header bytes. */

@@ -1,0 +1,273 @@
+/**
+ * @file
+ * Bounded lock-free multi-producer/single-consumer ring used as a
+ * node inbox. Producers claim slots with a CAS on the tail ticket
+ * (Vyukov-style sequence-stamped slots); the single consumer pops in
+ * strict ticket order, so messages enqueued by one thread are
+ * delivered in their enqueue order — the in-order-per-pair guarantee
+ * the Network documents.
+ *
+ * The consumer parks on a futex (std::atomic::wait) after a short
+ * adaptive spin; producers wake it only when it advertised itself as
+ * parked, so the steady-state send path is two atomic RMWs and a
+ * release store — no mutex, no condition variable, no syscall.
+ *
+ * The park/publish handshake is the classic store-buffer (Dekker)
+ * pattern: the consumer advertises park=1, fences, then re-checks the
+ * slot; the producer publishes the slot, fences, then checks park.
+ * With seq_cst fences on both sides one of the two observations must
+ * succeed, so no wakeup is lost.
+ */
+
+#ifndef DSM_NET_MPSC_RING_HH
+#define DSM_NET_MPSC_RING_HH
+
+#include <atomic>
+#include <climits>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#if defined(__linux__)
+#include <linux/futex.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+#include "net/message.hh"
+#include "util/logging.hh"
+
+namespace dsm {
+
+/**
+ * Park/wake on a 32-bit word. On Linux this is a raw private futex —
+ * noticeably cheaper than std::atomic::wait, whose libstdc++
+ * implementation routes through a global proxy-waiter table with its
+ * own bookkeeping atomics on both sides. The kernel re-checks the
+ * word atomically on wait, so the caller only needs the usual
+ * advertise-then-recheck protocol.
+ */
+inline void
+futexWait(std::atomic<std::uint32_t> &word, std::uint32_t expected)
+{
+#if defined(__linux__)
+    syscall(SYS_futex, reinterpret_cast<std::uint32_t *>(&word),
+            FUTEX_WAIT_PRIVATE, expected, nullptr, nullptr, 0);
+#else
+    word.wait(expected, std::memory_order_acquire);
+#endif
+}
+
+inline void
+futexWakeOne(std::atomic<std::uint32_t> &word)
+{
+#if defined(__linux__)
+    syscall(SYS_futex, reinterpret_cast<std::uint32_t *>(&word),
+            FUTEX_WAKE_PRIVATE, 1, nullptr, nullptr, 0);
+#else
+    word.notify_one();
+#endif
+}
+
+inline void
+futexWakeAll(std::atomic<std::uint32_t> &word)
+{
+#if defined(__linux__)
+    syscall(SYS_futex, reinterpret_cast<std::uint32_t *>(&word),
+            FUTEX_WAKE_PRIVATE, INT_MAX, nullptr, nullptr, 0);
+#else
+    word.notify_all();
+#endif
+}
+
+/** Busy-wait hint; keeps a spinning consumer off the bus. */
+inline void
+cpuRelax()
+{
+#if defined(__x86_64__) || defined(__i386__)
+    __builtin_ia32_pause();
+#elif defined(__aarch64__)
+    asm volatile("yield");
+#else
+    std::this_thread::yield();
+#endif
+}
+
+/**
+ * How long a consumer busy-polls before parking on the futex. A
+ * hand-off between running threads is ~100x cheaper than a futex
+ * round trip, but only if the producer can actually run concurrently:
+ * on a single hardware thread pause-spinning steals cycles from the
+ * producer, so the budget there is just a few sched_yields (the tail
+ * of any budget is yields, see pop()) — enough to hand a runnable
+ * producer a quantum to batch messages before we pay for a sleep.
+ */
+inline int
+consumerSpinBudget()
+{
+    static const int kBudget =
+        std::thread::hardware_concurrency() > 1 ? 1024 : 4;
+    return kBudget;
+}
+
+class MpscRing
+{
+  public:
+    /** @param capacity Slot count; rounded up to a power of two. */
+    explicit MpscRing(std::size_t capacity = kDefaultCapacity)
+    {
+        std::size_t cap = 2;
+        while (cap < capacity)
+            cap <<= 1;
+        slots = std::vector<Slot>(cap);
+        for (std::size_t i = 0; i < cap; ++i)
+            slots[i].seq.store(i, std::memory_order_relaxed);
+        mask = cap - 1;
+    }
+
+    static constexpr std::size_t kDefaultCapacity = 1024;
+
+    MpscRing(const MpscRing &) = delete;
+    MpscRing &operator=(const MpscRing &) = delete;
+
+    /**
+     * Enqueue @p msg, blocking (spin + yield) while the ring is full.
+     * Returns the claimed ticket (a per-ring sequence number that is
+     * also the delivery order), or 0 after shutdown (message dropped;
+     * tickets returned to callers start at 1).
+     */
+    std::uint64_t
+    push(Message &&msg)
+    {
+        std::uint64_t pos = tail.load(std::memory_order_relaxed);
+        Slot *slot;
+        for (;;) {
+            slot = &slots[pos & mask];
+            const std::uint64_t seq =
+                slot->seq.load(std::memory_order_acquire);
+            const std::int64_t dif = static_cast<std::int64_t>(seq) -
+                                     static_cast<std::int64_t>(pos);
+            if (dif == 0) {
+                if (tail.compare_exchange_weak(
+                        pos, pos + 1, std::memory_order_relaxed)) {
+                    break;
+                }
+            } else if (dif < 0) {
+                // Full: the consumer has not recycled this slot yet.
+                if (down.load(std::memory_order_acquire))
+                    return 0;
+                std::this_thread::yield();
+                pos = tail.load(std::memory_order_relaxed);
+            } else {
+                pos = tail.load(std::memory_order_relaxed);
+            }
+        }
+        // The ticket is claimed in delivery order; stamp it so the
+        // receiver can assert per-pair monotonicity.
+        msg.pairSeq = pos + 1;
+        slot->msg = std::move(msg);
+        slot->seq.store(pos + 1, std::memory_order_release);
+        // Dekker handshake, producer half: publish, fence, check park.
+        std::atomic_thread_fence(std::memory_order_seq_cst);
+        if (park.load(std::memory_order_relaxed) == 1) {
+            park.store(0, std::memory_order_release);
+            futexWakeOne(park);
+        }
+        return pos + 1;
+    }
+
+    /**
+     * Dequeue into @p out, in ticket order. Blocks (short spin, then
+     * futex park) while empty. Returns false only when the ring is
+     * shut down and every published message was drained.
+     */
+    bool
+    pop(Message &out)
+    {
+        Slot &slot = slots[head & mask];
+        const std::uint64_t want = head + 1;
+        // Adaptive: when the previous pop ended in a futex sleep the
+        // link is idle (request/reply ping-pong) and the next empty
+        // wait will almost surely sleep too — park at once and save
+        // the spin. When the previous pop was served hot the link is
+        // busy (fan-in bursts) and spinning/yielding lets producers
+        // batch instead of paying a sleep/wake pair per message.
+        const int budget = lastPopParked ? 0 : consumerSpinBudget();
+        bool parked = false;
+        for (int spin = 0;; ++spin) {
+            if (slot.seq.load(std::memory_order_acquire) == want)
+                break;
+            if (spin < budget) {
+                // Busy poll first (the common hand-off is far shorter
+                // than a futex round trip), yield a little, then park.
+                if (spin < budget - 16)
+                    cpuRelax();
+                else
+                    std::this_thread::yield();
+                continue;
+            }
+            // Dekker handshake, consumer half: advertise, fence,
+            // re-check, then sleep. The park store and the down load
+            // are seq_cst so they order against shutdown()'s
+            // down-then-park store chain: either our park=1 overwrote
+            // shutdown's park=0 — then the single total order forces
+            // this down load to see true — or shutdown's 0 is the
+            // final value and futexWait returns immediately.
+            park.store(1, std::memory_order_seq_cst);
+            std::atomic_thread_fence(std::memory_order_seq_cst);
+            if (slot.seq.load(std::memory_order_acquire) == want) {
+                park.store(0, std::memory_order_relaxed);
+                break;
+            }
+            if (down.load(std::memory_order_seq_cst)) {
+                park.store(0, std::memory_order_relaxed);
+                // Drain-check once more: a producer may have published
+                // between the check above and shutdown.
+                if (slot.seq.load(std::memory_order_acquire) == want)
+                    break;
+                return false;
+            }
+            futexWait(park, 1);
+            parked = true;
+        }
+        lastPopParked = parked;
+        out = std::move(slot.msg);
+        slot.msg = Message{};
+        slot.seq.store(head + mask + 1, std::memory_order_release);
+        ++head;
+        return true;
+    }
+
+    /** Wake the consumer and any full-ring producers; subsequent
+     *  pop() calls return false once the ring is drained. */
+    void
+    shutdown()
+    {
+        // seq_cst store chain paired with the consumer's park-path
+        // loads/stores (see pop()): a consumer whose park=1 lands
+        // after our park=0 must then observe down==true instead of
+        // sleeping on a wake that already fired.
+        down.store(true, std::memory_order_seq_cst);
+        park.store(0, std::memory_order_seq_cst);
+        futexWakeAll(park);
+    }
+
+  private:
+    struct Slot
+    {
+        std::atomic<std::uint64_t> seq{0};
+        Message msg;
+    };
+
+    std::vector<Slot> slots;
+    std::size_t mask = 0;
+    alignas(64) std::atomic<std::uint64_t> tail{0}; ///< producers
+    alignas(64) std::uint64_t head = 0;             ///< consumer only
+    bool lastPopParked = false;                     ///< consumer only
+    alignas(64) std::atomic<std::uint32_t> park{0}; ///< 1 = consumer parked
+    std::atomic<bool> down{false};
+};
+
+} // namespace dsm
+
+#endif // DSM_NET_MPSC_RING_HH

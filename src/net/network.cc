@@ -4,13 +4,21 @@
 
 namespace dsm {
 
-Network::Network(int nnodes, const CostModel &cost_model, LossPlan loss_plan)
-    : cm(cost_model), loss(std::move(loss_plan))
+Network::Network(int nnodes, const CostModel &cost_model,
+                 LossPlan loss_plan, InboxPolicy inbox_policy)
+    : cm(cost_model), loss(std::move(loss_plan)), policy(inbox_policy)
 {
     DSM_ASSERT(nnodes > 0, "network needs at least one node");
     inboxes.reserve(nnodes);
-    for (int i = 0; i < nnodes; ++i)
+    for (int i = 0; i < nnodes; ++i) {
         inboxes.push_back(std::make_unique<Inbox>());
+        if (policy == InboxPolicy::LockFreeRing)
+            inboxes.back()->ring = std::make_unique<MpscRing>();
+        else
+            inboxes.back()->locked = std::make_unique<LockedInbox>();
+        inboxes.back()->lastDelivered.assign(nnodes, 0);
+    }
+    pairSeqs.assign(static_cast<std::size_t>(nnodes) * nnodes, 0);
 }
 
 void
@@ -18,6 +26,8 @@ Network::send(Message &&msg, NodeStats &sender_stats)
 {
     DSM_ASSERT(msg.dst >= 0 && msg.dst < nnodes(), "bad destination %d",
                msg.dst);
+    DSM_ASSERT(msg.src >= 0 && msg.src < nnodes(), "bad source %d",
+               msg.src);
     DSM_ASSERT(msg.type != MsgType::Invalid, "untyped message");
 
     const std::uint64_t seq = nextSeq.fetch_add(1);
@@ -44,11 +54,26 @@ Network::send(Message &&msg, NodeStats &sender_stats)
     accepted.fetch_add(1);
 
     Inbox &box = *inboxes[msg.dst];
-    {
-        std::lock_guard<std::mutex> g(box.mu);
-        box.queue.push_back(std::move(msg));
+    if (policy == InboxPolicy::LockFreeRing) {
+        // The ring ticket doubles as the pair sequence stamp (push
+        // assigns it): tickets are claimed in delivery order, so the
+        // per-pair subsequence is strictly increasing — exactly the
+        // documented guarantee. A zero ticket (shutdown) drops the
+        // message, matching the teardown semantics of recv().
+        box.ring->push(std::move(msg));
+        return;
     }
-    box.cv.notify_one();
+
+    {
+        std::lock_guard<std::mutex> g(box.locked->mu);
+        // Dense per-pair stamp, assigned under the inbox mutex so the
+        // stamp order is the enqueue order.
+        msg.pairSeq = ++pairSeqs[static_cast<std::size_t>(msg.src) *
+                                     nnodes() +
+                                 msg.dst];
+        box.locked->queue.push_back(std::move(msg));
+    }
+    box.locked->cv.notify_one();
 }
 
 bool
@@ -56,14 +81,35 @@ Network::recv(NodeId node, Message &out)
 {
     DSM_ASSERT(node >= 0 && node < nnodes(), "bad node %d", node);
     Inbox &box = *inboxes[node];
-    std::unique_lock<std::mutex> g(box.mu);
-    box.cv.wait(g, [&] {
-        return !box.queue.empty() || down.load(std::memory_order_acquire);
-    });
-    if (box.queue.empty())
-        return false;
-    out = std::move(box.queue.front());
-    box.queue.pop_front();
+
+    if (policy == InboxPolicy::LockFreeRing) {
+        if (!box.ring->pop(out))
+            return false;
+    } else {
+        std::unique_lock<std::mutex> g(box.locked->mu);
+        box.locked->cv.wait(g, [&] {
+            return !box.locked->queue.empty() ||
+                   down.load(std::memory_order_acquire);
+        });
+        if (box.locked->queue.empty())
+            return false;
+        out = std::move(box.locked->queue.front());
+        box.locked->queue.pop_front();
+    }
+
+    // In-order-per-pair invariant, checked on every delivery. Ring
+    // tickets are inbox-global (strictly increasing per pair); mutex
+    // stamps are dense per pair. Both must be monotone.
+    if (out.pairSeq != 0) {
+        std::uint64_t &last = box.lastDelivered[out.src];
+        DSM_ASSERT(out.pairSeq > last,
+                   "out-of-order delivery %d->%d: pairSeq %llu after "
+                   "%llu",
+                   out.src, node,
+                   static_cast<unsigned long long>(out.pairSeq),
+                   static_cast<unsigned long long>(last));
+        last = out.pairSeq;
+    }
     return true;
 }
 
@@ -72,8 +118,12 @@ Network::shutdown()
 {
     down.store(true, std::memory_order_release);
     for (auto &box : inboxes) {
-        std::lock_guard<std::mutex> g(box->mu);
-        box->cv.notify_all();
+        if (box->ring) {
+            box->ring->shutdown();
+        } else {
+            std::lock_guard<std::mutex> g(box->locked->mu);
+            box->locked->cv.notify_all();
+        }
     }
 }
 

@@ -9,6 +9,14 @@
  * delivered — so correctness is never affected, only cost, exactly like
  * the "operation-specific user-level protocols to insure delivery"
  * described in Section 6 of the paper.
+ *
+ * Inboxes come in two flavors (InboxPolicy): the default bounded
+ * lock-free MPSC ring (net/mpsc_ring.hh — futex-parked consumer, no
+ * mutex on the send path) and the seed mutex+condvar deque, kept for
+ * old-vs-new latency comparisons (bench/micro_net.cc). Both stamp
+ * every message with a per-(src, dst) sequence number and recv()
+ * asserts it increases monotonically per pair, so the documented
+ * in-order-per-pair guarantee is checked on every delivery.
  */
 
 #ifndef DSM_NET_NETWORK_HH
@@ -24,6 +32,7 @@
 #include <vector>
 
 #include "net/message.hh"
+#include "net/mpsc_ring.hh"
 #include "time/cost_model.hh"
 #include "util/stats.hh"
 
@@ -37,6 +46,13 @@ namespace dsm {
 using LossPlan = std::function<bool(NodeId src, NodeId dst,
                                     std::uint64_t seq, int attempt)>;
 
+/** How a node's inbox is implemented. */
+enum class InboxPolicy : std::uint8_t
+{
+    LockFreeRing, ///< bounded MPSC ring, futex-parked consumer
+    MutexQueue,   ///< seed mutex+condvar deque (ablation baseline)
+};
+
 class Network
 {
   public:
@@ -44,9 +60,11 @@ class Network
      * @param nnodes Number of nodes.
      * @param costModel Timing constants for transit computation.
      * @param lossPlan Optional deterministic loss injector.
+     * @param policy Inbox implementation (default: lock-free ring).
      */
     Network(int nnodes, const CostModel &costModel,
-            LossPlan lossPlan = nullptr);
+            LossPlan lossPlan = nullptr,
+            InboxPolicy policy = InboxPolicy::LockFreeRing);
 
     /**
      * Send @p msg (src/dst/vtSendNs must be filled in). Computes the
@@ -60,7 +78,9 @@ class Network
 
     /**
      * Blocking receive of the next message for @p node, in enqueue
-     * order. Returns false if the network was shut down.
+     * order (asserted per sender/receiver pair via Message::pairSeq).
+     * Must be called by one thread per node at a time. Returns false
+     * if the network was shut down and the inbox is drained.
      */
     bool recv(NodeId node, Message &out);
 
@@ -69,25 +89,44 @@ class Network
 
     int nnodes() const { return static_cast<int>(inboxes.size()); }
 
+    InboxPolicy inboxPolicy() const { return policy; }
+
     const CostModel &costModel() const { return cm; }
 
     /** Total messages accepted (including retransmitted ones once). */
     std::uint64_t totalMessages() const;
 
   private:
-    struct Inbox
+    /** Seed inbox, kept as the MutexQueue ablation baseline. */
+    struct LockedInbox
     {
         std::mutex mu;
         std::condition_variable cv;
         std::deque<Message> queue;
     };
 
+    struct Inbox
+    {
+        /** Exactly one of these is constructed, per InboxPolicy (a
+         *  1024-slot ring embeds ~100 KB of Message slots — dead
+         *  weight in the mutex ablation, and vice versa). */
+        std::unique_ptr<MpscRing> ring;
+        std::unique_ptr<LockedInbox> locked;
+        /** Last pairSeq delivered per source (consumer-side; guards
+         *  the in-order-per-pair invariant). */
+        std::vector<std::uint64_t> lastDelivered;
+    };
+
     CostModel cm;
     LossPlan loss;
+    InboxPolicy policy;
     std::vector<std::unique_ptr<Inbox>> inboxes;
     std::atomic<std::uint64_t> nextSeq{1};
     std::atomic<std::uint64_t> accepted{0};
     std::atomic<bool> down{false};
+    /** Per-(src, dst) sequence stamps, MutexQueue policy only (the
+     *  ring stamps with its delivery-ordered ticket instead). */
+    std::vector<std::uint64_t> pairSeqs;
 };
 
 /** A loss plan dropping the first attempt of every @p n-th message. */

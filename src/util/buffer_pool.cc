@@ -2,6 +2,35 @@
 
 namespace dsm {
 
+/**
+ * Per-thread freelist. Destroyed at thread exit, spilling its buffers
+ * back to the global cache (joined simulation threads recycle their
+ * warm buffers into the next run). The function-local singleton in
+ * BufferPool::instance() outlives every thread-local on both the main
+ * thread ([basic.start.term]) and joined worker threads.
+ */
+struct BufferPoolLocalCache
+{
+    std::vector<std::vector<std::byte>> bufs;
+
+    ~BufferPoolLocalCache()
+    {
+        if (!bufs.empty())
+            BufferPool::instance().adoptOrphans(std::move(bufs));
+    }
+};
+
+namespace {
+
+BufferPoolLocalCache &
+localCache()
+{
+    thread_local BufferPoolLocalCache tl;
+    return tl;
+}
+
+} // namespace
+
 BufferPool &
 BufferPool::instance()
 {
@@ -12,15 +41,25 @@ BufferPool::instance()
 std::vector<std::byte>
 BufferPool::acquire(std::size_t reserve_hint)
 {
+    acquireCount.fetch_add(1, std::memory_order_relaxed);
     std::vector<std::byte> buf;
-    {
-        std::lock_guard<std::mutex> g(mu);
-        counters.acquires++;
-        if (on && !cache.empty()) {
-            counters.hits++;
-            buf = std::move(cache.back());
-            cache.pop_back();
-            counters.cached = cache.size();
+    if (on.load(std::memory_order_relaxed)) {
+        auto &local = localCache().bufs;
+        if (local.empty())
+            refill(local);
+        if (!local.empty()) {
+            hitCount.fetch_add(1, std::memory_order_relaxed);
+            // Saturating decrement: a concurrent drain() zeroes the
+            // counter while other threads' freelists still hold
+            // counted buffers; wrapping would jam the admission bound
+            // at SIZE_MAX forever.
+            std::size_t cur = parked.load(std::memory_order_relaxed);
+            while (cur > 0 &&
+                   !parked.compare_exchange_weak(
+                       cur, cur - 1, std::memory_order_relaxed)) {
+            }
+            buf = std::move(local.back());
+            local.pop_back();
         }
     }
     buf.clear();
@@ -32,48 +71,102 @@ BufferPool::acquire(std::size_t reserve_hint)
 void
 BufferPool::release(std::vector<std::byte> &&buf)
 {
-    std::lock_guard<std::mutex> g(mu);
-    counters.releases++;
-    if (!on || buf.capacity() < kMinUsefulCapacity ||
-        buf.capacity() > kMaxCachedCapacity || cache.size() >= kMaxCached) {
-        counters.discarded++;
+    releaseCount.fetch_add(1, std::memory_order_relaxed);
+    if (!on.load(std::memory_order_relaxed) ||
+        buf.capacity() < kMinUsefulCapacity ||
+        buf.capacity() > kMaxCachedCapacity ||
+        parked.load(std::memory_order_relaxed) >= kMaxCached) {
+        discardCount.fetch_add(1, std::memory_order_relaxed);
         return; // freed when buf goes out of scope
     }
+    parked.fetch_add(1, std::memory_order_relaxed);
     buf.clear();
-    cache.push_back(std::move(buf));
-    counters.cached = cache.size();
+    auto &local = localCache().bufs;
+    local.push_back(std::move(buf));
+    if (local.size() > kLocalCached)
+        spill(local);
+}
+
+void
+BufferPool::spill(std::vector<std::vector<std::byte>> &local)
+{
+    // Move the colder half (LIFO bottom) to the global cache in one
+    // mutex acquisition; the warm top stays with the thread.
+    const std::size_t keep = kLocalCached / 2;
+    std::lock_guard<std::mutex> g(mu);
+    cache.insert(cache.end(),
+                 std::make_move_iterator(local.begin()),
+                 std::make_move_iterator(local.end() - keep));
+    local.erase(local.begin(), local.end() - keep);
+}
+
+bool
+BufferPool::refill(std::vector<std::vector<std::byte>> &local)
+{
+    const std::size_t want = kLocalCached / 2;
+    std::lock_guard<std::mutex> g(mu);
+    if (cache.empty())
+        return false;
+    const std::size_t take = std::min(want, cache.size());
+    local.insert(local.end(),
+                 std::make_move_iterator(cache.end() - take),
+                 std::make_move_iterator(cache.end()));
+    cache.erase(cache.end() - take, cache.end());
+    return true;
+}
+
+void
+BufferPool::adoptOrphans(std::vector<std::vector<std::byte>> &&bufs)
+{
+    // Counted as parked already; just move the storage.
+    std::lock_guard<std::mutex> g(mu);
+    cache.insert(cache.end(), std::make_move_iterator(bufs.begin()),
+                 std::make_move_iterator(bufs.end()));
 }
 
 void
 BufferPool::setEnabled(bool enabled)
 {
-    std::lock_guard<std::mutex> g(mu);
-    on = enabled;
-    if (!on)
-        cache.clear();
-    counters.cached = cache.size();
-}
-
-bool
-BufferPool::enabled() const
-{
-    std::lock_guard<std::mutex> g(mu);
-    return on;
+    on.store(enabled, std::memory_order_relaxed);
+    if (!enabled)
+        drain();
 }
 
 BufferPool::PoolStats
 BufferPool::stats() const
 {
-    std::lock_guard<std::mutex> g(mu);
-    return counters;
+    PoolStats s;
+    s.acquires = acquireCount.load(std::memory_order_relaxed);
+    s.hits = hitCount.load(std::memory_order_relaxed);
+    s.releases = releaseCount.load(std::memory_order_relaxed);
+    s.discarded = discardCount.load(std::memory_order_relaxed);
+    s.cached = parked.load(std::memory_order_relaxed);
+    return s;
 }
 
 void
 BufferPool::drain()
 {
-    std::lock_guard<std::mutex> g(mu);
-    cache.clear();
-    counters = PoolStats{};
+    auto &local = localCache().bufs;
+    std::size_t dropped = local.size();
+    local.clear();
+    {
+        std::lock_guard<std::mutex> g(mu);
+        dropped += cache.size();
+        cache.clear();
+    }
+    acquireCount.store(0, std::memory_order_relaxed);
+    hitCount.store(0, std::memory_order_relaxed);
+    releaseCount.store(0, std::memory_order_relaxed);
+    discardCount.store(0, std::memory_order_relaxed);
+    // Subtract what was actually dropped (saturating) instead of
+    // zeroing: buffers still counted in other live threads' freelists
+    // stay counted, so the admission bound holds when adoptOrphans
+    // later moves them into the global cache.
+    std::size_t cur = parked.load(std::memory_order_relaxed);
+    while (!parked.compare_exchange_weak(
+        cur, cur - std::min(cur, dropped), std::memory_order_relaxed)) {
+    }
 }
 
 } // namespace dsm

@@ -41,6 +41,8 @@ forEachField(Stats &s, Fn fn)
     fn("diffPagesPiggybacked", s.diffPagesPiggybacked);
     fn("tsRequestsSent", s.tsRequestsSent);
     fn("tsPagesPiggybacked", s.tsPagesPiggybacked);
+    fn("noticesPiggybacked", s.noticesPiggybacked);
+    fn("reinvalidationsAvoided", s.reinvalidationsAvoided);
     fn("homeFlushesSent", s.homeFlushesSent);
     fn("pageFetchRoundTrips", s.pageFetchRoundTrips);
     fn("homeMigrations", s.homeMigrations);

@@ -62,6 +62,12 @@ struct NodeStats
     std::uint64_t diffPagesPiggybacked = 0;
     std::uint64_t tsRequestsSent = 0;
     std::uint64_t tsPagesPiggybacked = 0;
+    /** Write notices (record x page) appended to fetch replies. */
+    std::uint64_t noticesPiggybacked = 0;
+    /** Notices that arrived for a page whose copy already held that
+     *  interval's data while the page stayed valid — the invalidation
+     *  plus refetch the seed protocol would have performed. */
+    std::uint64_t reinvalidationsAvoided = 0;
 
     // Home-based LRC.
     std::uint64_t homeFlushesSent = 0;

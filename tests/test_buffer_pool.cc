@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include <thread>
+
 #include "net/serde.hh"
 #include "util/buffer_pool.hh"
 
@@ -116,6 +118,30 @@ TEST_F(BufferPoolTest, AbandonedWriterReleasesBuffer)
             w.putU64(i);
     }
     EXPECT_GE(pool.stats().cached, 1u);
+}
+
+/** Buffers released on a worker thread (the service thread in the
+ *  producer/consumer split) spill to the global cache at the latest
+ *  when the thread exits, and are acquirable from another thread. */
+TEST_F(BufferPoolTest, CrossThreadRecycling)
+{
+    BufferPool &pool = BufferPool::instance();
+    constexpr int kBuffers = 80; // > one thread-local freelist
+    std::thread releaser([&] {
+        for (int i = 0; i < kBuffers; ++i)
+            pool.release(std::vector<std::byte>(512));
+    });
+    releaser.join();
+    EXPECT_EQ(pool.stats().cached, static_cast<std::size_t>(kBuffers));
+
+    std::size_t hits = 0;
+    for (int i = 0; i < kBuffers; ++i) {
+        std::vector<std::byte> buf = pool.acquire();
+        if (buf.capacity() >= 512)
+            ++hits;
+        // Dropped on scope exit: this loop only counts reuse.
+    }
+    EXPECT_EQ(hits, static_cast<std::size_t>(kBuffers));
 }
 
 } // namespace

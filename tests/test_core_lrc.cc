@@ -275,5 +275,118 @@ TEST(LrcRuntimeMisc, StatsReflectMechanisms)
     EXPECT_GT(diff.total.writeNoticesSent, 0u);
 }
 
+/**
+ * Write-notice piggybacking: an access-miss reply that carries data
+ * (and records) for intervals the requester has not yet heard of must
+ * prevent the later arrival of those write notices from invalidating
+ * the page again.
+ *
+ * Choreography (4 nodes, one shared page; phases sequenced with a
+ * plain process atomic so no extra DSM synchronization leaks records):
+ *   1. C writes word 8 under L2            -> interval (C,1)
+ *   2. B writes word 4 under L1            -> interval (B,1)
+ *   3. D acquires L1 from B                -> D knows (B,1) only
+ *   4. B acquires L2 from C, reads word 8  -> B's copy + store hold
+ *      (C,1), B's log holds its record
+ *   5. A acquires L1 from D (learns (B,1) but NOT (C,1)), reads
+ *      word 4 -> fetches from B, whose reply carries (C,1)'s data and
+ *      piggybacks its record
+ *   6. A acquires L2 from B: the (C,1) notice arrives, finds the copy
+ *      already covering it, and the page stays valid — word 8 is
+ *      readable with no second miss.
+ */
+RunResult
+runNoticeChoreography(const std::string &config, bool piggyback,
+                      std::uint64_t *a_misses)
+{
+    ClusterConfig cc = lrcConfig(config, 4);
+    cc.piggybackWriteNotices = piggyback;
+    Cluster cluster(cc);
+    std::atomic<int> phase{0};
+    auto reach = [&phase](int p) { phase.store(p); };
+    auto await = [&phase](int p) {
+        while (phase.load() < p)
+            std::this_thread::yield();
+    };
+
+    RunResult result = cluster.run([&](Runtime &rt) {
+        auto arr = SharedArray<int>::alloc(rt, 64);
+        rt.barrier(0);
+        switch (rt.self()) {
+          case 2: // C
+            rt.acquire(2, AccessMode::Write);
+            arr.set(8, 42);
+            rt.release(2);
+            reach(1);
+            break;
+          case 1: // B
+            await(1);
+            rt.acquire(1, AccessMode::Write);
+            arr.set(4, 7);
+            rt.release(1);
+            reach(2);
+            await(3);
+            rt.acquire(2, AccessMode::Write);
+            EXPECT_EQ(arr.get(8), 42);
+            rt.release(2);
+            reach(4);
+            break;
+          case 3: // D
+            await(2);
+            rt.acquire(1, AccessMode::Write);
+            rt.release(1);
+            reach(3);
+            break;
+          case 0: { // A
+            await(4);
+            rt.acquire(1, AccessMode::Write);
+            EXPECT_EQ(arr.get(4), 7);
+            rt.release(1);
+            const std::uint64_t misses_before = rt.stats().accessMisses;
+            EXPECT_EQ(misses_before, 1u);
+            rt.acquire(2, AccessMode::Write);
+            EXPECT_EQ(arr.get(8), 42);
+            rt.release(2);
+            if (a_misses)
+                *a_misses = rt.stats().accessMisses;
+            reach(5);
+            break;
+          }
+        }
+        await(5);
+    });
+    return result;
+}
+
+TEST(LrcNoticePiggyback, DiffReplyOutrunsNotice)
+{
+    std::uint64_t a_misses = 0;
+    RunResult r = runNoticeChoreography("LRC-diff", true, &a_misses);
+    // The diff reply carried (C,1)'s data and record: the later
+    // notice found the copy current and the page valid.
+    EXPECT_EQ(a_misses, 1u);
+    EXPECT_GE(r.perNode[0].reinvalidationsAvoided, 1u);
+    EXPECT_GE(r.perNode[1].noticesPiggybacked, 1u);
+}
+
+TEST(LrcNoticePiggyback, TimestampCapLiftedVsSeed)
+{
+    // LRC-time is where the seed protocol genuinely re-invalidates:
+    // without piggybacked records the responder must cap transmitted
+    // stamps at the requester's vector, so the (C,1) words are held
+    // back and the later notice forces a second miss on the same page.
+    std::uint64_t misses_on = 0;
+    std::uint64_t misses_off = 0;
+    RunResult on = runNoticeChoreography("LRC-time", true, &misses_on);
+    RunResult off =
+        runNoticeChoreography("LRC-time", false, &misses_off);
+    EXPECT_EQ(misses_on, 1u);
+    EXPECT_EQ(misses_off, 2u);
+    EXPECT_GE(on.perNode[0].reinvalidationsAvoided, 1u);
+    EXPECT_EQ(off.perNode[0].reinvalidationsAvoided, 0u);
+    EXPECT_GT(off.perNode[0].pagesInvalidated,
+              on.perNode[0].pagesInvalidated);
+}
+
 } // namespace
 } // namespace dsm

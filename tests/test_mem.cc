@@ -291,11 +291,14 @@ TEST_P(DiffScanEquivalence, WideMatchesReferenceAndNarrow)
         std::vector<std::byte> cur =
             adversarialMutate(twin, pattern, rng);
         Diff wide = Diff::create(cur.data(), twin.data(), len, nullptr,
-                                 {true, 0});
+                                 {ScanKernel::Wide, 0});
         Diff narrow = Diff::create(cur.data(), twin.data(), len, nullptr,
-                                   {false, 0});
+                                   {ScanKernel::Scalar, 0});
+        Diff simd = Diff::create(cur.data(), twin.data(), len, nullptr,
+                                 {ScanKernel::Simd, 0});
         // Byte-identical diffs: same runs, same payload, same wire form.
         EXPECT_EQ(wide, narrow);
+        EXPECT_EQ(simd, narrow);
         expectMatchesReference(wide, cur.data(), twin.data(), len);
 
         // And both reconstruct the modified buffer.
@@ -353,18 +356,18 @@ TEST(DiffGap, CoalescesRunsAcrossSmallGaps)
     cur[40] = std::byte{3}; // word 10 (gap of 6 words)
 
     Diff exact = Diff::create(cur.data(), twin.data(), 64, nullptr,
-                              {true, 0});
+                              {ScanKernel::Wide, 0});
     ASSERT_EQ(exact.diffRuns().size(), 3u);
 
     Diff gap2 = Diff::create(cur.data(), twin.data(), 64, nullptr,
-                             {true, 2});
+                             {ScanKernel::Wide, 2});
     ASSERT_EQ(gap2.diffRuns().size(), 2u);
     EXPECT_EQ(gap2.diffRuns()[0].offset, 0u);
     EXPECT_EQ(gap2.diffRuns()[0].size, 16u); // words 0..3 incl. bridge
     EXPECT_LT(gap2.wireBytes(), exact.wireBytes() + 8);
 
     Diff gap16 = Diff::create(cur.data(), twin.data(), 64, nullptr,
-                              {true, 16});
+                              {ScanKernel::Wide, 16});
     ASSERT_EQ(gap16.diffRuns().size(), 1u);
 
     // Coalesced diffs still reconstruct exactly (bridged bytes carry
@@ -392,7 +395,7 @@ TEST(DiffGap, RandomizedCoalescedRoundTrip)
         const std::uint32_t gap =
             static_cast<std::uint32_t>(rng.below(8));
         Diff d = Diff::create(cur.data(), twin.data(), len, nullptr,
-                              {true, gap});
+                              {ScanKernel::Wide, gap});
         std::vector<std::byte> dst = twin;
         d.apply(dst.data());
         EXPECT_EQ(dst, cur);
@@ -421,10 +424,10 @@ TEST(StampChangedWords, WideMatchesNarrowAndStampsExactly)
     const std::uint64_t value = packTs(3, 9);
     const std::uint64_t nw = stampChangedWords(wide, cur.data(),
                                                twin.data(), len, value,
-                                               true);
+                                               ScanKernel::Wide);
     const std::uint64_t nn = stampChangedWords(narrow, cur.data(),
                                                twin.data(), len, value,
-                                               false);
+                                               ScanKernel::Scalar);
     EXPECT_EQ(nw, nn);
     EXPECT_GT(nw, 0u);
     for (std::uint32_t w = 0; w < len / 4; ++w) {

@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Stress tests for the lock-free MPSC inbox (net/mpsc_ring.hh) and
+ * its integration into Network: per-producer FIFO under many
+ * concurrent producers, full-ring back-pressure with a tiny ring,
+ * shutdown racing active producers, and the in-order-per-pair
+ * delivery assertion at the Network level for both inbox policies.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "net/mpsc_ring.hh"
+#include "net/network.hh"
+
+namespace dsm {
+namespace {
+
+Message
+makeMsg(NodeId src, std::uint64_t payload_token)
+{
+    Message m;
+    m.src = src;
+    m.dst = 0;
+    m.type = MsgType::LockRequest;
+    m.replyToken = payload_token;
+    return m;
+}
+
+TEST(MpscRing, ManyProducersPerProducerFifo)
+{
+    constexpr int kProducers = 8;
+    constexpr int kPerProducer = 20000;
+    MpscRing ring(256);
+
+    std::vector<std::thread> producers;
+    producers.reserve(kProducers);
+    for (int p = 0; p < kProducers; ++p) {
+        producers.emplace_back([&ring, p] {
+            for (int i = 0; i < kPerProducer; ++i) {
+                const std::uint64_t ticket =
+                    ring.push(makeMsg(p, static_cast<std::uint64_t>(i)));
+                ASSERT_NE(ticket, 0u);
+            }
+        });
+    }
+
+    std::vector<std::uint64_t> next(kProducers, 0);
+    std::uint64_t last_ticket = 0;
+    Message out;
+    for (int i = 0; i < kProducers * kPerProducer; ++i) {
+        ASSERT_TRUE(ring.pop(out));
+        // Ticket order is the delivery order.
+        ASSERT_GT(out.pairSeq, last_ticket);
+        last_ticket = out.pairSeq;
+        // And each producer's messages arrive in its send order.
+        ASSERT_EQ(out.replyToken, next[out.src]) << "producer "
+                                                 << out.src;
+        next[out.src]++;
+    }
+    for (auto &t : producers)
+        t.join();
+    for (int p = 0; p < kProducers; ++p)
+        EXPECT_EQ(next[p], static_cast<std::uint64_t>(kPerProducer));
+}
+
+TEST(MpscRing, TinyRingBackpressureLosesNothing)
+{
+    // Capacity 2: producers must block on the full ring constantly;
+    // every message still arrives, in per-producer order.
+    constexpr int kProducers = 4;
+    constexpr int kPerProducer = 5000;
+    MpscRing ring(2);
+
+    std::vector<std::thread> producers;
+    for (int p = 0; p < kProducers; ++p) {
+        producers.emplace_back([&ring, p] {
+            for (int i = 0; i < kPerProducer; ++i)
+                ring.push(makeMsg(p, static_cast<std::uint64_t>(i)));
+        });
+    }
+    std::vector<std::uint64_t> next(kProducers, 0);
+    Message out;
+    for (int i = 0; i < kProducers * kPerProducer; ++i) {
+        ASSERT_TRUE(ring.pop(out));
+        ASSERT_EQ(out.replyToken, next[out.src]);
+        next[out.src]++;
+    }
+    for (auto &t : producers)
+        t.join();
+}
+
+TEST(MpscRing, ShutdownRace)
+{
+    // Producers blast while the consumer drains a little and shuts
+    // down mid-stream: no hang, no crash, and everything the consumer
+    // saw is a valid prefix per producer.
+    for (int round = 0; round < 20; ++round) {
+        MpscRing ring(64);
+        constexpr int kProducers = 4;
+        std::atomic<bool> stop{false};
+        std::vector<std::thread> producers;
+        for (int p = 0; p < kProducers; ++p) {
+            producers.emplace_back([&, p] {
+                for (std::uint64_t i = 0; !stop.load(); ++i) {
+                    if (ring.push(makeMsg(p, i)) == 0)
+                        break; // shut down while we were blocked
+                }
+            });
+        }
+
+        std::vector<std::uint64_t> next(kProducers, 0);
+        Message out;
+        for (int i = 0; i < 500 + round * 37; ++i) {
+            ASSERT_TRUE(ring.pop(out));
+            ASSERT_EQ(out.replyToken, next[out.src]);
+            next[out.src]++;
+        }
+        ring.shutdown();
+        stop.store(true);
+        // Post-shutdown pops drain whatever was published, still in
+        // order, and then report exhaustion instead of blocking.
+        while (ring.pop(out)) {
+            ASSERT_EQ(out.replyToken, next[out.src]);
+            next[out.src]++;
+        }
+        for (auto &t : producers)
+            t.join();
+    }
+}
+
+TEST(MpscRing, ShutdownUnblocksParkedConsumer)
+{
+    MpscRing ring(8);
+    std::thread consumer([&] {
+        Message out;
+        EXPECT_FALSE(ring.pop(out));
+    });
+    // Give the consumer time to park before the wake.
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    ring.shutdown();
+    consumer.join();
+}
+
+class NetworkPolicyTest : public ::testing::TestWithParam<InboxPolicy>
+{};
+
+TEST_P(NetworkPolicyTest, InOrderPerPairUnderContention)
+{
+    // 7 sender nodes hammer node 0 through the Network (which asserts
+    // pairSeq monotonicity per pair on every delivery); the payload
+    // token re-checks per-pair FIFO end to end.
+    CostModel cm;
+    Network net(8, cm, nullptr, GetParam());
+    constexpr int kPerSender = 15000;
+
+    std::vector<std::thread> senders;
+    for (int s = 1; s < 8; ++s) {
+        senders.emplace_back([&, s] {
+            NodeStats stats;
+            for (int i = 0; i < kPerSender; ++i) {
+                Message m = makeMsg(s, static_cast<std::uint64_t>(i));
+                m.vtSendNs = static_cast<std::uint64_t>(i);
+                net.send(std::move(m), stats);
+            }
+        });
+    }
+    std::vector<std::uint64_t> next(8, 0);
+    Message out;
+    for (int i = 0; i < 7 * kPerSender; ++i) {
+        ASSERT_TRUE(net.recv(0, out));
+        ASSERT_EQ(out.replyToken, next[out.src]);
+        next[out.src]++;
+    }
+    for (auto &t : senders)
+        t.join();
+    net.shutdown();
+    EXPECT_FALSE(net.recv(0, out));
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, NetworkPolicyTest,
+                         ::testing::Values(InboxPolicy::LockFreeRing,
+                                           InboxPolicy::MutexQueue),
+                         [](const auto &info) {
+                             return info.param ==
+                                            InboxPolicy::LockFreeRing
+                                        ? std::string("ring")
+                                        : std::string("mutex");
+                         });
+
+} // namespace
+} // namespace dsm

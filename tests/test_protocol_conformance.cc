@@ -265,12 +265,20 @@ struct ProtocolLeg
     const char *label;
     const char *config;
     bool home;
+    /** Piggyback write notices on fetch replies (default-on fast
+     *  path); the *_nonotice legs prove the seed protocol and the
+     *  piggybacked one produce bit-identical final state. */
+    bool piggyback;
 };
 
 const ProtocolLeg kLegs[] = {
-    {"EC", "EC-diff", false},
-    {"LRC", "LRC-diff", false},
-    {"LRC_home", "LRC-diff", true},
+    {"EC", "EC-diff", false, true},
+    {"LRC", "LRC-diff", false, true},
+    {"LRC_nonotice", "LRC-diff", false, false},
+    {"LRC_time", "LRC-time", false, true},
+    {"LRC_time_nonotice", "LRC-time", false, false},
+    {"LRC_home", "LRC-diff", true, true},
+    {"LRC_home_nonotice", "LRC-diff", true, false},
 };
 
 struct KernelCase
@@ -290,6 +298,7 @@ runLeg(const ProtocolLeg &leg, const KernelCase &kc)
     cc.pageSize = 1024;
     cc.runtime = RuntimeConfig::parse(leg.config);
     cc.homeBasedLrc = leg.home;
+    cc.piggybackWriteNotices = leg.piggyback;
     // A low threshold makes homes migrate *during* the kernels, so
     // conformance also covers the migration machinery.
     cc.homeMigrateThreshold = 4;
