@@ -38,6 +38,9 @@ benchCluster()
     cc.pageSize = 4096;
     if (const char *np = std::getenv("DSM_NPROCS"))
         cc.nprocs = std::atoi(np);
+    // threadsPerNode stays 0 here: Cluster resolves it from the
+    // DSM_THREADS environment variable (default 1), so every table
+    // bench runs at any (nodes x threads) point without recompiling.
     // Fast-path ablations (default on; set to 0 to fall back to the
     // seed behavior for old-vs-new comparisons in the table drivers).
     if (const char *v = std::getenv("DSM_BATCH_DIFF"))
@@ -62,6 +65,10 @@ benchCluster()
     if (const char *v = std::getenv("DSM_HOME_MIG"))
         cc.homeMigrateThreshold =
             static_cast<std::uint32_t>(std::atoi(v));
+    // Epoch window of the home-migration counters (accesses between
+    // halvings); 0 restores the legacy undecayed counts.
+    if (const char *v = std::getenv("DSM_HOME_DECAY"))
+        cc.homeDecayWindow = static_cast<std::uint32_t>(std::atoi(v));
     return cc;
 }
 

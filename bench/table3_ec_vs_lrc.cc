@@ -18,9 +18,10 @@ main()
     printHeader("Table 3: EC vs. LRC (best implementation per model)",
                 cc);
 
-    Table table({"Application", "1 proc.", "EC", "LRC", "LRC-home",
-                 "EC Imp.", "LRC Imp.", "EC msgs", "LRC msgs",
-                 "LRCh msgs", "EC MB", "LRC MB", "LRCh MB"});
+    Table table({"Application", "NxT", "1 proc.", "EC", "LRC",
+                 "LRC-home", "EC Imp.", "LRC Imp.", "EC msgs",
+                 "LRC msgs", "LRCh msgs", "EC MB", "LRC MB",
+                 "LRCh MB"});
     Table paper({"Application", "paper EC", "paper LRC", "paper winner",
                  "ours winner", "shape"});
 
@@ -45,7 +46,10 @@ main()
             const std::string name = config.name();
             return name.substr(name.find('-') + 1);
         };
-        table.addRow({app, fmtSeconds(be.seqSeconds(cc.cost)),
+        const std::string topo =
+            std::to_string(cc.nprocs) + "x" +
+            std::to_string(cc.resolvedThreadsPerNode());
+        table.addRow({app, topo, fmtSeconds(be.seqSeconds(cc.cost)),
                       fmtSeconds(be.execSeconds()),
                       fmtSeconds(bl.execSeconds()),
                       fmtSeconds(home.execSeconds()), impl(be.config),

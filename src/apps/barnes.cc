@@ -365,8 +365,8 @@ BarnesApp::runNode(Runtime &rt, const AppParams &params)
 {
     const bool ec = rt.clusterConfig().runtime.model == Model::EC;
     const int m = params.barnesBodies;
-    const int np = rt.nprocs();
-    const int self = rt.self();
+    const int np = rt.nworkers();
+    const int self = rt.worker();
     const int cell_capacity = 8 * m + 64;
 
     auto core_arr = SharedArray<double>::alloc(

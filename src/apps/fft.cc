@@ -203,8 +203,8 @@ FftApp::runNode(Runtime &rt, const AppParams &params)
 {
     const bool ec = rt.clusterConfig().runtime.model == Model::EC;
     const int n1 = params.fftN1, n2 = params.fftN2, n3 = params.fftN3;
-    const int np = rt.nprocs();
-    const int self = rt.self();
+    const int np = rt.nworkers();
+    const int self = rt.worker();
 
     auto lo1 = [&](int p) { return p * n1 / np; };
     auto hi1 = [&](int p) { return (p + 1) * n1 / np; };

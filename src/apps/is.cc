@@ -76,8 +76,8 @@ class IsApp : public App
         const bool ec = rt.clusterConfig().runtime.model == Model::EC;
         const int n = params.isKeys;
         const int bmax = params.isBmax;
-        const int self = rt.self();
-        const int np = rt.nprocs();
+        const int self = rt.worker();
+        const int np = rt.nworkers();
         const int lo = self * n / np;
         const int hi = (self + 1) * n / np;
 

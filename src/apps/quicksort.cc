@@ -185,7 +185,7 @@ QuicksortApp::runNode(Runtime &rt, const AppParams &params)
     const bool ec = rt.clusterConfig().runtime.model == Model::EC;
     const int n = params.qsElems;
     const int cutoff = params.qsCutoff;
-    const int self = rt.self();
+    const int self = rt.worker();
 
     auto array = SharedArray<int>::alloc(rt, n, 4, "qs.array");
 
@@ -199,7 +199,8 @@ QuicksortApp::runNode(Runtime &rt, const AppParams &params)
                                                "qs.queue");
     auto verdict =
         SharedArray<std::int32_t>::alloc(rt, 1, 4, "qs.verdict");
-    verdictAddr = verdict.base();
+    if (rt.worker() == 0)
+        verdictAddr = verdict.base(); // same value on every worker
     const LockId verdict_lock = entryLock(q.capacity);
 
     if (ec) {

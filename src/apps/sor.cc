@@ -209,10 +209,10 @@ class SorApp : public App
 void
 SorApp::runLrc(Runtime &rt, const AppParams &params)
 {
-    const SorGeometry g{params.sorRows, params.sorCols, rt.nprocs()};
+    const SorGeometry g{params.sorRows, params.sorCols, rt.nworkers()};
     const int cols = g.cols;
     Layout l = makeLayout(rt, g);
-    const int self = rt.self();
+    const int self = rt.worker();
     const int lo = g.bandLo(self);
     const int hi = g.bandHi(self);
 
@@ -290,17 +290,18 @@ SorApp::runLrc(Runtime &rt, const AppParams &params)
         for (int p = 0; p < g.nprocs; ++p)
             l.bandSums.get(p);
     }
-    finalBarrier = next_barrier;
+    if (rt.worker() == 0)
+        finalBarrier = next_barrier; // same value on every worker
     rt.barrier(next_barrier++);
 }
 
 void
 SorApp::runEc(Runtime &rt, const AppParams &params)
 {
-    const SorGeometry g{params.sorRows, params.sorCols, rt.nprocs()};
+    const SorGeometry g{params.sorRows, params.sorCols, rt.nworkers()};
     const int cols = g.cols;
     Layout l = makeLayout(rt, g);
-    const int self = rt.self();
+    const int self = rt.worker();
     const int lo = g.bandLo(self);
     const int hi = g.bandHi(self);
 
@@ -422,7 +423,8 @@ SorApp::runEc(Runtime &rt, const AppParams &params)
         rt.acquire(resultsLock(g), AccessMode::Read);
         rt.release(resultsLock(g));
     }
-    finalBarrier = next_barrier;
+    if (rt.worker() == 0)
+        finalBarrier = next_barrier; // same value on every worker
     rt.barrier(next_barrier++);
 }
 
@@ -430,7 +432,7 @@ Verdict
 SorApp::validate(Cluster &cluster, const AppParams &params)
 {
     const SorGeometry g{params.sorRows, params.sorCols,
-                        cluster.nprocs()};
+                        cluster.nworkers()};
     const int cols = g.cols;
 
     // Rebuild the layout bookkeeping (allocation order is fixed).

@@ -173,8 +173,8 @@ WaterApp::runNode(Runtime &rt, const AppParams &params)
     const bool ec = rt.clusterConfig().runtime.model == Model::EC;
     const bool restructured = params.waterRestructured;
     const int m = params.waterMolecules;
-    const int np = rt.nprocs();
-    const int self = rt.self();
+    const int np = rt.nworkers();
+    const int self = rt.worker();
     const int lo = self * m / np;
     const int hi = (self + 1) * m / np;
 

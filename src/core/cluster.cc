@@ -11,18 +11,19 @@ namespace dsm {
 Cluster::Node::Node(const ClusterConfig &config, Network &net, NodeId id)
     : arena(config.arenaBytes, config.pageSize),
       ep(net, id, clock, stats),
-      locks(ep, mu),
-      barriers(ep, mu)
+      locks(ep, config.threadsPerNode),
+      barriers(ep, config.threadsPerNode)
 {
     Runtime::Deps deps;
     deps.self = id;
     deps.nprocs = config.nprocs;
+    deps.threadsPerNode = config.threadsPerNode;
     deps.arena = &arena;
     deps.endpoint = &ep;
     deps.locks = &locks;
     deps.barriers = &barriers;
     deps.regions = &regions;
-    deps.nodeMutex = &mu;
+    deps.nodeLocks = &nlocks;
     deps.cluster = &config;
     if (config.runtime.model == Model::EC)
         rt = std::make_unique<EcRuntime>(deps);
@@ -34,6 +35,7 @@ Cluster::Cluster(const ClusterConfig &config) : cfg(config)
 {
     DSM_ASSERT(cfg.nprocs >= 1 && cfg.nprocs <= 64,
                "unreasonable node count %d", cfg.nprocs);
+    cfg.threadsPerNode = cfg.resolvedThreadsPerNode();
     cfg.runtime.validate();
     // The pool is process-wide; the newest cluster's ablation setting
     // wins (clusters run sequentially in tests and benches).
@@ -83,26 +85,65 @@ Cluster::run(const std::function<void(Runtime &)> &app_main)
     for (auto &node : nodes)
         node->ep.start();
 
-    std::vector<std::exception_ptr> errors(nodes.size());
+    const int T = cfg.threadsPerNode;
+    const int workers = cfg.nprocs * T;
+    // SPMD allocation replay starts from the log as it stands *now*
+    // (one snapshot per node, before any worker runs): allocations a
+    // test performed before run() are skipped by every worker, and the
+    // first worker to reach a new position allocates for its siblings.
+    std::vector<std::uint32_t> allocBase(cfg.nprocs);
+    for (int i = 0; i < cfg.nprocs; ++i)
+        allocBase[i] = nodes[i]->rt->allocLogSize();
+    std::vector<std::exception_ptr> errors(workers);
+    std::vector<std::unique_ptr<ThreadContext>> ctxs(workers);
     std::vector<std::thread> threads;
-    threads.reserve(nodes.size());
-    for (std::size_t i = 0; i < nodes.size(); ++i) {
-        threads.emplace_back([&, i] {
-            try {
-                app_main(*nodes[i]->rt);
-            } catch (...) {
-                errors[i] = std::current_exception();
-            }
-        });
+    threads.reserve(workers);
+    for (int i = 0; i < cfg.nprocs; ++i) {
+        for (int t = 0; t < T; ++t) {
+            ThreadContext &ctx = *(ctxs[i * T + t] =
+                                       std::make_unique<ThreadContext>());
+            ctx.node = static_cast<NodeId>(i);
+            ctx.threadId = t;
+            ctx.worker = i * T + t;
+            ctx.numWorkers = workers;
+            // T == 1: the worker shares the node clock with the
+            // service thread (the paper's uniprocessor node, where
+            // the SIGIO handler stole application cycles) — the
+            // historical accounting, bit for bit. T > 1: each
+            // worker is its own CPU; the node clock plays the
+            // protocol processor, and the clocks meet at sync
+            // points and at run end.
+            ctx.clock = T == 1 ? &nodes[i]->clock : &ctx.ownClock;
+            ctx.allocCursor = allocBase[i];
+            threads.emplace_back([&, i] {
+                ThreadContext::Scope scope(&ctx);
+                try {
+                    app_main(*nodes[i]->rt);
+                } catch (...) {
+                    errors[ctx.worker] = std::current_exception();
+                }
+            });
+        }
     }
     for (auto &t : threads)
         t.join();
     for (auto &node : nodes)
         node->ep.stop();
 
-    for (std::size_t i = 0; i < errors.size(); ++i) {
-        if (errors[i])
-            std::rethrow_exception(errors[i]);
+    // Fold the workers' private counters and clocks into their nodes
+    // only now: every worker has joined and every service thread has
+    // stopped, so this is plain single-threaded summation.
+    for (int i = 0; i < cfg.nprocs; ++i) {
+        for (int t = 0; t < T; ++t) {
+            const ThreadContext &ctx = *ctxs[i * T + t];
+            nodes[i]->stats += ctx.stats;
+            nodes[i]->clock.advanceTo(ctx.clock->now());
+        }
+    }
+
+    for (int w = 0; w < workers; ++w) {
+        if (errors[w])
+            std::rethrow_exception(errors[w]);
     }
 
     RunResult result;

@@ -1,11 +1,13 @@
 /**
  * @file
- * The simulated 8-node cluster: per-node arenas, endpoints, lock and
- * barrier services, and an EC or LRC runtime, all wired to one
- * simulated network. run() executes an SPMD application function on
- * one thread per node and reports per-node virtual times and protocol
- * statistics — the reproduction's equivalent of the paper's
- * 8-processor execution times.
+ * The simulated cluster: per-node arenas, endpoints, lock and barrier
+ * services, and an EC or LRC runtime, all wired to one simulated
+ * network. run() executes an SPMD application function on
+ * threadsPerNode worker threads per node (one per node historically;
+ * SMP nodes since the threads-per-node axis opened) and reports
+ * per-node virtual times and protocol statistics — the reproduction's
+ * equivalent of the paper's 8-processor execution times, extended to
+ * the (nodes x threads) scenario grid.
  */
 
 #ifndef DSM_CORE_CLUSTER_HH
@@ -56,8 +58,9 @@ class Cluster
     Cluster &operator=(const Cluster &) = delete;
 
     /**
-     * Run @p app_main once per node, each on its own thread, and
-     * collect the results. A Cluster instance runs one application.
+     * Run @p app_main once per worker (nprocs x threadsPerNode SPMD
+     * threads; the threads of one node share its runtime) and collect
+     * the results. A Cluster instance runs one application.
      */
     RunResult run(const std::function<void(Runtime &)> &app_main);
 
@@ -74,6 +77,12 @@ class Cluster
 
     int nprocs() const { return cfg.nprocs; }
 
+    /** Application threads per node (resolved: never 0). */
+    int threadsPerNode() const { return cfg.threadsPerNode; }
+
+    /** SPMD workers: nprocs * threadsPerNode. */
+    int nworkers() const { return cfg.nprocs * cfg.threadsPerNode; }
+
   private:
     struct Node
     {
@@ -81,7 +90,7 @@ class Cluster
 
         VirtualClock clock;
         NodeStats stats;
-        std::mutex mu;
+        NodeLocks nlocks;
         SharedArena arena;
         RegionTable regions;
         Endpoint ep;

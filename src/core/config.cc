@@ -1,5 +1,7 @@
 #include "core/config.hh"
 
+#include <cstdlib>
+
 #include "util/logging.hh"
 
 namespace dsm {
@@ -52,6 +54,22 @@ RuntimeConfig::parse(const std::string &name)
     }
     fatal("unknown runtime configuration '%s' (expected one of EC-ci, "
           "EC-time, EC-diff, LRC-ci, LRC-time, LRC-diff)", name.c_str());
+}
+
+int
+ClusterConfig::resolvedThreadsPerNode() const
+{
+    int t = threadsPerNode;
+    if (t == 0) {
+        t = 1;
+        if (const char *v = std::getenv("DSM_THREADS")) {
+            const int parsed = std::atoi(v);
+            if (parsed > 0)
+                t = parsed;
+        }
+    }
+    DSM_ASSERT(t >= 1 && t <= 64, "unreasonable threadsPerNode %d", t);
+    return t;
 }
 
 const std::vector<RuntimeConfig> &

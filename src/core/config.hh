@@ -62,6 +62,19 @@ struct RuntimeConfig
 struct ClusterConfig
 {
     int nprocs = 8;
+
+    /**
+     * Application threads per node (SMP nodes). Every node runs this
+     * many SPMD worker threads sharing the node's memory, protocol
+     * state and network endpoint; worker w = node * T + threadId
+     * partitions the applications. 0 means "default": the DSM_THREADS
+     * environment variable if set, else 1. With T == 1 the runtime is
+     * observationally identical to the historical one-thread-per-node
+     * system (the per-thread clock aliases the node clock and no
+     * intra-node queueing ever happens).
+     */
+    int threadsPerNode = 0;
+
     RuntimeConfig runtime;
     std::size_t arenaBytes = 16u << 20;
     std::size_t pageSize = 4096;
@@ -150,6 +163,18 @@ struct ClusterConfig
     std::uint32_t gcIntervalThreshold = 256;
 
     /**
+     * Size the GC trigger from arena pressure instead of the bare
+     * record count: with this on, barrier-time GC also fires once the
+     * interval log references at least gcPressurePages page entries
+     * (live records x average pages per record), so a log full of fat
+     * records collects long before the static record-count threshold.
+     * The static gcIntervalThreshold remains as the fallback trigger
+     * either way. Off by default (legacy trigger).
+     */
+    bool adaptiveGcThreshold = false;
+    std::uint32_t gcPressurePages = 2048;
+
+    /**
      * Home-based LRC (HLRC-style): every page has a home node
      * (round-robin, migratable) that absorbs diffs eagerly at interval
      * close, so an access miss is exactly one request/reply pair
@@ -166,6 +191,18 @@ struct ClusterConfig
      * 0 disables migration.
      */
     std::uint32_t homeMigrateThreshold = 64;
+
+    /**
+     * Epoch window (in accesses to one homed page) of the migration
+     * counters: every homeDecayWindow accesses the per-node counts are
+     * halved, so migration reacts to the recent access mix instead of
+     * firing on stale history accumulated long ago. 0 restores the
+     * legacy undecayed counter.
+     */
+    std::uint32_t homeDecayWindow = 1024;
+
+    /** threadsPerNode with the 0 = "env or 1" default applied. */
+    int resolvedThreadsPerNode() const;
 };
 
 } // namespace dsm

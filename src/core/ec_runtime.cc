@@ -111,19 +111,27 @@ EcRuntime::setBinding(LockInfo &info, std::vector<Range> ranges)
 void
 EcRuntime::bindLock(LockId lock, std::vector<Range> ranges)
 {
-    std::lock_guard<std::mutex> g(*mu);
+    std::lock_guard<std::mutex> g(nl->core);
     LockInfo &li = info(lock);
-    DSM_ASSERT(li.ranges.empty(), "lock %u already bound (use rebindLock)",
-               lock);
+    if (!li.ranges.empty()) {
+        // SMP nodes: every thread of a node executes the same SPMD
+        // bind sequence; a repeat with the identical ranges is the
+        // sibling's copy of a binding already installed.
+        DSM_ASSERT(li.ranges == ranges,
+                   "lock %u already bound with different ranges (use "
+                   "rebindLock)",
+                   lock);
+        return;
+    }
     setBinding(li, std::move(ranges));
 }
 
 void
 EcRuntime::rebindLock(LockId lock, std::vector<Range> ranges)
 {
-    DSM_ASSERT(locks->holds(lock),
+    DSM_ASSERT(locks->holdsExclusively(lock),
                "rebindLock requires holding the lock exclusively");
-    std::lock_guard<std::mutex> g(*mu);
+    std::lock_guard<std::mutex> g(nl->core);
     LockInfo &li = info(lock);
     stats().rebinds++;
     twins.dropRange(lock);
@@ -142,6 +150,7 @@ EcRuntime::rebindLock(LockId lock, std::vector<Range> ranges)
             forEachPiece(li, [&](GlobalAddr addr, std::uint64_t,
                                  std::uint64_t len) {
                 for (PageId p : arena->pagesIn(addr, len)) {
+                    std::lock_guard<std::mutex> sg(nl->shardFor(p));
                     if (pages.access(p) == PageAccess::ReadWrite &&
                         !twins.hasPage(p)) {
                         pages.setAccess(p, PageAccess::Read);
@@ -155,9 +164,11 @@ EcRuntime::rebindLock(LockId lock, std::vector<Range> ranges)
 void
 EcRuntime::onAcquired(LockId lock, AccessMode mode)
 {
-    // Hook runs with the node mutex held (from LockService).
+    // Hook runs with the lock-service mutex held; EC protocol state
+    // (lock info, range twins) lives under the core lock.
     if (mode != AccessMode::Write || !usesTwinning())
         return;
+    std::lock_guard<std::mutex> g(nl->core);
     auto it = lockInfoMap.find(lock);
     if (it == lockInfoMap.end() || it->second.boundBytes == 0)
         return;
@@ -187,6 +198,7 @@ EcRuntime::onAcquired(LockId lock, AccessMode mode)
         forEachPiece(li, [&](GlobalAddr addr, std::uint64_t,
                              std::uint64_t len) {
             for (PageId p : arena->pagesIn(addr, len)) {
+                std::lock_guard<std::mutex> sg(nl->shardFor(p));
                 if (pages.access(p) == PageAccess::ReadWrite &&
                     !twins.hasPage(p)) {
                     pages.setAccess(p, PageAccess::Read);
@@ -200,8 +212,11 @@ void
 EcRuntime::doRead(GlobalAddr addr, void *dst, std::size_t size)
 {
     // Update protocol: bound data is made current at acquire time, so
-    // reads never fault and carry no instrumentation. The arena is
-    // only written by this (the application) thread, so no lock.
+    // reads never fault and carry no instrumentation. A data-race-free
+    // EC program only reads data whose lock it holds (or that is
+    // barrier-separated from writers), so the bytes cannot change
+    // underneath the copy and no lock is taken — this is the SMP-node
+    // zero-contention read path.
     std::memcpy(dst, arena->at(addr), size);
 }
 
@@ -209,9 +224,9 @@ void
 EcRuntime::doWrite(GlobalAddr addr, const void *src, std::size_t size,
                    bool bulk)
 {
-    std::lock_guard<std::mutex> g(*mu);
+    // Charges are per call (not per page segment), matching the
+    // monolithic-mutex accounting bit for bit.
     if (cluster->runtime.trap == TrapMethod::CompilerInstrumentation) {
-        dirty.markRange(addr, size);
         if (bulk) {
             // Split-loop instrumentation (Section 4.1 optimization):
             // the dirty-bit loop runs separately from the data loop at
@@ -224,23 +239,36 @@ EcRuntime::doWrite(GlobalAddr addr, const void *src, std::size_t size,
             clock().add(costModel().dirtyStoreNs);
             stats().dirtyStores++;
         }
-    } else if (size > 0) {
-        // Twinning: copy-on-write fault for protected (large-object)
-        // pages; must happen atomically with the store so a concurrent
-        // grant flush cannot miss the change.
-        for (PageId p : arena->pagesIn(addr, size)) {
-            if (pages.access(p) != PageAccess::Read)
-                continue;
-            const std::uint64_t words = arena->pageSize() / 4;
-            clock().add(costModel().pageFaultNs +
-                        costModel().perWordTwinNs * words);
-            stats().pageFaults++;
-            stats().twinsCreated++;
-            stats().twinWordsCopied += words;
-            twins.makePage(p, arena->at(arena->pageBase(p)),
-                           arena->pageSize());
-            pages.setAccess(p, PageAccess::ReadWrite);
-        }
+        if (size == 0)
+            return;
+        // Mark + store under the memory shards so a concurrent grant
+        // flush (scan + clear on another thread) sees either both or
+        // neither.
+        NodeLocks::ShardSpan span(*nl, arena->pageOf(addr),
+                                  arena->pageOf(addr + size - 1));
+        dirty.markRange(addr, size);
+        std::memcpy(arena->at(addr), src, size);
+        return;
+    }
+    if (size == 0)
+        return;
+    // Twinning: copy-on-write fault for protected (large-object)
+    // pages; must happen atomically with the store so a concurrent
+    // grant flush cannot miss the change.
+    NodeLocks::ShardSpan span(*nl, arena->pageOf(addr),
+                              arena->pageOf(addr + size - 1));
+    for (PageId p : arena->pagesIn(addr, size)) {
+        if (pages.access(p) != PageAccess::Read)
+            continue;
+        const std::uint64_t words = arena->pageSize() / 4;
+        clock().add(costModel().pageFaultNs +
+                    costModel().perWordTwinNs * words);
+        stats().pageFaults++;
+        stats().twinsCreated++;
+        stats().twinWordsCopied += words;
+        twins.makePage(p, arena->at(arena->pageBase(p)),
+                       arena->pageSize());
+        pages.setAccess(p, PageAccess::ReadWrite);
     }
     std::memcpy(arena->at(addr), src, size);
 }
@@ -286,6 +314,8 @@ EcRuntime::twinChanges(LockId lock, LockInfo &li)
     forEachPiece(li, [&](GlobalAddr addr, std::uint64_t off,
                          std::uint64_t len) {
         for (PageId p : arena->pagesIn(addr, len)) {
+            // Serialize against sibling writers faulting on p.
+            std::lock_guard<std::mutex> sg(nl->shardFor(p));
             if (!twins.hasPage(p))
                 continue;
             const GlobalAddr page_base = arena->pageBase(p);
@@ -310,6 +340,11 @@ EcRuntime::dirtyChanges(LockInfo &li)
     std::vector<Run> byte_runs;
     forEachPiece(li, [&](GlobalAddr addr, std::uint64_t off,
                          std::uint64_t len) {
+        // Scan + clear must exclude concurrent instrumented stores to
+        // the same pages (mark + copy hold these shards too), or a
+        // store could slip between the scan and the clear and be lost.
+        NodeLocks::ShardSpan span(*nl, arena->pageOf(addr),
+                                  arena->pageOf(addr + len - 1));
         for (const Run &r : dirty.dirtyRunsIn(addr, len)) {
             // r is in absolute 4-byte block indices; clip to the piece.
             const std::uint64_t run_lo = std::uint64_t{r.start} * 4;
@@ -390,14 +425,14 @@ void
 EcRuntime::acquireForRebind(LockId lock)
 {
     {
-        std::lock_guard<std::mutex> g(*mu);
+        std::lock_guard<std::mutex> g(nl->core);
         rebindIntent[lock] = true;
     }
     acquire(lock, AccessMode::Write);
     {
         // Consumed by makeRequest on the remote path; clear in case
         // the acquire was a local fast path.
-        std::lock_guard<std::mutex> g(*mu);
+        std::lock_guard<std::mutex> g(nl->core);
         rebindIntent.erase(lock);
     }
 }
@@ -405,6 +440,7 @@ EcRuntime::acquireForRebind(LockId lock)
 std::vector<std::byte>
 EcRuntime::makeRequest(LockId lock, AccessMode)
 {
+    std::lock_guard<std::mutex> g(nl->core);
     LockInfo &li = info(lock);
     WireWriter w;
     w.putU32(li.inc);
@@ -420,6 +456,7 @@ EcRuntime::makeRequest(LockId lock, AccessMode)
 std::vector<std::byte>
 EcRuntime::makeGrant(LockId lock, AccessMode mode, NodeId, WireReader &req)
 {
+    std::lock_guard<std::mutex> g(nl->core);
     LockInfo &li = info(lock);
     const std::uint32_t req_inc = req.getU32();
     const std::uint32_t req_version = req.getU32();
@@ -533,6 +570,7 @@ EcRuntime::makeGrant(LockId lock, AccessMode mode, NodeId, WireReader &req)
 void
 EcRuntime::applyGrant(LockId lock, AccessMode, WireReader &r)
 {
+    std::lock_guard<std::mutex> g(nl->core);
     LockInfo &li = info(lock);
     const std::uint32_t version = r.getU32();
     const std::uint16_t nranges = r.getU16();

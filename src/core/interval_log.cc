@@ -26,6 +26,7 @@ IntervalLog::add(IntervalRec rec, bool *was_new)
     DSM_ASSERT(rec.idx == last + 1,
                "gap in interval log of proc %d: have %u, got %u",
                rec.proc, last, rec.idx);
+    pageRefs += rec.pages.size();
     pl.recs.push_back(std::move(rec));
     return pl.recs.back();
 }
@@ -82,6 +83,7 @@ IntervalLog::pruneThrough(const VectorTime &through)
     for (int p = 0; p < nprocs(); ++p) {
         ProcLog &pl = procs[p];
         while (!pl.recs.empty() && pl.recs.front().idx <= through[p]) {
+            pageRefs -= pl.recs.front().pages.size();
             pl.recs.pop_front();
             ++pl.base;
             ++pruned;

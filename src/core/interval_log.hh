@@ -87,6 +87,11 @@ class IntervalLog
     /** Records currently held across all processors. */
     std::size_t totalRecords() const;
 
+    /** Page entries referenced by the held records (sum of
+     *  rec.pages.size() — the live arena pressure the adaptive GC
+     *  trigger sizes itself from). Maintained incrementally. */
+    std::uint64_t totalPageRefs() const { return pageRefs; }
+
   private:
     struct ProcLog
     {
@@ -96,6 +101,7 @@ class IntervalLog
     };
 
     std::vector<ProcLog> procs;
+    std::uint64_t pageRefs = 0;
 };
 
 } // namespace dsm

@@ -18,7 +18,8 @@ LrcRuntime::LrcRuntime(const Deps &deps)
                 : PageAccess::ReadWrite),
       dirty(deps.arena->size(), deps.arena->pageSize()),
       homes(deps.nprocs, deps.self,
-            deps.cluster->homeMigrateThreshold)
+            deps.cluster->homeMigrateThreshold,
+            deps.cluster->homeDecayWindow)
 {
     DSM_ASSERT(cluster->runtime.model == Model::LRC, "config mismatch");
     // PageMeta::writerMask is one bit per node; Cluster enforces the
@@ -109,6 +110,11 @@ LrcRuntime::tsOf(PageId page)
 void
 LrcRuntime::closeInterval()
 {
+    // Caller holds nl->core (all protocol hooks do). Page bytes,
+    // twins and dirty bits are touched under each page's memory
+    // shard, so sibling writers of *other* pages proceed in parallel
+    // and writers of the same page land either in this interval
+    // (before the shard is taken) or re-fault into the next one.
     std::vector<PageId> modified;
     if (usesTwinning()) {
         modified = twins.twinnedPages();
@@ -148,12 +154,24 @@ LrcRuntime::closeInterval()
         Diff diff;
     };
     std::map<NodeId, std::vector<FlushEntry>> flushes;
+    std::vector<std::pair<std::pair<PageId, std::uint64_t>, DiffEntry>>
+        store;
+    std::unique_lock<std::mutex> hg(nl->home, std::defer_lock);
+    if (homeMode())
+        hg.lock();
     for (PageId p : modified) {
         const std::uint32_t prev_idx = meta(p).copyVt[id];
         meta(p).copyVt[id] = idx;
         meta(p).writerMask |= std::uint64_t{1} << id;
         const GlobalAddr base = arena->pageBase(p);
+        std::lock_guard<std::mutex> sg(nl->shardFor(p));
         if (usesTwinning()) {
+            // Twins are only dropped by closeInterval itself, which
+            // always runs under nl->core, so the snapshot cannot have
+            // gone stale even with sibling threads active.
+            DSM_ASSERT(twins.hasPage(p),
+                       "twin of page %u vanished during interval close",
+                       p);
             const std::byte *cur = arena->at(base);
             const std::byte *twin = twins.pageTwin(p).data();
             clock().add(costModel().perWordDiffNs * page_words);
@@ -171,25 +189,46 @@ LrcRuntime::closeInterval()
                                     : cluster->diffGapWords};
             if (usesDiffing()) {
                 if (homeMode() && homes.isHome(p)) {
+                    auto &hs = homes.state(
+                        p, static_cast<std::uint32_t>(page_words));
+                    if (hs.appliedVt[id] < prev_idx) {
+                        // The page migrated to us while our older
+                        // flushes for it are still chasing the home
+                        // chain: advancing appliedVt[id] past them
+                        // here would claim intervals whose words the
+                        // (regressed) home copy does not hold — and
+                        // hand that claim to remote fetchers. Enter
+                        // this close into the chain as a parked flush
+                        // instead; drainParkedFlushes applies it in
+                        // interval order once the chain catches up
+                        // (the bytes are already in place, so the
+                        // apply is an idempotent stamp).
+                        parkedFlushes.push_back(
+                            {id, idx, prev_idx, vt_sum, p,
+                             Diff::create(cur, twin,
+                                          static_cast<std::uint32_t>(
+                                              arena->pageSize()),
+                                          &stats(), scan)});
+                    } else {
                     // Our copy is the home copy and already holds the
                     // writes; stamp the word ordering sums straight
                     // off the cur-vs-twin scan, no diff needed.
-                    auto &hs = homes.state(
-                        p, static_cast<std::uint32_t>(page_words));
                     stats().diffWordsCompared += page_words;
                     stampChangedWordSums(
                         hs.wordSums, cur, twin,
                         static_cast<std::uint32_t>(arena->pageSize()),
                         vt_sum, scan.kernel);
                     hs.appliedVt[id] = idx;
+                    }
                 } else {
                     Diff d = Diff::create(cur, twin,
                                           static_cast<std::uint32_t>(
                                               arena->pageSize()),
                                           &stats(), scan);
                     if (!homeMode()) {
-                        diffStore[{p, packTs(id, idx)}] = {std::move(d),
-                                                           vt_sum};
+                        store.emplace_back(
+                            std::make_pair(p, packTs(id, idx)),
+                            DiffEntry{std::move(d), vt_sum});
                     } else {
                         flushes[homes.homeOf(p)].push_back(
                             {p, prev_idx, std::move(d)});
@@ -206,8 +245,10 @@ LrcRuntime::closeInterval()
             }
             twins.dropPage(p);
             // Writable only within an interval: later writes re-fault
-            // and re-twin (as in TreadMarks).
-            pages.setAccess(p, PageAccess::Read);
+            // and re-twin (as in TreadMarks). Never resurrect a page a
+            // sibling's grant application invalidated mid-interval.
+            if (pages.access(p) == PageAccess::ReadWrite)
+                pages.setAccess(p, PageAccess::Read);
         } else {
             // Compiler instrumentation (+ timestamps): fold the word
             // dirty bits of this page into word timestamps.
@@ -222,6 +263,14 @@ LrcRuntime::closeInterval()
             }
             dirty.clearRange(base, arena->pageSize());
         }
+    }
+
+    if (hg.owns_lock())
+        hg.unlock();
+    if (!store.empty()) {
+        std::lock_guard<std::mutex> dg(nl->diff);
+        for (auto &[key, entry] : store)
+            diffStore[key] = std::move(entry);
     }
 
     // Eager flush to the homes, one message per home, before the
@@ -243,7 +292,10 @@ LrcRuntime::closeInterval()
         ep->send(home, MsgType::HomeDiffFlush, w.take());
     }
 
-    ilog.add(std::move(rec));
+    {
+        std::lock_guard<std::mutex> ig(nl->ilog);
+        ilog.add(std::move(rec));
+    }
     stats().intervalsCreated++;
 }
 
@@ -274,6 +326,7 @@ LrcRuntime::invalidateFor(const IntervalRec &rec, bool fresh)
         m.notices.push_back(notice);
         invalidPages.insert(p);
         stats().writeNoticesReceived++;
+        std::lock_guard<std::mutex> sg(nl->shardFor(p));
         if (pages.access(p) != PageAccess::None) {
             pages.setAccess(p, PageAccess::None);
             stats().pagesInvalidated++;
@@ -287,6 +340,7 @@ LrcRuntime::invalidateFor(const IntervalRec &rec, bool fresh)
 VectorTime
 LrcRuntime::logCoverage() const
 {
+    std::lock_guard<std::mutex> ig(nl->ilog);
     VectorTime cov(numProcs);
     for (int p = 0; p < numProcs; ++p)
         cov[p] = ilog.lastIdxOf(p);
@@ -306,6 +360,7 @@ LrcRuntime::encodePiggybackedRecords(WireWriter &w,
     // cannot exceed the requester's coverage: pruning waits for a
     // barrier every node passed with its pages validated, and a
     // fetching node cannot be inside that barrier.
+    std::lock_guard<std::mutex> ig(nl->ilog);
     auto recs = ilog.recordsAfter(req_log);
     w.putU32(static_cast<std::uint32_t>(recs.size()));
     for (const IntervalRec *rec : recs) {
@@ -326,6 +381,9 @@ LrcRuntime::decodePiggybackedRecords(WireReader &r,
 std::vector<const IntervalRec *>
 LrcRuntime::ingestPiggybackedRecords(std::vector<IntervalRec> &recs)
 {
+    // Caller holds nl->core; the returned references stay valid
+    // because pruning (applyDepart) also runs under core.
+    std::lock_guard<std::mutex> ig(nl->ilog);
     std::vector<const IntervalRec *> fresh;
     for (IntervalRec &rec : recs) {
         bool was_new = false;
@@ -399,6 +457,7 @@ LrcRuntime::decodeRecord(WireReader &r)
 std::vector<std::byte>
 LrcRuntime::makeLockRequest(LockId, AccessMode)
 {
+    std::lock_guard<std::mutex> g(nl->core);
     // An acquire begins a new interval (Section 5.1).
     closeInterval();
     WireWriter w;
@@ -409,6 +468,7 @@ LrcRuntime::makeLockRequest(LockId, AccessMode)
 std::vector<std::byte>
 LrcRuntime::makeLockGrant(LockId, AccessMode, NodeId, WireReader &req)
 {
+    std::lock_guard<std::mutex> g(nl->core);
     VectorTime req_vt = VectorTime::decode(req);
     closeInterval();
 
@@ -419,6 +479,7 @@ LrcRuntime::makeLockGrant(LockId, AccessMode, NodeId, WireReader &req)
     // other nodes' *next-barrier* arrivals that my vector does not yet
     // cover; leaking those would hand the requester notices it cannot
     // order or fetch against.
+    std::lock_guard<std::mutex> ig(nl->ilog);
     auto recs = ilog.recordsAfter(req_vt, &vt);
     w.putU32(static_cast<std::uint32_t>(recs.size()));
     for (const IntervalRec *rec : recs) {
@@ -431,12 +492,17 @@ LrcRuntime::makeLockGrant(LockId, AccessMode, NodeId, WireReader &req)
 void
 LrcRuntime::applyLockGrant(LockId, AccessMode, WireReader &r)
 {
+    std::lock_guard<std::mutex> g(nl->core);
     VectorTime granter_vt = VectorTime::decode(r);
     const std::uint32_t nrecs = r.getU32();
     for (std::uint32_t i = 0; i < nrecs; ++i) {
         bool fresh = false;
-        const IntervalRec &rec = ilog.add(decodeRecord(r), &fresh);
-        invalidateFor(rec, fresh);
+        const IntervalRec *rec;
+        {
+            std::lock_guard<std::mutex> ig(nl->ilog);
+            rec = &ilog.add(decodeRecord(r), &fresh);
+        }
+        invalidateFor(*rec, fresh);
     }
     vt.mergeMax(granter_vt);
 }
@@ -447,6 +513,7 @@ LrcRuntime::applyLockGrant(LockId, AccessMode, WireReader &r)
 std::vector<std::byte>
 LrcRuntime::makeArrival(BarrierId)
 {
+    std::lock_guard<std::mutex> g(nl->core);
     closeInterval();
     WireWriter w;
     vt.encode(w);
@@ -457,6 +524,7 @@ LrcRuntime::makeArrival(BarrierId)
     gcValidated = false;
     // Send my own records created since my previous barrier; every
     // record reaches the manager from its author.
+    std::lock_guard<std::mutex> ig(nl->ilog);
     auto recs = ilog.recordsOfAfter(id, lastBarrierSentIdx);
     w.putU32(static_cast<std::uint32_t>(recs.size()));
     for (const IntervalRec *rec : recs) {
@@ -470,6 +538,8 @@ LrcRuntime::makeArrival(BarrierId)
 void
 LrcRuntime::mergeArrival(BarrierId barrier, NodeId node, WireReader &r)
 {
+    // barrierScratch is touched only by the service thread (this node
+    // is the barrier manager); the interval log is shared.
     BarrierScratch &scratch = barrierScratch[barrier];
     if (scratch.arrivalVt.empty())
         scratch.arrivalVt.assign(numProcs, VectorTime(numProcs));
@@ -477,6 +547,7 @@ LrcRuntime::mergeArrival(BarrierId barrier, NodeId node, WireReader &r)
     if (r.getU8())
         scratch.validatedArrivals++;
     const std::uint32_t nrecs = r.getU32();
+    std::lock_guard<std::mutex> ig(nl->ilog);
     for (std::uint32_t i = 0; i < nrecs; ++i)
         ilog.add(decodeRecord(r));
 }
@@ -506,6 +577,7 @@ LrcRuntime::makeDepart(BarrierId barrier, NodeId node)
     WireWriter w;
     global.encode(w);
     gc_vt.encode(w);
+    std::lock_guard<std::mutex> ig(nl->ilog);
     auto recs = ilog.recordsAfter(scratch.arrivalVt[node]);
     w.putU32(static_cast<std::uint32_t>(recs.size()));
     for (const IntervalRec *rec : recs) {
@@ -521,13 +593,18 @@ LrcRuntime::makeDepart(BarrierId barrier, NodeId node)
 void
 LrcRuntime::applyDepart(BarrierId, WireReader &r)
 {
+    std::lock_guard<std::mutex> g(nl->core);
     VectorTime global = VectorTime::decode(r);
     VectorTime gc_vt = VectorTime::decode(r);
     const std::uint32_t nrecs = r.getU32();
     for (std::uint32_t i = 0; i < nrecs; ++i) {
         bool fresh = false;
-        const IntervalRec &rec = ilog.add(decodeRecord(r), &fresh);
-        invalidateFor(rec, fresh);
+        const IntervalRec *rec;
+        {
+            std::lock_guard<std::mutex> ig(nl->ilog);
+            rec = &ilog.add(decodeRecord(r), &fresh);
+        }
+        invalidateFor(*rec, fresh);
     }
     // Records the manager merged from *us* need no invalidation, but
     // records of other processors we already knew might still have
@@ -536,11 +613,16 @@ LrcRuntime::applyDepart(BarrierId, WireReader &r)
 
     // The departure records above all carry idx > our arrival vector
     // >= gc_vt, so pruning cannot touch anything still pending.
-    const std::uint64_t pruned = ilog.pruneThrough(gc_vt);
+    std::uint64_t pruned;
+    {
+        std::lock_guard<std::mutex> ig(nl->ilog);
+        pruned = ilog.pruneThrough(gc_vt);
+    }
     if (pruned > 0) {
         stats().gcRecordsReclaimed += pruned;
         stats().gcRounds++;
         std::uint64_t diffs_pruned = 0;
+        std::lock_guard<std::mutex> dg(nl->diff);
         for (auto it = diffStore.begin(); it != diffStore.end();) {
             const std::uint64_t key = it->first.second;
             if (tsInterval(key) <= gc_vt[tsProc(key)]) {
@@ -569,8 +651,24 @@ LrcRuntime::preBarrier()
         return;
     std::vector<PageId> invalid;
     {
-        std::lock_guard<std::mutex> g(*mu);
-        if (ilog.totalRecords() < cluster->gcIntervalThreshold)
+        std::lock_guard<std::mutex> g(nl->core);
+        std::size_t records;
+        std::uint64_t page_refs;
+        {
+            std::lock_guard<std::mutex> ig(nl->ilog);
+            records = ilog.totalRecords();
+            page_refs = ilog.totalPageRefs();
+        }
+        // Static trigger: enough records. Adaptive trigger (ROADMAP):
+        // enough arena pressure — records x pages per record — so a
+        // log full of fat records collects long before the count
+        // threshold; the static value stays as the fallback.
+        bool trigger = records >= cluster->gcIntervalThreshold;
+        if (cluster->adaptiveGcThreshold &&
+            page_refs >= cluster->gcPressurePages) {
+            trigger = true;
+        }
+        if (!trigger)
             return;
         // The maintained invalid-page set is already sorted and holds
         // exactly the pages with pending notices.
@@ -580,8 +678,9 @@ LrcRuntime::preBarrier()
         bool still_invalid;
         {
             // A batched fetch may have validated p as a piggyback of
-            // an earlier page in this loop.
-            std::lock_guard<std::mutex> g(*mu);
+            // an earlier page in this loop (or, on SMP nodes, a
+            // sibling thread's pre-barrier pass got there first).
+            std::lock_guard<std::mutex> g(nl->core);
             still_invalid = !meta(p).notices.empty();
         }
         if (!still_invalid)
@@ -589,25 +688,20 @@ LrcRuntime::preBarrier()
         // Proactive fetch, not an access fault: skip fetchPage's trap
         // accounting (accessMisses / pageFaultNs) so GC-on vs GC-off
         // ablations attribute this traffic to GC, not to misses.
-        if (homeMode())
-            fetchFromHome(p);
-        else if (usesDiffing())
-            fetchDiffs(p);
-        else
-            fetchTimestamps(p);
+        fetchPageData(p);
     }
-    gcValidated = true;
+    {
+        std::lock_guard<std::mutex> g(nl->core);
+        gcValidated = true;
+    }
 }
 
 void
 LrcRuntime::ensurePresent(PageId page)
 {
-    bool missing;
-    {
-        std::lock_guard<std::mutex> g(*mu);
-        missing = pages.access(page) == PageAccess::None;
-    }
-    if (missing)
+    // The access bits are atomics: the valid-page fast path takes no
+    // lock at all. fetchPage revalidates under the protocol locks.
+    if (pages.access(page) == PageAccess::None)
         fetchPage(page);
 }
 
@@ -620,6 +714,11 @@ LrcRuntime::doRead(GlobalAddr addr, void *dst, std::size_t size)
     const PageId last = arena->pageOf(addr + size - 1);
     for (PageId p = first; p <= last; ++p)
         ensurePresent(p);
+    // The copy itself holds the shards: the home-based protocol (and,
+    // on SMP nodes, sibling fetches) applies remote writes to valid
+    // pages from other threads, and a torn word must never reach the
+    // application.
+    NodeLocks::ShardSpan span(*nl, first, last);
     std::memcpy(dst, arena->at(addr), size);
 }
 
@@ -629,18 +728,12 @@ LrcRuntime::doWrite(GlobalAddr addr, const void *src, std::size_t size,
 {
     if (size == 0)
         return;
-    const PageId first = arena->pageOf(addr);
-    const PageId last = arena->pageOf(addr + size - 1);
-    for (PageId p = first; p <= last; ++p)
-        ensurePresent(p);
-
-    // Trapping and the store itself form one critical section: a
-    // concurrent interval close on the service thread (lock grant)
-    // must see either twin+store or neither.
-    std::lock_guard<std::mutex> g(*mu);
+    // Instrumentation charges are per call (identical to the
+    // monolithic-mutex accounting); trapping and the store run per
+    // page under that page's memory shard, so sibling writers of
+    // other pages never serialize here and an interval close sees
+    // either twin+store or neither.
     if (!usesTwinning()) {
-        // Hierarchical software dirty bits: word-level + page-level.
-        dirty.markRange(addr, size);
         if (bulk) {
             const std::uint64_t blocks = (size + 3) / 4;
             clock().add(costModel().dirtyStoreNs * blocks / 2);
@@ -649,23 +742,46 @@ LrcRuntime::doWrite(GlobalAddr addr, const void *src, std::size_t size,
             clock().add(costModel().dirtyStoreNs);
             stats().dirtyStores++;
         }
-    } else {
-        // Twinning: write fault on non-writable pages creates the twin.
-        for (PageId p = first; p <= last; ++p) {
-            if (pages.access(p) != PageAccess::Read)
+    }
+    const PageId first = arena->pageOf(addr);
+    const PageId last = arena->pageOf(addr + size - 1);
+    const auto *bytes = static_cast<const std::byte *>(src);
+    for (PageId p = first; p <= last; ++p) {
+        const GlobalAddr page_lo =
+            std::max<GlobalAddr>(addr, arena->pageBase(p));
+        const GlobalAddr page_hi =
+            std::min<GlobalAddr>(addr + size,
+                                 arena->pageBase(p) + arena->pageSize());
+        for (;;) {
+            ensurePresent(p);
+            std::lock_guard<std::mutex> sg(nl->shardFor(p));
+            if (pages.access(p) == PageAccess::None) {
+                // A sibling's grant application invalidated the page
+                // between the fetch and the trap (SMP nodes only);
+                // writing into the stale copy could lose the store to
+                // the next full-page fetch. Refetch and retry.
                 continue;
-            const std::uint64_t words = arena->pageSize() / 4;
-            clock().add(costModel().pageFaultNs +
-                        costModel().perWordTwinNs * words);
-            stats().pageFaults++;
-            stats().twinsCreated++;
-            stats().twinWordsCopied += words;
-            twins.makePage(p, arena->at(arena->pageBase(p)),
-                           arena->pageSize());
-            pages.setAccess(p, PageAccess::ReadWrite);
+            }
+            if (!usesTwinning()) {
+                // Hierarchical software dirty bits: word + page level.
+                dirty.markRange(page_lo, page_hi - page_lo);
+            } else if (pages.access(p) == PageAccess::Read) {
+                // Twinning: write fault on a non-writable page.
+                const std::uint64_t words = arena->pageSize() / 4;
+                clock().add(costModel().pageFaultNs +
+                            costModel().perWordTwinNs * words);
+                stats().pageFaults++;
+                stats().twinsCreated++;
+                stats().twinWordsCopied += words;
+                twins.makePage(p, arena->at(arena->pageBase(p)),
+                               arena->pageSize());
+                pages.setAccess(p, PageAccess::ReadWrite);
+            }
+            std::memcpy(arena->at(page_lo), bytes + (page_lo - addr),
+                        page_hi - page_lo);
+            break;
         }
     }
-    std::memcpy(arena->at(addr), src, size);
 }
 
 // ---------------------------------------------------------------------
@@ -676,12 +792,51 @@ LrcRuntime::fetchPage(PageId page)
 {
     stats().accessMisses++;
     clock().add(costModel().pageFaultNs);
-    if (homeMode())
-        fetchFromHome(page);
-    else if (usesDiffing())
-        fetchDiffs(page);
-    else
-        fetchTimestamps(page);
+    fetchPageData(page);
+}
+
+void
+LrcRuntime::fetchPageData(PageId page)
+{
+    if (threadsT == 1) {
+        // Single app thread: exactly the historical dispatch.
+        if (homeMode())
+            fetchFromHome(page);
+        else if (usesDiffing())
+            fetchDiffs(page);
+        else
+            fetchTimestamps(page);
+        return;
+    }
+    // SMP nodes: one fetch per page at a time. Siblings that miss the
+    // same page wait for the in-flight fetch instead of issuing
+    // duplicate request rounds.
+    {
+        std::unique_lock<std::mutex> g(nl->core);
+        while (fetchesInFlight.count(page) != 0) {
+            fetchCv.wait(g);
+            if (pages.access(page) != PageAccess::None)
+                return;
+        }
+        if (pages.access(page) != PageAccess::None)
+            return;
+        fetchesInFlight.insert(page);
+    }
+    // A fetch validates the page unless a sibling's concurrent grant
+    // application raced a fresh notice in; retry until current.
+    do {
+        if (homeMode())
+            fetchFromHome(page);
+        else if (usesDiffing())
+            fetchDiffs(page);
+        else
+            fetchTimestamps(page);
+    } while (pages.access(page) == PageAccess::None);
+    {
+        std::lock_guard<std::mutex> g(nl->core);
+        fetchesInFlight.erase(page);
+    }
+    fetchCv.notify_all();
 }
 
 namespace {
@@ -694,6 +849,7 @@ struct FetchedDiff
     std::uint32_t idx;
     std::uint64_t vtSum;
     Diff diff;
+    bool applied = false; ///< survived the duplicate check; store it
 };
 
 /** HomePageRequest payload; shared by the fresh-request and the two
@@ -733,7 +889,7 @@ LrcRuntime::snapshotBatchTargets(PageId page,
                                  VectorTime &log_cov,
                                  VectorTime *global_vt)
 {
-    std::lock_guard<std::mutex> g(*mu);
+    std::lock_guard<std::mutex> g(nl->core);
     log_cov = logCoverage();
     if (global_vt)
         *global_vt = vt;
@@ -814,30 +970,64 @@ LrcRuntime::fetchDiffs(PageId page)
     // Sorting globally keeps the per-page subsequences ordered.
     sortForApply(fetched);
 
-    std::lock_guard<std::mutex> g(*mu);
+    std::lock_guard<std::mutex> g(nl->core);
     for (FetchedDiff &f : fetched) {
         PageMeta &m = meta(f.page);
         if (f.idx <= m.copyVt[f.proc])
             continue; // duplicate from another responder
-        std::byte *base = arena->at(arena->pageBase(f.page));
-        f.diff.apply(base, &stats());
+        {
+            std::lock_guard<std::mutex> sg(nl->shardFor(f.page));
+            std::byte *base = arena->at(arena->pageBase(f.page));
+            f.diff.apply(base, &stats());
+            if (twins.hasPage(f.page)) {
+                // SMP nodes: a sibling's interval is open on this
+                // page; mirror the remote words into the twin so the
+                // next cur-vs-twin diff still captures exactly the
+                // local writes (same shadowing as the home's
+                // applyDiffGuarded).
+                f.diff.apply(twins.pageTwinMut(f.page).data());
+            }
+        }
         clock().add(costModel().perWordApplyNs *
                     ((f.diff.dataBytes() + 3) / 4));
         m.copyVt[f.proc] = std::max(m.copyVt[f.proc], f.idx);
-        // Save for possible future transmission (Section 5.2).
-        diffStore[{f.page, packTs(f.proc, f.idx)}] = {std::move(f.diff),
-                                                      f.vtSum};
+        f.applied = true;
     }
     for (const BatchPageReq &pr : reqs) {
         PageMeta &m = meta(pr.page);
         resolveCoveredNotices(pr.page, m);
-        DSM_ASSERT(m.notices.empty(),
-                   "page %u still has pending notices after batched "
-                   "fetch",
-                   pr.page);
-        pages.setAccess(pr.page, PageAccess::Read);
+        if (threadsT == 1) {
+            DSM_ASSERT(m.notices.empty(),
+                       "page %u still has pending notices after "
+                       "batched fetch",
+                       pr.page);
+        }
+        if (m.notices.empty()) {
+            // Only None -> valid: a sibling may have validated (and
+            // even re-twinned) the page while our replies were in
+            // flight. A page with an open twin (a sibling is
+            // mid-interval on it) must come back writable — its twin
+            // keeps capturing the local writes; Read would make the
+            // next store re-fault and double-twin.
+            std::lock_guard<std::mutex> sg(nl->shardFor(pr.page));
+            if (pages.access(pr.page) == PageAccess::None) {
+                pages.setAccess(pr.page, twins.hasPage(pr.page)
+                                             ? PageAccess::ReadWrite
+                                             : PageAccess::Read);
+            }
+        }
         if (pr.page != page)
             stats().diffPagesPiggybacked++;
+    }
+    {
+        // Save for possible future transmission (Section 5.2).
+        std::lock_guard<std::mutex> dg(nl->diff);
+        for (FetchedDiff &f : fetched) {
+            if (f.applied) {
+                diffStore[{f.page, packTs(f.proc, f.idx)}] = {
+                    std::move(f.diff), f.vtSum};
+            }
+        }
     }
     applyPiggybackedRecords(precs, reqs);
 }
@@ -849,7 +1039,7 @@ LrcRuntime::fetchDiffsLegacy(PageId page)
     VectorTime copy_vt;
     VectorTime log_cov;
     {
-        std::lock_guard<std::mutex> g(*mu);
+        std::lock_guard<std::mutex> g(nl->core);
         PageMeta &m = meta(page);
         copy_vt = m.copyVt;
         log_cov = logCoverage();
@@ -891,36 +1081,92 @@ LrcRuntime::fetchDiffsLegacy(PageId page)
     // word-granularity merging for concurrent multi-writer diffs.
     sortForApply(fetched);
 
-    std::lock_guard<std::mutex> g(*mu);
+    std::lock_guard<std::mutex> g(nl->core);
     PageMeta &m = meta(page);
-    std::byte *base = arena->at(arena->pageBase(page));
     for (FetchedDiff &f : fetched) {
         if (f.idx <= m.copyVt[f.proc])
             continue; // duplicate from another responder
-        f.diff.apply(base, &stats());
+        {
+            std::lock_guard<std::mutex> sg(nl->shardFor(page));
+            std::byte *base = arena->at(arena->pageBase(page));
+            f.diff.apply(base, &stats());
+            if (twins.hasPage(page))
+                f.diff.apply(twins.pageTwinMut(page).data());
+        }
         clock().add(costModel().perWordApplyNs *
                     ((f.diff.dataBytes() + 3) / 4));
         m.copyVt[f.proc] = std::max(m.copyVt[f.proc], f.idx);
-        // Save for possible future transmission (Section 5.2).
-        diffStore[{page, packTs(f.proc, f.idx)}] = {std::move(f.diff),
-                                                    f.vtSum};
+        f.applied = true;
     }
     resolveCoveredNotices(page, m);
-    DSM_ASSERT(m.notices.empty(),
-               "page %u still has pending notices after fetch", page);
-    pages.setAccess(page, PageAccess::Read);
+    if (threadsT == 1) {
+        DSM_ASSERT(m.notices.empty(),
+                   "page %u still has pending notices after fetch",
+                   page);
+    }
+    if (m.notices.empty()) {
+        std::lock_guard<std::mutex> sg(nl->shardFor(page));
+        if (pages.access(page) == PageAccess::None) {
+            pages.setAccess(page, twins.hasPage(page)
+                                      ? PageAccess::ReadWrite
+                                      : PageAccess::Read);
+        }
+    }
+    {
+        // Save for possible future transmission (Section 5.2).
+        std::lock_guard<std::mutex> dg(nl->diff);
+        for (FetchedDiff &f : fetched) {
+            if (f.applied) {
+                diffStore[{page, packTs(f.proc, f.idx)}] = {
+                    std::move(f.diff), f.vtSum};
+            }
+        }
+    }
     applyPiggybackedRecords(precs, {{page, VectorTime()}});
+}
+
+void
+LrcRuntime::installFullPage(PageId page, WireReader &r)
+{
+    std::lock_guard<std::mutex> sg(nl->shardFor(page));
+    std::byte *base = arena->at(arena->pageBase(page));
+    if (twins.hasPage(page)) {
+        // A local interval is open on this page and its uncommitted
+        // writes live only in the local copy. The incoming copy
+        // replaces the whole page, so re-base both the copy and the
+        // twin on it and replay the local writes on top — the next
+        // interval close still captures exactly them.
+        Diff local = Diff::create(base, twins.pageTwin(page).data(),
+                                  static_cast<std::uint32_t>(
+                                      arena->pageSize()));
+        r.getBytes(twins.pageTwinMut(page).data(), arena->pageSize());
+        std::memcpy(base, twins.pageTwin(page).data(),
+                    arena->pageSize());
+        local.apply(base);
+    } else {
+        r.getBytes(base, arena->pageSize());
+    }
 }
 
 void
 LrcRuntime::fetchFromHome(PageId page)
 {
-    std::unique_lock<std::mutex> g(*mu);
+    // The wait runs on nl->core (homeCv's mutex); the home table is
+    // probed under nl->home inside (core -> home is in lock order).
+    auto is_home = [&] {
+        std::lock_guard<std::mutex> hg(nl->home);
+        return homes.isHome(page);
+    };
+    auto home_of = [&] {
+        std::lock_guard<std::mutex> hg(nl->home);
+        return homes.homeOf(page);
+    };
+    std::unique_lock<std::mutex> g(nl->core);
     for (;;) {
         if (pages.access(page) != PageAccess::None)
             return; // resolved concurrently (flush apply or migration)
 
-        if (homes.isHome(page)) {
+        if (is_home()) {
             // Our copy is the home copy: every pending notice names an
             // interval whose flush was sent before the notice could
             // reach us, so the service thread will apply it in place.
@@ -928,12 +1174,12 @@ LrcRuntime::fetchFromHome(PageId page)
             // wait — over to the remote-fetch branch below.)
             homeCv.wait(g, [&] {
                 return pages.access(page) != PageAccess::None ||
-                       !homes.isHome(page);
+                       !is_home();
             });
             continue;
         }
 
-        const NodeId home = homes.homeOf(page);
+        const NodeId home = home_of();
         VectorTime need;
         {
             PageMeta &m = meta(page);
@@ -948,7 +1194,7 @@ LrcRuntime::fetchFromHome(PageId page)
             ep->call(home, MsgType::HomePageRequest,
                      encodePageRequest(id, page, need, log_cov));
         g.lock();
-        if (homes.isHome(page)) {
+        if (is_home()) {
             // The page migrated to us while the request was in flight
             // (the reply is our own copy, possibly older than what the
             // migration installed): discard it and wait as the home.
@@ -957,7 +1203,20 @@ LrcRuntime::fetchFromHome(PageId page)
         }
         WireReader r(reply.payload);
         VectorTime got = VectorTime::decode(r);
-        r.getBytes(arena->at(arena->pageBase(page)), arena->pageSize());
+        if (!got.dominates(meta(page).copyVt)) {
+            // The replying home lost the role while our request was in
+            // flight and our copy has moved past its answer meanwhile
+            // (a sibling's interval close, or a migration that touched
+            // us and moved on). The home parks requests until it
+            // covers `need`, so a current reply always dominates the
+            // copy vector the request was built from — a reply that
+            // does not is stale, and installing it would put bytes on
+            // the page that are older than what copyVt claims.
+            // Refetch against the current mapping.
+            BufferPool::instance().release(std::move(reply.payload));
+            continue;
+        }
+        installFullPage(page, r);
         std::vector<IntervalRec> precs;
         decodePiggybackedRecords(r, precs);
         clock().add(costModel().perWordApplyNs *
@@ -965,10 +1224,20 @@ LrcRuntime::fetchFromHome(PageId page)
         PageMeta &m = meta(page);
         m.copyVt.mergeMax(got);
         resolveCoveredNotices(page, m);
-        DSM_ASSERT(m.notices.empty(),
-                   "page %u still has pending notices after home fetch",
-                   page);
-        pages.setAccess(page, PageAccess::Read);
+        if (threadsT == 1) {
+            DSM_ASSERT(m.notices.empty(),
+                       "page %u still has pending notices after home "
+                       "fetch",
+                       page);
+        }
+        if (m.notices.empty()) {
+            std::lock_guard<std::mutex> sg(nl->shardFor(page));
+            if (pages.access(page) == PageAccess::None) {
+                pages.setAccess(page, twins.hasPage(page)
+                                          ? PageAccess::ReadWrite
+                                          : PageAccess::Read);
+            }
+        }
         BufferPool::instance().release(std::move(reply.payload));
         applyPiggybackedRecords(precs, {{page, VectorTime()}});
         return;
@@ -1030,7 +1299,7 @@ LrcRuntime::fetchTimestamps(PageId page)
         BufferPool::instance().release(std::move(msg.payload));
     }
 
-    std::lock_guard<std::mutex> g(*mu);
+    std::lock_guard<std::mutex> g(nl->core);
     // Records first: the happens-before checks in applyTsReplies need
     // them to order stamps beyond our own vector (the cap those
     // records replace). Avoided re-invalidations are counted after the
@@ -1052,7 +1321,7 @@ LrcRuntime::fetchTimestampsLegacy(PageId page)
     VectorTime global_vt;
     VectorTime log_cov;
     {
-        std::lock_guard<std::mutex> g(*mu);
+        std::lock_guard<std::mutex> g(nl->core);
         PageMeta &m = meta(page);
         copy_vt = m.copyVt;
         global_vt = vt;
@@ -1096,7 +1365,7 @@ LrcRuntime::fetchTimestampsLegacy(PageId page)
         BufferPool::instance().release(std::move(msg.payload));
     }
 
-    std::lock_guard<std::mutex> g(*mu);
+    std::lock_guard<std::mutex> g(nl->core);
     auto fresh_recs = ingestPiggybackedRecords(precs);
     applyTsReplies(page, replies);
     countAvoidedReinvalidations(fresh_recs, {{page, VectorTime()}});
@@ -1106,9 +1375,11 @@ void
 LrcRuntime::applyTsReplies(PageId page,
                            const std::vector<TsReplySet> &replies)
 {
+    // Caller holds nl->core; the word merge additionally holds the
+    // interval-log lock (happens-before probes) and the page's shard
+    // (byte writes vs. concurrent readers/writers).
     PageMeta &m = meta(page);
     BlockTimestamps &ts = tsOf(page);
-    std::byte *base = arena->at(arena->pageBase(page));
 
     // Happens-before check via the interval log: is candidate (p, i)
     // already covered by the interval that produced current (q, j)?
@@ -1130,29 +1401,46 @@ LrcRuntime::applyTsReplies(PageId page,
     };
 
     std::uint64_t words_applied = 0;
-    for (const TsReplySet &reply : replies) {
-        for (std::size_t i = 0; i < reply.runs.size(); ++i) {
-            const TsRun &run = reply.runs[i];
-            const std::vector<std::byte> &bytes = reply.data[i];
-            for (std::uint32_t b = 0; b < run.numBlocks; ++b) {
-                const std::uint32_t block = run.firstBlock + b;
-                const std::uint64_t cur = ts.get(block);
-                if (cur == run.ts)
-                    continue;
-                if (dominated(run.ts, cur))
-                    continue;
-                std::memcpy(base + std::size_t{block} * 4,
-                            bytes.data() + std::size_t{b} * 4, 4);
-                ts.set(block, run.ts);
-                ++words_applied;
+    {
+        std::lock_guard<std::mutex> ig(nl->ilog);
+        std::lock_guard<std::mutex> sg(nl->shardFor(page));
+        std::byte *base = arena->at(arena->pageBase(page));
+        // SMP nodes: a sibling's interval may be open on this page;
+        // mirror every applied word into its twin so the cur-vs-twin
+        // stamping at the next close claims only the local writes
+        // (an unmirrored remote word would be re-stamped as ours).
+        std::byte *twin = twins.hasPage(page)
+                              ? twins.pageTwinMut(page).data()
+                              : nullptr;
+        for (const TsReplySet &reply : replies) {
+            for (std::size_t i = 0; i < reply.runs.size(); ++i) {
+                const TsRun &run = reply.runs[i];
+                const std::vector<std::byte> &bytes = reply.data[i];
+                for (std::uint32_t b = 0; b < run.numBlocks; ++b) {
+                    const std::uint32_t block = run.firstBlock + b;
+                    const std::uint64_t cur = ts.get(block);
+                    if (cur == run.ts)
+                        continue;
+                    if (dominated(run.ts, cur))
+                        continue;
+                    std::memcpy(base + std::size_t{block} * 4,
+                                bytes.data() + std::size_t{b} * 4, 4);
+                    if (twin) {
+                        std::memcpy(twin + std::size_t{block} * 4,
+                                    bytes.data() + std::size_t{b} * 4,
+                                    4);
+                    }
+                    ts.set(block, run.ts);
+                    ++words_applied;
+                }
             }
+            m.copyVt.mergeMax(reply.pageVt);
         }
-        m.copyVt.mergeMax(reply.pageVt);
     }
     clock().add(costModel().perWordApplyNs * words_applied);
 
     resolveCoveredNotices(page, m);
-    if (!m.notices.empty()) {
+    if (threadsT == 1 && !m.notices.empty()) {
         for (auto &[np_, ni] : m.notices) {
             std::fprintf(stderr,
                          "[node %d] page %u leftover notice (%d,%u) "
@@ -1160,10 +1448,18 @@ LrcRuntime::applyTsReplies(PageId page,
                          id, page, np_, ni, m.copyVt.toString().c_str(),
                          vt.toString().c_str());
         }
+        DSM_ASSERT(false,
+                   "page %u still has pending notices after ts fetch",
+                   page);
     }
-    DSM_ASSERT(m.notices.empty(),
-               "page %u still has pending notices after ts fetch", page);
-    pages.setAccess(page, PageAccess::Read);
+    if (m.notices.empty()) {
+        std::lock_guard<std::mutex> sg(nl->shardFor(page));
+        if (pages.access(page) == PageAccess::None) {
+            pages.setAccess(page, twins.hasPage(page)
+                                      ? PageAccess::ReadWrite
+                                      : PageAccess::Read);
+        }
+    }
 }
 
 void
@@ -1226,9 +1522,11 @@ LrcRuntime::handleDiffRequest(Message &msg)
     VectorTime req_vt = VectorTime::decode(r);
     VectorTime req_log = VectorTime::decode(r);
 
-    std::lock_guard<std::mutex> g(*mu);
     WireWriter w;
-    encodeDiffsNewerThan(w, page, req_vt);
+    {
+        std::lock_guard<std::mutex> dg(nl->diff);
+        encodeDiffsNewerThan(w, page, req_vt);
+    }
     encodePiggybackedRecords(w, req_log);
     ep->reply(msg.src, MsgType::DiffReply, w.take(), msg.replyToken);
 }
@@ -1240,14 +1538,16 @@ LrcRuntime::handleDiffBatchRequest(Message &msg)
     VectorTime req_log = VectorTime::decode(r);
     const std::uint32_t npages = r.getU32();
 
-    std::lock_guard<std::mutex> g(*mu);
     WireWriter w;
     w.putU32(npages);
-    for (std::uint32_t i = 0; i < npages; ++i) {
-        const PageId page = r.getU32();
-        VectorTime req_vt = VectorTime::decode(r);
-        w.putU32(page);
-        encodeDiffsNewerThan(w, page, req_vt);
+    {
+        std::lock_guard<std::mutex> dg(nl->diff);
+        for (std::uint32_t i = 0; i < npages; ++i) {
+            const PageId page = r.getU32();
+            VectorTime req_vt = VectorTime::decode(r);
+            w.putU32(page);
+            encodeDiffsNewerThan(w, page, req_vt);
+        }
     }
     encodePiggybackedRecords(w, req_log);
     ep->reply(msg.src, MsgType::DiffBatchReply, w.take(),
@@ -1286,6 +1586,7 @@ LrcRuntime::encodeTsNewerThan(WireWriter &w, PageId page,
         return t != 0 && tsInterval(t) > req_vt[tsProc(t)] &&
                (piggy || tsInterval(t) <= req_global[tsProc(t)]);
     });
+    std::lock_guard<std::mutex> sg(nl->shardFor(page));
     const std::byte *base = arena->at(arena->pageBase(page));
     w.putU32(static_cast<std::uint32_t>(runs.size()));
     for (const TsRun &run : runs) {
@@ -1309,7 +1610,7 @@ LrcRuntime::handlePageTsRequest(Message &msg)
     VectorTime req_global = VectorTime::decode(r);
     VectorTime req_log = VectorTime::decode(r);
 
-    std::lock_guard<std::mutex> g(*mu);
+    std::lock_guard<std::mutex> g(nl->core);
     WireWriter w;
     encodeTsNewerThan(w, page, req_vt, req_global);
     encodePiggybackedRecords(w, req_log);
@@ -1324,7 +1625,7 @@ LrcRuntime::handlePageTsBatchRequest(Message &msg)
     VectorTime req_log = VectorTime::decode(r);
     const std::uint32_t npages = r.getU32();
 
-    std::lock_guard<std::mutex> g(*mu);
+    std::lock_guard<std::mutex> g(nl->core);
     WireWriter w;
     w.putU32(npages);
     for (std::uint32_t i = 0; i < npages; ++i) {
@@ -1348,7 +1649,10 @@ LrcRuntime::replyHomePage(NodeId origin, std::uint64_t token,
 {
     WireWriter w;
     hs.appliedVt.encode(w);
-    w.putBytes(arena->at(arena->pageBase(page)), arena->pageSize());
+    {
+        std::lock_guard<std::mutex> sg(nl->shardFor(page));
+        w.putBytes(arena->at(arena->pageBase(page)), arena->pageSize());
+    }
     // Best effort: flushes can reach the home before the matching
     // records do, so appliedVt may briefly exceed what we can
     // document; those notices arrive through the regular channels and
@@ -1411,6 +1715,7 @@ LrcRuntime::migrateHome(PageId page, NodeId new_home)
                 w.putU32(run.length);
                 w.putU64(value);
             }
+            std::lock_guard<std::mutex> sg(nl->shardFor(page));
             w.putBytes(arena->at(arena->pageBase(page)),
                        arena->pageSize());
         } else {
@@ -1459,14 +1764,18 @@ LrcRuntime::applyFlushAtHome(PageId page, NodeId proc, std::uint32_t idx,
 {
     PageHomeTable::HomeState &hs = homes.state(
         page, static_cast<std::uint32_t>(arena->pageSize() / 4));
-    std::byte *base = arena->at(arena->pageBase(page));
-    // Mirror the flush into an open twin so the next cur-vs-twin diff
-    // stays exactly our own writes (see applyDiffGuarded's doc).
-    std::byte *twin = twins.hasPage(page)
-                          ? twins.pageTwinMut(page).data()
-                          : nullptr;
-    const std::uint64_t words = applyDiffGuarded(
-        base, hs.wordSums, diff, vt_sum, &stats(), twin);
+    std::uint64_t words;
+    {
+        std::lock_guard<std::mutex> sg(nl->shardFor(page));
+        std::byte *base = arena->at(arena->pageBase(page));
+        // Mirror the flush into an open twin so the next cur-vs-twin
+        // diff stays exactly our own writes (applyDiffGuarded's doc).
+        std::byte *twin = twins.hasPage(page)
+                              ? twins.pageTwinMut(page).data()
+                              : nullptr;
+        words = applyDiffGuarded(base, hs.wordSums, diff, vt_sum,
+                                 &stats(), twin);
+    }
     clock().add(costModel().perWordApplyNs * words);
     hs.appliedVt[proc] = std::max(hs.appliedVt[proc], idx);
 
@@ -1481,7 +1790,9 @@ LrcRuntime::applyFlushAtHome(PageId page, NodeId proc, std::uint32_t idx,
     resolveCoveredNotices(page, m);
     if (m.notices.empty() && hs.appliedVt[id] >= m.copyVt[id] &&
         pages.access(page) == PageAccess::None) {
-        pages.setAccess(page, PageAccess::Read);
+        pages.setAccess(page, twins.hasPage(page)
+                                  ? PageAccess::ReadWrite
+                                  : PageAccess::Read);
     }
     return homes.countAccess(hs, proc);
 }
@@ -1532,7 +1843,7 @@ LrcRuntime::handleHomeDiffFlush(Message &msg)
     const std::uint64_t vt_sum = r.getU64();
     const std::uint32_t npages = r.getU32();
 
-    std::lock_guard<std::mutex> g(*mu);
+    std::scoped_lock g(nl->core, nl->home);
     const std::uint32_t page_words =
         static_cast<std::uint32_t>(arena->pageSize() / 4);
     std::vector<std::pair<PageId, NodeId>> migrate;
@@ -1578,7 +1889,7 @@ LrcRuntime::handleHomePageRequest(Message &msg)
     VectorTime need = VectorTime::decode(r);
     VectorTime req_log = VectorTime::decode(r);
 
-    std::lock_guard<std::mutex> g(*mu);
+    std::scoped_lock g(nl->core, nl->home);
     if (!homes.isHome(page)) {
         // Stale mapping: forward along the chain, keeping the reply
         // token so the current home answers the origin directly.
@@ -1612,7 +1923,7 @@ LrcRuntime::handleHomeMigrate(Message &msg)
     const std::uint32_t epoch = r.getU32();
     const bool full = r.getU8() != 0;
 
-    std::lock_guard<std::mutex> g(*mu);
+    std::scoped_lock g(nl->core, nl->home);
     if (!homes.setHome(page, new_home, epoch))
         return; // stale broadcast of an already superseded migration
     if (!full) {
@@ -1638,39 +1949,36 @@ LrcRuntime::handleHomeMigrate(Message &msg)
             hs.wordSums[start + k] = value;
     }
 
-    std::byte *base = arena->at(arena->pageBase(page));
-    if (twins.hasPage(page)) {
-        // Mid-interval migration: our uncommitted writes live only in
-        // the local copy. Re-base both the copy and the twin on the
-        // incoming home copy, then replay our writes on top so the
-        // next interval close still captures exactly them.
-        Diff local = Diff::create(base, twins.pageTwin(page).data(),
-                                  static_cast<std::uint32_t>(
-                                      arena->pageSize()));
-        r.getBytes(twins.pageTwinMut(page).data(), arena->pageSize());
-        std::memcpy(base, twins.pageTwin(page).data(),
-                    arena->pageSize());
-        local.apply(base);
-    } else {
-        r.getBytes(base, arena->pageSize());
-    }
+    installFullPage(page, r);
 
     PageMeta &m = meta(page);
     m.copyVt.mergeMax(hs.appliedVt);
     resolveCoveredNotices(page, m);
-    if (!twins.hasPage(page) && m.copyVt[id] > hs.appliedVt[id]) {
+    // The transitions below race a sibling's shard-guarded write-fault
+    // upgrade (Read -> ReadWrite) without this shard lock.
+    std::lock_guard<std::mutex> sg(nl->shardFor(page));
+    if (m.copyVt[id] > hs.appliedVt[id]) {
         // Our own committed writes for this page are still chasing the
         // home chain (flushed to a stale home, not yet forwarded back
         // to us), so the installed copy regresses them. appliedVt
-        // describes the copy truthfully for remote requests, but our
-        // own reads expect program order: hold local access until the
-        // chain catches up. (With an open twin the page must stay
-        // writable; that doubly-migrated window is a known residual,
-        // see ROADMAP.)
+        // describes the copy truthfully for remote requests, but local
+        // program order expects those words: hold local access until
+        // the chain catches up — the chasing flushes are forwarded to
+        // us and applyFlushAtHome revalidates once
+        // appliedVt[id] >= copyVt[id] (restoring ReadWrite when an
+        // open twin exists, so the open interval keeps collecting).
+        // This closes the doubly-migrated open-twin window that used
+        // to be a documented residual: a faulting sibling now waits as
+        // the home instead of reading the regressed words.
         pages.setAccess(page, PageAccess::None);
     } else if (m.notices.empty() && m.copyVt[id] <= hs.appliedVt[id] &&
                pages.access(page) == PageAccess::None) {
-        pages.setAccess(page, PageAccess::Read);
+        // SMP nodes: a sibling's open twin keeps the page writable
+        // (its interval continues across the migration; Read would
+        // double-twin on the next store).
+        pages.setAccess(page, twins.hasPage(page)
+                                  ? PageAccess::ReadWrite
+                                  : PageAccess::Read);
     }
 
     serveParkedPageRequests();

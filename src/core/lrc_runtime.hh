@@ -170,8 +170,17 @@ class LrcRuntime : public Runtime
                                  const std::vector<BatchPageReq> &fetched);
 
     /** Service an access miss on @p page (app thread; takes and
-     *  releases the node mutex internally). */
+     *  releases the protocol locks internally). */
     void fetchPage(PageId page);
+
+    /**
+     * Fetch dispatch without the trap accounting, deduplicated across
+     * sibling threads (SMP nodes): one in-flight fetch per page;
+     * late-coming threads wait for it instead of issuing duplicate
+     * request rounds. Used by fetchPage and the pre-barrier GC
+     * validation sweep.
+     */
+    void fetchPageData(PageId page);
 
     void fetchDiffs(PageId page);
     void fetchDiffsLegacy(PageId page);
@@ -182,6 +191,14 @@ class LrcRuntime : public Runtime
      *  its home (or, at the home itself, by waiting for the in-flight
      *  flushes the pending notices announce). */
     void fetchFromHome(PageId page);
+
+    /**
+     * Install a full page copy from the wire (home-page reply or
+     * migration payload), re-basing an open twin and replaying the
+     * local uncommitted writes on top when one exists. Takes the
+     * page's shard; caller holds nl->core.
+     */
+    void installFullPage(PageId page, WireReader &r);
 
     /** Ensure @p page is present (fetch on access==None). Returns with
      *  the node mutex *released*. */
@@ -325,10 +342,16 @@ class LrcRuntime : public Runtime
     DirtyBitmap dirty;
     std::uint32_t lastBarrierSentIdx = 0;
 
+    /** Pages with an in-flight fetch (SMP nodes; guarded by nl->core,
+     *  waited on via fetchCv). Always empty at threadsPerNode == 1. */
+    std::set<PageId> fetchesInFlight;
+    std::condition_variable fetchCv;
+
     // Home-based state (unused in homeless mode).
     PageHomeTable homes;
     /** Wakes an app thread blocked on its own home copy (waiting for
-     *  in-flight flushes) or on a mid-fetch home migration. */
+     *  in-flight flushes) or on a mid-fetch home migration. Paired
+     *  with nl->core. */
     std::condition_variable homeCv;
     /** Page requests the home cannot answer yet: the needed flushes
      *  are in flight but not applied. */

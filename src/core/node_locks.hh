@@ -1,0 +1,112 @@
+/**
+ * @file
+ * The per-node lock hierarchy that replaced the monolithic node mutex
+ * (see DESIGN.md, "Lock order"). One node used to serialize every
+ * shared access, protocol action and service-thread message behind a
+ * single std::mutex; SMP nodes (ClusterConfig::threadsPerNode > 1)
+ * shard it into per-subsystem locks so that application threads of one
+ * node only contend where they actually share state:
+ *
+ *   lockMu / barMu (inside LockService / BarrierService)
+ *     -> core   protocol core: vector time, per-page copy metadata
+ *               (PageMeta / invalidPages), barrier scratch, EC lock
+ *               info + range twins, GC flags
+ *     -> home   home-based LRC: page->home table, home-side state,
+ *               parked flushes/requests
+ *     -> ilog   the interval record log (leaf-ish: mutations happen
+ *               under core+ilog, service-thread reads under ilog
+ *               alone, so record references handed out while core is
+ *               held cannot be pruned away)
+ *     -> diff   the diff store (same discipline as ilog)
+ *     -> shard[i] (ascending i)
+ *               page-granular memory state: page bytes during
+ *               protocol reads/writes, twin creation/drop, dirty-bit
+ *               scan+clear, page access-bit transitions
+ *
+ * A thread may only acquire a lock that is to the right of everything
+ * it already holds: ilog may be held while taking a shard (the
+ * timestamp word-merge probes the log per word), diff is never held
+ * together with a shard, and nothing to the left is ever acquired
+ * while holding something to its right. Page access bits themselves
+ * are atomics (PageTable), so hot fast-path *reads* of them take no
+ * lock at all; transitions follow the per-site discipline documented
+ * in DESIGN.md.
+ */
+
+#ifndef DSM_CORE_NODE_LOCKS_HH
+#define DSM_CORE_NODE_LOCKS_HH
+
+#include <cstdint>
+#include <mutex>
+
+#include "util/types.hh"
+
+namespace dsm {
+
+class NodeLocks
+{
+  public:
+    static constexpr std::uint32_t kMemShards = 16;
+
+    std::mutex core;
+    std::mutex home;
+    std::mutex ilog;
+    std::mutex diff;
+    std::mutex memShard[kMemShards];
+
+    static std::uint32_t
+    shardIndex(PageId page)
+    {
+        return static_cast<std::uint32_t>(page) & (kMemShards - 1);
+    }
+
+    std::mutex &
+    shardFor(PageId page)
+    {
+        return memShard[shardIndex(page)];
+    }
+
+    /**
+     * RAII lock over every shard covering the page range
+     * [first, last], acquired in ascending shard index (the canonical
+     * order), so multi-page operations (bulk writes, EC range scans)
+     * cannot deadlock against per-page ones.
+     */
+    class ShardSpan
+    {
+      public:
+        ShardSpan(NodeLocks &locks, PageId first, PageId last)
+            : nl(locks)
+        {
+            if (last - first + 1 >= kMemShards) {
+                mask = (1u << kMemShards) - 1;
+            } else {
+                for (PageId p = first; p <= last; ++p)
+                    mask |= 1u << shardIndex(p);
+            }
+            for (std::uint32_t i = 0; i < kMemShards; ++i) {
+                if (mask & (1u << i))
+                    nl.memShard[i].lock();
+            }
+        }
+
+        ~ShardSpan()
+        {
+            for (std::uint32_t i = kMemShards; i-- > 0;) {
+                if (mask & (1u << i))
+                    nl.memShard[i].unlock();
+            }
+        }
+
+        ShardSpan(const ShardSpan &) = delete;
+        ShardSpan &operator=(const ShardSpan &) = delete;
+
+      private:
+        NodeLocks &nl;
+        std::uint32_t mask = 0;
+    };
+};
+
+} // namespace dsm
+
+#endif // DSM_CORE_NODE_LOCKS_HH

@@ -6,6 +6,7 @@
 #include "mem/wide_scan.hh"
 #include "util/logging.hh"
 
+
 namespace dsm {
 
 std::uint64_t
@@ -29,6 +30,17 @@ applyDiffGuarded(std::byte *dst, std::vector<std::uint64_t> &word_sums,
             const std::uint32_t byte = k * Diff::kWordBytes;
             const std::uint32_t len = std::min<std::uint32_t>(
                 Diff::kWordBytes, run.size - byte);
+            if (shadow &&
+                std::memcmp(dst + run.offset + byte,
+                            shadow + run.offset + byte, len) != 0) {
+                // The open interval rewrote this word locally after
+                // the flushed value: the word sums only know committed
+                // history (the node's own pre-migration flushes can
+                // chase the home role back to it), but the uncommitted
+                // write is causally newer — leave both copies alone so
+                // it survives into the next diff.
+                continue;
+            }
             std::memcpy(dst + run.offset + byte, data.data() + byte,
                         len);
             if (shadow) {
@@ -54,8 +66,9 @@ stampChangedWordSums(std::vector<std::uint64_t> &word_sums,
     std::uint64_t stamped = 0;
     scanChangedRuns(cur, twin, words, kernel,
                     [&](std::uint32_t w, std::uint32_t e) {
-                        for (std::uint32_t k = w; k < e; ++k)
+                        for (std::uint32_t k = w; k < e; ++k) {
                             word_sums[k] = std::max(word_sums[k], vt_sum);
+                        }
                         stamped += e - w;
                     });
     // Trailing short word (objects need not be word multiples).

@@ -40,10 +40,20 @@ class PageHomeTable
   public:
     PageHomeTable() = default;
 
+    /**
+     * @param decay_window Epoch window (in accesses to one homed
+     *        page) of the migration counters: every decay_window
+     *        accesses the per-node counts are halved, so the
+     *        migrate-on-threshold policy sees the *recent* access mix
+     *        instead of history accumulated long ago. 0 keeps the
+     *        legacy undecayed counts.
+     */
     PageHomeTable(int nprocs, NodeId self,
-                  std::uint32_t migrate_threshold)
+                  std::uint32_t migrate_threshold,
+                  std::uint32_t decay_window = 0)
         : nprocs_(nprocs), self_(self),
-          migrateThreshold(migrate_threshold)
+          migrateThreshold(migrate_threshold),
+          decayWindow(decay_window)
     {}
 
     /** Current home of @p page: round-robin unless migrated. */
@@ -93,9 +103,11 @@ class PageHomeTable
         VectorTime appliedVt;
         /** Vector-sum stamp of the last write applied to each word. */
         std::vector<std::uint64_t> wordSums;
-        /** Remote accesses (flushes + fetches) per node since this
-         *  node became the home. */
+        /** Remote accesses (flushes + fetches) per node, decayed in
+         *  epoch windows (see countAccess). */
         std::vector<std::uint32_t> accessCounts;
+        /** Accesses since the counters were last halved. */
+        std::uint32_t windowAccesses = 0;
     };
 
     /** State of a locally homed @p page, created on first use with
@@ -123,13 +135,25 @@ class PageHomeTable
     void drop(PageId page) { states.erase(page); }
 
     /**
-     * Count a remote access to a locally homed page. Returns true when
+     * Count an access to a locally homed page. Returns true when
      * @p node crossed the migration threshold and the home should move
      * there (never fires for local accesses or threshold 0).
+     *
+     * Epoch-windowed decay: every decayWindow accesses (local ones
+     * included — they are evidence the current placement serves
+     * someone) all per-node counts are halved, so a node must sustain
+     * its dominance in the recent window to trigger a migration; a
+     * burst long ago decays away instead of firing a migration on
+     * stale history.
      */
     bool
     countAccess(HomeState &hs, NodeId node)
     {
+        if (decayWindow > 0 && ++hs.windowAccesses >= decayWindow) {
+            hs.windowAccesses = 0;
+            for (std::uint32_t &count : hs.accessCounts)
+                count /= 2;
+        }
         if (node == self_)
             return false;
         const std::uint32_t count = ++hs.accessCounts[node];
@@ -148,6 +172,7 @@ class PageHomeTable
     int nprocs_ = 1;
     NodeId self_ = 0;
     std::uint32_t migrateThreshold = 0;
+    std::uint32_t decayWindow = 0;
     std::unordered_map<PageId, Mapping> overrides;
     std::unordered_map<PageId, HomeState> states;
 };
@@ -165,7 +190,14 @@ class PageHomeTable
  *        otherwise its next cur-vs-twin diff would claim the remote
  *        writer's words as its own and stamp them with its own
  *        (concurrent, possibly larger) sum, making the guard reject a
- *        causally later flush of those words.
+ *        causally later flush of those words. Words where @p dst and
+ *        @p shadow already differ are skipped outright: the open
+ *        interval has locally rewritten them, and in a data-race-free
+ *        program that write is causally newer than any flush the home
+ *        can receive for the word (the overlap arises when the node's
+ *        own pre-migration flushes chase the home role back to it —
+ *        overwriting would erase the local write from both copies and
+ *        from the next diff).
  * @return Number of words written.
  */
 std::uint64_t applyDiffGuarded(std::byte *dst,

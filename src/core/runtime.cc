@@ -5,22 +5,51 @@
 namespace dsm {
 
 Runtime::Runtime(const Deps &deps)
-    : id(deps.self), numProcs(deps.nprocs), arena(deps.arena),
+    : id(deps.self), numProcs(deps.nprocs),
+      threadsT(deps.threadsPerNode), arena(deps.arena),
       ep(deps.endpoint), locks(deps.locks), barriers(deps.barriers),
-      regions(deps.regions), mu(deps.nodeMutex), cluster(deps.cluster)
+      regions(deps.regions), nl(deps.nodeLocks), cluster(deps.cluster)
 {
-    DSM_ASSERT(arena && ep && locks && barriers && regions && mu && cluster,
+    DSM_ASSERT(arena && ep && locks && barriers && regions && nl &&
+                   cluster,
                "incomplete runtime wiring");
+    DSM_ASSERT(threadsT >= 1, "bad threadsPerNode %d", threadsT);
 }
 
 GlobalAddr
 Runtime::sharedAlloc(std::size_t bytes, std::size_t align,
                      std::uint32_t block_size, const std::string &name)
 {
-    std::lock_guard<std::mutex> g(*mu);
+    std::lock_guard<std::mutex> g(allocMu);
+    ThreadContext *ctx = ThreadContext::current();
+    if (ctx && ctx->allocCursor < allocLog.size()) {
+        // A sibling thread already performed this allocation of the
+        // node's SPMD sequence; replay its address.
+        return allocLog[ctx->allocCursor++];
+    }
     GlobalAddr addr = arena->alloc(bytes, align);
-    regions->add({addr, bytes, block_size, name});
+    // Zero-size allocations (empty worker partitions on wide SMP
+    // grids) get a valid address but no region: they share it with
+    // the next allocation and would otherwise collide in the table.
+    if (bytes > 0)
+        regions->add({addr, bytes, block_size, name});
+    allocLog.push_back(addr);
+    if (ctx)
+        ctx->allocCursor = static_cast<std::uint32_t>(allocLog.size());
     return addr;
+}
+
+void
+Runtime::initRaw(GlobalAddr addr, const void *src, std::size_t size)
+{
+    if (size == 0)
+        return;
+    // Serialize against sibling initializers and protocol page access;
+    // every thread writes the same SPMD-identical image, so repeats
+    // are overwrites with identical bytes.
+    NodeLocks::ShardSpan span(*nl, arena->pageOf(addr),
+                              arena->pageOf(addr + size - 1));
+    std::memcpy(arena->at(addr), src, size);
 }
 
 void

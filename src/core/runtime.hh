@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "core/config.hh"
+#include "core/node_locks.hh"
 #include "mem/region_table.hh"
 #include "mem/shared_arena.hh"
 #include "net/endpoint.hh"
@@ -43,12 +44,13 @@ class Runtime
     {
         NodeId self = 0;
         int nprocs = 1;
+        int threadsPerNode = 1;
         SharedArena *arena = nullptr;
         Endpoint *endpoint = nullptr;
         LockService *locks = nullptr;
         BarrierService *barriers = nullptr;
         RegionTable *regions = nullptr;
-        std::mutex *nodeMutex = nullptr;
+        NodeLocks *nodeLocks = nullptr;
         const ClusterConfig *cluster = nullptr;
     };
 
@@ -151,7 +153,7 @@ class Runtime
     initBuf(GlobalAddr addr, const T *src, std::size_t n)
     {
         static_assert(std::is_trivially_copyable_v<T>);
-        std::memcpy(arena->at(addr), src, n * sizeof(T));
+        initRaw(addr, src, n * sizeof(T));
     }
 
     template <typename T>
@@ -169,6 +171,34 @@ class Runtime
 
     NodeId self() const { return id; }
     int nprocs() const { return numProcs; }
+
+    /**
+     * SPMD worker identity: with SMP nodes (threadsPerNode T > 1) the
+     * applications partition over workers, not nodes. Worker w =
+     * node * T + threadId; at T == 1 worker() == self() and
+     * nworkers() == nprocs(), so single-thread programs are unchanged.
+     */
+    int
+    worker() const
+    {
+        ThreadContext *ctx = ThreadContext::current();
+        return ctx ? ctx->worker : id;
+    }
+
+    /** Total SPMD workers in the cluster: nprocs * threadsPerNode. */
+    int nworkers() const { return numProcs * threadsT; }
+
+    /** Node-local thread id of the calling worker (0 at T == 1). */
+    int
+    threadId() const
+    {
+        ThreadContext *ctx = ThreadContext::current();
+        return ctx ? ctx->threadId : 0;
+    }
+
+    /** Application threads per node. */
+    int threadsPerNode() const { return threadsT; }
+
     NodeStats &stats() { return ep->stats(); }
     VirtualClock &clock() { return ep->clock(); }
     const CostModel &costModel() const { return ep->costModel(); }
@@ -177,6 +207,16 @@ class Runtime
 
     /** Paper-style configuration name (EC-ci, LRC-diff, ...). */
     virtual std::string name() const = 0;
+
+    /** Current length of the SPMD allocation log (Cluster::run seeds
+     *  each worker's ThreadContext::allocCursor with it, so threads
+     *  skip allocations performed before the run started). */
+    std::uint32_t
+    allocLogSize()
+    {
+        std::lock_guard<std::mutex> g(allocMu);
+        return static_cast<std::uint32_t>(allocLog.size());
+    }
 
     /** Service-thread dispatch for runtime-specific messages
      *  (LRC diff/timestamp fetches). */
@@ -207,15 +247,35 @@ class Runtime
     virtual void doWrite(GlobalAddr addr, const void *src,
                          std::size_t size, bool bulk) = 0;
 
+    /**
+     * The untrapped initialization store behind initBuf/initWrite:
+     * every thread of a node executes the same SPMD init sequence, so
+     * the copies are serialized per page (memory shard locks) and the
+     * repeats rewrite identical bytes.
+     */
+    void initRaw(GlobalAddr addr, const void *src, std::size_t size);
+
     NodeId id;
     int numProcs;
+    int threadsT;
     SharedArena *arena;
     Endpoint *ep;
     LockService *locks;
     BarrierService *barriers;
     RegionTable *regions;
-    std::mutex *mu;
+    NodeLocks *nl;
     const ClusterConfig *cluster;
+
+  private:
+    /**
+     * SPMD allocation log: all threads of a node perform identical
+     * sharedAlloc sequences; the first to reach position i performs
+     * the allocation, later threads replay the logged address (their
+     * position lives in ThreadContext::allocCursor). Threads without a
+     * context append directly, which is the T == 1 behavior.
+     */
+    std::mutex allocMu;
+    std::vector<GlobalAddr> allocLog;
 };
 
 } // namespace dsm

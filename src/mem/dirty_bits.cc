@@ -10,8 +10,10 @@ DirtyBitmap::DirtyBitmap(std::size_t bytes, std::size_t page_size)
     : pageBytes(page_size), totalBytes(bytes)
 {
     const std::size_t blocks = (bytes + 3) / 4;
-    bits.assign((blocks + 63) / 64, 0);
-    pageBits.assign((bytes + page_size - 1) / page_size, 0);
+    bits = std::vector<std::atomic<std::uint64_t>>((blocks + 63) / 64);
+    pageBits = std::vector<std::atomic<std::uint8_t>>(
+        (bytes + page_size - 1) / page_size);
+    clearAll();
 }
 
 void
@@ -28,7 +30,7 @@ DirtyBitmap::markRange(GlobalAddr addr, std::size_t size)
     const PageId lastPage = static_cast<PageId>((addr + size - 1) /
                                                 pageBytes);
     for (PageId p = firstPage; p <= lastPage; ++p)
-        pageBits[p] = 1;
+        pageBits[p].store(1, std::memory_order_release);
 }
 
 std::vector<PageId>
@@ -36,7 +38,7 @@ DirtyBitmap::dirtyPages() const
 {
     std::vector<PageId> pages;
     for (PageId p = 0; p < pageBits.size(); ++p) {
-        if (pageBits[p])
+        if (pageBits[p].load(std::memory_order_acquire))
             pages.push_back(p);
     }
     return pages;
@@ -97,15 +99,17 @@ DirtyBitmap::clearRange(GlobalAddr addr, std::size_t size)
         bool any = false;
         for (std::uint64_t b = pFirst; b <= pLast && !any; ++b)
             any = test(b);
-        pageBits[p] = any ? 1 : 0;
+        pageBits[p].store(any ? 1 : 0, std::memory_order_release);
     }
 }
 
 void
 DirtyBitmap::clearAll()
 {
-    std::fill(bits.begin(), bits.end(), 0);
-    std::fill(pageBits.begin(), pageBits.end(), 0);
+    for (auto &word : bits)
+        word.store(0, std::memory_order_relaxed);
+    for (auto &page : pageBits)
+        page.store(0, std::memory_order_relaxed);
 }
 
 } // namespace dsm

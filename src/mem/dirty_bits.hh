@@ -9,6 +9,7 @@
 #ifndef DSM_MEM_DIRTY_BITS_HH
 #define DSM_MEM_DIRTY_BITS_HH
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -17,6 +18,14 @@
 
 namespace dsm {
 
+/**
+ * Marking is lock-free (atomic fetch_or on the word bitmap, atomic
+ * page summary bytes) so concurrent same-node writers never contend
+ * here; the scan+clear collection paths additionally hold the page's
+ * memory shard lock, which the instrumented store paths also take, so
+ * a mark can never slip between a scan and its clear (the lost-update
+ * race of an unsynchronized collector).
+ */
 class DirtyBitmap
 {
   public:
@@ -33,7 +42,7 @@ class DirtyBitmap
     bool
     pageDirty(PageId page) const
     {
-        return pageBits[page] != 0;
+        return pageBits[page].load(std::memory_order_acquire) != 0;
     }
 
     /** Pages whose summary bit is set, ascending. */
@@ -57,26 +66,32 @@ class DirtyBitmap
     bool
     test(std::uint64_t block) const
     {
-        return (bits[block >> 6] >> (block & 63)) & 1;
+        return (bits[block >> 6].load(std::memory_order_acquire) >>
+                (block & 63)) &
+               1;
     }
 
   private:
     void
     set(std::uint64_t block)
     {
-        bits[block >> 6] |= std::uint64_t{1} << (block & 63);
+        bits[block >> 6].fetch_or(std::uint64_t{1} << (block & 63),
+                                  std::memory_order_acq_rel);
     }
 
     void
     clear(std::uint64_t block)
     {
-        bits[block >> 6] &= ~(std::uint64_t{1} << (block & 63));
+        bits[block >> 6].fetch_and(~(std::uint64_t{1} << (block & 63)),
+                                   std::memory_order_acq_rel);
     }
 
     std::size_t pageBytes;
     std::size_t totalBytes;
-    std::vector<std::uint64_t> bits;     ///< one bit per 4-byte block
-    std::vector<std::uint8_t> pageBits;  ///< one byte per page
+    /** One bit per 4-byte block. */
+    std::vector<std::atomic<std::uint64_t>> bits;
+    /** One byte per page (hierarchical summary). */
+    std::vector<std::atomic<std::uint8_t>> pageBits;
 };
 
 } // namespace dsm

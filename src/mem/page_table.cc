@@ -1,17 +1,18 @@
 #include "mem/page_table.hh"
 
-#include <algorithm>
-
 namespace dsm {
 
 PageTable::PageTable(std::size_t npages, PageAccess initial)
-    : accessBits(npages, initial)
-{}
+    : accessBits(npages)
+{
+    setAll(initial);
+}
 
 void
 PageTable::setAll(PageAccess a)
 {
-    std::fill(accessBits.begin(), accessBits.end(), a);
+    for (auto &bits : accessBits)
+        bits.store(a, std::memory_order_relaxed);
 }
 
 } // namespace dsm

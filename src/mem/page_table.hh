@@ -10,6 +10,7 @@
 #ifndef DSM_MEM_PAGE_TABLE_HH
 #define DSM_MEM_PAGE_TABLE_HH
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -25,6 +26,16 @@ enum class PageAccess : std::uint8_t
     ReadWrite, ///< no faults
 };
 
+/**
+ * The access bits are atomics so SMP-node fast paths (every shared
+ * read/write checks its page) can load them without a lock.
+ * Transitions follow the lock discipline in DESIGN.md: fault-driven
+ * upgrades happen under the page's memory shard, protocol-driven
+ * transitions (invalidation, validation after a fetch, interval close
+ * downgrades) under the protocol core lock — the combinations that
+ * could race additionally take the shard, so no transition is ever
+ * lost.
+ */
 class PageTable
 {
   public:
@@ -34,13 +45,13 @@ class PageTable
     PageAccess
     access(PageId page) const
     {
-        return accessBits[page];
+        return accessBits[page].load(std::memory_order_acquire);
     }
 
     void
     setAccess(PageId page, PageAccess a)
     {
-        accessBits[page] = a;
+        accessBits[page].store(a, std::memory_order_release);
     }
 
     void setAll(PageAccess a);
@@ -51,18 +62,18 @@ class PageTable
     bool
     readFaults(PageId page) const
     {
-        return accessBits[page] == PageAccess::None;
+        return access(page) == PageAccess::None;
     }
 
     /** True when a write to the page would fault. */
     bool
     writeFaults(PageId page) const
     {
-        return accessBits[page] != PageAccess::ReadWrite;
+        return access(page) != PageAccess::ReadWrite;
     }
 
   private:
-    std::vector<PageAccess> accessBits;
+    std::vector<std::atomic<PageAccess>> accessBits;
 };
 
 } // namespace dsm

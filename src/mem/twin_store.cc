@@ -8,16 +8,19 @@ namespace dsm {
 void
 TwinStore::makePage(PageId page, const std::byte *src, std::size_t size)
 {
-    DSM_ASSERT(!hasPage(page), "page %u already twinned", page);
     // Twins churn once per (page, interval); reuse retired capacity.
     std::vector<std::byte> twin = BufferPool::instance().acquire(size);
     twin.assign(src, src + size);
-    pageTwins.emplace(page, std::move(twin));
+    std::lock_guard<std::mutex> g(structMu);
+    auto [it, inserted] = pageTwins.emplace(page, std::move(twin));
+    DSM_ASSERT(inserted, "page %u already twinned", page);
+    (void)it;
 }
 
 const std::vector<std::byte> &
 TwinStore::pageTwin(PageId page) const
 {
+    std::lock_guard<std::mutex> g(structMu);
     auto it = pageTwins.find(page);
     DSM_ASSERT(it != pageTwins.end(), "page %u not twinned", page);
     return it->second;
@@ -26,6 +29,7 @@ TwinStore::pageTwin(PageId page) const
 std::vector<std::byte> &
 TwinStore::pageTwinMut(PageId page)
 {
+    std::lock_guard<std::mutex> g(structMu);
     auto it = pageTwins.find(page);
     DSM_ASSERT(it != pageTwins.end(), "page %u not twinned", page);
     return it->second;
@@ -34,16 +38,22 @@ TwinStore::pageTwinMut(PageId page)
 void
 TwinStore::dropPage(PageId page)
 {
-    auto it = pageTwins.find(page);
-    if (it == pageTwins.end())
-        return;
-    BufferPool::instance().release(std::move(it->second));
-    pageTwins.erase(it);
+    std::vector<std::byte> retired;
+    {
+        std::lock_guard<std::mutex> g(structMu);
+        auto it = pageTwins.find(page);
+        if (it == pageTwins.end())
+            return;
+        retired = std::move(it->second);
+        pageTwins.erase(it);
+    }
+    BufferPool::instance().release(std::move(retired));
 }
 
 std::vector<PageId>
 TwinStore::twinnedPages() const
 {
+    std::lock_guard<std::mutex> g(structMu);
     std::vector<PageId> pages;
     pages.reserve(pageTwins.size());
     for (const auto &[page, twin] : pageTwins)
@@ -54,12 +64,14 @@ TwinStore::twinnedPages() const
 void
 TwinStore::makeRange(LockId lock, std::vector<std::byte> bytes)
 {
+    std::lock_guard<std::mutex> g(structMu);
     rangeTwins[lock] = std::move(bytes);
 }
 
 const std::vector<std::byte> &
 TwinStore::rangeTwin(LockId lock) const
 {
+    std::lock_guard<std::mutex> g(structMu);
     auto it = rangeTwins.find(lock);
     DSM_ASSERT(it != rangeTwins.end(), "lock %u has no range twin", lock);
     return it->second;
@@ -68,12 +80,14 @@ TwinStore::rangeTwin(LockId lock) const
 void
 TwinStore::dropRange(LockId lock)
 {
+    std::lock_guard<std::mutex> g(structMu);
     rangeTwins.erase(lock);
 }
 
 void
 TwinStore::clear()
 {
+    std::lock_guard<std::mutex> g(structMu);
     for (auto &[page, twin] : pageTwins)
         BufferPool::instance().release(std::move(twin));
     pageTwins.clear();

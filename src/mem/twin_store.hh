@@ -15,6 +15,7 @@
 #define DSM_MEM_TWIN_STORE_HH
 
 #include <cstddef>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -22,6 +23,16 @@
 
 namespace dsm {
 
+/**
+ * Thread-safety (SMP nodes): the map *structure* is guarded by an
+ * internal leaf mutex, so lookups/inserts/erases from concurrent
+ * threads are safe on their own. The twin *bytes* a returned reference
+ * points at are guarded by the caller's lock discipline instead: page
+ * twin contents are only touched while holding that page's memory
+ * shard lock, range twin contents under the protocol core lock — the
+ * same holder that makes or drops the twin, so a reference can never
+ * outlive its entry.
+ */
 class TwinStore
 {
   public:
@@ -31,6 +42,7 @@ class TwinStore
     bool
     hasPage(PageId page) const
     {
+        std::lock_guard<std::mutex> g(structMu);
         return pageTwins.count(page) != 0;
     }
 
@@ -51,6 +63,7 @@ class TwinStore
     bool
     hasRange(LockId lock) const
     {
+        std::lock_guard<std::mutex> g(structMu);
         return rangeTwins.count(lock) != 0;
     }
 
@@ -60,9 +73,16 @@ class TwinStore
 
     void clear();
 
-    std::size_t numPageTwins() const { return pageTwins.size(); }
+    std::size_t
+    numPageTwins() const
+    {
+        std::lock_guard<std::mutex> g(structMu);
+        return pageTwins.size();
+    }
 
   private:
+    /** Leaf lock: guards the maps, never held while calling out. */
+    mutable std::mutex structMu;
     std::unordered_map<PageId, std::vector<std::byte>> pageTwins;
     std::unordered_map<LockId, std::vector<std::byte>> rangeTwins;
 };

@@ -121,6 +121,47 @@ firstSameWordInMask(std::uint32_t eq)
     return m ? (static_cast<std::uint32_t>(__builtin_ctz(m)) >> 2) : 8;
 }
 
+/** Are the 512 bytes at word offset @p w identical? One AND-tree over
+ *  16 vector compares, a single movemask test — the clean-page stride
+ *  that matches libc memcmp's largest-chunk walk. */
+__attribute__((target("avx2"))) inline bool
+avx2Clean512(const std::byte *cur, const std::byte *twin, std::uint32_t w)
+{
+    const std::byte *a = cur + std::size_t{w} * kScanWordBytes;
+    const std::byte *b = twin + std::size_t{w} * kScanWordBytes;
+    __m256i acc = _mm256_set1_epi8(-1);
+    for (int k = 0; k < 16; ++k) {
+        acc = _mm256_and_si256(
+            acc, _mm256_cmpeq_epi8(
+                     _mm256_loadu_si256(
+                         reinterpret_cast<const __m256i *>(a + 32 * k)),
+                     _mm256_loadu_si256(
+                         reinterpret_cast<const __m256i *>(b + 32 *
+                                                           k))));
+    }
+    return _mm256_movemask_epi8(acc) == -1;
+}
+
+/** Byte-equality movemasks of the four 8-word vectors of one 32-word
+ *  block; returns true when any byte differs (callers extract runs
+ *  from @p eqm with scalar bit ops only). */
+__attribute__((target("avx2"))) inline bool
+avx2Masks32(const std::byte *cur, const std::byte *twin, std::uint32_t at,
+            std::uint32_t eqm[4])
+{
+    const std::byte *a = cur + std::size_t{at} * kScanWordBytes;
+    const std::byte *b = twin + std::size_t{at} * kScanWordBytes;
+    for (int k = 0; k < 4; ++k) {
+        eqm[k] = static_cast<std::uint32_t>(_mm256_movemask_epi8(
+            _mm256_cmpeq_epi8(
+                _mm256_loadu_si256(
+                    reinterpret_cast<const __m256i *>(a + 32 * k)),
+                _mm256_loadu_si256(
+                    reinterpret_cast<const __m256i *>(b + 32 * k)))));
+    }
+    return (eqm[0] & eqm[1] & eqm[2] & eqm[3]) != 0xffffffffu;
+}
+
 __attribute__((target("avx2"))) std::uint32_t
 avx2FindDiffWord(const std::byte *cur, const std::byte *twin,
                  std::uint32_t from, std::uint32_t words)
@@ -129,8 +170,12 @@ avx2FindDiffWord(const std::byte *cur, const std::byte *twin,
     // Dense-change fast path (run boundaries usually differ at once).
     if (w < words && scanWordDiffers(cur, twin, w))
         return w;
-    // Clean skipping: 32 words (128 bytes) per iteration, narrowing to
-    // the first mismatching 8-word vector.
+    // Clean skipping, largest stride first: 128 words (512 bytes) per
+    // iteration while memory stays identical — the stride libc memcmp
+    // uses on a fully clean page — then 32 words to localize, then
+    // the mismatching 8-word vector.
+    while (w + 128 <= words && avx2Clean512(cur, twin, w))
+        w += 128;
     while (w + 32 <= words) {
         const std::byte *a = cur + std::size_t{w} * kScanWordBytes;
         const std::byte *b = twin + std::size_t{w} * kScanWordBytes;
@@ -246,29 +291,31 @@ avx2ScanRuns(const std::byte *cur, const std::byte *twin,
         }
     };
 
-    // Clean memory is skipped 32 words (128 bytes) per iteration;
-    // only blocks with a mismatch somewhere pay per-chunk extraction.
+    // One 32-word (128-byte) block: compare, and only blocks with a
+    // mismatch somewhere pay per-chunk extraction. (The vector work
+    // lives in avx2Masks32 — a lambda would not inherit this
+    // function's target attribute.)
+    auto block32 = [&](std::uint32_t at) {
+        std::uint32_t eqm[4];
+        if (avx2Masks32(cur, twin, at, eqm)) {
+            for (int k = 0; k < 4; ++k)
+                process(eqm[k], at + 8 * k);
+        }
+    };
+
+    // Clean memory is skipped 128 words (512 bytes) per iteration —
+    // the stride that matches libc memcmp on a fully clean page; a
+    // 512-byte block with a mismatch somewhere re-scans its four
+    // 32-word sub-blocks through the extraction path.
+    while (w + 128 <= words) {
+        if (!avx2Clean512(cur, twin, w)) {
+            for (int k = 0; k < 4; ++k)
+                block32(w + 32 * k);
+        }
+        w += 128;
+    }
     while (w + 32 <= words) {
-        const std::byte *a = cur + std::size_t{w} * kScanWordBytes;
-        const std::byte *b = twin + std::size_t{w} * kScanWordBytes;
-        __m256i eqv[4];
-        for (int k = 0; k < 4; ++k) {
-            eqv[k] = _mm256_cmpeq_epi8(
-                _mm256_loadu_si256(
-                    reinterpret_cast<const __m256i *>(a + 32 * k)),
-                _mm256_loadu_si256(
-                    reinterpret_cast<const __m256i *>(b + 32 * k)));
-        }
-        const __m256i all =
-            _mm256_and_si256(_mm256_and_si256(eqv[0], eqv[1]),
-                             _mm256_and_si256(eqv[2], eqv[3]));
-        if (_mm256_movemask_epi8(all) != -1) {
-            for (int k = 0; k < 4; ++k) {
-                process(static_cast<std::uint32_t>(
-                            _mm256_movemask_epi8(eqv[k])),
-                        w + 8 * k);
-            }
-        }
+        block32(w);
         w += 32;
     }
     while (w + 8 <= words) {

@@ -56,9 +56,9 @@ Endpoint::send(NodeId dst, MsgType type, std::vector<std::byte> payload,
     msg.dst = dst;
     msg.type = type;
     msg.replyToken = reply_token;
-    msg.vtSendNs = vclock.now();
+    msg.vtSendNs = clock().now();
     msg.payload = std::move(payload);
-    net.send(std::move(msg), nodeStats);
+    net.send(std::move(msg), stats());
 }
 
 void
@@ -72,9 +72,9 @@ Endpoint::reply(NodeId dst, MsgType type, std::vector<std::byte> payload,
     msg.type = type;
     msg.isReply = true;
     msg.replyToken = reply_token;
-    msg.vtSendNs = vclock.now();
+    msg.vtSendNs = clock().now();
     msg.payload = std::move(payload);
-    net.send(std::move(msg), nodeStats);
+    net.send(std::move(msg), stats());
 }
 
 Message
@@ -92,9 +92,9 @@ Endpoint::call(NodeId dst, MsgType type, std::vector<std::byte> payload)
     msg.dst = dst;
     msg.type = type;
     msg.replyToken = token;
-    msg.vtSendNs = vclock.now();
+    msg.vtSendNs = clock().now();
     msg.payload = std::move(payload);
-    net.send(std::move(msg), nodeStats);
+    net.send(std::move(msg), stats());
 
     while (slot.ready.load(std::memory_order_acquire) == 0)
         slot.ready.wait(0, std::memory_order_acquire);
@@ -104,7 +104,7 @@ Endpoint::call(NodeId dst, MsgType type, std::vector<std::byte> payload)
         pending.erase(token);
     }
     // Causality: we cannot proceed before the reply arrived.
-    vclock.advanceTo(out.vtArriveNs);
+    clock().advanceTo(out.vtArriveNs);
     return out;
 }
 

@@ -24,6 +24,7 @@
 #include <unordered_map>
 
 #include "net/network.hh"
+#include "time/thread_context.hh"
 #include "time/virtual_clock.hh"
 
 namespace dsm {
@@ -75,9 +76,31 @@ class Endpoint
 
     const CostModel &costModel() const { return net.costModel(); }
 
-    VirtualClock &clock() { return vclock; }
+    /**
+     * The clock of the calling execution context: a worker thread's
+     * ThreadContext clock when one is published (which aliases the
+     * node clock at threadsPerNode == 1), the node clock otherwise
+     * (service thread, tests driving a runtime directly).
+     */
+    VirtualClock &
+    clock()
+    {
+        ThreadContext *ctx = ThreadContext::current();
+        return ctx && ctx->clock ? *ctx->clock : vclock;
+    }
 
-    NodeStats &stats() { return nodeStats; }
+    /** The node clock, regardless of calling context. */
+    VirtualClock &nodeClock() { return vclock; }
+
+    /** Counters of the calling execution context: a worker thread's
+     *  private delta when one is published, the node stats otherwise.
+     *  Cluster::run merges the deltas after the workers join. */
+    NodeStats &
+    stats()
+    {
+        ThreadContext *ctx = ThreadContext::current();
+        return ctx ? ctx->stats : nodeStats;
+    }
 
   private:
     /** One blocked call(): the service thread moves the reply in and

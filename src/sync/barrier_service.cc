@@ -4,9 +4,12 @@
 
 namespace dsm {
 
-BarrierService::BarrierService(Endpoint &endpoint, std::mutex &node_mutex)
-    : ep(endpoint), mu(node_mutex)
-{}
+BarrierService::BarrierService(Endpoint &endpoint, int threads_per_node)
+    : ep(endpoint), threadsPerNode(threads_per_node)
+{
+    DSM_ASSERT(threadsPerNode >= 1, "bad threadsPerNode %d",
+               threads_per_node);
+}
 
 void
 BarrierService::setHooks(BarrierHooks h)
@@ -25,7 +28,22 @@ BarrierService::wait(BarrierId barrier)
 {
     std::vector<std::byte> payload;
     {
-        std::lock_guard<std::mutex> g(mu);
+        std::unique_lock<std::mutex> g(mu);
+        LocalState &lb = local[barrier];
+        lb.arrivalMaxNs = std::max(lb.arrivalMaxNs, ep.clock().now());
+        if (++lb.arrived < threadsPerNode) {
+            // Not the node's last thread: park until the sibling that
+            // completes the node-level barrier bumps the generation,
+            // then step to the completion time it recorded.
+            const std::uint64_t gen = lb.generation;
+            cv.wait(g, [&] { return lb.generation != gen; });
+            ep.clock().advanceTo(lb.completeNs);
+            ep.stats().barriersEntered++;
+            return;
+        }
+        // Last thread of the node: the node arrives at the max of its
+        // CPUs' clocks (no-op at threadsPerNode == 1).
+        ep.clock().advanceTo(lb.arrivalMaxNs);
         if (hooks.makeArrival)
             payload = hooks.makeArrival(barrier);
     }
@@ -45,7 +63,13 @@ BarrierService::wait(BarrierId barrier)
         if (postWait)
             postWait();
         ep.stats().barriersEntered++;
+        LocalState &lb = local[barrier];
+        lb.completeNs = ep.clock().now();
+        lb.arrived = 0;
+        lb.arrivalMaxNs = 0;
+        lb.generation++;
     }
+    cv.notify_all();
 }
 
 void
@@ -56,7 +80,8 @@ BarrierService::handleMessage(Message &msg)
     BarrierId barrier = r.getU32();
     std::vector<std::byte> payload = r.getBlob();
 
-    std::lock_guard<std::mutex> g(mu);
+    // Manager state is touched only by this (the service) thread; the
+    // hooks take the protocol locks they need themselves.
     DSM_ASSERT(managerOf(barrier) == ep.self(),
                "barrier arrival at non-manager");
     ep.clock().add(ep.costModel().barrierHandlingNs);

@@ -11,11 +11,23 @@
  * what makes LRC's interval distribution race-free: the manager builds
  * every departure from its own (complete) log, so arrivals for a later
  * barrier can never outrun the knowledge they depend on.
+ *
+ * SMP nodes (threadsPerNode > 1): a node's arrival is the arrival of
+ * its *last* thread. Earlier threads park on a local generation
+ * counter; the last one merges all local thread clocks (the node
+ * cannot arrive before its slowest CPU), produces the node-level
+ * arrival payload (which closes the node's current interval exactly
+ * once), performs the network round trip, applies the departure, and
+ * wakes its siblings at the completion time. One network arrival per
+ * node per barrier, regardless of T — the protocol message complexity
+ * is unchanged from the paper's. With threadsPerNode == 1 the wait is
+ * exactly the historical single-thread sequence.
  */
 
 #ifndef DSM_SYNC_BARRIER_SERVICE_HH
 #define DSM_SYNC_BARRIER_SERVICE_HH
 
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <mutex>
@@ -27,7 +39,8 @@
 
 namespace dsm {
 
-/** All hooks run with the node mutex held. */
+/** All hooks run with the barrier-service mutex held; they take the
+ *  protocol locks (core, ...) they need themselves. */
 struct BarrierHooks
 {
     /** At each node: payload attached to the arrival message. */
@@ -46,17 +59,19 @@ struct BarrierHooks
 class BarrierService
 {
   public:
-    BarrierService(Endpoint &endpoint, std::mutex &node_mutex);
+    explicit BarrierService(Endpoint &endpoint, int threads_per_node = 1);
 
     void setHooks(BarrierHooks hooks);
 
     /**
-     * Install a local action run (under the node mutex) after every
-     * barrier completes. EC uses this to revalidate cached read locks.
+     * Install a local action run (under the barrier-service mutex)
+     * after every barrier completes. EC uses this to revalidate cached
+     * read locks.
      */
     void setPostWait(std::function<void()> action);
 
-    /** Block until all nodes arrive at @p barrier. App thread only. */
+    /** Block until all threads of all nodes arrive at @p barrier.
+     *  Application threads only. */
     void wait(BarrierId barrier);
 
     NodeId
@@ -75,17 +90,34 @@ class BarrierService
         std::uint64_t token = 0;
     };
 
+    /** Manager-side per-barrier state (service thread only). */
     struct BarrierState
     {
         std::vector<Waiter> waiters;
         std::uint64_t generation = 0;
     };
 
+    /** Node-local thread rendezvous for one barrier id. */
+    struct LocalState
+    {
+        int arrived = 0;
+        std::uint64_t generation = 0;
+        /** Max clock over the threads that arrived this generation. */
+        std::uint64_t arrivalMaxNs = 0;
+        /** Completion time the parked threads advance to. */
+        std::uint64_t completeNs = 0;
+    };
+
     Endpoint &ep;
-    std::mutex &mu;
+    const int threadsPerNode;
+    std::mutex mu;
+    std::condition_variable cv;
     BarrierHooks hooks;
     std::function<void()> postWait;
+    /** Manager state; touched only by the service thread. */
     std::unordered_map<BarrierId, BarrierState> barriers;
+    /** Local thread rendezvous; guarded by mu. */
+    std::unordered_map<BarrierId, LocalState> local;
 };
 
 } // namespace dsm

@@ -4,14 +4,24 @@
 
 namespace dsm {
 
-LockService::LockService(Endpoint &endpoint, std::mutex &node_mutex)
-    : ep(endpoint), mu(node_mutex)
-{}
+LockService::LockService(Endpoint &endpoint, int threads_per_node)
+    : ep(endpoint), threadsPerNode(threads_per_node)
+{
+    DSM_ASSERT(threadsPerNode >= 1, "bad threadsPerNode %d",
+               threads_per_node);
+}
 
 void
 LockService::setHooks(LockHooks h)
 {
     hooks = std::move(h);
+}
+
+int
+LockService::selfThread()
+{
+    ThreadContext *ctx = ThreadContext::current();
+    return ctx ? ctx->threadId : LockService::kExternalThread;
 }
 
 LockService::LockLocal &
@@ -28,8 +38,19 @@ LockService::localState(LockId lock)
 bool
 LockService::holds(LockId lock) const
 {
+    std::lock_guard<std::mutex> g(mu);
     auto it = locks.find(lock);
-    return it != locks.end() && it->second.held;
+    return it != locks.end() &&
+           (it->second.writeHolder != kNoHolder ||
+            it->second.readHolders > 0);
+}
+
+bool
+LockService::holdsExclusively(LockId lock) const
+{
+    std::lock_guard<std::mutex> g(mu);
+    auto it = locks.find(lock);
+    return it != locks.end() && it->second.writeHolder == selfThread();
 }
 
 void
@@ -37,25 +58,80 @@ LockService::acquire(LockId lock, AccessMode mode)
 {
     std::vector<std::byte> info;
     {
-        std::lock_guard<std::mutex> g(mu);
+        std::unique_lock<std::mutex> g(mu);
         LockLocal &state = localState(lock);
-        DSM_ASSERT(!state.held, "recursive acquire of lock %u", lock);
-        if (state.owned ||
-            (mode == AccessMode::Read && state.readCached)) {
-            // Local reacquire: the owner's copy of the associated data
-            // is current, and a cached read grant is valid until the
-            // next barrier; no messages (Midway/TreadMarks fast path).
-            state.held = true;
-            state.heldMode = mode;
-            ep.stats().localLockHits++;
-            if (mode == AccessMode::Write)
-                ep.stats().locksAcquired++;
-            else
-                ep.stats().roLocksAcquired++;
-            if (hooks.onAcquired)
-                hooks.onAcquired(lock, mode);
-            return;
+        const int me = selfThread();
+        if (threadsPerNode == 1) {
+            // The one-app-thread assert of the historical system.
+            DSM_ASSERT(state.writeHolder == LockService::kNoHolder &&
+                           state.readHolders == 0,
+                       "recursive acquire of lock %u", lock);
+        } else {
+            DSM_ASSERT(state.writeHolder != me,
+                       "recursive acquire of lock %u", lock);
         }
+
+        bool waited = false;
+        for (;;) {
+            // Read holds do NOT exclude sibling writers: an EC read
+            // lock is a consistency-transfer grant, not mutual
+            // exclusion (reader/writer exclusion across phases comes
+            // from barriers — the owner node writes while remote
+            // readers hold cached copies, and the paper's programs
+            // are phase-separated). A local read hold mirrors a
+            // remote cached copy, so a sibling's write acquire must
+            // not wait on it — only on another writer (and reads wait
+            // for the writer's release, exactly like a remote read
+            // request queued at a write-holding owner).
+            const bool available = state.writeHolder == LockService::kNoHolder &&
+                                   !state.fetching;
+            if (available) {
+                const bool local = mode == AccessMode::Write
+                                       ? state.owned
+                                       : (state.owned ||
+                                          state.readCached);
+                if (!local)
+                    break; // remote acquisition
+
+                // Local reacquire: the owner's copy of the associated
+                // data is current, and a cached read grant is valid
+                // until the next barrier; no messages (Midway/
+                // TreadMarks fast path). When we parked behind a
+                // sibling thread first, this completes an intra-node
+                // hand-off: the transfer never touched the network.
+                if (mode == AccessMode::Write)
+                    state.writeHolder = me;
+                else
+                    state.readHolders++;
+                if (waited) {
+                    // Served locally after parking: either a sibling's
+                    // release handed the lock over or a sibling's
+                    // completed remote fetch is being shared. Order
+                    // our clock past that transfer point; no message
+                    // was sent either way.
+                    ep.stats().intraNodeLockHandoffs++;
+                    ep.clock().advanceTo(state.lastTransferNs);
+                    ep.clock().add(ep.costModel().lockHandlingNs);
+                }
+                ep.stats().localLockHits++;
+                if (mode == AccessMode::Write)
+                    ep.stats().locksAcquired++;
+                else
+                    ep.stats().roLocksAcquired++;
+                if (hooks.onAcquired)
+                    hooks.onAcquired(lock, mode);
+                return;
+            }
+            state.localWaiters++;
+            waited = true;
+            cv.wait(g);
+            state.localWaiters--;
+        }
+
+        // At most one in-flight remote acquisition per lock: siblings
+        // that miss while we fetch park above and take the lock by
+        // local hand-off afterwards.
+        state.fetching = true;
         if (hooks.makeRequest)
             info = hooks.makeRequest(lock, mode);
     }
@@ -78,18 +154,23 @@ LockService::acquire(LockId lock, AccessMode mode)
         if (hooks.applyGrant)
             hooks.applyGrant(lock, mode, r);
         LockLocal &state = localState(lock);
-        state.held = true;
-        state.heldMode = mode;
+        state.fetching = false;
         if (mode == AccessMode::Write) {
             state.owned = true;
+            state.writeHolder = selfThread();
             ep.stats().locksAcquired++;
         } else {
             state.readCached = true;
+            state.readHolders++;
             ep.stats().roLocksAcquired++;
         }
         if (hooks.onAcquired)
             hooks.onAcquired(lock, mode);
+        // Parked siblings resume from the grant's arrival, not from a
+        // stale (or zero) release stamp.
+        state.lastTransferNs = ep.clock().now();
     }
+    cv.notify_all();
 }
 
 void
@@ -97,10 +178,26 @@ LockService::release(LockId lock)
 {
     std::lock_guard<std::mutex> g(mu);
     LockLocal &state = localState(lock);
-    DSM_ASSERT(state.held, "release of unheld lock %u", lock);
-    state.held = false;
-    if (state.owned)
+    const int me = selfThread();
+    if (state.writeHolder == me) {
+        state.writeHolder = LockService::kNoHolder;
+    } else {
+        DSM_ASSERT(state.readHolders > 0, "release of unheld lock %u",
+                   lock);
+        state.readHolders--;
+    }
+    state.lastTransferNs = ep.clock().now();
+    if (state.localWaiters > 0) {
+        // Local waiters win: the lock stays on the node and the next
+        // holder takes it without a message. Queued remote requests
+        // drain at the first release with no local contention.
+        cv.notify_all();
+        return;
+    }
+    if (state.writeHolder == LockService::kNoHolder && state.readHolders == 0 &&
+        state.owned) {
         drainPending(lock, state);
+    }
 }
 
 void
@@ -143,6 +240,7 @@ LockService::drainPending(LockId lock, LockLocal &state)
 void
 LockService::clearReadCaches()
 {
+    std::lock_guard<std::mutex> g(mu);
     for (auto &[lock, state] : locks)
         state.readCached = false;
 }
@@ -185,7 +283,7 @@ LockService::handleRequest(Message &msg)
     Forward fwd{msg.src, msg.replyToken, mode, std::move(info)};
     if (target == ep.self()) {
         LockLocal &state = localState(lock);
-        if (state.owned && !state.held)
+        if (idleForGrant(state))
             grantNow(lock, state, fwd);
         else
             state.pending.push_back(std::move(fwd));
@@ -212,7 +310,7 @@ LockService::handleForward(Message &msg)
     ep.clock().add(ep.costModel().lockHandlingNs);
     Forward fwd{origin, msg.replyToken, mode, std::move(info)};
     LockLocal &state = localState(lock);
-    if (state.owned && !state.held)
+    if (idleForGrant(state))
         grantNow(lock, state, fwd);
     else
         state.pending.push_back(std::move(fwd));

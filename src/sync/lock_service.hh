@@ -22,11 +22,31 @@
  * only in barrier-separated read phases, so reader/writer exclusion
  * across phases is provided by the barriers, as in the original
  * programs.
+ *
+ * SMP nodes (threadsPerNode > 1): the service owns its mutex (it no
+ * longer shares the node's — there is no single node mutex anymore)
+ * and tracks, per lock, which local thread holds it and how many
+ * local read holders exist. A thread that finds the lock held by a
+ * sibling parks on a local waiter queue; when the holder releases,
+ * the waiter takes the lock directly — an intra-node hand-off that
+ * involves no network message and no manager (counted by
+ * intraNodeLockHandoffs, charged one lockHandlingNs, and ordered by
+ * advancing the waiter's clock past the releaser's). Local waiters
+ * win over queued remote requests so ownership is not bounced off the
+ * node while its own threads still contend; the remote queue drains
+ * at the first release that finds no local waiter. At most one remote
+ * acquisition per (node, lock) is in flight at a time: siblings that
+ * also miss wait for the fetching thread and then take the lock by
+ * local hand-off — the network short-circuit the SMP refactor is
+ * about. With threadsPerNode == 1 none of these paths execute and the
+ * protocol behaves exactly like the historical one-app-thread
+ * implementation.
  */
 
 #ifndef DSM_SYNC_LOCK_SERVICE_HH
 #define DSM_SYNC_LOCK_SERVICE_HH
 
+#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -40,7 +60,8 @@
 namespace dsm {
 
 /** Consistency callbacks a runtime installs into the lock service.
- *  All hooks are invoked with the node mutex held. */
+ *  All hooks are invoked with the lock-service mutex held; they take
+ *  the protocol locks (core, ...) they need themselves. */
 struct LockHooks
 {
     /** At the requester: encode request info (EC: my incarnation;
@@ -70,10 +91,11 @@ class LockService
   public:
     /**
      * @param endpoint Communication endpoint of this node.
-     * @param node_mutex The per-node state mutex shared with the
-     *        runtime (hooks run under it).
+     * @param threads_per_node Application threads sharing this node
+     *        (drives the strictness of the recursion assert and the
+     *        intra-node hand-off machinery).
      */
-    LockService(Endpoint &endpoint, std::mutex &node_mutex);
+    explicit LockService(Endpoint &endpoint, int threads_per_node = 1);
 
     void setHooks(LockHooks hooks);
 
@@ -81,11 +103,12 @@ class LockService
      * Acquire @p lock in @p mode. Write acquires by the current owner
      * with no competing request complete locally without messages
      * (both Midway and TreadMarks have this fast path). Blocking; must
-     * be called from the application thread.
+     * be called from an application thread.
      */
     void acquire(LockId lock, AccessMode mode);
 
-    /** Release a held lock; grants any queued requests. */
+    /** Release a held lock; hands off to local waiters first, then
+     *  grants queued remote requests. */
     void release(LockId lock);
 
     /** True when this node is the lock's statically assigned manager. */
@@ -104,15 +127,20 @@ class LockService
     /** Service-thread dispatch for LockRequest/LockForward messages. */
     void handleMessage(Message &msg);
 
-    /** True if the app currently holds @p lock. */
+    /** True if any local application thread currently holds @p lock. */
     bool holds(LockId lock) const;
+
+    /** True if the *calling* thread holds @p lock exclusively (the
+     *  precondition of rebindLock — a sibling's hold must not
+     *  satisfy it at threadsPerNode > 1). */
+    bool holdsExclusively(LockId lock) const;
 
     /**
      * Drop all cached read grants. Midway caches read locks at the
      * reader; our implementation revalidates them at barriers, which
      * is sufficient for the paper's applications because every one of
      * them separates write phases from read phases with barriers.
-     * Caller must hold the node mutex.
+     * Takes the service mutex itself.
      */
     void clearReadCaches();
 
@@ -125,14 +153,32 @@ class LockService
         std::vector<std::byte> requestInfo;
     };
 
+    /** writeHolder value meaning "no exclusive holder". */
+    static constexpr int kNoHolder = -1;
+
+    /** Thread id used for callers without a ThreadContext (tests
+     *  driving the service from a bare thread; one per node). */
+    static constexpr int kExternalThread = -2;
+
     struct LockLocal
     {
         bool owned = false; ///< this node holds the ownership token
-        bool held = false;  ///< the app thread is inside acquire..release
         /** Read grant cached locally; valid until the next barrier. */
         bool readCached = false;
-        AccessMode heldMode = AccessMode::Write;
-        std::deque<Forward> pending;
+        /** Node-local thread id of the exclusive holder. */
+        int writeHolder = kNoHolder;
+        /** Local threads inside a read-mode acquire..release. */
+        int readHolders = 0;
+        /** A local thread is mid remote acquisition (at most one per
+         *  lock; siblings wait and take the lock by hand-off). */
+        bool fetching = false;
+        /** Local threads parked waiting for a sibling's release. */
+        int localWaiters = 0;
+        /** Clock of the last local transfer point — a sibling's
+         *  release or a completed remote grant (orders an intra-node
+         *  hand-off without any message). */
+        std::uint64_t lastTransferNs = 0;
+        std::deque<Forward> pending; ///< queued remote requests
     };
 
     struct ManagerState
@@ -140,11 +186,28 @@ class LockService
         NodeId lastOwner = -1; ///< tail of the request chain
     };
 
-    /** Grant to @p fwd now; caller holds the node mutex. */
+    /** Node-local id of the calling thread (-1: no thread context —
+     *  tests driving the service from a bare thread). */
+    static int selfThread();
+
+    /** Grant to @p fwd now; caller holds the service mutex. */
     void grantNow(LockId lock, LockLocal &state, const Forward &fwd);
 
-    /** Grant queued requests after a release; caller holds the mutex. */
+    /** Grant queued remote requests after a release; caller holds the
+     *  service mutex and has checked no local thread holds or waits. */
     void drainPending(LockId lock, LockLocal &state);
+
+    /** Can a remote request be granted right now? */
+    bool
+    idleForGrant(const LockLocal &state) const
+    {
+        // Compare against the sentinel, not < 0: external (context-
+        // free) holders carry the negative kExternalThread id and
+        // must still block remote grants.
+        return state.owned && state.writeHolder == kNoHolder &&
+               state.readHolders == 0 && !state.fetching &&
+               state.localWaiters == 0;
+    }
 
     void handleRequest(Message &msg);
     void handleForward(Message &msg);
@@ -152,7 +215,9 @@ class LockService
     LockLocal &localState(LockId lock);
 
     Endpoint &ep;
-    std::mutex &mu;
+    const int threadsPerNode;
+    mutable std::mutex mu;
+    std::condition_variable cv;
     LockHooks hooks;
     std::unordered_map<LockId, LockLocal> locks;
     std::unordered_map<LockId, ManagerState> managed;

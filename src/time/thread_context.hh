@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Per-application-thread execution context for SMP nodes
+ * (ClusterConfig::threadsPerNode > 1). Each worker thread spawned by
+ * Cluster::run carries one ThreadContext holding
+ *
+ *  - its identity: owning node, node-local thread id, global worker
+ *    rank (node * threadsPerNode + threadId) and the cluster-wide
+ *    worker count — the SPMD partitioning axes the applications use;
+ *  - its virtual clock: at threadsPerNode == 1 this aliases the node
+ *    clock (the paper's uniprocessor node, where the application and
+ *    the SIGIO service handler share one CPU — exactly the seed
+ *    semantics, bit-identical by construction); at T > 1 each thread
+ *    is modeled as its own CPU with a private clock, merged into the
+ *    node's notion of time at synchronization points (lock transfers,
+ *    barriers) and at run end, while the node clock plays the role of
+ *    the protocol/service processor;
+ *  - a private NodeStats delta: counters incremented from application
+ *    threads accumulate here with no sharing and are summed into the
+ *    node's statistics when the run ends, so per-node totals are
+ *    identical to the single-clock seed accounting.
+ *
+ * The context is published through a thread_local pointer;
+ * Endpoint::clock()/stats() route through it, so every existing
+ * charge/counter site works unchanged from any thread. Threads without
+ * a context (the service thread, tests driving a runtime from the main
+ * thread) fall back to the node clock and node stats, which is the
+ * seed behavior.
+ */
+
+#ifndef DSM_TIME_THREAD_CONTEXT_HH
+#define DSM_TIME_THREAD_CONTEXT_HH
+
+#include <cstdint>
+
+#include "time/virtual_clock.hh"
+#include "util/stats.hh"
+#include "util/types.hh"
+
+namespace dsm {
+
+class ThreadContext
+{
+  public:
+    NodeId node = 0;
+    /** Node-local thread id in [0, threadsPerNode). */
+    int threadId = 0;
+    /** Global worker rank: node * threadsPerNode + threadId. */
+    int worker = 0;
+    /** Cluster-wide worker count: nprocs * threadsPerNode. */
+    int numWorkers = 1;
+
+    /** The clock application charges go to. Aliases the node clock at
+     *  threadsPerNode == 1; points at ownClock otherwise. */
+    VirtualClock *clock = nullptr;
+
+    /** Private CPU clock, used when threadsPerNode > 1. */
+    VirtualClock ownClock;
+
+    /** Per-thread statistics delta, merged into the node's stats when
+     *  the run ends. */
+    NodeStats stats;
+
+    /** Next index into the node's SPMD allocation log (all threads of
+     *  a node perform identical sharedAlloc sequences; the first to
+     *  reach a position allocates, the rest replay the result). */
+    std::uint32_t allocCursor = 0;
+
+    static ThreadContext *current() { return tls; }
+
+    /** RAII publication of a context on the current thread. */
+    class Scope
+    {
+      public:
+        explicit Scope(ThreadContext *ctx) : prev(tls) { tls = ctx; }
+        ~Scope() { tls = prev; }
+        Scope(const Scope &) = delete;
+        Scope &operator=(const Scope &) = delete;
+
+      private:
+        ThreadContext *prev;
+    };
+
+  private:
+    static inline thread_local ThreadContext *tls = nullptr;
+};
+
+} // namespace dsm
+
+#endif // DSM_TIME_THREAD_CONTEXT_HH

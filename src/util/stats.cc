@@ -21,6 +21,7 @@ forEachField(Stats &s, Fn fn)
     fn("localLockHits", s.localLockHits);
     fn("lockForwards", s.lockForwards);
     fn("barriersEntered", s.barriersEntered);
+    fn("intraNodeLockHandoffs", s.intraNodeLockHandoffs);
     fn("pageFaults", s.pageFaults);
     fn("twinsCreated", s.twinsCreated);
     fn("twinWordsCopied", s.twinWordsCopied);

@@ -16,10 +16,13 @@
 namespace dsm {
 
 /**
- * Counters for one node. Plain uint64 fields; single-writer per field
- * in steady state (app thread or service thread), merged after a run.
- * The service and app threads of one node synchronize through the node
- * state mutex, so plain fields are safe.
+ * Counters for one node. Plain uint64 fields with a strict
+ * single-writer discipline: the service thread writes the node's own
+ * instance, every application thread writes the private delta in its
+ * ThreadContext, and Cluster::run sums the deltas into the node
+ * instance after the worker threads join — no field is ever written
+ * concurrently, and totals are independent of how the increments were
+ * distributed across threads.
  */
 struct NodeStats
 {
@@ -36,6 +39,12 @@ struct NodeStats
     std::uint64_t localLockHits = 0;
     std::uint64_t lockForwards = 0;
     std::uint64_t barriersEntered = 0;
+    /** SMP nodes: lock acquisitions that parked behind a sibling and
+     *  were then served locally (the sibling's release handed the
+     *  lock over, or its completed remote fetch is being shared) — no
+     *  network message, no manager involvement (never nonzero at
+     *  threadsPerNode == 1). */
+    std::uint64_t intraNodeLockHandoffs = 0;
 
     // Write trapping.
     std::uint64_t pageFaults = 0;

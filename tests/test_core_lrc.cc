@@ -22,6 +22,11 @@ lrcConfig(const std::string &name, int nprocs = 4,
     cc.arenaBytes = 1u << 20;
     cc.pageSize = page_size;
     cc.runtime = RuntimeConfig::parse(name);
+    // Per-node scripted protocol test: roles key off rt.self(), so the
+    // scenario only makes sense with one app thread per node (SMP
+    // coverage lives in the worker-parametrized app/conformance/smp
+    // suites). Pin T=1 so a DSM_THREADS sweep cannot redefine it.
+    cc.threadsPerNode = 1;
     return cc;
 }
 

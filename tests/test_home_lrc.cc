@@ -27,6 +27,11 @@ homeConfig(int nprocs, std::uint32_t migrate_threshold)
     cc.runtime = RuntimeConfig::parse("LRC-diff");
     cc.homeBasedLrc = true;
     cc.homeMigrateThreshold = migrate_threshold;
+    // Per-node scripted protocol test: roles key off rt.self(), so the
+    // scenario only makes sense with one app thread per node (SMP
+    // coverage lives in the worker-parametrized app/conformance/smp
+    // suites). Pin T=1 so a DSM_THREADS sweep cannot redefine it.
+    cc.threadsPerNode = 1;
     return cc;
 }
 

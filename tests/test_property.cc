@@ -71,9 +71,11 @@ TEST_P(ChaosCounter, NoLostUpdates)
     cc.homeMigrateThreshold = c.homeBased ? 6 : 0;
     Cluster cluster(cc);
 
-    // Expected tallies are deterministic given the seeds.
+    // Expected tallies are deterministic given the seeds. Workers,
+    // not nodes: under DSM_THREADS > 1 every node runs several chaos
+    // workers, which makes this the intra-node mixed-lock stressor.
     std::vector<std::uint64_t> expected(kLocks * kSlots, 0);
-    for (int p = 0; p < nprocs; ++p) {
+    for (int p = 0; p < cluster.nworkers(); ++p) {
         Rng rng(c.seed * 977 + p);
         for (int r = 0; r < kRounds; ++r) {
             const int lock = static_cast<int>(rng.below(kLocks));
@@ -94,7 +96,7 @@ TEST_P(ChaosCounter, NoLostUpdates)
         }
         rt.barrier(0);
 
-        Rng rng(c.seed * 977 + rt.self());
+        Rng rng(c.seed * 977 + rt.worker());
         BarrierId sync_round = 0;
         int since_barrier = 0;
         for (int r = 0; r < kRounds; ++r) {
@@ -116,8 +118,8 @@ TEST_P(ChaosCounter, NoLostUpdates)
             rt.barrier(1 + sync_round++);
         rt.barrier(900);
 
-        // Node 0 collects every array through the protocol.
-        if (rt.self() == 0) {
+        // Worker 0 (on node 0) collects every array via the protocol.
+        if (rt.worker() == 0) {
             for (int l = 0; l < kLocks; ++l) {
                 if (ec) {
                     rt.acquire(100 + l, AccessMode::Read);

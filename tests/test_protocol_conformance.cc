@@ -3,10 +3,15 @@
  * Cross-protocol conformance: the same SPMD kernels — a halo-exchange
  * stencil, a distributed task queue, and a migratory counter ring (the
  * Table 3 sharing patterns in miniature) — run under entry
- * consistency, homeless LRC, and home-based LRC at 2-8 nodes, and the
+ * consistency, homeless LRC, and home-based LRC over the full
+ * (2, 4, 8 nodes) x (1, 2, 4 threads-per-node) scenario grid, and the
  * final shared state collected on node 0 must be bit-identical across
- * all three protocols. Every kernel is integer-valued and
- * schedule-independent, so "bit-identical" is exact, not a tolerance.
+ * all three protocols at every grid point. Every kernel is
+ * integer-valued, partitioned over *workers* (node x thread), and
+ * schedule-independent, so "bit-identical" is exact, not a tolerance
+ * — which makes this grid the SMP refactor's model-checking net: any
+ * lost write, unmirrored twin, missed invalidation or broken
+ * intra-node hand-off shows up as a byte difference.
  */
 
 #include <gtest/gtest.h>
@@ -49,8 +54,8 @@ void
 stencilKernel(Runtime &rt)
 {
     const bool ec = isEc(rt);
-    const int np = rt.nprocs();
-    const int self = rt.self();
+    const int np = rt.nworkers();
+    const int self = rt.worker();
     const int lo = self * kCells / np;
     const int hi = (self + 1) * kCells / np;
     auto band_lock = [](int p) {
@@ -114,7 +119,7 @@ stencilKernel(Runtime &rt)
     }
 
     // Node 0 collects the whole grid through the protocol.
-    if (rt.self() == 0) {
+    if (rt.worker() == 0) {
         for (int p = 0; p < np; ++p) {
             if (ec) {
                 rt.acquire(band_lock(p), AccessMode::Read);
@@ -157,7 +162,7 @@ taskQueueKernel(Runtime &rt)
     rt.barrier(0);
 
     // Node 0 publishes every job's payload under the payload lock.
-    if (rt.self() == 0) {
+    if (rt.worker() == 0) {
         if (ec)
             rt.acquire(kPayloadLock, AccessMode::Write);
         std::vector<std::int64_t> words(kPayloadWords);
@@ -197,7 +202,7 @@ taskQueueKernel(Runtime &rt)
     }
     rt.barrier(2);
 
-    if (rt.self() == 0) {
+    if (rt.worker() == 0) {
         if (ec) {
             rt.acquire(kQueueLock, AccessMode::Read);
             rt.release(kQueueLock);
@@ -237,7 +242,7 @@ ringKernel(Runtime &rt)
 
     for (int round = 0; round < kRounds; ++round) {
         rt.acquire(kRingLock, AccessMode::Write);
-        if (round % rt.nprocs() == rt.self()) {
+        if (round % rt.nworkers() == rt.worker()) {
             for (int i = 0; i < kSlots; ++i)
                 slots.set(i, slots.get(i) + i + round);
         }
@@ -245,7 +250,7 @@ ringKernel(Runtime &rt)
         rt.barrier(1 + round);
     }
 
-    if (rt.self() == 0) {
+    if (rt.worker() == 0) {
         if (ec) {
             rt.acquire(kRingLock, AccessMode::Read);
             rt.release(kRingLock);
@@ -287,6 +292,7 @@ struct KernelCase
     std::function<void(Runtime &)> run;
     std::size_t stateBytes;
     int nprocs;
+    int threads;
 };
 
 std::vector<std::byte>
@@ -294,6 +300,7 @@ runLeg(const ProtocolLeg &leg, const KernelCase &kc)
 {
     ClusterConfig cc;
     cc.nprocs = kc.nprocs;
+    cc.threadsPerNode = kc.threads;
     cc.arenaBytes = 1u << 20;
     cc.pageSize = 1024;
     cc.runtime = RuntimeConfig::parse(leg.config);
@@ -333,10 +340,13 @@ conformanceCases()
 {
     std::vector<KernelCase> cases;
     for (int np : {2, 4, 8}) {
-        cases.push_back({"stencil", stencilKernel, stencilBytes(), np});
-        cases.push_back(
-            {"taskqueue", taskQueueKernel, taskQueueBytes(), np});
-        cases.push_back({"ring", ringKernel, ringBytes(), np});
+        for (int t : {1, 2, 4}) {
+            cases.push_back(
+                {"stencil", stencilKernel, stencilBytes(), np, t});
+            cases.push_back(
+                {"taskqueue", taskQueueKernel, taskQueueBytes(), np, t});
+            cases.push_back({"ring", ringKernel, ringBytes(), np, t});
+        }
     }
     return cases;
 }
@@ -345,7 +355,9 @@ INSTANTIATE_TEST_SUITE_P(Kernels, ProtocolConformance,
                          ::testing::ValuesIn(conformanceCases()),
                          [](const auto &info) {
                              return std::string(info.param.name) + "_np" +
-                                    std::to_string(info.param.nprocs);
+                                    std::to_string(info.param.nprocs) +
+                                    "x" +
+                                    std::to_string(info.param.threads);
                          });
 
 } // namespace

@@ -12,6 +12,7 @@
 #include "sync/barrier_service.hh"
 #include "sync/lock_service.hh"
 #include "sync/vector_time.hh"
+#include "time/thread_context.hh"
 
 namespace dsm {
 namespace {
@@ -100,17 +101,39 @@ class SyncFixture : public ::testing::Test
     struct NodeBits
     {
         NodeBits(Network &net, NodeId id)
-            : ep(net, id, clock, stats), locks(ep, mu),
-              barriers(ep, mu)
+            : ep(net, id, clock, stats), locks(ep), barriers(ep)
         {}
 
         VirtualClock clock;
         NodeStats stats;
-        std::mutex mu;
+        /** App-side counter deltas merged back by spawned threads
+         *  (read by the main thread after join). */
+        NodeStats appStats;
         Endpoint ep;
         LockService locks;
         BarrierService barriers;
     };
+
+    /**
+     * Spawn one application thread for node @p i, wrapped in a
+     * ThreadContext exactly like Cluster::run's workers: app-side
+     * counters go to a private delta (merged into appStats when the
+     * thread finishes), so they never race the service thread's
+     * writes to the node stats.
+     */
+    std::thread
+    spawnNode(int i, std::function<void()> fn)
+    {
+        NodeBits *node = nodes[i].get();
+        return std::thread([node, i, fn = std::move(fn)] {
+            ThreadContext ctx;
+            ctx.node = static_cast<NodeId>(i);
+            ctx.clock = &node->clock;
+            ThreadContext::Scope scope(&ctx);
+            fn();
+            node->appStats += ctx.stats;
+        });
+    }
 
     CostModel cm;
     std::unique_ptr<Network> net;
@@ -124,7 +147,7 @@ TEST_F(SyncFixture, MutualExclusionUnderContention)
     int counter = 0;
     std::vector<std::thread> threads;
     for (int i = 0; i < kNodes; ++i) {
-        threads.emplace_back([&, i] {
+        threads.push_back(spawnNode(i, [&, i] {
             for (int k = 0; k < kIters; ++k) {
                 nodes[i]->locks.acquire(7, AccessMode::Write);
                 const int seen = counter;
@@ -132,7 +155,7 @@ TEST_F(SyncFixture, MutualExclusionUnderContention)
                 counter = seen + 1;
                 nodes[i]->locks.release(7);
             }
-        });
+        }));
     }
     for (auto &t : threads)
         t.join();
@@ -204,10 +227,7 @@ TEST_F(SyncFixture, ReadLocksCacheUntilBarrier)
 
     // After a barrier the cache is revalidated (the barrier's
     // post-wait action calls clearReadCaches): next read is remote.
-    {
-        std::lock_guard<std::mutex> g(nodes[2]->mu);
-        nodes[2]->locks.clearReadCaches();
-    }
+    nodes[2]->locks.clearReadCaches();
     nodes[2]->locks.acquire(1, AccessMode::Read);
     nodes[2]->locks.release(1);
     EXPECT_GT(nodes[2]->stats.messagesSent, sent);
@@ -219,13 +239,13 @@ TEST_F(SyncFixture, BarrierBlocksUntilAllArrive)
     std::atomic<int> departed{0};
     std::vector<std::thread> threads;
     for (int i = 0; i < kNodes; ++i) {
-        threads.emplace_back([&, i] {
+        threads.push_back(spawnNode(i, [&, i] {
             arrived.fetch_add(1);
             nodes[i]->barriers.wait(9);
             // Everyone must have arrived before anyone departs.
             EXPECT_EQ(arrived.load(), kNodes);
             departed.fetch_add(1);
-        });
+        }));
     }
     for (auto &t : threads)
         t.join();
@@ -237,14 +257,14 @@ TEST_F(SyncFixture, BarrierReusableAcrossGenerations)
     for (int round = 0; round < 3; ++round) {
         std::vector<std::thread> threads;
         for (int i = 0; i < kNodes; ++i) {
-            threads.emplace_back(
-                [&, i] { nodes[i]->barriers.wait(4); });
+            threads.push_back(
+                spawnNode(i, [&, i] { nodes[i]->barriers.wait(4); }));
         }
         for (auto &t : threads)
             t.join();
     }
     for (int i = 0; i < kNodes; ++i)
-        EXPECT_EQ(nodes[i]->stats.barriersEntered, 3u);
+        EXPECT_EQ(nodes[i]->appStats.barriersEntered, 3u);
 }
 
 TEST_F(SyncFixture, BarrierHooksMergeAndDistribute)
@@ -281,7 +301,8 @@ TEST_F(SyncFixture, BarrierHooksMergeAndDistribute)
 
     std::vector<std::thread> threads;
     for (int i = 0; i < kNodes; ++i)
-        threads.emplace_back([&, i] { nodes[i]->barriers.wait(2); });
+        threads.push_back(
+            spawnNode(i, [&, i] { nodes[i]->barriers.wait(2); }));
     for (auto &t : threads)
         t.join();
     for (int i = 0; i < kNodes; ++i)

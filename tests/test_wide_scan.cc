@@ -164,6 +164,56 @@ TEST(WideScan, EdgeShapes)
     }
 }
 
+TEST(WideScan, CleanSkipStrideBoundaries)
+{
+    // The AVX2 run scan skips clean memory 512 bytes (128 words) per
+    // iteration. Single flipped words placed exactly at, just before
+    // and just after every 128-word stride boundary — plus short runs
+    // straddling a boundary — must come out identical to the scalar
+    // walk, for region lengths around multiples of the stride (so the
+    // stride loop ends at every possible remainder).
+    Rng rng(512);
+    for (std::uint32_t words :
+         {127u, 128u, 129u, 255u, 256u, 257u, 383u, 384u, 385u, 1023u,
+          1024u, 1025u, 1151u}) {
+        for (std::uint32_t pos :
+             {0u, 1u, 126u, 127u, 128u, 129u, 255u, 256u, 257u, 511u,
+              512u, 513u, 1023u, 1024u, words - 1}) {
+            if (pos >= words)
+                continue;
+            Pair p = makePair(rng, words, 2, 0);
+            p.curBuf[p.offset + pos * kScanWordBytes + 1] ^=
+                std::byte{0x11};
+            const auto ref = referenceRuns(p);
+            for (ScanKernel k : kKernels) {
+                EXPECT_EQ(runsOf(p, k), ref)
+                    << toString(k) << " words=" << words
+                    << " pos=" << pos;
+                EXPECT_EQ(findDiffWord(p.cur(), p.twin(), 0, words, k),
+                          pos)
+                    << toString(k) << " words=" << words
+                    << " pos=" << pos;
+            }
+        }
+        // A short run straddling each stride boundary inside the
+        // region (clean 512-byte blocks on both sides).
+        for (std::uint32_t boundary = 128; boundary + 2 <= words;
+             boundary += 128) {
+            Pair p = makePair(rng, words, 6, 0);
+            for (std::uint32_t w = boundary - 2; w < boundary + 2; ++w)
+                p.curBuf[p.offset + w * kScanWordBytes] ^=
+                    std::byte{0x22};
+            const auto ref = referenceRuns(p);
+            ASSERT_EQ(ref.size(), 1u);
+            for (ScanKernel k : kKernels) {
+                EXPECT_EQ(runsOf(p, k), ref)
+                    << toString(k) << " words=" << words
+                    << " boundary=" << boundary;
+            }
+        }
+    }
+}
+
 TEST(WideScan, DiffCreateIdenticalAcrossKernels)
 {
     Rng rng(99);
