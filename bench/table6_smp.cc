@@ -52,7 +52,8 @@ main()
     }
 
     Table table({"Application", "NxT", "EC", "LRC", "LRC-home",
-                 "EC msgs", "LRC msgs", "LRCh msgs", "LRC handoffs"});
+                 "EC msgs", "LRC msgs", "LRCh msgs", "LRC handoffs",
+                 "EC forced", "LRC forced", "LRCh migr"});
 
     cc.homeBasedLrc = false;
     for (const std::string &app : allAppNames()) {
@@ -80,7 +81,14 @@ main()
                  std::to_string(bl.run.total.messagesSent),
                  std::to_string(home.run.total.messagesSent),
                  std::to_string(
-                     bl.run.total.intraNodeLockHandoffs)});
+                     bl.run.total.intraNodeLockHandoffs),
+                 // Sharing-policy shape: the bounded hand-off fires
+                 // on the lock-heavy apps (QS under EC above all),
+                 // and last-writer/home migrations show where the
+                 // home chased a migratory page.
+                 std::to_string(be.run.total.remoteHandoffsForced),
+                 std::to_string(bl.run.total.remoteHandoffsForced),
+                 std::to_string(home.run.total.homeMigrations)});
         }
     }
     table.print();

@@ -11,7 +11,7 @@ namespace dsm {
 Cluster::Node::Node(const ClusterConfig &config, Network &net, NodeId id)
     : arena(config.arenaBytes, config.pageSize),
       ep(net, id, clock, stats),
-      locks(ep, config.threadsPerNode),
+      locks(ep, config.threadsPerNode, config.lockLocalHandoffBound),
       barriers(ep, config.threadsPerNode)
 {
     Runtime::Deps deps;
@@ -36,6 +36,13 @@ Cluster::Cluster(const ClusterConfig &config) : cfg(config)
     DSM_ASSERT(cfg.nprocs >= 1 && cfg.nprocs <= 64,
                "unreasonable node count %d", cfg.nprocs);
     cfg.threadsPerNode = cfg.resolvedThreadsPerNode();
+    // Sharing-policy knobs: apply the "-1 = environment default"
+    // resolution once, so every consumer below sees plain values.
+    cfg.lockLocalHandoffBound = cfg.resolvedLockFairness();
+    cfg.homeMigrateLastWriter = cfg.resolvedHomeLastWriter() ? 1 : 0;
+    cfg.homePingPongLimit =
+        static_cast<int>(cfg.resolvedHomePingPongLimit());
+    cfg.homeFlushDefer = cfg.resolvedHomeFlushDefer() ? 1 : 0;
     cfg.runtime.validate();
     // The pool is process-wide; the newest cluster's ablation setting
     // wins (clusters run sequentially in tests and benches).

@@ -72,6 +72,58 @@ ClusterConfig::resolvedThreadsPerNode() const
     return t;
 }
 
+namespace {
+
+/** -1 = "take the environment variable, else @p fallback". */
+int
+resolveEnvDefault(int configured, const char *env, int fallback)
+{
+    if (configured >= 0)
+        return configured;
+    if (const char *v = std::getenv(env))
+        return std::atoi(v);
+    return fallback;
+}
+
+} // namespace
+
+int
+ClusterConfig::resolvedLockFairness() const
+{
+    const int k =
+        resolveEnvDefault(lockLocalHandoffBound, "DSM_LOCK_FAIRNESS", 0);
+    DSM_ASSERT(k >= 0 && k <= 1 << 20,
+               "unreasonable lock fairness bound %d", k);
+    return k;
+}
+
+bool
+ClusterConfig::resolvedHomeLastWriter() const
+{
+    return resolveEnvDefault(homeMigrateLastWriter,
+                             "DSM_HOME_LAST_WRITER", 0) != 0;
+}
+
+std::uint32_t
+ClusterConfig::resolvedHomePingPongLimit() const
+{
+    // With the last-writer policy on, an uncapped follow-the-writer
+    // chase of a truly migratory page never settles; a small default
+    // budget makes it converge to a pinned home.
+    const int fallback = resolvedHomeLastWriter() ? 8 : 0;
+    const int limit =
+        resolveEnvDefault(homePingPongLimit, "DSM_HOME_PINGPONG",
+                          fallback);
+    DSM_ASSERT(limit >= 0, "bad homePingPongLimit %d", limit);
+    return static_cast<std::uint32_t>(limit);
+}
+
+bool
+ClusterConfig::resolvedHomeFlushDefer() const
+{
+    return resolveEnvDefault(homeFlushDefer, "DSM_HOME_DEFER", 0) != 0;
+}
+
 const std::vector<RuntimeConfig> &
 RuntimeConfig::all()
 {

@@ -201,8 +201,88 @@ struct ClusterConfig
      */
     std::uint32_t homeDecayWindow = 1024;
 
+    // --- Sharing-policy layer: adaptive policies for migratory
+    // sharing (locks and task queues — the pattern on which the
+    // paper's EC and LRC results diverge most). Each knob defaults to
+    // -1 = "resolve from the environment at Cluster construction, off
+    // when unset", so whole ctest/bench legs can flip a policy without
+    // recompiling while tests that pin a value explicitly stay pinned.
+
+    /**
+     * Bounded local-priority lock hand-off (SMP nodes): after at most
+     * this many consecutive local grants of one lock (hand-offs to
+     * parked siblings and fast-path reacquires alike), a pending
+     * remote requester is served before the next local taker.
+     * Preserves the zero-message short-circuit for bursts of sibling
+     * contention while capping how long a queued remote request can
+     * starve (EC's task-queue app degrades unboundedly under pure
+     * local-first hand-off at threadsPerNode > 1). 0 = unbounded (the
+     * pure local-first policy); -1 = the DSM_LOCK_FAIRNESS
+     * environment variable if set, else 0. Counted by
+     * remoteHandoffsForced / maxLocalHandoffRun.
+     */
+    int lockLocalHandoffBound = -1;
+
+    /**
+     * Migrate-to-last-writer home policy: a homed page whose flushes
+     * keep switching writers (a migratory object — task queue slots,
+     * lock-protected counters) follows the writer chain instead of
+     * waiting for one node to dominate the access counts. Classified
+     * by writer switches within the homeDecayWindow epoch (see
+     * homeWriterSwitchThreshold). -1 = DSM_HOME_LAST_WRITER env if
+     * set, else off. Counted by lastWriterMigrations.
+     */
+    int homeMigrateLastWriter = -1;
+
+    /**
+     * Writer switches of one homed page within the decay window that
+     * classify it as migratory under the last-writer policy (a switch
+     * is a flush — or a local interval close at the home — by a
+     * different writer than the previous one).
+     */
+    std::uint32_t homeWriterSwitchThreshold = 3;
+
+    /**
+     * Adaptive fallback for home ping-pong: once a page has migrated
+     * this many times (its migration epoch), further migrations are
+     * suppressed and the page stays pinned at its current home — the
+     * lever that turns pathological follow-the-writer ping-pong into
+     * a stable, reproducible static-home pattern. 0 = no cap; -1 =
+     * DSM_HOME_PINGPONG env if set, else 0 with the access-count
+     * policy alone and 8 when the last-writer policy is on (a
+     * migratory page settles after a bounded chase). Counted by
+     * homeMigrationsSuppressed.
+     */
+    int homePingPongLimit = -1;
+
+    /**
+     * Defer HomeDiffFlush sends and merge the payloads per home: a
+     * releaser that closes several intervals between remote
+     * communication points (lock grants, barrier arrivals, its own
+     * home fetches) sends one flush message per home carrying every
+     * pending interval's diffs instead of one message per close — the
+     * home's word-sum guard already tolerates any arrival order, and
+     * requests for not-yet-flushed intervals park at the home exactly
+     * as they do for in-flight ones. -1 = DSM_HOME_DEFER env if set,
+     * else off (eager per-close flushes, the legacy protocol).
+     * Counted by homeFlushesDeferred.
+     */
+    int homeFlushDefer = -1;
+
     /** threadsPerNode with the 0 = "env or 1" default applied. */
     int resolvedThreadsPerNode() const;
+
+    /** lockLocalHandoffBound with the -1 = "env or 0" default. */
+    int resolvedLockFairness() const;
+
+    /** homeMigrateLastWriter with the -1 = "env or off" default. */
+    bool resolvedHomeLastWriter() const;
+
+    /** homePingPongLimit with the -1 = "env, else policy default". */
+    std::uint32_t resolvedHomePingPongLimit() const;
+
+    /** homeFlushDefer with the -1 = "env or off" default. */
+    bool resolvedHomeFlushDefer() const;
 };
 
 } // namespace dsm

@@ -19,7 +19,11 @@ LrcRuntime::LrcRuntime(const Deps &deps)
       dirty(deps.arena->size(), deps.arena->pageSize()),
       homes(deps.nprocs, deps.self,
             deps.cluster->homeMigrateThreshold,
-            deps.cluster->homeDecayWindow)
+            deps.cluster->homeDecayWindow,
+            deps.cluster->homeMigrateLastWriter > 0,
+            deps.cluster->homeWriterSwitchThreshold,
+            static_cast<std::uint32_t>(
+                std::max(0, deps.cluster->homePingPongLimit)))
 {
     DSM_ASSERT(cluster->runtime.model == Model::LRC, "config mismatch");
     // PageMeta::writerMask is one bit per node; Cluster enforces the
@@ -143,17 +147,11 @@ LrcRuntime::closeInterval()
 
     const std::uint64_t page_words = arena->pageSize() / 4;
     const std::uint64_t vt_sum = rec.vt.sum();
-    // Home mode: diffs of one close, grouped by home, flushed below.
-    // Each carries the writer's previous interval for its page so the
-    // home can apply one writer's flushes in order even when
-    // forwarding chains reorder their arrival.
-    struct FlushEntry
-    {
-        PageId page;
-        std::uint32_t prevIdx;
-        Diff diff;
-    };
-    std::map<NodeId, std::vector<FlushEntry>> flushes;
+    // Home mode: diffs of one close, grouped by home, flushed (or
+    // deferred) below. Each carries the writer's previous interval
+    // for its page so the home can apply one writer's flushes in
+    // order even when forwarding chains reorder their arrival.
+    std::map<NodeId, std::vector<PendingFlush>> flushes;
     std::vector<std::pair<std::pair<PageId, std::uint64_t>, DiffEntry>>
         store;
     std::unique_lock<std::mutex> hg(nl->home, std::defer_lock);
@@ -219,6 +217,10 @@ LrcRuntime::closeInterval()
                         static_cast<std::uint32_t>(arena->pageSize()),
                         vt_sum, scan.kernel);
                     hs.appliedVt[id] = idx;
+                    // Keep the migratory classifier aware of local
+                    // writes (a self interval is a writer switch when
+                    // a remote one preceded it; never migrates).
+                    homes.countFlushWriter(hs, id);
                     }
                 } else {
                     Diff d = Diff::create(cur, twin,
@@ -231,7 +233,7 @@ LrcRuntime::closeInterval()
                             DiffEntry{std::move(d), vt_sum});
                     } else {
                         flushes[homes.homeOf(p)].push_back(
-                            {p, prev_idx, std::move(d)});
+                            {p, idx, prev_idx, vt_sum, std::move(d)});
                     }
                 }
             } else {
@@ -265,6 +267,24 @@ LrcRuntime::closeInterval()
         }
     }
 
+    if (!flushes.empty() && cluster->homeFlushDefer > 0) {
+        // Deferred-merge policy: park this close's payloads per home
+        // (still under nl->home); they ride one message per home at
+        // the next communication point. A request for one of these
+        // intervals parks at the home exactly like a request for an
+        // in-flight flush, so the laziness costs no correctness.
+        for (auto &[home, entries] : flushes) {
+            auto &bucket = pendingHomeFlushes[home];
+            if (!bucket.empty()) {
+                // One HomeDiffFlush message that never goes on the
+                // wire: this close merges into the pending one.
+                stats().homeFlushesDeferred++;
+            }
+            for (PendingFlush &e : entries)
+                bucket.push_back(std::move(e));
+        }
+        flushes.clear();
+    }
     if (hg.owns_lock())
         hg.unlock();
     if (!store.empty()) {
@@ -273,23 +293,15 @@ LrcRuntime::closeInterval()
             diffStore[key] = std::move(entry);
     }
 
-    // Eager flush to the homes, one message per home, before the
-    // interval record can leave this node: any write notice another
-    // node receives refers to a flush already in flight.
+    // Eager flush to the homes (legacy default), one message per
+    // home, before the interval record can leave this node: any write
+    // notice another node receives refers to a flush already in
+    // flight.
     for (auto &[home, entries] : flushes) {
-        WireWriter w;
-        w.putU16(static_cast<std::uint16_t>(id));
-        w.putU32(idx);
-        w.putU64(vt_sum);
-        w.putU32(static_cast<std::uint32_t>(entries.size()));
-        for (auto &e : entries) {
-            w.putU32(e.page);
-            w.putU32(e.prevIdx);
-            e.diff.encode(w);
+        for (const PendingFlush &e : entries)
             stats().diffBytesSent += e.diff.wireBytes();
-        }
         stats().homeFlushesSent++;
-        ep->send(home, MsgType::HomeDiffFlush, w.take());
+        sendFlushMessage(home, id, entries);
     }
 
     {
@@ -360,8 +372,27 @@ LrcRuntime::encodePiggybackedRecords(WireWriter &w,
     // cannot exceed the requester's coverage: pruning waits for a
     // barrier every node passed with its pages validated, and a
     // fetching node cannot be inside that barrier.
+    //
+    // Deferred-flush mode: cap our *own* records at the last flushed
+    // interval. A record whose flush still sits in pendingHomeFlushes
+    // must not leave through this service-thread path — the requester
+    // could park at a home that waits for our flush while our app
+    // thread blocks on the requester (every other exit for records —
+    // lock grants, barrier arrivals — flushes first).
+    const VectorTime *cap = nullptr;
+    VectorTime flushed_cap;
+    if (homeMode() && cluster->homeFlushDefer > 0) {
+        flushed_cap = VectorTime(numProcs);
+        for (int p = 0; p < numProcs; ++p) {
+            flushed_cap[p] = p == id
+                                 ? ownIdxFlushed.load(
+                                       std::memory_order_relaxed)
+                                 : ~std::uint32_t{0};
+        }
+        cap = &flushed_cap;
+    }
     std::lock_guard<std::mutex> ig(nl->ilog);
-    auto recs = ilog.recordsAfter(req_log);
+    auto recs = ilog.recordsAfter(req_log, cap);
     w.putU32(static_cast<std::uint32_t>(recs.size()));
     for (const IntervalRec *rec : recs) {
         encodeRecord(w, *rec);
@@ -458,7 +489,12 @@ std::vector<std::byte>
 LrcRuntime::makeLockRequest(LockId, AccessMode)
 {
     std::lock_guard<std::mutex> g(nl->core);
-    // An acquire begins a new interval (Section 5.1).
+    // An acquire begins a new interval (Section 5.1). The close's
+    // flush payload may stay deferred across the request: only our
+    // vector travels with it, no interval records leave, and a later
+    // fetch of our own invalidated page flushes first
+    // (fetchFromHome) — this is exactly the window where a releaser
+    // accumulates several closes into one merged flush per home.
     closeInterval();
     WireWriter w;
     vt.encode(w);
@@ -471,6 +507,11 @@ LrcRuntime::makeLockGrant(LockId, AccessMode, NodeId, WireReader &req)
     std::lock_guard<std::mutex> g(nl->core);
     VectorTime req_vt = VectorTime::decode(req);
     closeInterval();
+    // The grant below carries our interval records: every deferred
+    // flush they refer to must be in flight before the grant leaves
+    // (the eager protocol's invariant, re-established lazily).
+    if (homeMode())
+        flushPendingHomeFlushes();
 
     WireWriter w;
     vt.encode(w);
@@ -515,6 +556,11 @@ LrcRuntime::makeArrival(BarrierId)
 {
     std::lock_guard<std::mutex> g(nl->core);
     closeInterval();
+    // Same invariant as lock grants: the records in this arrival (and
+    // in the departures built from it) refer to flushes already in
+    // flight.
+    if (homeMode())
+        flushPendingHomeFlushes();
     WireWriter w;
     vt.encode(w);
     // GC handshake, local half: did this node validate every invalid
@@ -1163,6 +1209,13 @@ LrcRuntime::fetchFromHome(PageId page)
     };
     std::unique_lock<std::mutex> g(nl->core);
     for (;;) {
+        // Deferred flushes first: our own unsent flush may be exactly
+        // what this fetch would otherwise wait for — at a remote home
+        // (it parks our request until the flush arrives) or at
+        // ourselves (a migration handed us the home role while our
+        // pre-migration flushes sat deferred; they apply in place and
+        // restore access).
+        flushPendingHomeFlushes();
         if (pages.access(page) != PageAccess::None)
             return; // resolved concurrently (flush apply or migration)
 
@@ -1401,41 +1454,50 @@ LrcRuntime::applyTsReplies(PageId page,
     };
 
     std::uint64_t words_applied = 0;
-    {
-        std::lock_guard<std::mutex> ig(nl->ilog);
-        std::lock_guard<std::mutex> sg(nl->shardFor(page));
-        std::byte *base = arena->at(arena->pageBase(page));
-        // SMP nodes: a sibling's interval may be open on this page;
-        // mirror every applied word into its twin so the cur-vs-twin
-        // stamping at the next close claims only the local writes
-        // (an unmirrored remote word would be re-stamped as ours).
-        std::byte *twin = twins.hasPage(page)
-                              ? twins.pageTwinMut(page).data()
-                              : nullptr;
-        for (const TsReplySet &reply : replies) {
-            for (std::size_t i = 0; i < reply.runs.size(); ++i) {
-                const TsRun &run = reply.runs[i];
-                const std::vector<std::byte> &bytes = reply.data[i];
-                for (std::uint32_t b = 0; b < run.numBlocks; ++b) {
-                    const std::uint32_t block = run.firstBlock + b;
-                    const std::uint64_t cur = ts.get(block);
-                    if (cur == run.ts)
-                        continue;
-                    if (dominated(run.ts, cur))
-                        continue;
-                    std::memcpy(base + std::size_t{block} * 4,
+    for (const TsReplySet &reply : replies) {
+        for (std::size_t i = 0; i < reply.runs.size(); ++i) {
+            const TsRun &run = reply.runs[i];
+            const std::vector<std::byte> &bytes = reply.data[i];
+            // Take the interval-log lock and the page's shard per
+            // run, not for the whole merge: barrier-arrival record
+            // merges (mergeArrival takes only nl->ilog) and sibling
+            // memory accesses on this shard no longer wait out the
+            // whole multi-reply merge. (PageTs responders still
+            // serialize on nl->core, which the caller holds
+            // throughout — releasing core mid-merge would let the
+            // metadata shift under us.) Core being held is also why
+            // the timestamp table and page metadata cannot change
+            // between runs; the twin pointer is re-probed per run
+            // because twin creation and drop happen under the shard.
+            std::lock_guard<std::mutex> ig(nl->ilog);
+            std::lock_guard<std::mutex> sg(nl->shardFor(page));
+            std::byte *base = arena->at(arena->pageBase(page));
+            // SMP nodes: a sibling's interval may be open on this
+            // page; mirror every applied word into its twin so the
+            // cur-vs-twin stamping at the next close claims only the
+            // local writes (an unmirrored remote word would be
+            // re-stamped as ours).
+            std::byte *twin = twins.hasPage(page)
+                                  ? twins.pageTwinMut(page).data()
+                                  : nullptr;
+            for (std::uint32_t b = 0; b < run.numBlocks; ++b) {
+                const std::uint32_t block = run.firstBlock + b;
+                const std::uint64_t cur = ts.get(block);
+                if (cur == run.ts)
+                    continue;
+                if (dominated(run.ts, cur))
+                    continue;
+                std::memcpy(base + std::size_t{block} * 4,
+                            bytes.data() + std::size_t{b} * 4, 4);
+                if (twin) {
+                    std::memcpy(twin + std::size_t{block} * 4,
                                 bytes.data() + std::size_t{b} * 4, 4);
-                    if (twin) {
-                        std::memcpy(twin + std::size_t{block} * 4,
-                                    bytes.data() + std::size_t{b} * 4,
-                                    4);
-                    }
-                    ts.set(block, run.ts);
-                    ++words_applied;
                 }
+                ts.set(block, run.ts);
+                ++words_applied;
             }
-            m.copyVt.mergeMax(reply.pageVt);
         }
+        m.copyVt.mergeMax(reply.pageVt);
     }
     clock().add(costModel().perWordApplyNs * words_applied);
 
@@ -1742,25 +1804,110 @@ LrcRuntime::migrateHome(PageId page, NodeId new_home)
     homeCv.notify_all(); // a local app thread may be waiting as home
 }
 
+namespace {
+
+/** One flush entry of the HomeDiffFlush wire format — the single
+ *  encoder the decoder in handleHomeDiffFlush mirrors. */
+void
+encodeFlushEntry(WireWriter &w, NodeId proc, PageId page,
+                 std::uint32_t idx, std::uint32_t prev_idx,
+                 std::uint64_t vt_sum, const Diff &diff)
+{
+    w.putU16(static_cast<std::uint16_t>(proc));
+    w.putU32(page);
+    w.putU32(idx);
+    w.putU32(prev_idx);
+    w.putU64(vt_sum);
+    diff.encode(w);
+}
+
+} // namespace
+
+void
+LrcRuntime::sendFlushMessage(NodeId dst, NodeId proc,
+                             const std::vector<PendingFlush> &entries)
+{
+    WireWriter w;
+    w.putU32(static_cast<std::uint32_t>(entries.size()));
+    for (const PendingFlush &e : entries) {
+        encodeFlushEntry(w, proc, e.page, e.idx, e.prevIdx, e.vtSum,
+                         e.diff);
+    }
+    ep->send(dst, MsgType::HomeDiffFlush, w.take());
+}
+
 void
 LrcRuntime::sendSingleFlush(NodeId dst, PageId page, NodeId proc,
                             std::uint32_t idx, std::uint32_t prev_idx,
                             std::uint64_t vt_sum, const Diff &diff)
 {
+    // Forwarding path (stale mappings, migration hand-offs): encodes
+    // straight from the borrowed Diff — no PendingFlush copy — and
+    // takes no homeFlushesSent / diffBytesSent accounting, since the
+    // originator already counted this payload.
     WireWriter w;
-    w.putU16(static_cast<std::uint16_t>(proc));
-    w.putU32(idx);
-    w.putU64(vt_sum);
     w.putU32(1);
-    w.putU32(page);
-    w.putU32(prev_idx);
-    diff.encode(w);
+    encodeFlushEntry(w, proc, page, idx, prev_idx, vt_sum, diff);
     ep->send(dst, MsgType::HomeDiffFlush, w.take());
+}
+
+void
+LrcRuntime::flushPendingHomeFlushes()
+{
+    // Policy off: nothing is ever deferred and the ownIdxFlushed cap
+    // is never consulted — keep the legacy hot paths (every home
+    // fetch retry, grant and arrival call through here) free of the
+    // nl->home acquire.
+    if (cluster->homeFlushDefer <= 0)
+        return;
+    // Caller holds nl->core; pendingHomeFlushes lives under nl->home.
+    bool applied_locally = false;
+    {
+        std::lock_guard<std::mutex> hg(nl->home);
+        // After this point every own interval <= vt[self] has its
+        // flush in flight (or needed none): service-thread reply
+        // piggybacking may advertise our records up to here.
+        ownIdxFlushed.store(vt[id], std::memory_order_relaxed);
+        if (pendingHomeFlushes.empty())
+            return;
+        // Regroup by the *current* home: a page may have migrated
+        // since its interval closed — including to us, in which case
+        // the entries enter the parked-flush chain and apply (or
+        // wait for their predecessors) in place.
+        std::map<NodeId, std::vector<PendingFlush>> regrouped;
+        for (auto &[home, entries] : pendingHomeFlushes) {
+            for (PendingFlush &e : entries)
+                regrouped[homes.homeOf(e.page)].push_back(std::move(e));
+        }
+        pendingHomeFlushes.clear();
+        for (auto &[home, entries] : regrouped) {
+            if (home == id) {
+                for (PendingFlush &e : entries) {
+                    parkedFlushes.push_back({id, e.idx, e.prevIdx,
+                                             e.vtSum, e.page,
+                                             std::move(e.diff)});
+                }
+                applied_locally = true;
+                continue;
+            }
+            for (const PendingFlush &e : entries)
+                stats().diffBytesSent += e.diff.wireBytes();
+            stats().homeFlushesSent++;
+            sendFlushMessage(home, id, entries);
+        }
+        if (applied_locally) {
+            drainParkedFlushes();
+            serveParkedPageRequests();
+        }
+    }
+    if (applied_locally)
+        homeCv.notify_all();
 }
 
 bool
 LrcRuntime::applyFlushAtHome(PageId page, NodeId proc, std::uint32_t idx,
-                             std::uint64_t vt_sum, const Diff &diff)
+                             std::uint64_t vt_sum, const Diff &diff,
+                             bool *via_last_writer)
 {
     PageHomeTable::HomeState &hs = homes.state(
         page, static_cast<std::uint32_t>(arena->pageSize() / 4));
@@ -1778,6 +1925,10 @@ LrcRuntime::applyFlushAtHome(PageId page, NodeId proc, std::uint32_t idx,
     }
     clock().add(costModel().perWordApplyNs * words);
     hs.appliedVt[proc] = std::max(hs.appliedVt[proc], idx);
+    // Sharing-policy classification: every applied flush is one
+    // writer's interval; switching writers marks the page migratory
+    // and the last-writer policy follows the chain.
+    const bool follow_writer = homes.countFlushWriter(hs, proc);
 
     // The home's own copy is always current: fold the flush into the
     // regular per-page bookkeeping so pending notices resolve and the
@@ -1794,13 +1945,24 @@ LrcRuntime::applyFlushAtHome(PageId page, NodeId proc, std::uint32_t idx,
                                   ? PageAccess::ReadWrite
                                   : PageAccess::Read);
     }
-    return homes.countAccess(hs, proc);
+    const bool dominant = homes.countAccess(hs, proc);
+    if (!follow_writer && !dominant)
+        return false;
+    if (!homes.migrationAllowed(page)) {
+        // Adaptive fallback: the page has spent its ping-pong budget
+        // and stays pinned at this home.
+        stats().homeMigrationsSuppressed++;
+        return false;
+    }
+    if (via_last_writer)
+        *via_last_writer = follow_writer;
+    return true;
 }
 
 void
 LrcRuntime::drainParkedFlushes()
 {
-    std::vector<std::pair<PageId, NodeId>> migrate;
+    std::vector<MigrateReq> migrate;
     bool progress = true;
     while (progress) {
         progress = false;
@@ -1820,17 +1982,30 @@ LrcRuntime::drainParkedFlushes()
                 ++it;
                 continue;
             }
+            bool via_lw = false;
             if (applyFlushAtHome(it->page, it->proc, it->idx, it->vtSum,
-                                 it->diff)) {
-                migrate.emplace_back(it->page, it->proc);
+                                 it->diff, &via_lw)) {
+                migrate.push_back({it->page, it->proc, via_lw});
             }
             it = parkedFlushes.erase(it);
             progress = true;
         }
     }
-    for (const auto &[page, node] : migrate) {
-        if (homes.isHome(page))
-            migrateHome(page, node);
+    runMigrations(migrate);
+}
+
+void
+LrcRuntime::runMigrations(const std::vector<MigrateReq> &migrate)
+{
+    for (const MigrateReq &req : migrate) {
+        // A merged flush can fire the policy for several intervals of
+        // one page; only the first request still finds us the home,
+        // so the counters see exactly the migrations performed.
+        if (!homes.isHome(req.page))
+            continue;
+        if (req.viaLastWriter)
+            stats().lastWriterMigrations++;
+        migrateHome(req.page, req.dst);
     }
 }
 
@@ -1838,18 +2013,20 @@ void
 LrcRuntime::handleHomeDiffFlush(Message &msg)
 {
     WireReader r(msg.payload);
-    const NodeId proc = static_cast<NodeId>(r.getU16());
-    const std::uint32_t idx = r.getU32();
-    const std::uint64_t vt_sum = r.getU64();
-    const std::uint32_t npages = r.getU32();
+    const std::uint32_t nentries = r.getU32();
 
     std::scoped_lock g(nl->core, nl->home);
     const std::uint32_t page_words =
         static_cast<std::uint32_t>(arena->pageSize() / 4);
-    std::vector<std::pair<PageId, NodeId>> migrate;
-    for (std::uint32_t i = 0; i < npages; ++i) {
+    std::vector<MigrateReq> migrate;
+    for (std::uint32_t i = 0; i < nentries; ++i) {
+        // Per-entry header: a deferred-merge message carries several
+        // intervals (same writer, different idx/vtSum) in one flush.
+        const NodeId proc = static_cast<NodeId>(r.getU16());
         const PageId page = r.getU32();
+        const std::uint32_t idx = r.getU32();
         const std::uint32_t prev_idx = r.getU32();
+        const std::uint64_t vt_sum = r.getU64();
         Diff d = Diff::decode(r);
         if (!homes.isHome(page)) {
             // Stale mapping somewhere along the chain: pass the diff
@@ -1868,15 +2045,13 @@ LrcRuntime::handleHomeDiffFlush(Message &msg)
                 {proc, idx, prev_idx, vt_sum, page, std::move(d)});
             continue;
         }
-        if (applyFlushAtHome(page, proc, idx, vt_sum, d))
-            migrate.emplace_back(page, proc);
+        bool via_lw = false;
+        if (applyFlushAtHome(page, proc, idx, vt_sum, d, &via_lw))
+            migrate.push_back({page, proc, via_lw});
     }
     drainParkedFlushes();
     serveParkedPageRequests();
-    for (const auto &[page, node] : migrate) {
-        if (homes.isHome(page))
-            migrateHome(page, node);
-    }
+    runMigrations(migrate);
     homeCv.notify_all();
 }
 
@@ -1901,7 +2076,11 @@ LrcRuntime::handleHomePageRequest(Message &msg)
 
     PageHomeTable::HomeState &hs = homes.state(
         page, static_cast<std::uint32_t>(arena->pageSize() / 4));
-    const bool migrate = homes.countAccess(hs, origin);
+    bool migrate = homes.countAccess(hs, origin);
+    if (migrate && !homes.migrationAllowed(page)) {
+        stats().homeMigrationsSuppressed++;
+        migrate = false;
+    }
     if (hs.appliedVt.dominates(need)) {
         replyHomePage(origin, msg.replyToken, page, hs, req_log);
     } else {

@@ -32,6 +32,7 @@
 #ifndef DSM_CORE_LRC_RUNTIME_HH
 #define DSM_CORE_LRC_RUNTIME_HH
 
+#include <atomic>
 #include <condition_variable>
 #include <map>
 #include <set>
@@ -249,16 +250,36 @@ class LrcRuntime : public Runtime
     /**
      * Apply one flushed diff in place at the home (the caller has
      * checked the writer chain: the writer's previous flush for this
-     * page is already applied). Returns true when the access counter
-     * says the home should migrate to @p proc. Mutex held.
+     * page is already applied). Returns true when a migration policy
+     * (dominant access counts, or the last-writer classifier) says
+     * the home should migrate to @p proc; @p via_last_writer, when
+     * non-null, reports whether the last-writer policy was the
+     * trigger (counted as lastWriterMigrations only where the
+     * migration actually runs — a merged flush can fire the policy
+     * for several intervals of one page but migrate once). Mutex
+     * held.
      */
     bool applyFlushAtHome(PageId page, NodeId proc, std::uint32_t idx,
-                          std::uint64_t vt_sum, const Diff &diff);
+                          std::uint64_t vt_sum, const Diff &diff,
+                          bool *via_last_writer = nullptr);
 
     /** Apply every parked flush whose predecessor has arrived, forward
      *  those whose page migrated away, and run any migrations they
      *  trigger. Mutex held. */
     void drainParkedFlushes();
+
+    /** A migration a flush apply asked for, with its policy trigger
+     *  (for the lastWriterMigrations counter). */
+    struct MigrateReq
+    {
+        PageId page;
+        NodeId dst;
+        bool viaLastWriter;
+    };
+
+    /** Perform the collected migrations that still find us the home,
+     *  counting last-writer-triggered ones. Mutex held. */
+    void runMigrations(const std::vector<MigrateReq> &migrate);
 
     /** Hand @p page's home role to @p new_home. Mutex held. */
     void migrateHome(PageId page, NodeId new_home);
@@ -379,6 +400,59 @@ class LrcRuntime : public Runtime
         Diff diff;
     };
     std::vector<ParkedFlush> parkedFlushes;
+
+    /** One of our own interval's per-page flush payloads, either sent
+     *  eagerly at interval close (legacy) or deferred into
+     *  pendingHomeFlushes (homeFlushDefer). */
+    struct PendingFlush
+    {
+        PageId page;
+        std::uint32_t idx;
+        std::uint32_t prevIdx;
+        std::uint64_t vtSum;
+        Diff diff;
+    };
+    /**
+     * Deferred-merge flush policy (homeFlushDefer / DSM_HOME_DEFER):
+     * interval closes park their flush payloads here, one bucket per
+     * believed home, and flushPendingHomeFlushes turns each bucket
+     * into a single HomeDiffFlush message at the next communication
+     * point — a releaser that closes many intervals between remote
+     * events sends one message per home instead of one per close.
+     * Guarded by nl->home; always empty with the policy off.
+     */
+    std::map<NodeId, std::vector<PendingFlush>> pendingHomeFlushes;
+
+    /** Encode @p entries (all @p proc's intervals) as one
+     *  HomeDiffFlush message to @p dst — the single writer of the
+     *  wire format handleHomeDiffFlush decodes (sendSingleFlush and
+     *  both flush paths go through here). */
+    void sendFlushMessage(NodeId dst, NodeId proc,
+                          const std::vector<PendingFlush> &entries);
+
+    /**
+     * Send every deferred flush: regroup the buckets by the *current*
+     * home (pages may have migrated since their close — entries now
+     * homed here enter the parked-flush chain and apply in place),
+     * then one message per remote home. Re-establishes the eager
+     * protocol's invariant — any interval record that leaves this
+     * node refers to a flush already in flight — exactly at the
+     * points where records can leave (lock grants, barrier arrivals)
+     * or where we could otherwise wait on our own unsent flush (home
+     * fetches). Caller holds nl->core.
+     */
+    void flushPendingHomeFlushes();
+
+    /**
+     * Largest own interval index whose flush is in flight (or needed
+     * none). With the deferred-flush policy, service-thread reply
+     * piggybacking must not leak a record whose flush still sits in
+     * pendingHomeFlushes: a requester could otherwise park at a home
+     * that waits for us while we block on that requester — written
+     * under nl->core (flushPendingHomeFlushes), read lock-free by the
+     * service thread (encodePiggybackedRecords).
+     */
+    std::atomic<std::uint32_t> ownIdxFlushed{0};
 
     /** Set by preBarrier when this node validated all its pages ahead
      *  of the upcoming arrival (the local half of the GC handshake). */

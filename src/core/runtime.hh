@@ -199,6 +199,9 @@ class Runtime
     /** Application threads per node. */
     int threadsPerNode() const { return threadsT; }
 
+    /** The node's lock service (test introspection). */
+    LockService &lockService() { return *locks; }
+
     NodeStats &stats() { return ep->stats(); }
     VirtualClock &clock() { return ep->clock(); }
     const CostModel &costModel() const { return ep->costModel(); }

@@ -1,14 +1,20 @@
 #include "sync/lock_service.hh"
 
+#include <algorithm>
+
 #include "util/logging.hh"
 
 namespace dsm {
 
-LockService::LockService(Endpoint &endpoint, int threads_per_node)
-    : ep(endpoint), threadsPerNode(threads_per_node)
+LockService::LockService(Endpoint &endpoint, int threads_per_node,
+                         int local_handoff_bound)
+    : ep(endpoint), threadsPerNode(threads_per_node),
+      handoffBound(local_handoff_bound)
 {
     DSM_ASSERT(threadsPerNode >= 1, "bad threadsPerNode %d",
                threads_per_node);
+    DSM_ASSERT(handoffBound >= 0, "bad lock fairness bound %d",
+               local_handoff_bound);
 }
 
 void
@@ -51,6 +57,22 @@ LockService::holdsExclusively(LockId lock) const
     std::lock_guard<std::mutex> g(mu);
     auto it = locks.find(lock);
     return it != locks.end() && it->second.writeHolder == selfThread();
+}
+
+int
+LockService::localWaiterCount(LockId lock) const
+{
+    std::lock_guard<std::mutex> g(mu);
+    auto it = locks.find(lock);
+    return it == locks.end() ? 0 : it->second.localWaiters;
+}
+
+std::size_t
+LockService::pendingRemoteCount(LockId lock) const
+{
+    std::lock_guard<std::mutex> g(mu);
+    auto it = locks.find(lock);
+    return it == locks.end() ? 0 : it->second.pending.size();
 }
 
 void
@@ -103,6 +125,20 @@ LockService::acquire(LockId lock, AccessMode mode)
                     state.writeHolder = me;
                 else
                     state.readHolders++;
+                // Every local grant at the *owner* — a hand-off to a
+                // parked waiter or a fast-path reacquire barging past
+                // one — extends the run the fairness bound caps: both
+                // keep a queued remote requester waiting. Cached-read
+                // reacquires at a non-owner are not counted: the
+                // pending queue lives at the owner, so nobody can be
+                // waiting here.
+                if (state.owned) {
+                    state.localHandoffRun++;
+                    ep.stats().maxLocalHandoffRun =
+                        std::max<std::uint64_t>(
+                            ep.stats().maxLocalHandoffRun,
+                            state.localHandoffRun);
+                }
                 if (waited) {
                     // Served locally after parking: either a sibling's
                     // release handed the lock over or a sibling's
@@ -155,6 +191,7 @@ LockService::acquire(LockId lock, AccessMode mode)
             hooks.applyGrant(lock, mode, r);
         LockLocal &state = localState(lock);
         state.fetching = false;
+        state.localHandoffRun = 0; // run restarts at a network grant
         if (mode == AccessMode::Write) {
             state.owned = true;
             state.writeHolder = selfThread();
@@ -187,15 +224,31 @@ LockService::release(LockId lock)
         state.readHolders--;
     }
     state.lastTransferNs = ep.clock().now();
+    const bool free_now = state.writeHolder == LockService::kNoHolder &&
+                          state.readHolders == 0;
     if (state.localWaiters > 0) {
         // Local waiters win: the lock stays on the node and the next
         // holder takes it without a message. Queued remote requests
-        // drain at the first release with no local contention.
+        // drain at the first release with no local contention —
+        // unless the fairness bound says k consecutive hand-offs have
+        // already run, in which case a pending remote requester is
+        // served first (ownership leaves; the woken waiters fall back
+        // to a remote acquisition through the manager).
+        if (handoffBound > 0 && free_now && state.owned &&
+            !state.pending.empty() &&
+            state.localHandoffRun >=
+                static_cast<std::uint32_t>(handoffBound)) {
+            ep.stats().remoteHandoffsForced++;
+            state.localHandoffRun = 0;
+            drainPending(lock, state);
+        }
         cv.notify_all();
         return;
     }
-    if (state.writeHolder == LockService::kNoHolder && state.readHolders == 0 &&
-        state.owned) {
+    if (free_now && state.owned) {
+        // The run of intra-node hand-offs ends when a release finds
+        // no local taker.
+        state.localHandoffRun = 0;
         drainPending(lock, state);
     }
 }

@@ -41,6 +41,22 @@
  * about. With threadsPerNode == 1 none of these paths execute and the
  * protocol behaves exactly like the historical one-app-thread
  * implementation.
+ *
+ * Bounded local priority (the sharing-policy layer's fairness knob,
+ * Config::lockLocalHandoffBound / DSM_LOCK_FAIRNESS): pure local-first
+ * hand-off can starve a queued remote requester for as long as the
+ * node's own threads keep contending — EC's task-queue application
+ * degrades exactly this way at threadsPerNode > 1 (remote requests for
+ * the queue lock wait out entire local task batches). With a bound
+ * k > 0, a release that would start the (k+1)-th consecutive local
+ * grant — a hand-off to a parked waiter or a fast-path reacquire, both
+ * keep the remote waiting — while a remote request is queued serves
+ * the remote requester instead: ownership leaves the node, the local
+ * waiters re-request through the manager, and the remote's wait is
+ * capped at k local grants. Runs without a queued remote request stay
+ * unbounded, so the zero-message short-circuit is untouched when
+ * nobody else wants the lock. Counted by remoteHandoffsForced;
+ * maxLocalHandoffRun records the longest run observed.
  */
 
 #ifndef DSM_SYNC_LOCK_SERVICE_HH
@@ -94,8 +110,13 @@ class LockService
      * @param threads_per_node Application threads sharing this node
      *        (drives the strictness of the recursion assert and the
      *        intra-node hand-off machinery).
+     * @param local_handoff_bound Bounded local priority: serve a
+     *        pending remote requester after at most this many
+     *        consecutive intra-node hand-offs (0 = unbounded, the
+     *        pure local-first policy).
      */
-    explicit LockService(Endpoint &endpoint, int threads_per_node = 1);
+    explicit LockService(Endpoint &endpoint, int threads_per_node = 1,
+                         int local_handoff_bound = 0);
 
     void setHooks(LockHooks hooks);
 
@@ -134,6 +155,15 @@ class LockService
      *  precondition of rebindLock — a sibling's hold must not
      *  satisfy it at threadsPerNode > 1). */
     bool holdsExclusively(LockId lock) const;
+
+    /** Local threads currently parked waiting for @p lock (test
+     *  introspection — lets a choreographed fairness test hold a lock
+     *  until a sibling has provably parked). */
+    int localWaiterCount(LockId lock) const;
+
+    /** Remote requests queued at this owner for @p lock (test
+     *  introspection). */
+    std::size_t pendingRemoteCount(LockId lock) const;
 
     /**
      * Drop all cached read grants. Midway caches read locks at the
@@ -174,6 +204,12 @@ class LockService
         bool fetching = false;
         /** Local threads parked waiting for a sibling's release. */
         int localWaiters = 0;
+        /** Consecutive local grants (hand-offs to parked waiters and
+         *  fast-path reacquires alike — both keep a queued remote
+         *  waiting) since the lock last left the node, a remote
+         *  requester was served, or a release found no local taker
+         *  (the fairness bound's run length). */
+        std::uint32_t localHandoffRun = 0;
         /** Clock of the last local transfer point — a sibling's
          *  release or a completed remote grant (orders an intra-node
          *  hand-off without any message). */
@@ -216,6 +252,8 @@ class LockService
 
     Endpoint &ep;
     const int threadsPerNode;
+    /** Fairness bound k (0 = unbounded local priority). */
+    const int handoffBound;
     mutable std::mutex mu;
     std::condition_variable cv;
     LockHooks hooks;

@@ -22,6 +22,8 @@ forEachField(Stats &s, Fn fn)
     fn("lockForwards", s.lockForwards);
     fn("barriersEntered", s.barriersEntered);
     fn("intraNodeLockHandoffs", s.intraNodeLockHandoffs);
+    fn("remoteHandoffsForced", s.remoteHandoffsForced);
+    fn("maxLocalHandoffRun", s.maxLocalHandoffRun);
     fn("pageFaults", s.pageFaults);
     fn("twinsCreated", s.twinsCreated);
     fn("twinWordsCopied", s.twinWordsCopied);
@@ -47,6 +49,9 @@ forEachField(Stats &s, Fn fn)
     fn("homeFlushesSent", s.homeFlushesSent);
     fn("pageFetchRoundTrips", s.pageFetchRoundTrips);
     fn("homeMigrations", s.homeMigrations);
+    fn("lastWriterMigrations", s.lastWriterMigrations);
+    fn("homeMigrationsSuppressed", s.homeMigrationsSuppressed);
+    fn("homeFlushesDeferred", s.homeFlushesDeferred);
     fn("gcRounds", s.gcRounds);
     fn("gcRecordsReclaimed", s.gcRecordsReclaimed);
     fn("gcDiffsReclaimed", s.gcDiffsReclaimed);
@@ -61,6 +66,10 @@ forEachField(Stats &s, Fn fn)
 NodeStats &
 NodeStats::operator+=(const NodeStats &other)
 {
+    // maxLocalHandoffRun is a high-water mark, not a volume: merging
+    // thread deltas (or nodes into a cluster total) takes the max.
+    const std::uint64_t max_run =
+        std::max(maxLocalHandoffRun, other.maxLocalHandoffRun);
     std::vector<std::uint64_t> vals;
     forEachField(other, [&](const char *, const std::uint64_t &v) {
         vals.push_back(v);
@@ -69,6 +78,7 @@ NodeStats::operator+=(const NodeStats &other)
     forEachField(*this, [&](const char *, std::uint64_t &v) {
         v += vals[i++];
     });
+    maxLocalHandoffRun = max_run;
     return *this;
 }
 

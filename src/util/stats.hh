@@ -45,6 +45,17 @@ struct NodeStats
      *  network message, no manager involvement (never nonzero at
      *  threadsPerNode == 1). */
     std::uint64_t intraNodeLockHandoffs = 0;
+    /** Bounded-fairness hand-off (lockLocalHandoffBound k > 0):
+     *  releases at which a pending remote requester was served ahead
+     *  of parked local waiters because k consecutive intra-node
+     *  hand-offs had already run. */
+    std::uint64_t remoteHandoffsForced = 0;
+    /** Longest run of consecutive local grants of one lock (hand-offs
+     *  to parked waiters and fast-path reacquires alike) — a
+     *  high-water mark (operator+= takes the max, not the sum). With
+     *  a fairness bound k and a remote requester pending, the run a
+     *  remote waits out never exceeds k. */
+    std::uint64_t maxLocalHandoffRun = 0;
 
     // Write trapping.
     std::uint64_t pageFaults = 0;
@@ -82,6 +93,16 @@ struct NodeStats
     std::uint64_t homeFlushesSent = 0;
     std::uint64_t pageFetchRoundTrips = 0;
     std::uint64_t homeMigrations = 0;
+    /** Migrations triggered by the migrate-to-last-writer policy
+     *  (subset of homeMigrations). */
+    std::uint64_t lastWriterMigrations = 0;
+    /** Migrations a policy wanted but the ping-pong cap suppressed
+     *  (the page stays pinned at its current home). */
+    std::uint64_t homeMigrationsSuppressed = 0;
+    /** Interval closes whose flush payload for some home was merged
+     *  into an already-pending deferred flush — each is one
+     *  HomeDiffFlush message that never went on the wire. */
+    std::uint64_t homeFlushesDeferred = 0;
 
     // Barrier-time interval/diff garbage collection.
     std::uint64_t gcRounds = 0;

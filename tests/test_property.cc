@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdlib>
 #include <numeric>
 
 #include "core/cluster.hh"
@@ -27,6 +28,18 @@ struct ChaosCase
     std::uint64_t lossEveryNth;
     bool homeBased = false;
 };
+
+/** Nightly-stress knobs: DSM_CHAOS_SEED offsets every case's seed so
+ *  repeated CI iterations explore fresh schedules, and DSM_HOME_MIG
+ *  overrides the home-migration threshold (the nightly job sweeps the
+ *  4-8 range that exposed the PR 4 lost-update window). */
+std::uint64_t
+chaosEnvU64(const char *name, std::uint64_t fallback)
+{
+    if (const char *v = std::getenv(name))
+        return std::strtoull(v, nullptr, 10);
+    return fallback;
+}
 
 std::string
 caseName(const ChaosCase &c)
@@ -59,6 +72,8 @@ TEST_P(ChaosCounter, NoLostUpdates)
     constexpr int kSlots = 24;
     constexpr int kRounds = 60;
     const int nprocs = 4;
+    const std::uint64_t seed =
+        c.seed + 1000 * chaosEnvU64("DSM_CHAOS_SEED", 0);
 
     ClusterConfig cc;
     cc.nprocs = nprocs;
@@ -67,8 +82,12 @@ TEST_P(ChaosCounter, NoLostUpdates)
     cc.runtime = RuntimeConfig::parse(c.config);
     cc.lossEveryNth = c.lossEveryNth;
     cc.homeBasedLrc = c.homeBased;
-    // Aggressive migration so home hand-offs happen mid-chaos.
-    cc.homeMigrateThreshold = c.homeBased ? 6 : 0;
+    // Aggressive migration so home hand-offs happen mid-chaos
+    // (nightly stress sweeps DSM_HOME_MIG over 4-8).
+    cc.homeMigrateThreshold =
+        c.homeBased
+            ? static_cast<std::uint32_t>(chaosEnvU64("DSM_HOME_MIG", 6))
+            : 0;
     Cluster cluster(cc);
 
     // Expected tallies are deterministic given the seeds. Workers,
@@ -76,7 +95,7 @@ TEST_P(ChaosCounter, NoLostUpdates)
     // workers, which makes this the intra-node mixed-lock stressor.
     std::vector<std::uint64_t> expected(kLocks * kSlots, 0);
     for (int p = 0; p < cluster.nworkers(); ++p) {
-        Rng rng(c.seed * 977 + p);
+        Rng rng(seed * 977 + p);
         for (int r = 0; r < kRounds; ++r) {
             const int lock = static_cast<int>(rng.below(kLocks));
             const int slot = static_cast<int>(rng.below(kSlots));
@@ -96,7 +115,7 @@ TEST_P(ChaosCounter, NoLostUpdates)
         }
         rt.barrier(0);
 
-        Rng rng(c.seed * 977 + rt.worker());
+        Rng rng(seed * 977 + rt.worker());
         BarrierId sync_round = 0;
         int since_barrier = 0;
         for (int r = 0; r < kRounds; ++r) {

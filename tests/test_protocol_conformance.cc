@@ -274,6 +274,14 @@ struct ProtocolLeg
      *  path); the *_nonotice legs prove the seed protocol and the
      *  piggybacked one produce bit-identical final state. */
     bool piggyback;
+    /** Sharing-policy legs: bounded-fairness lock hand-off bound
+     *  (0 = unbounded), migrate-to-last-writer home policy, and the
+     *  deferred-merged flush transport. Each must leave the final
+     *  state bit-identical to the policy-off protocols — they change
+     *  who serves whom and when payloads travel, never the values. */
+    int fairness = 0;
+    bool lastWriter = false;
+    bool deferFlush = false;
 };
 
 const ProtocolLeg kLegs[] = {
@@ -284,6 +292,13 @@ const ProtocolLeg kLegs[] = {
     {"LRC_time_nonotice", "LRC-time", false, false},
     {"LRC_home", "LRC-diff", true, true},
     {"LRC_home_nonotice", "LRC-diff", true, false},
+    // Sharing-policy legs (PR 5): each policy on its own, then all
+    // three at once, against the same policy-off reference state.
+    {"EC_fair", "EC-diff", false, true, 4},
+    {"LRC_fair", "LRC-diff", false, true, 4},
+    {"LRC_home_lastwriter", "LRC-diff", true, true, 0, true},
+    {"LRC_home_defer", "LRC-diff", true, true, 0, false, true},
+    {"LRC_home_allpolicies", "LRC-diff", true, true, 4, true, true},
 };
 
 struct KernelCase
@@ -309,6 +324,18 @@ runLeg(const ProtocolLeg &leg, const KernelCase &kc)
     // A low threshold makes homes migrate *during* the kernels, so
     // conformance also covers the migration machinery.
     cc.homeMigrateThreshold = 4;
+    cc.lockLocalHandoffBound = leg.fairness;
+    cc.homeMigrateLastWriter = leg.lastWriter ? 1 : 0;
+    cc.homeFlushDefer = leg.deferFlush ? 1 : 0;
+    // Last-writer legs use an aggressive classifier and a tiny
+    // ping-pong budget so migrations *and* the pin both happen inside
+    // these small kernels.
+    if (leg.lastWriter) {
+        cc.homeWriterSwitchThreshold = 2;
+        cc.homePingPongLimit = 3;
+    } else {
+        cc.homePingPongLimit = 0;
+    }
     Cluster cluster(cc);
     cluster.run(kc.run);
     std::vector<std::byte> state(kc.stateBytes);

@@ -131,6 +131,26 @@ TEST(Stats, AccumulateAndItems)
     EXPECT_TRUE(found);
 }
 
+TEST(Stats, MaxLocalHandoffRunMergesAsMax)
+{
+    // A high-water mark, not a volume: folding per-thread deltas (or
+    // per-node stats into a cluster total) must take the max — summing
+    // would report a run length no thread ever observed.
+    NodeStats a, b;
+    a.maxLocalHandoffRun = 7;
+    a.intraNodeLockHandoffs = 10;
+    b.maxLocalHandoffRun = 4;
+    b.intraNodeLockHandoffs = 5;
+    a += b;
+    EXPECT_EQ(a.maxLocalHandoffRun, 7u);
+    EXPECT_EQ(a.intraNodeLockHandoffs, 15u);
+
+    NodeStats c;
+    c.maxLocalHandoffRun = 11;
+    a += c;
+    EXPECT_EQ(a.maxLocalHandoffRun, 11u);
+}
+
 TEST(Stats, ToStringSkipsZeros)
 {
     NodeStats s;
