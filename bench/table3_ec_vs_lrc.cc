@@ -6,6 +6,8 @@
  * data-volume statistics quoted throughout Section 7.2.
  */
 
+#include <algorithm>
+
 #include "bench_common.hh"
 
 using namespace dsm;
@@ -18,10 +20,20 @@ main()
     printHeader("Table 3: EC vs. LRC (best implementation per model)",
                 cc);
 
-    Table table({"Application", "NxT", "1 proc.", "EC", "LRC",
-                 "LRC-home", "EC Imp.", "LRC Imp.", "EC msgs",
-                 "LRC msgs", "LRCh msgs", "EC MB", "LRC MB",
-                 "LRCh MB"});
+    // With DSM_CKPT_DIR set every run takes coordinated barrier
+    // checkpoints, and the table grows a recovery column: the largest
+    // per-node snapshot and the wipe+restore wall time (nonzero only
+    // when DSM_FAULT_KILL_NODE also arms a chaos kill).
+    const bool recovery = std::getenv("DSM_CKPT_DIR") != nullptr;
+    std::vector<std::string> headers = {
+        "Application", "NxT", "1 proc.", "EC", "LRC", "LRC-home",
+        "EC Imp.", "LRC Imp.", "EC msgs", "LRC msgs", "LRCh msgs",
+        "EC MB", "LRC MB", "LRCh MB"};
+    if (recovery) {
+        headers.push_back("Ckpt KB");
+        headers.push_back("Restore us");
+    }
+    Table table(headers);
     Table paper({"Application", "paper EC", "paper LRC", "paper winner",
                  "ours winner", "shape"});
 
@@ -49,17 +61,29 @@ main()
         const std::string topo =
             std::to_string(cc.nprocs) + "x" +
             std::to_string(cc.resolvedThreadsPerNode());
-        table.addRow({app, topo, fmtSeconds(be.seqSeconds(cc.cost)),
-                      fmtSeconds(be.execSeconds()),
-                      fmtSeconds(bl.execSeconds()),
-                      fmtSeconds(home.execSeconds()), impl(be.config),
-                      impl(bl.config),
-                      std::to_string(be.run.total.messagesSent),
-                      std::to_string(bl.run.total.messagesSent),
-                      std::to_string(home.run.total.messagesSent),
-                      fmtMb(be.run.megabytesSent()),
-                      fmtMb(bl.run.megabytesSent()),
-                      fmtMb(home.run.megabytesSent())});
+        std::vector<std::string> row = {
+            app, topo, fmtSeconds(be.seqSeconds(cc.cost)),
+            fmtSeconds(be.execSeconds()), fmtSeconds(bl.execSeconds()),
+            fmtSeconds(home.execSeconds()), impl(be.config),
+            impl(bl.config), std::to_string(be.run.total.messagesSent),
+            std::to_string(bl.run.total.messagesSent),
+            std::to_string(home.run.total.messagesSent),
+            fmtMb(be.run.megabytesSent()),
+            fmtMb(bl.run.megabytesSent()),
+            fmtMb(home.run.megabytesSent())};
+        if (recovery) {
+            const std::uint64_t kb =
+                std::max({be.run.checkpointBytes, bl.run.checkpointBytes,
+                          home.run.checkpointBytes}) /
+                1024;
+            const std::uint64_t us =
+                std::max({be.run.restoreTimeNs, bl.run.restoreTimeNs,
+                          home.run.restoreTimeNs}) /
+                1000;
+            row.push_back(std::to_string(kb));
+            row.push_back(std::to_string(us));
+        }
+        table.addRow(row);
 
         for (const PaperRow &row : paperTable3()) {
             if (row.app != app || row.lrc < 0)

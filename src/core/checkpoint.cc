@@ -1,0 +1,171 @@
+#include "core/checkpoint.hh"
+
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+
+#include "core/runtime.hh"
+#include "util/logging.hh"
+
+namespace dsm {
+
+CheckpointCoordinator::CheckpointCoordinator(
+    NodeId self, int threads_per_node, Options options, Network &network,
+    Endpoint &endpoint, LockService &lock_service,
+    BarrierService &barrier_service)
+    : id(self), threadsPerNode(threads_per_node), opts(std::move(options)),
+      net(network), ep(endpoint), locks(lock_service),
+      barriers(barrier_service)
+{
+    DSM_ASSERT(opts.every >= 1, "checkpoint interval %u", opts.every);
+    DSM_ASSERT(threadsPerNode >= 1, "bad threadsPerNode %d",
+               threads_per_node);
+}
+
+void
+CheckpointCoordinator::atBarrier(Runtime &rt, BarrierId)
+{
+    std::unique_lock<std::mutex> g(mu);
+    if (++arrived < threadsPerNode) {
+        // Not the node's last thread: park until the leader finishes
+        // the whole stop/snapshot/[restore]/restart sequence. The
+        // rendezvous is what guarantees no sibling is mid-access or
+        // mid-acquire while the leader reads protocol state.
+        const std::uint64_t gen = generation;
+        cv.wait(g, [&] { return generation != gen; });
+        return;
+    }
+    arrived = 0;
+    if (++barrierSeq % opts.every == 0)
+        checkpointAsLeader(rt);
+    ++generation;
+    g.unlock();
+    cv.notify_all();
+}
+
+void
+CheckpointCoordinator::checkpointAsLeader(Runtime &rt)
+{
+    // Quiesce: the service thread drains the inbox up to the
+    // self-addressed Shutdown marker and joins. Peer messages behind
+    // the marker park in the ring — it is the holdback queue — and
+    // are processed after the restart, i.e. after the cut.
+    ep.stop();
+
+    lastBlob = snapshot(rt);
+    lastBytes = lastBlob.size();
+    ++epochsDone;
+    ep.stats().checkpointsTaken++;
+    if (!opts.dir.empty())
+        persist(rt, lastBlob);
+
+    if (id == opts.killNode && epochsDone == opts.killEpoch) {
+        // Chaos kill: this node "dies" at the cut and is rebuilt from
+        // the snapshot alone. Mark the inbox down while the node is
+        // dead so a recovery-aware consumer would see a typed
+        // PeerDown instead of blocking, then restore and clear.
+        net.markNodeDown(id);
+        const auto t0 = std::chrono::steady_clock::now();
+        rt.wipeForRecovery();
+        locks.wipeForRecovery();
+        barriers.wipeForRecovery();
+        const std::vector<std::byte> blob =
+            opts.dir.empty() ? lastBlob : loadPersisted();
+        restore(rt, blob);
+        const auto t1 = std::chrono::steady_clock::now();
+        restoreNs = static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+                .count());
+        ep.stats().recoveryReplays++;
+        net.clearNodeDown(id);
+    }
+
+    // Restart: the fresh service thread drains the parked messages —
+    // the node replays forward from the cut. Restart depends on no
+    // peer, so recovery cannot deadlock.
+    ep.start();
+}
+
+std::vector<std::byte>
+CheckpointCoordinator::snapshot(Runtime &rt) const
+{
+    WireWriter w;
+    w.putU64(kMagic);
+    w.putU32(kVersion);
+    w.putI64(id);
+    w.putU64(epochsDone + 1);
+    rt.serialize(w);
+    locks.serialize(w);
+    barriers.serialize(w);
+    return w.take();
+}
+
+void
+CheckpointCoordinator::restore(Runtime &rt,
+                               const std::vector<std::byte> &blob)
+{
+    WireReader r(blob);
+    DSM_ASSERT(r.getU64() == kMagic, "bad checkpoint magic");
+    DSM_ASSERT(r.getU32() == kVersion, "bad checkpoint version");
+    DSM_ASSERT(r.getI64() == id, "checkpoint of a different node");
+    DSM_ASSERT(r.getU64() == epochsDone, "checkpoint of a different cut");
+    rt.restoreFrom(r);
+    locks.restoreFrom(r);
+    barriers.restoreFrom(r);
+    DSM_ASSERT(r.done(), "trailing bytes in checkpoint blob");
+}
+
+std::string
+CheckpointCoordinator::blobPath() const
+{
+    return opts.dir + "/node" + std::to_string(id) + "-epoch" +
+           std::to_string(epochsDone) + ".bin";
+}
+
+void
+CheckpointCoordinator::persist(Runtime &rt,
+                               const std::vector<std::byte> &blob) const
+{
+    std::filesystem::create_directories(opts.dir);
+    {
+        std::ofstream out(blobPath(), std::ios::binary | std::ios::trunc);
+        DSM_ASSERT(out.good(), "cannot write checkpoint %s",
+                   blobPath().c_str());
+        out.write(reinterpret_cast<const char *>(blob.data()),
+                  static_cast<std::streamsize>(blob.size()));
+        DSM_ASSERT(out.good(), "short checkpoint write to %s",
+                   blobPath().c_str());
+    }
+    // One manifest per node (no cross-thread file contention): one
+    // line per cut with the vector-time frontier of the snapshot.
+    const std::string manifest =
+        opts.dir + "/manifest-node" + std::to_string(id) + ".txt";
+    std::ofstream out(manifest, std::ios::app);
+    DSM_ASSERT(out.good(), "cannot write manifest %s", manifest.c_str());
+    out << "node " << id << " epoch " << epochsDone << " bytes "
+        << blob.size() << " frontier";
+    const std::vector<std::uint32_t> frontier = rt.vectorFrontier();
+    if (frontier.empty()) {
+        out << " -"; // EC: no vector clock, consistency rides on locks
+    } else {
+        for (std::uint32_t v : frontier)
+            out << ' ' << v;
+    }
+    out << '\n';
+}
+
+std::vector<std::byte>
+CheckpointCoordinator::loadPersisted() const
+{
+    std::ifstream in(blobPath(), std::ios::binary | std::ios::ate);
+    DSM_ASSERT(in.good(), "cannot read checkpoint %s", blobPath().c_str());
+    const std::streamsize size = in.tellg();
+    in.seekg(0);
+    std::vector<std::byte> blob(static_cast<std::size_t>(size));
+    in.read(reinterpret_cast<char *>(blob.data()), size);
+    DSM_ASSERT(in.good(), "short checkpoint read from %s",
+               blobPath().c_str());
+    return blob;
+}
+
+} // namespace dsm

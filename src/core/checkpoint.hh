@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Coordinated checkpointing and chaos-kill recovery (see DESIGN.md
+ * section 5). Barriers are the natural consistent cut of both
+ * protocols: every application thread is about to synchronize, no
+ * acquire or page fetch is mid-flight, and the consistency model
+ * requires nothing of the instant between a node's last release and
+ * its barrier arrival. The coordinator exploits this:
+ *
+ *  - Runtime::barrier() calls atBarrier() before any protocol
+ *    pre-barrier work. All T application threads of the node
+ *    rendezvous locally; the last one in is the leader.
+ *  - The leader stops the node's endpoint: the service thread drains
+ *    the inbox up to the self-addressed Shutdown marker and joins.
+ *    The MPSC inbox ring itself is the holdback queue — anything a
+ *    peer sends after the marker parks in the ring untouched.
+ *  - With no live mutators (siblings parked, service thread joined —
+ *    a happens-before edge over all service-thread-owned state), the
+ *    leader serializes the full node image through the protocol's own
+ *    wire formats: arena + alloc log, protocol state (EC lock
+ *    bindings / LRC vectors, interval log, diff store, home table),
+ *    lock service, barrier service.
+ *  - If this node is the chaos victim at this epoch, the leader then
+ *    wipes every bit of that state (arena scribbled 0xDB) and
+ *    restores it from the snapshot just taken — in file-backed mode
+ *    from the file, proving the persisted blob alone rebuilds the
+ *    node.
+ *  - The endpoint restarts; the new service thread drains the parked
+ *    messages — the node "replays forward" from the cut. Restart
+ *    depends on no peer, so a checkpointing cluster cannot deadlock
+ *    on its own coordinator.
+ *
+ * Every node runs this same uniform sequence; the victim merely adds
+ * the wipe+restore leg. Peers that sent requests to the node while it
+ * was down simply see a slow responder: their messages waited in the
+ * ring ("parked outbound traffic" from their point of view), and the
+ * fault-injection retransmit path covers the case where drops are
+ * also armed.
+ */
+
+#ifndef DSM_CORE_CHECKPOINT_HH
+#define DSM_CORE_CHECKPOINT_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "net/endpoint.hh"
+#include "net/network.hh"
+#include "sync/barrier_service.hh"
+#include "sync/lock_service.hh"
+
+namespace dsm {
+
+class Runtime;
+
+class CheckpointCoordinator
+{
+  public:
+    /** Snapshot blob header. */
+    static constexpr std::uint64_t kMagic = 0x44534d434b505431ull; // DSMCKPT1
+    static constexpr std::uint32_t kVersion = 1;
+
+    struct Options
+    {
+        /** Checkpoint every N barrier() invocations (>= 1). */
+        std::uint32_t every = 1;
+        /** Chaos victim node (-1 = nobody dies). */
+        NodeId killNode = -1;
+        /** Epoch (count of checkpoints on this node) at which the
+         *  victim is killed and restored. */
+        std::uint32_t killEpoch = 0;
+        /** Snapshot directory ("" = in-memory tier only). */
+        std::string dir;
+    };
+
+    CheckpointCoordinator(NodeId self, int threads_per_node,
+                          Options options, Network &network,
+                          Endpoint &endpoint, LockService &locks,
+                          BarrierService &barriers);
+
+    /** The per-barrier hook Runtime::barrier() runs first. All of the
+     *  node's application threads must call it (SPMD). */
+    void atBarrier(Runtime &rt, BarrierId barrier);
+
+    /** Size of the most recent snapshot blob (0 = none taken). */
+    std::uint64_t lastBlobBytes() const { return lastBytes; }
+
+    /** Wall-clock nanoseconds of the most recent wipe+restore
+     *  (0 = no recovery ran). */
+    std::uint64_t lastRestoreNs() const { return restoreNs; }
+
+    /** Checkpoints taken by this node. */
+    std::uint64_t epochsTaken() const { return epochsDone; }
+
+  private:
+    /** Leader half: stop, snapshot, maybe kill+restore, restart. */
+    void checkpointAsLeader(Runtime &rt);
+
+    std::vector<std::byte> snapshot(Runtime &rt) const;
+    void restore(Runtime &rt, const std::vector<std::byte> &blob);
+
+    /** Tier-1 persistence: blob file plus a manifest line with the
+     *  cut's vector-time frontier. */
+    void persist(Runtime &rt, const std::vector<std::byte> &blob) const;
+    std::vector<std::byte> loadPersisted() const;
+
+    std::string blobPath() const;
+
+    NodeId id;
+    int threadsPerNode;
+    Options opts;
+    Network &net;
+    Endpoint &ep;
+    LockService &locks;
+    BarrierService &barriers;
+
+    /** Local thread rendezvous (mirrors the barrier service's). */
+    std::mutex mu;
+    std::condition_variable cv;
+    int arrived = 0;
+    std::uint64_t generation = 0;
+
+    /** Count of barrier() invocations on this node (leader-counted;
+     *  SPMD-identical across nodes by construction). */
+    std::uint64_t barrierSeq = 0;
+    /** Checkpoints actually taken (the manifest epoch). */
+    std::uint64_t epochsDone = 0;
+
+    /** In-memory snapshot tier (always kept, newest only). */
+    std::vector<std::byte> lastBlob;
+    std::uint64_t lastBytes = 0;
+    std::uint64_t restoreNs = 0;
+};
+
+} // namespace dsm
+
+#endif // DSM_CORE_CHECKPOINT_HH

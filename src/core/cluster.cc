@@ -43,6 +43,15 @@ Cluster::Cluster(const ClusterConfig &config) : cfg(config)
     cfg.homePingPongLimit =
         static_cast<int>(cfg.resolvedHomePingPongLimit());
     cfg.homeFlushDefer = cfg.resolvedHomeFlushDefer() ? 1 : 0;
+    // Crash-tolerance knobs, same discipline. Order matters: the kill
+    // epoch defaults on the kill node, and checkpointing engages on
+    // either a kill or a snapshot directory.
+    cfg.faultSeed = static_cast<long long>(cfg.resolvedFaultSeed());
+    cfg.faultKillNode = cfg.resolvedFaultKillNode();
+    cfg.faultKillEpoch = cfg.resolvedFaultKillEpoch();
+    cfg.ckptDir = cfg.resolvedCkptDir();
+    cfg.checkpointEvery = cfg.resolvedCheckpointEvery();
+    cfg.faultMsgDrop = cfg.resolvedFaultMsgDrop();
     cfg.runtime.validate();
     // The pool is process-wide; the newest cluster's ablation setting
     // wins (clusters run sequentially in tests and benches).
@@ -53,12 +62,34 @@ Cluster::Cluster(const ClusterConfig &config) : cfg(config)
         loss = dropEveryNth(cfg.lossEveryNth);
     net = std::make_unique<Network>(cfg.nprocs, cfg.cost, std::move(loss));
 
+    // Real (unmodeled) message drops; null when the knob is off, so
+    // the send hot path pays only a pointer test.
+    if (cfg.faultMsgDrop > 0) {
+        faults = std::make_unique<FaultInjector>(
+            static_cast<std::uint64_t>(cfg.faultSeed), cfg.faultMsgDrop);
+        net->setFaultInjector(faults.get());
+    }
+
     nodes.reserve(cfg.nprocs);
     for (int i = 0; i < cfg.nprocs; ++i)
         nodes.push_back(std::make_unique<Node>(cfg, *net, i));
 
     for (auto &node : nodes) {
         Node *n = node.get();
+        if (cfg.faultMsgDrop > 0)
+            n->ep.setFaultsEnabled(true);
+        if (cfg.checkpointEvery > 0) {
+            CheckpointCoordinator::Options opts;
+            opts.every = static_cast<std::uint32_t>(cfg.checkpointEvery);
+            opts.killNode = cfg.faultKillNode;
+            opts.killEpoch =
+                static_cast<std::uint32_t>(cfg.faultKillEpoch);
+            opts.dir = cfg.ckptDir;
+            n->ckpt = std::make_unique<CheckpointCoordinator>(
+                n->ep.self(), cfg.threadsPerNode, std::move(opts), *net,
+                n->ep, n->locks, n->barriers);
+            n->rt->setCheckpoint(n->ckpt.get());
+        }
         n->ep.setHandler([n](Message &msg) {
             switch (msg.type) {
               case MsgType::LockRequest:
@@ -162,6 +193,14 @@ Cluster::run(const std::function<void(Runtime &)> &app_main)
         result.total += node->stats;
     }
     result.networkMessages = net->totalMessages();
+    for (auto &node : nodes) {
+        if (!node->ckpt)
+            continue;
+        result.checkpointBytes =
+            std::max(result.checkpointBytes, node->ckpt->lastBlobBytes());
+        result.restoreTimeNs =
+            std::max(result.restoreTimeNs, node->ckpt->lastRestoreNs());
+    }
     return result;
 }
 

@@ -17,6 +17,7 @@
 #include <memory>
 #include <vector>
 
+#include "core/checkpoint.hh"
 #include "core/ec_runtime.hh"
 #include "core/lrc_runtime.hh"
 
@@ -37,6 +38,14 @@ struct RunResult
 
     /** Total messages accepted by the network. */
     std::uint64_t networkMessages = 0;
+
+    /** Largest per-node snapshot blob of the run (0 = checkpointing
+     *  off; table3's recovery column). */
+    std::uint64_t checkpointBytes = 0;
+
+    /** Wall-clock nanoseconds of the slowest wipe+restore (0 = no
+     *  chaos kill ran). */
+    std::uint64_t restoreTimeNs = 0;
 
     double execSeconds() const { return execTimeNs * 1e-9; }
 
@@ -97,10 +106,14 @@ class Cluster
         LockService locks;
         BarrierService barriers;
         std::unique_ptr<Runtime> rt;
+        /** Non-null when checkpointing is engaged for this run. */
+        std::unique_ptr<CheckpointCoordinator> ckpt;
     };
 
     ClusterConfig cfg;
     std::unique_ptr<Network> net;
+    /** Non-null when message drops are armed (shared by all nodes). */
+    std::unique_ptr<FaultInjector> faults;
     std::vector<std::unique_ptr<Node>> nodes;
     bool ran = false;
 };

@@ -124,6 +124,76 @@ ClusterConfig::resolvedHomeFlushDefer() const
     return resolveEnvDefault(homeFlushDefer, "DSM_HOME_DEFER", 0) != 0;
 }
 
+std::uint64_t
+ClusterConfig::resolvedFaultSeed() const
+{
+    if (faultSeed >= 0)
+        return static_cast<std::uint64_t>(faultSeed);
+    if (const char *v = std::getenv("DSM_FAULT_SEED"))
+        return static_cast<std::uint64_t>(std::strtoull(v, nullptr, 10));
+    return 1;
+}
+
+double
+ClusterConfig::resolvedFaultMsgDrop() const
+{
+    double rate = faultMsgDrop;
+    if (rate < 0) {
+        rate = 0;
+        if (const char *v = std::getenv("DSM_FAULT_MSG_DROP"))
+            rate = std::atof(v);
+    }
+    DSM_ASSERT(rate >= 0 && rate < 1, "bad drop rate %f", rate);
+    return rate;
+}
+
+int
+ClusterConfig::resolvedFaultKillNode() const
+{
+    const int node =
+        resolveEnvDefault(faultKillNode, "DSM_FAULT_KILL_NODE", -1);
+    return node >= 0 && node < nprocs ? node : -1;
+}
+
+int
+ClusterConfig::resolvedFaultKillEpoch() const
+{
+    if (resolvedFaultKillNode() < 0)
+        return 0;
+    const int epoch =
+        resolveEnvDefault(faultKillEpoch, "DSM_FAULT_KILL_EPOCH", 2);
+    return epoch >= 1 ? epoch : 0;
+}
+
+int
+ClusterConfig::resolvedCheckpointEvery() const
+{
+    // A kill needs a snapshot to restore from, and a DSM_CKPT_DIR
+    // run wants blobs on disk: both engage every-barrier checkpoints
+    // unless the knob pins something else.
+    const bool engaged =
+        resolvedFaultKillEpoch() >= 1 || !resolvedCkptDir().empty();
+    const int every = resolveEnvDefault(checkpointEvery, "DSM_CKPT_EVERY",
+                                        engaged ? 1 : 0);
+    return every >= 0 ? every : 0;
+}
+
+std::string
+ClusterConfig::resolvedCkptDir() const
+{
+    if (!ckptDir.empty())
+        return ckptDir;
+    if (const char *v = std::getenv("DSM_CKPT_DIR"))
+        return v;
+    return {};
+}
+
+bool
+ClusterConfig::faultsEngaged() const
+{
+    return resolvedFaultMsgDrop() > 0 || resolvedFaultKillEpoch() >= 1;
+}
+
 const std::vector<RuntimeConfig> &
 RuntimeConfig::all()
 {

@@ -269,6 +269,62 @@ struct ClusterConfig
      */
     int homeFlushDefer = -1;
 
+    // --- Crash tolerance: fault injection + coordinated
+    // checkpointing. Same -1 = "resolve from the environment at
+    // Cluster construction" convention as the policy knobs, so the CI
+    // fault legs and the nightly chaos workflow flip them per process
+    // while tests that pin values stay pinned. With every knob at its
+    // resolved default (no DSM_FAULT_*/DSM_CKPT_* in the environment)
+    // the fault layer is never constructed and the hot paths are
+    // bit-identical to a build without it (zero-cost abstraction,
+    // asserted by the CI micro_net comparison).
+
+    /**
+     * Seed of the deterministic fault injector (message-drop
+     * decisions). -1 = DSM_FAULT_SEED env if set, else 1.
+     */
+    long long faultSeed = -1;
+
+    /**
+     * Fraction of *droppable* messages (direct request/reply RPCs —
+     * never chain-routed lock or home traffic, never Shutdown) the
+     * injector discards before they reach the destination inbox, in
+     * ppm-style units: the env variable takes a float in [0, 1).
+     * Enables the Endpoint deadline + bounded-retransmit machinery.
+     * < 0 = DSM_FAULT_MSG_DROP env if set, else 0 (off).
+     */
+    double faultMsgDrop = -1.0;
+
+    /**
+     * Node to chaos-kill at a barrier: the victim's protocol state is
+     * wiped and restored from its latest checkpoint, and its parked
+     * inbox traffic replays forward. -1 = DSM_FAULT_KILL_NODE env if
+     * set, else no kill.
+     */
+    int faultKillNode = -1;
+
+    /**
+     * Barrier-arrival count (per node, 1-based) at which the kill
+     * fires. -1 = DSM_FAULT_KILL_EPOCH env if set, else 2 when a kill
+     * is armed.
+     */
+    int faultKillEpoch = -1;
+
+    /**
+     * Take a coordinated checkpoint every N barrier cuts (1 = every
+     * barrier). 0 = never; -1 = DSM_CKPT_EVERY env if set, else 1
+     * when checkpointing is otherwise engaged (a kill is armed or
+     * ckptDir is set), else 0.
+     */
+    int checkpointEvery = -1;
+
+    /**
+     * Directory for tier-1 file-backed snapshots (one blob per node
+     * per cut + a manifest recording the cut's vector-time frontier).
+     * Empty = DSM_CKPT_DIR env if set, else in-memory tier 0 only.
+     */
+    std::string ckptDir;
+
     /** threadsPerNode with the 0 = "env or 1" default applied. */
     int resolvedThreadsPerNode() const;
 
@@ -283,6 +339,31 @@ struct ClusterConfig
 
     /** homeFlushDefer with the -1 = "env or off" default. */
     bool resolvedHomeFlushDefer() const;
+
+    /** faultSeed with the -1 = "env or 1" default. */
+    std::uint64_t resolvedFaultSeed() const;
+
+    /** faultMsgDrop with the < 0 = "env or 0" default, in [0, 1). */
+    double resolvedFaultMsgDrop() const;
+
+    /** faultKillNode with the -1 = "env or none" default (-1 = no
+     *  kill). */
+    int resolvedFaultKillNode() const;
+
+    /** faultKillEpoch with the -1 = "env, else 2 when armed" default;
+     *  0 when no kill is armed. */
+    int resolvedFaultKillEpoch() const;
+
+    /** checkpointEvery with the -1 = "env, else engage-on-demand"
+     *  default. */
+    int resolvedCheckpointEvery() const;
+
+    /** ckptDir with the empty = "env or none" default. */
+    std::string resolvedCkptDir() const;
+
+    /** True when any fault-injection knob resolves on (drop rate > 0
+     *  or a kill armed). */
+    bool faultsEngaged() const;
 };
 
 } // namespace dsm

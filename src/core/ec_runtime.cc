@@ -651,4 +651,116 @@ EcRuntime::applyGrant(LockId lock, AccessMode, WireReader &r)
     li.inc = granted;
 }
 
+// Checkpoint serialization. Runs at a barrier cut with the service
+// thread joined and every application thread parked at the checkpoint
+// rendezvous, so no protocol state is in motion; components with their
+// own leaf mutexes (twins) still lock internally.
+
+void
+EcRuntime::serialize(WireWriter &w) const
+{
+    Runtime::serialize(w);
+    w.putU32(static_cast<std::uint32_t>(lockInfoMap.size()));
+    for (const auto &[lock, li] : lockInfoMap) {
+        w.putU32(lock);
+        w.putU32(static_cast<std::uint32_t>(li.ranges.size()));
+        for (const Range &range : li.ranges) {
+            w.putU64(range.addr);
+            w.putU64(range.size);
+        }
+        w.putU64(li.boundBytes);
+        w.putU32(li.bindVersion);
+        w.putU32(li.inc);
+        w.putU32(li.blockSize);
+        w.putU32(li.ts.numBlocks());
+        for (std::uint64_t ts : li.ts.raw())
+            w.putU64(ts);
+        w.putU32(static_cast<std::uint32_t>(li.history.size()));
+        for (const auto &[tag, diff] : li.history) {
+            w.putU32(tag);
+            diff.encode(w);
+        }
+        w.putU32(li.historyBase);
+    }
+    w.putU32(static_cast<std::uint32_t>(rebindIntent.size()));
+    for (const auto &[lock, intent] : rebindIntent) {
+        w.putU32(lock);
+        w.putU8(intent ? 1 : 0);
+    }
+    w.putU32(static_cast<std::uint32_t>(pages.numPages()));
+    for (PageId p = 0; p < pages.numPages(); ++p)
+        w.putU8(static_cast<std::uint8_t>(pages.access(p)));
+    twins.serialize(w);
+    const std::vector<Run> dirtyRuns = dirty.dirtyRunsIn(0, arena->size());
+    w.putU32(static_cast<std::uint32_t>(dirtyRuns.size()));
+    for (const Run &run : dirtyRuns) {
+        w.putU32(run.start);
+        w.putU32(run.length);
+    }
+}
+
+void
+EcRuntime::restoreFrom(WireReader &r)
+{
+    Runtime::restoreFrom(r);
+    lockInfoMap.clear();
+    const std::uint32_t nlocks = r.getU32();
+    for (std::uint32_t i = 0; i < nlocks; ++i) {
+        const LockId lock = r.getU32();
+        LockInfo &li = lockInfoMap[lock];
+        const std::uint32_t nranges = r.getU32();
+        li.ranges.reserve(nranges);
+        for (std::uint32_t rg = 0; rg < nranges; ++rg) {
+            Range range;
+            range.addr = r.getU64();
+            range.size = static_cast<std::size_t>(r.getU64());
+            li.ranges.push_back(range);
+        }
+        li.boundBytes = r.getU64();
+        li.bindVersion = r.getU32();
+        li.inc = r.getU32();
+        li.blockSize = r.getU32();
+        const std::uint32_t nblocks = r.getU32();
+        li.ts = BlockTimestamps(nblocks);
+        for (std::uint32_t b = 0; b < nblocks; ++b)
+            li.ts.set(b, r.getU64());
+        const std::uint32_t nhistory = r.getU32();
+        li.history.reserve(nhistory);
+        for (std::uint32_t h = 0; h < nhistory; ++h) {
+            const std::uint32_t tag = r.getU32();
+            li.history.emplace_back(tag, Diff::decode(r));
+        }
+        li.historyBase = r.getU32();
+    }
+    rebindIntent.clear();
+    const std::uint32_t nintents = r.getU32();
+    for (std::uint32_t i = 0; i < nintents; ++i) {
+        const LockId lock = r.getU32();
+        rebindIntent[lock] = r.getU8() != 0;
+    }
+    const std::uint32_t npages = r.getU32();
+    DSM_ASSERT(npages == pages.numPages(), "page-table size mismatch");
+    for (PageId p = 0; p < npages; ++p)
+        pages.setAccess(p, static_cast<PageAccess>(r.getU8()));
+    twins.restoreFrom(r);
+    dirty.clearAll();
+    const std::uint32_t nruns = r.getU32();
+    for (std::uint32_t i = 0; i < nruns; ++i) {
+        const std::uint64_t start = r.getU32();
+        const std::uint64_t length = r.getU32();
+        dirty.markRange(start * 4, length * 4);
+    }
+}
+
+void
+EcRuntime::wipeForRecovery()
+{
+    Runtime::wipeForRecovery();
+    lockInfoMap.clear();
+    rebindIntent.clear();
+    pages.setAll(PageAccess::None); // restoreFrom rewrites every entry
+    twins.clear();
+    dirty.clearAll();
+}
+
 } // namespace dsm

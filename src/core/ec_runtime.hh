@@ -47,6 +47,12 @@ class EcRuntime : public Runtime
 
     std::string name() const override;
 
+    /** Checkpoint support (core/checkpoint.hh): protocol state on top
+     *  of the base arena/alloc-log image. */
+    void serialize(WireWriter &w) const override;
+    void restoreFrom(WireReader &r) override;
+    void wipeForRecovery() override;
+
   protected:
     void doRead(GlobalAddr addr, void *dst, std::size_t size) override;
     void doWrite(GlobalAddr addr, const void *src, std::size_t size,

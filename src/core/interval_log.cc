@@ -101,4 +101,47 @@ IntervalLog::totalRecords() const
     return total;
 }
 
+void
+IntervalLog::serialize(WireWriter &w) const
+{
+    w.putU32(static_cast<std::uint32_t>(procs.size()));
+    for (const ProcLog &pl : procs) {
+        w.putU32(pl.base);
+        w.putU32(static_cast<std::uint32_t>(pl.recs.size()));
+        for (const IntervalRec &rec : pl.recs) {
+            w.putI64(rec.proc);
+            w.putU32(rec.idx);
+            rec.vt.encode(w);
+            w.putU32(static_cast<std::uint32_t>(rec.pages.size()));
+            for (PageId page : rec.pages)
+                w.putU32(page);
+        }
+    }
+}
+
+void
+IntervalLog::restoreFrom(WireReader &r)
+{
+    const std::uint32_t nprocs = r.getU32();
+    procs.assign(nprocs, ProcLog{});
+    pageRefs = 0;
+    for (std::uint32_t p = 0; p < nprocs; ++p) {
+        ProcLog &pl = procs[p];
+        pl.base = r.getU32();
+        const std::uint32_t nrecs = r.getU32();
+        for (std::uint32_t i = 0; i < nrecs; ++i) {
+            IntervalRec rec;
+            rec.proc = static_cast<NodeId>(r.getI64());
+            rec.idx = r.getU32();
+            rec.vt = VectorTime::decode(r);
+            const std::uint32_t npages = r.getU32();
+            rec.pages.reserve(npages);
+            for (std::uint32_t pg = 0; pg < npages; ++pg)
+                rec.pages.push_back(r.getU32());
+            pageRefs += rec.pages.size();
+            pl.recs.push_back(std::move(rec));
+        }
+    }
+}
+
 } // namespace dsm

@@ -17,6 +17,7 @@
 #include <deque>
 #include <vector>
 
+#include "net/serde.hh"
 #include "sync/vector_time.hh"
 #include "util/types.hh"
 
@@ -91,6 +92,12 @@ class IntervalLog
      *  rec.pages.size() — the live arena pressure the adaptive GC
      *  trigger sizes itself from). Maintained incrementally. */
     std::uint64_t totalPageRefs() const { return pageRefs; }
+
+    /** Checkpoint support: capture / rebuild the full log, including
+     *  the per-processor GC bases (a restored node must refuse the
+     *  same pruned records the original would have). */
+    void serialize(WireWriter &w) const;
+    void restoreFrom(WireReader &r);
 
   private:
     struct ProcLog

@@ -2164,4 +2164,244 @@ LrcRuntime::handleHomeMigrate(Message &msg)
     homeCv.notify_all();
 }
 
+// Checkpoint serialization. Runs at a barrier cut with the service
+// thread joined and every application thread parked at the checkpoint
+// rendezvous: nothing is mid-acquire, mid-fetch or mid-wait, so the
+// full protocol state is capturable without the usual lock order.
+// Parked flushes and parked page requests may legitimately be
+// non-empty (they wait for in-flight peers) and are carried verbatim.
+
+void
+LrcRuntime::serialize(WireWriter &w) const
+{
+    Runtime::serialize(w);
+    DSM_ASSERT(fetchesInFlight.empty(),
+               "checkpoint cut with a fetch in flight");
+    vt.encode(w);
+    ilog.serialize(w);
+    w.putU32(static_cast<std::uint32_t>(diffStore.size()));
+    for (const auto &[key, entry] : diffStore) {
+        w.putU32(key.first);
+        w.putU64(key.second);
+        entry.diff.encode(w);
+        w.putU64(entry.vtSum);
+    }
+    w.putU32(static_cast<std::uint32_t>(pageMeta.size()));
+    for (const auto &[page, m] : pageMeta) {
+        w.putU32(page);
+        m.copyVt.encode(w);
+        w.putU32(static_cast<std::uint32_t>(m.notices.size()));
+        for (const auto &[proc, idx] : m.notices) {
+            w.putI64(proc);
+            w.putU32(idx);
+        }
+        w.putU64(m.writerMask);
+    }
+    w.putU32(static_cast<std::uint32_t>(pageTs.size()));
+    for (const auto &[page, ts] : pageTs) {
+        w.putU32(page);
+        w.putU32(ts.numBlocks());
+        for (std::uint64_t value : ts.raw())
+            w.putU64(value);
+    }
+    w.putU32(static_cast<std::uint32_t>(pages.numPages()));
+    for (PageId p = 0; p < pages.numPages(); ++p)
+        w.putU8(static_cast<std::uint8_t>(pages.access(p)));
+    twins.serialize(w);
+    const std::vector<Run> dirtyRuns = dirty.dirtyRunsIn(0, arena->size());
+    w.putU32(static_cast<std::uint32_t>(dirtyRuns.size()));
+    for (const Run &run : dirtyRuns) {
+        w.putU32(run.start);
+        w.putU32(run.length);
+    }
+    w.putU32(lastBarrierSentIdx);
+    homes.serialize(w);
+    w.putU32(static_cast<std::uint32_t>(parkedPageReqs.size()));
+    for (const ParkedPageReq &req : parkedPageReqs) {
+        w.putI64(req.origin);
+        w.putU64(req.token);
+        w.putU32(req.page);
+        req.need.encode(w);
+        req.reqLog.encode(w);
+    }
+    w.putU32(static_cast<std::uint32_t>(parkedFlushes.size()));
+    for (const ParkedFlush &pf : parkedFlushes) {
+        w.putI64(pf.proc);
+        w.putU32(pf.idx);
+        w.putU32(pf.prevIdx);
+        w.putU64(pf.vtSum);
+        w.putU32(pf.page);
+        pf.diff.encode(w);
+    }
+    w.putU32(static_cast<std::uint32_t>(pendingHomeFlushes.size()));
+    for (const auto &[dst, entries] : pendingHomeFlushes) {
+        w.putI64(dst);
+        w.putU32(static_cast<std::uint32_t>(entries.size()));
+        for (const PendingFlush &pf : entries) {
+            w.putU32(pf.page);
+            w.putU32(pf.idx);
+            w.putU32(pf.prevIdx);
+            w.putU64(pf.vtSum);
+            pf.diff.encode(w);
+        }
+    }
+    w.putU32(ownIdxFlushed.load(std::memory_order_acquire));
+    w.putU8(gcValidated ? 1 : 0);
+    w.putU32(static_cast<std::uint32_t>(barrierScratch.size()));
+    for (const auto &[barrier, scratch] : barrierScratch) {
+        w.putU32(barrier);
+        w.putU32(static_cast<std::uint32_t>(scratch.arrivalVt.size()));
+        for (const VectorTime &avt : scratch.arrivalVt)
+            avt.encode(w);
+        w.putI64(scratch.validatedArrivals);
+        w.putI64(scratch.departsBuilt);
+    }
+}
+
+void
+LrcRuntime::restoreFrom(WireReader &r)
+{
+    Runtime::restoreFrom(r);
+    vt = VectorTime::decode(r);
+    ilog.restoreFrom(r);
+    diffStore.clear();
+    const std::uint32_t ndiffs = r.getU32();
+    for (std::uint32_t i = 0; i < ndiffs; ++i) {
+        const PageId page = r.getU32();
+        const std::uint64_t key = r.getU64();
+        DiffEntry &entry = diffStore[{page, key}];
+        entry.diff = Diff::decode(r);
+        entry.vtSum = r.getU64();
+    }
+    pageMeta.clear();
+    invalidPages.clear();
+    const std::uint32_t nmeta = r.getU32();
+    for (std::uint32_t i = 0; i < nmeta; ++i) {
+        const PageId page = r.getU32();
+        PageMeta &m = pageMeta[page];
+        m.copyVt = VectorTime::decode(r);
+        const std::uint32_t nnotices = r.getU32();
+        m.notices.reserve(nnotices);
+        for (std::uint32_t n = 0; n < nnotices; ++n) {
+            const NodeId proc = static_cast<NodeId>(r.getI64());
+            const std::uint32_t idx = r.getU32();
+            m.notices.emplace_back(proc, idx);
+        }
+        m.writerMask = r.getU64();
+        // Re-establish the invariant invalidPages ⇔ pending notices.
+        if (!m.notices.empty())
+            invalidPages.insert(page);
+    }
+    pageTs.clear();
+    const std::uint32_t nts = r.getU32();
+    for (std::uint32_t i = 0; i < nts; ++i) {
+        const PageId page = r.getU32();
+        const std::uint32_t nblocks = r.getU32();
+        BlockTimestamps ts(nblocks);
+        for (std::uint32_t b = 0; b < nblocks; ++b)
+            ts.set(b, r.getU64());
+        pageTs.emplace(page, std::move(ts));
+    }
+    const std::uint32_t npages = r.getU32();
+    DSM_ASSERT(npages == pages.numPages(), "page-table size mismatch");
+    for (PageId p = 0; p < npages; ++p)
+        pages.setAccess(p, static_cast<PageAccess>(r.getU8()));
+    twins.restoreFrom(r);
+    dirty.clearAll();
+    const std::uint32_t nruns = r.getU32();
+    for (std::uint32_t i = 0; i < nruns; ++i) {
+        const std::uint64_t start = r.getU32();
+        const std::uint64_t length = r.getU32();
+        dirty.markRange(start * 4, length * 4);
+    }
+    lastBarrierSentIdx = r.getU32();
+    homes.restoreFrom(r);
+    parkedPageReqs.clear();
+    const std::uint32_t nparkedReqs = r.getU32();
+    for (std::uint32_t i = 0; i < nparkedReqs; ++i) {
+        ParkedPageReq req;
+        req.origin = static_cast<NodeId>(r.getI64());
+        req.token = r.getU64();
+        req.page = r.getU32();
+        req.need = VectorTime::decode(r);
+        req.reqLog = VectorTime::decode(r);
+        parkedPageReqs.push_back(std::move(req));
+    }
+    parkedFlushes.clear();
+    const std::uint32_t nparkedFlushes = r.getU32();
+    for (std::uint32_t i = 0; i < nparkedFlushes; ++i) {
+        ParkedFlush pf;
+        pf.proc = static_cast<NodeId>(r.getI64());
+        pf.idx = r.getU32();
+        pf.prevIdx = r.getU32();
+        pf.vtSum = r.getU64();
+        pf.page = r.getU32();
+        pf.diff = Diff::decode(r);
+        parkedFlushes.push_back(std::move(pf));
+    }
+    pendingHomeFlushes.clear();
+    const std::uint32_t nbuckets = r.getU32();
+    for (std::uint32_t i = 0; i < nbuckets; ++i) {
+        const NodeId dst = static_cast<NodeId>(r.getI64());
+        std::vector<PendingFlush> &entries = pendingHomeFlushes[dst];
+        const std::uint32_t nentries = r.getU32();
+        entries.reserve(nentries);
+        for (std::uint32_t e = 0; e < nentries; ++e) {
+            PendingFlush pf;
+            pf.page = r.getU32();
+            pf.idx = r.getU32();
+            pf.prevIdx = r.getU32();
+            pf.vtSum = r.getU64();
+            pf.diff = Diff::decode(r);
+            entries.push_back(std::move(pf));
+        }
+    }
+    ownIdxFlushed.store(r.getU32(), std::memory_order_release);
+    gcValidated = r.getU8() != 0;
+    barrierScratch.clear();
+    const std::uint32_t nscratch = r.getU32();
+    for (std::uint32_t i = 0; i < nscratch; ++i) {
+        const BarrierId barrier = r.getU32();
+        BarrierScratch &scratch = barrierScratch[barrier];
+        const std::uint32_t nvts = r.getU32();
+        scratch.arrivalVt.reserve(nvts);
+        for (std::uint32_t v = 0; v < nvts; ++v)
+            scratch.arrivalVt.push_back(VectorTime::decode(r));
+        scratch.validatedArrivals = static_cast<int>(r.getI64());
+        scratch.departsBuilt = static_cast<int>(r.getI64());
+    }
+}
+
+void
+LrcRuntime::wipeForRecovery()
+{
+    Runtime::wipeForRecovery();
+    vt = VectorTime(numProcs);
+    ilog = IntervalLog(numProcs);
+    diffStore.clear();
+    pageMeta.clear();
+    invalidPages.clear();
+    pageTs.clear();
+    pages.setAll(PageAccess::None); // restoreFrom rewrites every entry
+    twins.clear();
+    dirty.clearAll();
+    lastBarrierSentIdx = 0;
+    homes.clearForRecovery();
+    parkedPageReqs.clear();
+    parkedFlushes.clear();
+    pendingHomeFlushes.clear();
+    ownIdxFlushed.store(0, std::memory_order_release);
+    gcValidated = false;
+    barrierScratch.clear();
+}
+
+std::vector<std::uint32_t>
+LrcRuntime::vectorFrontier() const
+{
+    std::vector<std::uint32_t> frontier(vt.size());
+    for (int p = 0; p < vt.size(); ++p)
+        frontier[p] = vt[p];
+    return frontier;
+}
+
 } // namespace dsm

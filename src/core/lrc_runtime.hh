@@ -75,6 +75,16 @@ class LrcRuntime : public Runtime
         return cluster->homeBasedLrc && usesDiffing();
     }
 
+    /** Checkpoint support (core/checkpoint.hh): vectors, interval log,
+     *  diff store, page metadata and the home table on top of the base
+     *  arena/alloc-log image. */
+    void serialize(WireWriter &w) const override;
+    void restoreFrom(WireReader &r) override;
+    void wipeForRecovery() override;
+
+    /** The manifest frontier is this node's vector time. */
+    std::vector<std::uint32_t> vectorFrontier() const override;
+
   protected:
     void preBarrier() override;
     void doRead(GlobalAddr addr, void *dst, std::size_t size) override;

@@ -80,4 +80,60 @@ stampChangedWordSums(std::vector<std::uint64_t> &word_sums,
     return stamped;
 }
 
+void
+PageHomeTable::serialize(WireWriter &w) const
+{
+    w.putU32(static_cast<std::uint32_t>(overrides.size()));
+    for (const auto &[page, mapping] : overrides) {
+        w.putU32(page);
+        w.putI64(mapping.home);
+        w.putU32(mapping.epoch);
+    }
+    w.putU32(static_cast<std::uint32_t>(states.size()));
+    for (const auto &[page, hs] : states) {
+        w.putU32(page);
+        hs.appliedVt.encode(w);
+        w.putU32(static_cast<std::uint32_t>(hs.wordSums.size()));
+        for (std::uint64_t sum : hs.wordSums)
+            w.putU64(sum);
+        w.putU32(static_cast<std::uint32_t>(hs.accessCounts.size()));
+        for (std::uint32_t count : hs.accessCounts)
+            w.putU32(count);
+        w.putU32(hs.windowAccesses);
+        w.putI64(hs.lastWriter);
+        w.putU32(hs.writerSwitches);
+    }
+}
+
+void
+PageHomeTable::restoreFrom(WireReader &r)
+{
+    overrides.clear();
+    states.clear();
+    const std::uint32_t noverrides = r.getU32();
+    for (std::uint32_t i = 0; i < noverrides; ++i) {
+        const PageId page = r.getU32();
+        Mapping &m = overrides[page];
+        m.home = static_cast<NodeId>(r.getI64());
+        m.epoch = r.getU32();
+    }
+    const std::uint32_t nstates = r.getU32();
+    for (std::uint32_t i = 0; i < nstates; ++i) {
+        const PageId page = r.getU32();
+        HomeState &hs = states[page];
+        hs.appliedVt = VectorTime::decode(r);
+        const std::uint32_t nsums = r.getU32();
+        hs.wordSums.resize(nsums);
+        for (std::uint32_t s = 0; s < nsums; ++s)
+            hs.wordSums[s] = r.getU64();
+        const std::uint32_t ncounts = r.getU32();
+        hs.accessCounts.resize(ncounts);
+        for (std::uint32_t c = 0; c < ncounts; ++c)
+            hs.accessCounts[c] = r.getU32();
+        hs.windowAccesses = r.getU32();
+        hs.lastWriter = static_cast<int>(r.getI64());
+        hs.writerSwitches = r.getU32();
+    }
+}
+
 } // namespace dsm

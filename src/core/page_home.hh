@@ -224,6 +224,20 @@ class PageHomeTable
 
     std::size_t numHomedStates() const { return states.size(); }
 
+    /** Checkpoint support: capture / rebuild the migration overrides
+     *  and the home-side per-page states (policy knobs are not
+     *  serialized — they are reconstructed from configuration). */
+    void serialize(WireWriter &w) const;
+    void restoreFrom(WireReader &r);
+
+    /** Chaos kill: drop all mappings and home states, keeping the
+     *  policy knobs (they come from configuration, not the wire). */
+    void clearForRecovery()
+    {
+        overrides.clear();
+        states.clear();
+    }
+
   private:
     struct Mapping
     {

@@ -1,5 +1,6 @@
 #include "core/runtime.hh"
 
+#include "core/checkpoint.hh"
 #include "util/logging.hh"
 
 namespace dsm {
@@ -67,6 +68,11 @@ Runtime::release(LockId lock)
 void
 Runtime::barrier(BarrierId barrier)
 {
+    // The checkpoint rendezvous runs before the protocol's own
+    // pre-barrier work: at that point no thread is mid-acquire or
+    // mid-wait, which is what makes the cut consistent.
+    if (ckptCoord)
+        ckptCoord->atBarrier(*this, barrier);
     preBarrier();
     barriers->wait(barrier);
 }
@@ -83,6 +89,49 @@ Runtime::handleMessage(Message &msg)
 {
     panic("runtime %s cannot handle message %s", name().c_str(),
           toString(msg.type));
+}
+
+void
+Runtime::serialize(WireWriter &w) const
+{
+    std::lock_guard<std::mutex> g(allocMu);
+    const std::uint64_t used = arena->used();
+    w.putU64(used);
+    w.putBytes(arena->at(0), static_cast<std::size_t>(used));
+    w.putU32(static_cast<std::uint32_t>(allocLog.size()));
+    for (GlobalAddr a : allocLog)
+        w.putU64(a);
+}
+
+void
+Runtime::restoreFrom(WireReader &r)
+{
+    std::lock_guard<std::mutex> g(allocMu);
+    const std::uint64_t used = r.getU64();
+    // Allocation is SPMD-deterministic and the snapshot was taken at
+    // the same logical point the node restarts from, so the arena
+    // watermark must already match — recovery rewrites contents, it
+    // never re-allocates.
+    DSM_ASSERT(used == arena->used(),
+               "checkpoint arena watermark %llu != live %llu",
+               static_cast<unsigned long long>(used),
+               static_cast<unsigned long long>(arena->used()));
+    r.getBytes(arena->at(0), static_cast<std::size_t>(used));
+    allocLog.clear();
+    const std::uint32_t nalloc = r.getU32();
+    allocLog.reserve(nalloc);
+    for (std::uint32_t i = 0; i < nalloc; ++i)
+        allocLog.push_back(r.getU64());
+}
+
+void
+Runtime::wipeForRecovery()
+{
+    std::lock_guard<std::mutex> g(allocMu);
+    // Scribble, don't zero: zeroed pages look like valid initial data
+    // and would let a broken restore pass by accident.
+    std::memset(arena->at(0), 0xDB, static_cast<std::size_t>(arena->used()));
+    allocLog.clear();
 }
 
 } // namespace dsm

@@ -36,6 +36,8 @@
 
 namespace dsm {
 
+class CheckpointCoordinator;
+
 class Runtime
 {
   public:
@@ -225,6 +227,49 @@ class Runtime
      *  (LRC diff/timestamp fetches). */
     virtual void handleMessage(Message &msg);
 
+    /**
+     * Install the coordinated-checkpoint hook (core/checkpoint.hh).
+     * When set, every barrier() first runs the checkpoint rendezvous —
+     * the natural consistent cut of these protocols — before the
+     * protocol's own pre-barrier work. Null (the default) leaves
+     * barrier() exactly on the historical path.
+     */
+    void setCheckpoint(CheckpointCoordinator *coordinator)
+    {
+        ckptCoord = coordinator;
+    }
+
+    /**
+     * Snapshot serialization, invoked at a barrier cut with the node's
+     * service thread stopped and all application threads parked at the
+     * checkpoint rendezvous (so no protocol state is in motion and
+     * service-thread-owned structures are safe to read). The base
+     * captures what every protocol shares — the arena image and the
+     * SPMD allocation log; derived runtimes append their protocol
+     * state and must call the base first, in both directions.
+     */
+    virtual void serialize(WireWriter &w) const;
+    virtual void restoreFrom(WireReader &r);
+
+    /**
+     * Chaos kill: destroy this node's protocol state before a
+     * restoreFrom, so the recovery test proves the snapshot — not
+     * surviving memory — rebuilt the node. The base scribbles the
+     * arena image and drops the allocation log.
+     */
+    virtual void wipeForRecovery();
+
+    /**
+     * The node's logical-time frontier at a cut, recorded in the
+     * checkpoint manifest. LRC reports its vector time; EC has no
+     * vector clock (consistency rides on lock incarnations), so the
+     * base returns empty.
+     */
+    virtual std::vector<std::uint32_t> vectorFrontier() const
+    {
+        return {};
+    }
+
   protected:
     /**
      * Hook run on the application thread just before joining a
@@ -277,8 +322,11 @@ class Runtime
      * position lives in ThreadContext::allocCursor). Threads without a
      * context append directly, which is the T == 1 behavior.
      */
-    std::mutex allocMu;
+    mutable std::mutex allocMu;
     std::vector<GlobalAddr> allocLog;
+
+    /** Coordinated-checkpoint hook; null = checkpointing off. */
+    CheckpointCoordinator *ckptCoord = nullptr;
 };
 
 } // namespace dsm

@@ -94,4 +94,40 @@ TwinStore::clear()
     rangeTwins.clear();
 }
 
+void
+TwinStore::serialize(WireWriter &w) const
+{
+    std::lock_guard<std::mutex> g(structMu);
+    w.putU32(static_cast<std::uint32_t>(pageTwins.size()));
+    for (const auto &[page, twin] : pageTwins) {
+        w.putU32(page);
+        w.putBlob(twin);
+    }
+    w.putU32(static_cast<std::uint32_t>(rangeTwins.size()));
+    for (const auto &[lock, twin] : rangeTwins) {
+        w.putU32(lock);
+        w.putBlob(twin);
+    }
+}
+
+void
+TwinStore::restoreFrom(WireReader &r)
+{
+    std::lock_guard<std::mutex> g(structMu);
+    for (auto &[page, twin] : pageTwins)
+        BufferPool::instance().release(std::move(twin));
+    pageTwins.clear();
+    rangeTwins.clear();
+    const std::uint32_t npages = r.getU32();
+    for (std::uint32_t i = 0; i < npages; ++i) {
+        const PageId page = r.getU32();
+        pageTwins.emplace(page, r.getBlob());
+    }
+    const std::uint32_t nranges = r.getU32();
+    for (std::uint32_t i = 0; i < nranges; ++i) {
+        const LockId lock = r.getU32();
+        rangeTwins.emplace(lock, r.getBlob());
+    }
+}
+
 } // namespace dsm

@@ -19,6 +19,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "net/serde.hh"
 #include "util/types.hh"
 
 namespace dsm {
@@ -72,6 +73,11 @@ class TwinStore
     void dropRange(LockId lock);
 
     void clear();
+
+    /** Checkpoint support: capture / rebuild both twin maps (takes
+     *  the structure mutex itself). */
+    void serialize(WireWriter &w) const;
+    void restoreFrom(WireReader &r);
 
     std::size_t
     numPageTwins() const

@@ -1,5 +1,7 @@
 #include "net/endpoint.hh"
 
+#include <algorithm>
+
 #include "util/buffer_pool.hh"
 #include "util/logging.hh"
 
@@ -20,6 +22,15 @@ Endpoint::setHandler(Handler h)
 {
     DSM_ASSERT(!running.load(), "handler installed while running");
     handler = std::move(h);
+}
+
+void
+Endpoint::setFaultsEnabled(bool enabled)
+{
+    DSM_ASSERT(!running.load(), "fault mode flipped while running");
+    faultsOn = enabled;
+    if (enabled && dedup.empty())
+        dedup.resize(static_cast<std::size_t>(net.nnodes()));
 }
 
 void
@@ -74,6 +85,8 @@ Endpoint::reply(NodeId dst, MsgType type, std::vector<std::byte> payload,
     msg.replyToken = reply_token;
     msg.vtSendNs = clock().now();
     msg.payload = std::move(payload);
+    if (faultsOn)
+        recordReply(dst, type, msg.payload, reply_token);
     net.send(std::move(msg), stats());
 }
 
@@ -87,6 +100,13 @@ Endpoint::call(NodeId dst, MsgType type, std::vector<std::byte> payload)
         pending.emplace(token, &slot);
     }
 
+    // Fault-tolerant round trips keep a payload copy for retransmits.
+    const bool retransmittable =
+        faultsOn && FaultInjector::droppable(type);
+    std::vector<std::byte> retransmit_copy;
+    if (retransmittable)
+        retransmit_copy = payload;
+
     Message msg;
     msg.src = id;
     msg.dst = dst;
@@ -96,8 +116,41 @@ Endpoint::call(NodeId dst, MsgType type, std::vector<std::byte> payload)
     msg.payload = std::move(payload);
     net.send(std::move(msg), stats());
 
-    while (slot.ready.load(std::memory_order_acquire) == 0)
-        slot.ready.wait(0, std::memory_order_acquire);
+    if (!retransmittable) {
+        while (slot.ready.load(std::memory_order_acquire) == 0)
+            slot.ready.wait(0, std::memory_order_acquire);
+    } else {
+        // Deadline + bounded exponential backoff: if the reply does
+        // not land in time, resend the request with a bumped attempt
+        // stamp. The injector never drops attempts past the immunity
+        // threshold and the responder dedups (resending its recorded
+        // reply at an immune attempt), so the loop terminates — a slow
+        // responder (a barrier manager waiting for stragglers) just
+        // sees periodic duplicates it ignores.
+        std::uint64_t deadline_ns = kRetransmitFirstNs;
+        std::uint32_t attempts = 0;
+        while (slot.ready.load(std::memory_order_acquire) == 0) {
+            if (futexWaitTimed(slot.ready, 0, deadline_ns))
+                continue; // woken (or spurious): re-check ready
+            ++attempts;
+            DSM_ASSERT(attempts < 10000,
+                       "retransmit storm on node %d: %s -> %d never "
+                       "answered",
+                       id, toString(type), dst);
+            Message retry;
+            retry.src = id;
+            retry.dst = dst;
+            retry.type = type;
+            retry.replyToken = token;
+            retry.vtSendNs = clock().now();
+            retry.attempt = static_cast<std::uint8_t>(
+                std::min<std::uint32_t>(attempts, 255));
+            retry.payload = retransmit_copy;
+            stats().msgRetransmits++;
+            net.send(std::move(retry), stats());
+            deadline_ns = std::min(deadline_ns * 2, kRetransmitCapNs);
+        }
+    }
     Message out = std::move(slot.msg);
     {
         std::lock_guard<std::mutex> g(pendingMu);
@@ -129,21 +182,82 @@ Endpoint::serviceLoop()
             std::lock_guard<std::mutex> g(pendingMu);
             auto it = pending.find(msg.replyToken);
             if (it == pending.end()) {
+                if (faultsOn)
+                    continue; // duplicate of an already-taken reply
                 panic("reply token %llu has no waiter on node %d",
                       static_cast<unsigned long long>(msg.replyToken), id);
             }
             PendingReply *slot = it->second;
+            if (slot->ready.load(std::memory_order_relaxed) != 0)
+                continue; // duplicate raced the caller's erase
             slot->msg = std::move(msg);
             slot->ready.store(1, std::memory_order_release);
             slot->ready.notify_one();
             continue;
         }
 
+        if (faultsOn && dedupRequest(msg))
+            continue; // retransmitted duplicate, never re-dispatched
+
         DSM_ASSERT(handler != nullptr, "message with no handler");
         handler(msg);
         // The request payload is dead once handled; recycle it.
         BufferPool::instance().release(std::move(msg.payload));
     }
+}
+
+bool
+Endpoint::dedupRequest(const Message &msg)
+{
+    if (msg.replyToken == 0 || !FaultInjector::droppable(msg.type))
+        return false;
+    auto &window = dedup[msg.src];
+    for (const DedupEntry &e : window) {
+        if (e.token != msg.replyToken)
+            continue;
+        if (e.replied) {
+            // The original reply was dropped (or is in flight and the
+            // duplicate raced it): resend the recorded copy at an
+            // immune attempt so this retry cycle terminates.
+            Message re;
+            re.src = id;
+            re.dst = msg.src;
+            re.type = e.replyType;
+            re.isReply = true;
+            re.replyToken = e.token;
+            re.vtSendNs = vclock.now();
+            re.attempt = FaultInjector::kAttemptImmunity;
+            re.payload = e.replyPayload;
+            net.send(std::move(re), nodeStats);
+        }
+        // Not replied yet (parked at a barrier manager or lock queue,
+        // or mid-handler): the pending original will answer; drop the
+        // duplicate.
+        return true;
+    }
+    window.push_back({msg.replyToken, false, MsgType::Invalid, {}});
+    if (window.size() > kDedupWindow)
+        window.pop_front();
+    return false;
+}
+
+void
+Endpoint::recordReply(NodeId dst, MsgType type,
+                      const std::vector<std::byte> &payload,
+                      std::uint64_t token)
+{
+    if (token == 0 || !FaultInjector::droppable(type))
+        return;
+    for (DedupEntry &e : dedup[dst]) {
+        if (e.token != token)
+            continue;
+        e.replied = true;
+        e.replyType = type;
+        e.replyPayload = payload;
+        return;
+    }
+    // No window entry: the request predates fault arming or was
+    // evicted; nothing to record (a retransmit would re-enter it).
 }
 
 } // namespace dsm

@@ -18,10 +18,12 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <mutex>
 #include <thread>
 #include <unordered_map>
+#include <vector>
 
 #include "net/network.hh"
 #include "time/thread_context.hh"
@@ -70,6 +72,19 @@ class Endpoint
      */
     Message call(NodeId dst, MsgType type, std::vector<std::byte> payload);
 
+    /**
+     * Arm the fault-tolerant request path: call() keeps a copy of the
+     * request payload and retransmits on a deadline (exponential
+     * backoff, attempt-stamped so the injector eventually lets every
+     * retry through), the service thread deduplicates retransmitted
+     * requests per source (resending the recorded reply when the
+     * original reply was dropped), and late duplicate replies are
+     * discarded instead of panicking. Off (the default), none of the
+     * copies, deadlines or maps exist — the hot path is unchanged.
+     * Must be set before start().
+     */
+    void setFaultsEnabled(bool enabled);
+
     NodeId self() const { return id; }
 
     int nnodes() const { return net.nnodes(); }
@@ -112,7 +127,30 @@ class Endpoint
         Message msg;
     };
 
+    /**
+     * Responder-side request dedup record (faults-on only): one per
+     * recently seen droppable request, so a retransmitted request is
+     * never dispatched twice (barrier arrivals are not idempotent) and
+     * a dropped reply can be resent from the recorded copy.
+     */
+    struct DedupEntry
+    {
+        std::uint64_t token = 0;
+        bool replied = false;
+        MsgType replyType = MsgType::Invalid;
+        std::vector<std::byte> replyPayload;
+    };
+
     void serviceLoop();
+
+    /** Dedup check for an incoming droppable request; true = already
+     *  seen (duplicate handled here, caller must skip dispatch). */
+    bool dedupRequest(const Message &msg);
+
+    /** Record the payload of a droppable reply for duplicate resend. */
+    void recordReply(NodeId dst, MsgType type,
+                     const std::vector<std::byte> &payload,
+                     std::uint64_t token);
 
     Network &net;
     NodeId id;
@@ -125,6 +163,17 @@ class Endpoint
     std::mutex pendingMu;
     std::unordered_map<std::uint64_t, PendingReply *> pending;
     std::atomic<std::uint64_t> nextToken{1};
+
+    /** Fault-tolerant request path armed (see setFaultsEnabled). */
+    bool faultsOn = false;
+    /** Per-source dedup windows, service-thread-only (replies for
+     *  droppable requests are produced on the service thread). */
+    std::vector<std::deque<DedupEntry>> dedup;
+    static constexpr std::size_t kDedupWindow = 128;
+    /** First retransmit deadline; doubles per retry up to the cap.
+     *  Wall-clock (the virtual clock never waits). */
+    static constexpr std::uint64_t kRetransmitFirstNs = 2'000'000;
+    static constexpr std::uint64_t kRetransmitCapNs = 500'000'000;
 };
 
 } // namespace dsm

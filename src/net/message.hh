@@ -80,6 +80,14 @@ struct Message
      * pair — the in-order-per-pair delivery guarantee.
      */
     std::uint64_t pairSeq = 0;
+    /**
+     * Transmission attempt of this request (0 = first send). Only the
+     * Endpoint retransmit path under fault injection ever sets it;
+     * simulation metadata, not on the modeled wire. The injector never
+     * drops a late attempt, which bounds the retry storm and makes
+     * delivery certain.
+     */
+    std::uint8_t attempt = 0;
     std::vector<std::byte> payload;
 
     /** Modeled wire header bytes. */

@@ -23,8 +23,11 @@
 #define DSM_NET_MPSC_RING_HH
 
 #include <atomic>
+#include <cerrno>
+#include <chrono>
 #include <climits>
 #include <cstdint>
+#include <ctime>
 #include <thread>
 #include <vector>
 
@@ -55,6 +58,35 @@ futexWait(std::atomic<std::uint32_t> &word, std::uint32_t expected)
             FUTEX_WAIT_PRIVATE, expected, nullptr, nullptr, 0);
 #else
     word.wait(expected, std::memory_order_acquire);
+#endif
+}
+
+/**
+ * futexWait with a deadline. Returns false on timeout, true otherwise
+ * (woken, spurious or value mismatch). The non-Linux fallback polls in
+ * short sleeps — correctness only, the Linux path is the product one.
+ */
+inline bool
+futexWaitTimed(std::atomic<std::uint32_t> &word, std::uint32_t expected,
+               std::uint64_t timeout_ns)
+{
+#if defined(__linux__)
+    struct timespec ts;
+    ts.tv_sec = static_cast<time_t>(timeout_ns / 1000000000ull);
+    ts.tv_nsec = static_cast<long>(timeout_ns % 1000000000ull);
+    const long rc =
+        syscall(SYS_futex, reinterpret_cast<std::uint32_t *>(&word),
+                FUTEX_WAIT_PRIVATE, expected, &ts, nullptr, 0);
+    return !(rc == -1 && errno == ETIMEDOUT);
+#else
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::nanoseconds(timeout_ns);
+    while (word.load(std::memory_order_acquire) == expected) {
+        if (std::chrono::steady_clock::now() >= deadline)
+            return false;
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+    return true;
 #endif
 }
 
@@ -109,6 +141,16 @@ consumerSpinBudget()
         std::thread::hardware_concurrency() > 1 ? 1024 : 4;
     return kBudget;
 }
+
+/** Outcome of a status-aware inbox dequeue (MpscRing::popWithStatus /
+ *  Network::recvStatus). */
+enum class RingPop : std::uint8_t
+{
+    Ok,       ///< a message was dequeued
+    Closed,   ///< ring shut down and fully drained
+    PeerDown, ///< empty and the owning peer is marked dead — do not
+              ///< block; the caller should back off or fail over
+};
 
 class MpscRing
 {
@@ -238,6 +280,79 @@ class MpscRing
         return true;
     }
 
+    /**
+     * pop() that refuses to block on a dead peer: when the ring is
+     * empty and the peer-down flag is set, returns RingPop::PeerDown
+     * instead of parking (published messages still drain first, in
+     * order). pop() itself is unchanged — only status-aware callers
+     * observe the flag.
+     */
+    RingPop
+    popWithStatus(Message &out)
+    {
+        Slot &slot = slots[head & mask];
+        const std::uint64_t want = head + 1;
+        const int budget = lastPopParked ? 0 : consumerSpinBudget();
+        bool parked = false;
+        for (int spin = 0;; ++spin) {
+            if (slot.seq.load(std::memory_order_acquire) == want)
+                break;
+            if (peerDown.load(std::memory_order_seq_cst)) {
+                // Re-check after the flag load: a message published
+                // before the peer died still gets delivered.
+                if (slot.seq.load(std::memory_order_acquire) == want)
+                    break;
+                lastPopParked = parked;
+                return RingPop::PeerDown;
+            }
+            if (spin < budget) {
+                if (spin < budget - 16)
+                    cpuRelax();
+                else
+                    std::this_thread::yield();
+                continue;
+            }
+            park.store(1, std::memory_order_seq_cst);
+            std::atomic_thread_fence(std::memory_order_seq_cst);
+            if (slot.seq.load(std::memory_order_acquire) == want) {
+                park.store(0, std::memory_order_relaxed);
+                break;
+            }
+            if (down.load(std::memory_order_seq_cst)) {
+                park.store(0, std::memory_order_relaxed);
+                if (slot.seq.load(std::memory_order_acquire) == want)
+                    break;
+                return RingPop::Closed;
+            }
+            futexWait(park, 1);
+            parked = true;
+        }
+        lastPopParked = parked;
+        out = std::move(slot.msg);
+        slot.msg = Message{};
+        slot.seq.store(head + mask + 1, std::memory_order_release);
+        ++head;
+        return RingPop::Ok;
+    }
+
+    /**
+     * Mark the ring's owning peer dead (or alive again). Setting the
+     * flag wakes a parked status-aware consumer so it can observe
+     * PeerDown; plain pop() ignores the flag entirely (it re-parks on
+     * the spurious wake). Producers are unaffected — sends to a dead
+     * peer simply buffer in the ring until recovery clears the flag
+     * and the peer drains them ("parked outbound traffic").
+     */
+    void
+    setPeerDown(bool is_down)
+    {
+        peerDown.store(is_down, std::memory_order_seq_cst);
+        if (is_down) {
+            park.store(0, std::memory_order_seq_cst);
+            futexWakeAll(park);
+        }
+    }
+
     /** Wake the consumer and any full-ring producers; subsequent
      *  pop() calls return false once the ring is drained. */
     void
@@ -266,6 +381,7 @@ class MpscRing
     bool lastPopParked = false;                     ///< consumer only
     alignas(64) std::atomic<std::uint32_t> park{0}; ///< 1 = consumer parked
     std::atomic<bool> down{false};
+    std::atomic<bool> peerDown{false}; ///< popWithStatus only
 };
 
 } // namespace dsm

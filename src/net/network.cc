@@ -53,6 +53,13 @@ Network::send(Message &&msg, NodeStats &sender_stats)
     sender_stats.bytesSent += bytes;
     accepted.fetch_add(1);
 
+    // Fault-injection layer: the message went on the (modeled) wire —
+    // it was counted and charged — but never reaches the destination
+    // inbox. The Endpoint deadline/retransmit path recovers it. One
+    // pointer test when the layer is off.
+    if (faults && faults->dropMessage(msg))
+        return;
+
     Inbox &box = *inboxes[msg.dst];
     if (policy == InboxPolicy::LockFreeRing) {
         // The ring ticket doubles as the pair sequence stamp (push
@@ -111,6 +118,45 @@ Network::recv(NodeId node, Message &out)
         last = out.pairSeq;
     }
     return true;
+}
+
+RingPop
+Network::recvStatus(NodeId node, Message &out)
+{
+    DSM_ASSERT(node >= 0 && node < nnodes(), "bad node %d", node);
+    Inbox &box = *inboxes[node];
+    if (policy != InboxPolicy::LockFreeRing)
+        return recv(node, out) ? RingPop::Ok : RingPop::Closed;
+    const RingPop status = box.ring->popWithStatus(out);
+    if (status != RingPop::Ok)
+        return status;
+    if (out.pairSeq != 0) {
+        std::uint64_t &last = box.lastDelivered[out.src];
+        DSM_ASSERT(out.pairSeq > last,
+                   "out-of-order delivery %d->%d: pairSeq %llu after "
+                   "%llu",
+                   out.src, node,
+                   static_cast<unsigned long long>(out.pairSeq),
+                   static_cast<unsigned long long>(last));
+        last = out.pairSeq;
+    }
+    return RingPop::Ok;
+}
+
+void
+Network::markNodeDown(NodeId node)
+{
+    DSM_ASSERT(node >= 0 && node < nnodes(), "bad node %d", node);
+    if (inboxes[node]->ring)
+        inboxes[node]->ring->setPeerDown(true);
+}
+
+void
+Network::clearNodeDown(NodeId node)
+{
+    DSM_ASSERT(node >= 0 && node < nnodes(), "bad node %d", node);
+    if (inboxes[node]->ring)
+        inboxes[node]->ring->setPeerDown(false);
 }
 
 void

@@ -31,6 +31,7 @@
 #include <mutex>
 #include <vector>
 
+#include "net/fault_injector.hh"
 #include "net/message.hh"
 #include "net/mpsc_ring.hh"
 #include "time/cost_model.hh"
@@ -84,6 +85,33 @@ class Network
      */
     bool recv(NodeId node, Message &out);
 
+    /**
+     * recv() with a typed status: returns RingPop::PeerDown (without
+     * blocking) when @p node's inbox is empty and the node is marked
+     * dead via markNodeDown — the path recovery-aware consumers use so
+     * a dead peer cannot park them forever. Ring policy only; the
+     * MutexQueue ablation maps peer-down to its ordinary blocking wait.
+     */
+    RingPop recvStatus(NodeId node, Message &out);
+
+    /**
+     * Mark @p node dead (chaos kill in progress): status-aware
+     * receives on its inbox stop blocking, while sends to it keep
+     * buffering in the inbox — the "parked outbound traffic" the
+     * restored node drains when it replays forward.
+     */
+    void markNodeDown(NodeId node);
+
+    /** Recovery complete: @p node's inbox blocks normally again. */
+    void clearNodeDown(NodeId node);
+
+    /**
+     * Install the fault-injection layer between send() and the
+     * inboxes. Null (the default) keeps the send path bit-identical
+     * to a build without the layer — one pointer test.
+     */
+    void setFaultInjector(FaultInjector *injector) { faults = injector; }
+
     /** Wake all receivers and make subsequent recv() return false. */
     void shutdown();
 
@@ -120,6 +148,7 @@ class Network
     CostModel cm;
     LossPlan loss;
     InboxPolicy policy;
+    FaultInjector *faults = nullptr; ///< not owned; null = layer off
     std::vector<std::unique_ptr<Inbox>> inboxes;
     std::atomic<std::uint64_t> nextSeq{1};
     std::atomic<std::uint64_t> accepted{0};

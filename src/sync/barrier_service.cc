@@ -107,4 +107,70 @@ BarrierService::handleMessage(Message &msg)
     }
 }
 
+void
+BarrierService::serialize(WireWriter &w) const
+{
+    std::lock_guard<std::mutex> g(mu);
+    w.putU32(static_cast<std::uint32_t>(barriers.size()));
+    for (const auto &[id, s] : barriers) {
+        w.putU32(id);
+        w.putU64(s.generation);
+        w.putU32(static_cast<std::uint32_t>(s.waiters.size()));
+        for (const Waiter &waiter : s.waiters) {
+            w.putI64(waiter.node);
+            w.putU64(waiter.token);
+        }
+    }
+    w.putU32(static_cast<std::uint32_t>(local.size()));
+    for (const auto &[id, lb] : local) {
+        w.putU32(id);
+        // A checkpoint cut happens before any thread enters wait(), so
+        // the local rendezvous must be at rest (all arrived threads
+        // were released by a completed departure).
+        DSM_ASSERT(lb.arrived == 0,
+                   "snapshot of barrier %u with threads parked", id);
+        w.putU64(lb.generation);
+        w.putU64(lb.arrivalMaxNs);
+        w.putU64(lb.completeNs);
+    }
+}
+
+void
+BarrierService::restoreFrom(WireReader &r)
+{
+    std::lock_guard<std::mutex> g(mu);
+    barriers.clear();
+    local.clear();
+    const std::uint32_t nbarriers = r.getU32();
+    for (std::uint32_t i = 0; i < nbarriers; ++i) {
+        const BarrierId id = r.getU32();
+        BarrierState &s = barriers[id];
+        s.generation = r.getU64();
+        const std::uint32_t nwaiters = r.getU32();
+        for (std::uint32_t wi = 0; wi < nwaiters; ++wi) {
+            Waiter waiter;
+            waiter.node = static_cast<NodeId>(r.getI64());
+            waiter.token = r.getU64();
+            s.waiters.push_back(waiter);
+        }
+    }
+    const std::uint32_t nlocal = r.getU32();
+    for (std::uint32_t i = 0; i < nlocal; ++i) {
+        const BarrierId id = r.getU32();
+        LocalState &lb = local[id];
+        lb.arrived = 0;
+        lb.generation = r.getU64();
+        lb.arrivalMaxNs = r.getU64();
+        lb.completeNs = r.getU64();
+    }
+}
+
+void
+BarrierService::wipeForRecovery()
+{
+    std::lock_guard<std::mutex> g(mu);
+    barriers.clear();
+    local.clear();
+}
+
 } // namespace dsm

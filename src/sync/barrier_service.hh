@@ -83,6 +83,18 @@ class BarrierService
     /** Service-thread dispatch for BarrierArrive messages. */
     void handleMessage(Message &msg);
 
+    /**
+     * Checkpoint support (core/checkpoint.hh): capture / rebuild the
+     * manager's pending arrivals and the local thread-rendezvous
+     * generations at a barrier cut (service thread stopped, app
+     * threads parked at the checkpoint rendezvous).
+     */
+    void serialize(WireWriter &w) const;
+    void restoreFrom(WireReader &r);
+
+    /** Chaos kill: drop all barrier state before a restoreFrom. */
+    void wipeForRecovery();
+
   private:
     struct Waiter
     {
@@ -110,7 +122,7 @@ class BarrierService
 
     Endpoint &ep;
     const int threadsPerNode;
-    std::mutex mu;
+    mutable std::mutex mu;
     std::condition_variable cv;
     BarrierHooks hooks;
     std::function<void()> postWait;

@@ -369,4 +369,81 @@ LockService::handleForward(Message &msg)
         state.pending.push_back(std::move(fwd));
 }
 
+void
+LockService::serialize(WireWriter &w) const
+{
+    std::lock_guard<std::mutex> g(mu);
+    w.putU32(static_cast<std::uint32_t>(locks.size()));
+    for (const auto &[lock, s] : locks) {
+        w.putU32(lock);
+        w.putU8(s.owned);
+        w.putU8(s.readCached);
+        w.putI64(s.writeHolder);
+        w.putI64(s.readHolders);
+        w.putU8(s.fetching);
+        w.putI64(s.localWaiters);
+        w.putU32(s.localHandoffRun);
+        w.putU64(s.lastTransferNs);
+        w.putU32(static_cast<std::uint32_t>(s.pending.size()));
+        for (const Forward &f : s.pending) {
+            w.putI64(f.origin);
+            w.putU64(f.token);
+            w.putU8(static_cast<std::uint8_t>(f.mode));
+            w.putBlob(f.requestInfo);
+        }
+    }
+    w.putU32(static_cast<std::uint32_t>(managed.size()));
+    for (const auto &[lock, m] : managed) {
+        w.putU32(lock);
+        w.putI64(m.lastOwner);
+    }
+}
+
+void
+LockService::restoreFrom(WireReader &r)
+{
+    std::lock_guard<std::mutex> g(mu);
+    locks.clear();
+    managed.clear();
+    const std::uint32_t nlocks = r.getU32();
+    for (std::uint32_t i = 0; i < nlocks; ++i) {
+        const LockId lock = r.getU32();
+        LockLocal s;
+        s.owned = r.getU8() != 0;
+        s.readCached = r.getU8() != 0;
+        s.writeHolder = static_cast<int>(r.getI64());
+        s.readHolders = static_cast<int>(r.getI64());
+        s.fetching = r.getU8() != 0;
+        s.localWaiters = static_cast<int>(r.getI64());
+        s.localHandoffRun = r.getU32();
+        s.lastTransferNs = r.getU64();
+        const std::uint32_t npending = r.getU32();
+        for (std::uint32_t p = 0; p < npending; ++p) {
+            Forward f;
+            f.origin = static_cast<NodeId>(r.getI64());
+            f.token = r.getU64();
+            f.mode = static_cast<AccessMode>(r.getU8());
+            f.requestInfo = r.getBlob();
+            s.pending.push_back(std::move(f));
+        }
+        // At a quiesced cut no thread can be mid-fetch or parked.
+        DSM_ASSERT(!s.fetching && s.localWaiters == 0,
+                   "snapshot of lock %u taken while in motion", lock);
+        locks.emplace(lock, std::move(s));
+    }
+    const std::uint32_t nmanaged = r.getU32();
+    for (std::uint32_t i = 0; i < nmanaged; ++i) {
+        const LockId lock = r.getU32();
+        managed[lock].lastOwner = static_cast<NodeId>(r.getI64());
+    }
+}
+
+void
+LockService::wipeForRecovery()
+{
+    std::lock_guard<std::mutex> g(mu);
+    locks.clear();
+    managed.clear();
+}
+
 } // namespace dsm

@@ -174,6 +174,21 @@ class LockService
      */
     void clearReadCaches();
 
+    /**
+     * Checkpoint support (core/checkpoint.hh). Both run at a barrier
+     * cut with the node's service thread stopped and every application
+     * thread parked at the checkpoint rendezvous, so no lock state is
+     * in motion; they still take the service mutex for form's sake.
+     * serialize() captures ownership, cached read grants, queued
+     * remote requests and the manager chain tails; restoreFrom()
+     * rebuilds exactly that state on a wiped instance.
+     */
+    void serialize(WireWriter &w) const;
+    void restoreFrom(WireReader &r);
+
+    /** Chaos kill: drop all lock state before a restoreFrom. */
+    void wipeForRecovery();
+
   private:
     struct Forward
     {

@@ -58,6 +58,9 @@ forEachField(Stats &s, Fn fn)
     fn("updatesSent", s.updatesSent);
     fn("updateBytesSent", s.updateBytesSent);
     fn("rebinds", s.rebinds);
+    fn("checkpointsTaken", s.checkpointsTaken);
+    fn("recoveryReplays", s.recoveryReplays);
+    fn("msgRetransmits", s.msgRetransmits);
     fn("workUnits", s.workUnits);
 }
 

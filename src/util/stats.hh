@@ -114,6 +114,17 @@ struct NodeStats
     std::uint64_t updateBytesSent = 0;
     std::uint64_t rebinds = 0;
 
+    // Crash tolerance (checkpoint/restore + fault injection).
+    /** Barrier-cut snapshots this node serialized. */
+    std::uint64_t checkpointsTaken = 0;
+    /** Kill-and-restore cycles: the node was wiped, restored from its
+     *  latest snapshot and replayed the parked inbox forward. */
+    std::uint64_t recoveryReplays = 0;
+    /** Request retransmissions by the Endpoint deadline path after a
+     *  fault-injected drop (distinct from `retransmissions`, which
+     *  counts the *modeled* stop-and-wait retries of LossPlan). */
+    std::uint64_t msgRetransmits = 0;
+
     // Application-reported work units (drives the compute time model).
     std::uint64_t workUnits = 0;
 

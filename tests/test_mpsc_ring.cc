@@ -145,6 +145,75 @@ TEST(MpscRing, ShutdownUnblocksParkedConsumer)
     consumer.join();
 }
 
+TEST(MpscRing, PeerDownStatusTyped)
+{
+    MpscRing ring(8);
+    Message out;
+
+    // Empty + peer dead: a typed status instead of parking forever.
+    ring.setPeerDown(true);
+    EXPECT_EQ(ring.popWithStatus(out), RingPop::PeerDown);
+
+    // Messages published before the death still drain first, in order.
+    ring.setPeerDown(false);
+    ring.push(makeMsg(1, 0));
+    ring.push(makeMsg(1, 1));
+    ring.setPeerDown(true);
+    EXPECT_EQ(ring.popWithStatus(out), RingPop::Ok);
+    EXPECT_EQ(out.replyToken, 0u);
+    EXPECT_EQ(ring.popWithStatus(out), RingPop::Ok);
+    EXPECT_EQ(out.replyToken, 1u);
+    EXPECT_EQ(ring.popWithStatus(out), RingPop::PeerDown);
+
+    // Producers are unaffected while the peer is down ("parked
+    // outbound traffic"), and plain pop() ignores the flag entirely.
+    ring.push(makeMsg(2, 7));
+    EXPECT_TRUE(ring.pop(out));
+    EXPECT_EQ(out.src, 2);
+
+    // Recovery clears the flag; shutdown then reads as Closed.
+    ring.setPeerDown(false);
+    ring.shutdown();
+    EXPECT_EQ(ring.popWithStatus(out), RingPop::Closed);
+}
+
+TEST(MpscRing, PeerDownWakesParkedStatusConsumer)
+{
+    MpscRing ring(8);
+    std::thread consumer([&] {
+        Message out;
+        EXPECT_EQ(ring.popWithStatus(out), RingPop::PeerDown);
+    });
+    // Give the consumer time to park before the death flag flips.
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    ring.setPeerDown(true);
+    consumer.join();
+}
+
+TEST(NetworkPeerDown, RecvStatusSeesDeathAndRecovery)
+{
+    CostModel cm;
+    Network net(2, cm, nullptr, InboxPolicy::LockFreeRing);
+    NodeStats stats;
+    net.send(makeMsg(1, 5), stats);
+    net.markNodeDown(0);
+
+    Message out;
+    // Pre-death traffic drains before the status shows.
+    EXPECT_EQ(net.recvStatus(0, out), RingPop::Ok);
+    EXPECT_EQ(out.replyToken, 5u);
+    EXPECT_EQ(net.recvStatus(0, out), RingPop::PeerDown);
+
+    // Sends to the dead node buffer; recovery drains them.
+    net.send(makeMsg(1, 6), stats);
+    net.clearNodeDown(0);
+    EXPECT_EQ(net.recvStatus(0, out), RingPop::Ok);
+    EXPECT_EQ(out.replyToken, 6u);
+
+    net.shutdown();
+    EXPECT_EQ(net.recvStatus(0, out), RingPop::Closed);
+}
+
 class NetworkPolicyTest : public ::testing::TestWithParam<InboxPolicy>
 {};
 
