@@ -43,6 +43,9 @@ Cluster::Cluster(const ClusterConfig &config) : cfg(config)
     cfg.homePingPongLimit =
         static_cast<int>(cfg.resolvedHomePingPongLimit());
     cfg.homeFlushDefer = cfg.resolvedHomeFlushDefer() ? 1 : 0;
+    cfg.optimisticHomeReads = cfg.resolvedOptimisticHomeReads() ? 1 : 0;
+    DSM_ASSERT(cfg.optReadMaxRetries >= 0, "bad optReadMaxRetries %d",
+               cfg.optReadMaxRetries);
     // Crash-tolerance knobs, same discipline. Order matters: the kill
     // epoch defaults on the kill node, and checkpointing engages on
     // either a kill or a snapshot directory.

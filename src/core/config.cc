@@ -124,6 +124,12 @@ ClusterConfig::resolvedHomeFlushDefer() const
     return resolveEnvDefault(homeFlushDefer, "DSM_HOME_DEFER", 0) != 0;
 }
 
+bool
+ClusterConfig::resolvedOptimisticHomeReads() const
+{
+    return resolveEnvDefault(optimisticHomeReads, "DSM_OPT_READ", 0) != 0;
+}
+
 std::uint64_t
 ClusterConfig::resolvedFaultSeed() const
 {

@@ -101,14 +101,18 @@ class LrcRuntime : public Runtime
         std::vector<std::pair<NodeId, std::uint32_t>> notices;
         /**
          * Every processor ever observed writing this page (bit per
-         * node: own interval closes plus the writers named by every
-         * record processed for it). Gap-coalesced diffs are only
+         * node: own interval closes, the writers named by every
+         * record processed for it, and the written-page announcements
+         * piggybacked on lock requests). Gap-coalesced diffs are only
          * enabled while no processor but ourselves has ever written
          * the page — a conservative gate that turns the global unsafe
          * diffGapWords knob into an adaptive single-writer
-         * optimization. (A page's very first concurrently-written
-         * interval can precede the knowledge, so the knob remains
-         * opt-in.)
+         * optimization. The lock-request announcement closes the
+         * first-contact window for lock-mediated sharing (the granter
+         * learns the requester's written pages *before* it cuts its
+         * grant-side diff); writers that only ever meet at barriers
+         * still learn of each other one interval late, so the knob
+         * stays conservative for purely barrier-synchronized apps.
          */
         std::uint64_t writerMask = 0;
     };
@@ -181,8 +185,9 @@ class LrcRuntime : public Runtime
                                  const std::vector<BatchPageReq> &fetched);
 
     /** Service an access miss on @p page (app thread; takes and
-     *  releases the protocol locks internally). */
-    void fetchPage(PageId page);
+     *  releases the protocol locks internally). @p read_only marks a
+     *  load-side miss, eligible for the optimistic snapshot path. */
+    void fetchPage(PageId page, bool read_only = false);
 
     /**
      * Fetch dispatch without the trap accounting, deduplicated across
@@ -191,7 +196,7 @@ class LrcRuntime : public Runtime
      * request rounds. Used by fetchPage and the pre-barrier GC
      * validation sweep.
      */
-    void fetchPageData(PageId page);
+    void fetchPageData(PageId page, bool read_only = false);
 
     void fetchDiffs(PageId page);
     void fetchDiffsLegacy(PageId page);
@@ -200,8 +205,9 @@ class LrcRuntime : public Runtime
 
     /** Home mode: make @p page current with one request/reply against
      *  its home (or, at the home itself, by waiting for the in-flight
-     *  flushes the pending notices announce). */
-    void fetchFromHome(PageId page);
+     *  flushes the pending notices announce). Read-only misses may ask
+     *  for a lock-free version-validated snapshot (DSM_OPT_READ). */
+    void fetchFromHome(PageId page, bool read_only = false);
 
     /**
      * Install a full page copy from the wire (home-page reply or
@@ -213,7 +219,7 @@ class LrcRuntime : public Runtime
 
     /** Ensure @p page is present (fetch on access==None). Returns with
      *  the node mutex *released*. */
-    void ensurePresent(PageId page);
+    void ensurePresent(PageId page, bool read_only = false);
 
     // Wire helpers.
     static void encodeRecord(WireWriter &w, const IntervalRec &rec);
@@ -241,6 +247,19 @@ class LrcRuntime : public Runtime
     void handleHomeDiffFlush(Message &msg);
     void handleHomePageRequest(Message &msg);
     void handleHomeMigrate(Message &msg);
+
+    /**
+     * Optimistic read-only page service: answer a snapshot-eligible
+     * HomePageRequest without taking the home core lock. Runs on the
+     * service thread (the sole writer of the home mapping, so the
+     * isHome/epoch reads need no lock); copies the page under the
+     * per-line seqlock footer, retrying torn lines up to the
+     * configured budget. Returns true when a HomePageSnapshotReply
+     * was sent; false means the caller must fall back to the locked
+     * path.
+     */
+    bool tryServeSnapshot(NodeId origin, std::uint64_t token,
+                          PageId page, const VectorTime &need);
 
     /** Reply to a page request with the home's full copy (plus the
      *  records the origin lacks, per @p req_log). Mutex held. */
@@ -380,6 +399,24 @@ class LrcRuntime : public Runtime
 
     // Home-based state (unused in homeless mode).
     PageHomeTable homes;
+    /** Resolved DSM_OPT_READ: serve read-only misses from lock-free
+     *  version-validated snapshots (home mode only). */
+    bool optRead = false;
+    /** Retry budget shared by the server-side seqlock copy loop and
+     *  the client-side epoch-reject loop before falling back to the
+     *  locked path. */
+    int optReadRetryBudget = 3;
+    /**
+     * Homeless diff mode with gap coalescing on: piggyback this
+     * node's written-page history on every lock request so the
+     * granter widens writerMask *before* cutting its grant-side diff
+     * (the first-contact fix — see PageMeta::writerMask).
+     */
+    bool announceWrites = false;
+    /** Every page this node ever closed a write interval for, in page
+     *  order (guarded by nl->core; only populated when
+     *  announceWrites). */
+    std::set<PageId> writtenPages;
     /** Wakes an app thread blocked on its own home copy (waiting for
      *  in-flight flushes) or on a mid-fetch home migration. Paired
      *  with nl->core. */

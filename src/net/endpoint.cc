@@ -38,6 +38,11 @@ Endpoint::start()
 {
     DSM_ASSERT(!running.load(), "endpoint already started");
     running.store(true);
+    // Reply bypass on the fault-free path only: with faults armed,
+    // duplicate replies and recorded-reply resends must keep going
+    // through the service thread (which owns the dedup windows).
+    if (!faultsOn)
+        net.setReplyReceiver(id, this);
     serviceThread = std::thread([this] { serviceLoop(); });
 }
 
@@ -46,6 +51,11 @@ Endpoint::stop()
 {
     if (!running.exchange(false))
         return;
+    // Deregister first: setReplyReceiver synchronizes with in-flight
+    // senders, so after this no peer thread can reach into our
+    // pending map — replies sent while we are stopped (a checkpoint
+    // quiesce) park in the inbox like any other message.
+    net.setReplyReceiver(id, nullptr);
     // Wake our own service thread with a shutdown message.
     Message msg;
     msg.src = id;
@@ -88,6 +98,23 @@ Endpoint::reply(NodeId dst, MsgType type, std::vector<std::byte> payload,
     if (faultsOn)
         recordReply(dst, type, msg.payload, reply_token);
     net.send(std::move(msg), stats());
+}
+
+bool
+Endpoint::tryDeliverReply(Message &msg)
+{
+    std::lock_guard<std::mutex> g(pendingMu);
+    auto it = pending.find(msg.replyToken);
+    if (it == pending.end())
+        return false; // no parked caller (e.g. quiesced): inbox path
+    PendingReply *slot = it->second;
+    if (slot->ready.load(std::memory_order_relaxed) != 0)
+        return false; // already filled; cannot happen without faults
+    slot->msg = std::move(msg);
+    slot->viaBypass = true;
+    slot->ready.store(1, std::memory_order_release);
+    slot->ready.notify_one();
+    return true;
 }
 
 Message
@@ -155,6 +182,16 @@ Endpoint::call(NodeId dst, MsgType type, std::vector<std::byte> payload)
     {
         std::lock_guard<std::mutex> g(pendingMu);
         pending.erase(token);
+    }
+    if (slot.viaBypass) {
+        // The reply never crossed the service thread: the receiver-
+        // side wire accounting it would have done lands here instead,
+        // in this caller's context (its private delta on SMP nodes —
+        // the single-writer stats discipline holds). The node clock
+        // is deliberately not advanced: only this caller's execution
+        // depends on the reply's arrival time.
+        stats().messagesReceived++;
+        stats().bytesReceived += out.wireSize();
     }
     // Causality: we cannot proceed before the reply arrived.
     clock().advanceTo(out.vtArriveNs);

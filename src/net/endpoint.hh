@@ -31,7 +31,7 @@
 
 namespace dsm {
 
-class Endpoint
+class Endpoint : public ReplyReceiver
 {
   public:
     using Handler = std::function<void(Message &)>;
@@ -85,6 +85,17 @@ class Endpoint
      */
     void setFaultsEnabled(bool enabled);
 
+    /**
+     * Reply bypass (ReplyReceiver): a sender's thread offers a reply
+     * for one of our parked callers directly, skipping our inbox and
+     * service thread. Fills the caller's futex slot under pendingMu —
+     * the same protocol the service thread uses — so the two delivery
+     * paths cannot double-fill. False when no caller is parked on the
+     * token (the reply then takes the inbox path). Never engaged with
+     * faults armed (start() only registers the sink without them).
+     */
+    bool tryDeliverReply(Message &msg) override;
+
     NodeId self() const { return id; }
 
     int nnodes() const { return net.nnodes(); }
@@ -124,6 +135,10 @@ class Endpoint
     struct PendingReply
     {
         std::atomic<std::uint32_t> ready{0};
+        /** Reply arrived via the sender-side bypass: the woken caller
+         *  owes the receiver-side accounting the service thread would
+         *  otherwise have done. */
+        bool viaBypass = false;
         Message msg;
     };
 

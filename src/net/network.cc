@@ -17,6 +17,7 @@ Network::Network(int nnodes, const CostModel &cost_model,
         else
             inboxes.back()->locked = std::make_unique<LockedInbox>();
         inboxes.back()->lastDelivered.assign(nnodes, 0);
+        replySlots.push_back(std::make_unique<ReceiverSlot>());
     }
     pairSeqs.assign(static_cast<std::size_t>(nnodes) * nnodes, 0);
 }
@@ -59,6 +60,21 @@ Network::send(Message &&msg, NodeStats &sender_stats)
     // pointer test when the layer is off.
     if (faults && faults->dropMessage(msg))
         return;
+
+    // Reply bypass: hand the reply straight to the parked caller
+    // instead of paying inbox push + service-thread wake + futex
+    // route. All wire accounting above already happened; only the
+    // simulation-metadata pairSeq stamp is skipped (bypassed replies
+    // never pass recv(), so the in-order-per-pair assert never sees
+    // them). Disabled under fault injection: retransmitted duplicates
+    // and recorded-reply resends must keep funnelling through the
+    // service thread's dedup.
+    if (msg.isReply && faults == nullptr) {
+        ReceiverSlot &slot = *replySlots[msg.dst];
+        std::lock_guard<std::mutex> g(slot.mu);
+        if (slot.receiver && slot.receiver->tryDeliverReply(msg))
+            return;
+    }
 
     Inbox &box = *inboxes[msg.dst];
     if (policy == InboxPolicy::LockFreeRing) {
@@ -141,6 +157,15 @@ Network::recvStatus(NodeId node, Message &out)
         last = out.pairSeq;
     }
     return RingPop::Ok;
+}
+
+void
+Network::setReplyReceiver(NodeId node, ReplyReceiver *receiver)
+{
+    DSM_ASSERT(node >= 0 && node < nnodes(), "bad node %d", node);
+    ReceiverSlot &slot = *replySlots[node];
+    std::lock_guard<std::mutex> g(slot.mu);
+    slot.receiver = receiver;
 }
 
 void

@@ -54,6 +54,28 @@ enum class InboxPolicy : std::uint8_t
     MutexQueue,   ///< seed mutex+condvar deque (ablation baseline)
 };
 
+/**
+ * Sink for replies delivered straight to the destination's parked
+ * caller, skipping the inbox and the service-thread hop (the reply
+ * wake is the hottest hand-off in the system: every call() pays inbox
+ * push + service-thread wake + pending-map route + caller wake for a
+ * message whose sole consumer is already known). Implemented by
+ * Endpoint.
+ */
+class ReplyReceiver
+{
+  public:
+    virtual ~ReplyReceiver() = default;
+
+    /**
+     * Try to hand @p msg to the caller parked on its reply token.
+     * Returns false — leaving @p msg intact — when no caller is
+     * parked (e.g. the destination is quiesced at a checkpoint cut);
+     * the message then takes the ordinary inbox path.
+     */
+    virtual bool tryDeliverReply(Message &msg) = 0;
+};
+
 class Network
 {
   public:
@@ -112,6 +134,17 @@ class Network
      */
     void setFaultInjector(FaultInjector *injector) { faults = injector; }
 
+    /**
+     * Register (or, with null, deregister) @p node's direct reply
+     * sink. While registered, send() offers every reply for @p node
+     * to it first; only refused replies enter the inbox. Serialized
+     * against in-flight sends: after a null store returns, no sender
+     * can still be inside the receiver. Bypass never engages while a
+     * fault injector is installed (retransmit dedup and duplicate
+     * replies live on the service-thread path).
+     */
+    void setReplyReceiver(NodeId node, ReplyReceiver *receiver);
+
     /** Wake all receivers and make subsequent recv() return false. */
     void shutdown();
 
@@ -145,11 +178,21 @@ class Network
         std::vector<std::uint64_t> lastDelivered;
     };
 
+    /** One node's reply sink, guarded by its own mutex so
+     *  deregistration (endpoint stop/teardown) synchronizes with
+     *  senders mid-delivery. */
+    struct ReceiverSlot
+    {
+        std::mutex mu;
+        ReplyReceiver *receiver = nullptr;
+    };
+
     CostModel cm;
     LossPlan loss;
     InboxPolicy policy;
     FaultInjector *faults = nullptr; ///< not owned; null = layer off
     std::vector<std::unique_ptr<Inbox>> inboxes;
+    std::vector<std::unique_ptr<ReceiverSlot>> replySlots;
     std::atomic<std::uint64_t> nextSeq{1};
     std::atomic<std::uint64_t> accepted{0};
     std::atomic<bool> down{false};

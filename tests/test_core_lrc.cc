@@ -7,6 +7,9 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <thread>
+
 #include "core/cluster.hh"
 #include "core/shared_array.hh"
 
@@ -391,6 +394,83 @@ TEST(LrcNoticePiggyback, TimestampCapLiftedVsSeed)
     EXPECT_EQ(off.perNode[0].reinvalidationsAvoided, 0u);
     EXPECT_GT(off.perNode[0].pagesInvalidated,
               on.perNode[0].pagesInvalidated);
+}
+
+// ---------------------------------------------------------------------
+// The writerMask first-contact regression (adaptive gap coalescing).
+//
+// Choreography (3 nodes, homeless LRC-diff, gap coalescing on): node A
+// inflates its vector time with remote acquires of C-managed locks
+// (each request closes the previous interval), writes words 0 and 4 of
+// page p under its own lock L1, and still believes it is p's single
+// writer — nothing has told it otherwise. Node B concurrently writes
+// word 1 of p under its own lock L2 (both acquires are local: no
+// messages, no record exchange), then requests L1. Pre-fix, A cuts its
+// grant-side diff with the single-writer gap coalescing still engaged:
+// the [0..4] run bridges word 1 with A's stale local zero. Node C then
+// collects both records (L2 then L1) and reads p — diffs apply in
+// vtSum order, so A's inflated diff lands after B's, and the bridged
+// stale word silently clobbers B's 42. The fix piggybacks B's written
+// pages on its lock *request*, widening A's writerMask before the
+// grant-side close, which forces A's diff word-exact.
+TEST(LrcWriterMask, LockRequestAnnouncementPreventsStaleCoalesce)
+{
+    ClusterConfig cc = lrcConfig("LRC-diff", 3);
+    cc.diffGapWords = 8; // bridge runs up to 8 words apart
+    Cluster cluster(cc);
+    cluster.run([](Runtime &rt) {
+        // 4 pages of ints: page 0 is the contended page p, pages 1-3
+        // absorb A's vector-time inflation writes.
+        auto a = SharedArray<int>::alloc(rt, 1024, 4, "wmask");
+        const int self = rt.self();
+        rt.barrier(0);
+        // Lock managers (lock % 3): L1=3 -> A, L2=4 -> B, the
+        // inflation locks 5/8/11 -> C.
+        if (self == 0) {
+            // Inflate vt[A] past B's: every remote request closes the
+            // previous interval (the grants from C close only empty
+            // intervals, so vt[C] stays zero).
+            for (LockId l : {5, 8, 11}) {
+                rt.acquire(l, AccessMode::Write);
+                a.set(256 * (l == 5 ? 1 : l == 8 ? 2 : 3), 7);
+                rt.release(l);
+            }
+            rt.acquire(3, AccessMode::Write); // local: no close
+            a.set(0, 1);
+            a.set(4, 2);
+            rt.release(3);
+            // Idle past B's L1 request: the barrier arrival below
+            // would close the open {q3, p} interval early (with no
+            // announcement in sight). The grant-side close must
+            // happen on our service thread when B's request lands.
+            std::this_thread::sleep_for(std::chrono::milliseconds(600));
+        } else if (self == 1) {
+            // Real-time ordering only (no causal edge — that would
+            // leak A's records here or B's record to A early): A must
+            // hold L1 before our request arrives so the grant-side
+            // close covers A's writes to p.
+            std::this_thread::sleep_for(std::chrono::milliseconds(300));
+            rt.acquire(4, AccessMode::Write); // local: no messages
+            a.set(1, 42);
+            rt.release(4);
+            rt.acquire(3, AccessMode::Write); // closes {p}, vtSum 1
+            rt.release(3);
+        } else {
+            // C joins last, collects both records through the lock
+            // chain, and reads the contested word.
+            std::this_thread::sleep_for(std::chrono::milliseconds(900));
+            rt.acquire(4, AccessMode::Write); // B's record: p @ vtSum 1
+            rt.release(4);
+            rt.acquire(3, AccessMode::Write); // A's record: p @ vtSum 3
+            ASSERT_EQ(a.get(1), 42)
+                << "A's gap-coalesced diff bridged word 1 with its "
+                   "stale zero and clobbered B's concurrent write";
+            ASSERT_EQ(a.get(0), 1);
+            ASSERT_EQ(a.get(4), 2);
+            rt.release(3);
+        }
+        rt.barrier(1);
+    });
 }
 
 } // namespace

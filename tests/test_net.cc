@@ -198,6 +198,85 @@ TEST_F(EndpointTest, FireAndForgetReachesHandler)
     EXPECT_EQ(got.load(), 7);
 }
 
+// ---------------------------------------------------------------------
+// MPSC reply bypass: a sender's thread hands a reply straight to the
+// parked caller's futex slot, skipping the receiver's inbox and
+// service thread.
+
+TEST_F(EndpointTest, ReplyBypassSkipsInboxAndAccountsAtCaller)
+{
+    eps[1]->setHandler([&](Message &msg) {
+        WireWriter w;
+        w.putU32(77);
+        eps[1]->reply(msg.src, MsgType::LockGrant, w.take(),
+                      msg.replyToken);
+    });
+    eps[0]->setHandler([](Message &) { FAIL(); });
+    eps[0]->start();
+    eps[1]->start();
+
+    Message reply = eps[0]->call(1, MsgType::LockRequest, {});
+    // Bypassed replies never pass the inbox, so they carry no pair
+    // sequence stamp (the ring assigns it at push) — the stamp's
+    // absence is the observable proof the fast path ran.
+    EXPECT_EQ(reply.pairSeq, 0u);
+    WireReader r(reply.payload);
+    EXPECT_EQ(r.getU32(), 77u);
+    // The receiver-side wire accounting moved to the woken caller.
+    EXPECT_EQ(stats[0].messagesReceived, 1u);
+    EXPECT_GT(stats[0].bytesReceived, 0u);
+}
+
+TEST_F(EndpointTest, ReplyBypassDisabledWithFaultsArmed)
+{
+    // With the fault-tolerant path armed, duplicate replies and
+    // recorded-reply resends must keep funnelling through the service
+    // thread's dedup windows: replies take the inbox and get stamped.
+    eps[1]->setHandler([&](Message &msg) {
+        eps[1]->reply(msg.src, MsgType::LockGrant, {}, msg.replyToken);
+    });
+    eps[0]->setHandler([](Message &) {});
+    eps[0]->setFaultsEnabled(true);
+    eps[1]->setFaultsEnabled(true);
+    eps[0]->start();
+    eps[1]->start();
+
+    Message reply = eps[0]->call(1, MsgType::LockRequest, {});
+    EXPECT_NE(reply.pairSeq, 0u);
+}
+
+TEST_F(EndpointTest, ReplyOvertakingEarlierSendKeepsBothOrdered)
+{
+    // The hazardous interleaving the bypass legalizes: the responder
+    // first fire-and-forgets a non-reply message (a HomeMigrate
+    // broadcast in the protocol), *then* replies. The bypassed reply
+    // overtakes the broadcast on every iteration; the broadcast must
+    // still clear the inbox's in-order-per-pair assert and reach the
+    // handler exactly once per round.
+    std::atomic<int> migrates{0};
+    eps[1]->setHandler([&](Message &msg) {
+        eps[1]->send(msg.src, MsgType::HomeMigrate,
+                     std::vector<std::byte>(3));
+        eps[1]->reply(msg.src, MsgType::HomePageReply, {},
+                      msg.replyToken);
+    });
+    eps[0]->setHandler([&](Message &msg) {
+        ASSERT_EQ(msg.type, MsgType::HomeMigrate);
+        migrates.fetch_add(1);
+    });
+    eps[0]->start();
+    eps[1]->start();
+
+    constexpr int kRounds = 500;
+    for (int i = 0; i < kRounds; ++i) {
+        Message reply = eps[0]->call(1, MsgType::HomePageRequest, {});
+        EXPECT_EQ(reply.pairSeq, 0u) << "round " << i;
+    }
+    while (migrates.load() < kRounds)
+        std::this_thread::yield();
+    EXPECT_EQ(migrates.load(), kRounds);
+}
+
 TEST(VirtualClock, AdvanceSemantics)
 {
     VirtualClock c;

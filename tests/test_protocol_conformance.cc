@@ -48,6 +48,10 @@ struct ProtocolLeg
     int fairness = 0;
     bool lastWriter = false;
     bool deferFlush = false;
+    /** Optimistic lock-free home reads (DSM_OPT_READ): snapshots must
+     *  be invisible in the final state — bit-identical to every other
+     *  leg — including while homes migrate under the reads. */
+    bool optRead = false;
 };
 
 const ProtocolLeg kLegs[] = {
@@ -65,6 +69,12 @@ const ProtocolLeg kLegs[] = {
     {"LRC_home_lastwriter", "LRC-diff", true, true, 0, true},
     {"LRC_home_defer", "LRC-diff", true, true, 0, false, true},
     {"LRC_home_allpolicies", "LRC-diff", true, true, 4, true, true},
+    // Optimistic-read legs (PR 7): the version-validated snapshot
+    // fast path alone, and combined with the migration-heavy
+    // last-writer policy (epoch rejects + migration races).
+    {"LRC_home_optread", "LRC-diff", true, true, 0, false, false, true},
+    {"LRC_home_optread_migrate", "LRC-diff", true, true, 0, true, false,
+     true},
 };
 
 struct KernelCase
@@ -93,6 +103,10 @@ runLeg(const ProtocolLeg &leg, const KernelCase &kc)
     cc.lockLocalHandoffBound = leg.fairness;
     cc.homeMigrateLastWriter = leg.lastWriter ? 1 : 0;
     cc.homeFlushDefer = leg.deferFlush ? 1 : 0;
+    // Force-on for the optread legs; everything else keeps the -1
+    // sentinel so a DSM_OPT_READ=1 CI sweep turns the whole grid on.
+    if (leg.optRead)
+        cc.optimisticHomeReads = 1;
     // Last-writer legs use an aggressive classifier and a tiny
     // ping-pong budget so migrations *and* the pin both happen inside
     // these small kernels.
