@@ -55,13 +55,18 @@
 namespace dsm {
 
 class Runtime;
+class FaultInjector;
+class FailureDetector;
 
 class CheckpointCoordinator
 {
   public:
     /** Snapshot blob header. */
     static constexpr std::uint64_t kMagic = 0x44534d434b505431ull; // DSMCKPT1
-    static constexpr std::uint32_t kVersion = 1;
+    static constexpr std::uint32_t kVersion = 2;
+    /** Incremental (changed-runs) blob header. */
+    static constexpr std::uint64_t kDeltaMagic =
+        0x44534d434b504431ull; // DSMCKPD1
 
     struct Options
     {
@@ -74,7 +79,63 @@ class CheckpointCoordinator
         std::uint32_t killEpoch = 0;
         /** Snapshot directory ("" = in-memory tier only). */
         std::string dir;
+        /** Silent-peer outage victim (-1 = none): at this node's cut
+         *  of epoch outageEpoch the injector silences all its
+         *  droppable traffic for outageMs of wall-clock — long enough
+         *  for survivors' failure detectors to genuinely declare it
+         *  down — then the node is wiped, restored from its latest
+         *  checkpoint tier and unsilenced. */
+        NodeId outageNode = -1;
+        std::uint32_t outageEpoch = 0;
+        std::uint32_t outageMs = 0;
+        /** Incremental delta checkpoints: between full anchor cuts
+         *  (every anchorEvery-th epoch), store only the runs that
+         *  changed against the previous cut's image. */
+        bool delta = false;
+        std::uint32_t anchorEvery = 8;
+        /** Silence lever; required when an outage is armed. */
+        FaultInjector *injector = nullptr;
+        /** Keeps our own liveness fresh across a long cut so peers do
+         *  not false-positive a checkpointing node (may be null). */
+        FailureDetector *detector = nullptr;
     };
+
+    /** A materialized (anchor + deltas) persisted node image. */
+    struct PersistedImage
+    {
+        std::vector<std::byte> image;
+        std::uint64_t epoch = 0; ///< 0 = nothing persisted
+        /** Vector-time frontier of the cut ("-" manifest = empty). */
+        std::vector<std::uint32_t> frontier;
+    };
+
+    /**
+     * Load the newest persisted image of @p node from @p dir by
+     * walking its manifest: latest full anchor, then each delta in
+     * epoch order, materialized via applyDelta. Bit-identical to the
+     * full blob the node would have written with deltas off. Returns
+     * epoch 0 when the node never persisted a cut. Static so a
+     * surviving node can re-host pages homed at a dead peer.
+     */
+    static PersistedImage loadLatestImage(const std::string &dir,
+                                          NodeId node);
+
+    /**
+     * Encode @p cur as changed word runs against @p prev (SIMD scan;
+     * a verbatim tail covers bytes past the common word-aligned
+     * prefix, so images may change length between cuts).
+     */
+    static std::vector<std::byte>
+    makeDelta(const std::vector<std::byte> &prev,
+              const std::vector<std::byte> &cur, std::uint64_t base_epoch);
+
+    /** Invert makeDelta: rebuild the full image from @p prev and the
+     *  delta blob. Asserts the recorded base epoch is @p base_epoch
+     *  (pass 0 to skip the check). */
+    static std::vector<std::byte>
+    applyDelta(const std::vector<std::byte> &prev,
+               const std::vector<std::byte> &delta,
+               std::uint64_t base_epoch);
 
     CheckpointCoordinator(NodeId self, int threads_per_node,
                           Options options, Network &network,
@@ -102,9 +163,16 @@ class CheckpointCoordinator
     std::vector<std::byte> snapshot(Runtime &rt) const;
     void restore(Runtime &rt, const std::vector<std::byte> &blob);
 
+    /** The image a wipe at this instant restores from: the in-memory
+     *  tier, or (dir set) the persisted blob / materialized delta
+     *  chain — proving persistence alone rebuilds the node. */
+    std::vector<std::byte> restoreSource() const;
+
     /** Tier-1 persistence: blob file plus a manifest line with the
-     *  cut's vector-time frontier. */
-    void persist(Runtime &rt, const std::vector<std::byte> &blob) const;
+     *  cut's kind (full | delta), base epoch and vector-time
+     *  frontier. */
+    void persist(Runtime &rt, const std::vector<std::byte> &blob,
+                 bool full) const;
     std::vector<std::byte> loadPersisted() const;
 
     std::string blobPath() const;
@@ -128,9 +196,18 @@ class CheckpointCoordinator
     std::uint64_t barrierSeq = 0;
     /** Checkpoints actually taken (the manifest epoch). */
     std::uint64_t epochsDone = 0;
+    /** First persist of this run truncates the node's manifest: a
+     *  reused DSM_CKPT_DIR (bench sweeps run many clusters against
+     *  one directory) would otherwise leave a previous run's chain as
+     *  the "latest" and loadLatestImage would restore stale state. */
+    mutable bool manifestOwned = false;
 
-    /** In-memory snapshot tier (always kept, newest only). */
+    /** In-memory snapshot tier (always kept, newest only). With
+     *  deltas on this is still the *materialized* full image — the
+     *  delta blob is what goes on the wire/disk and into lastBytes. */
     std::vector<std::byte> lastBlob;
+    /** Stored size of the most recent cut: the full blob, or the
+     *  delta blob when this cut was incremental. */
     std::uint64_t lastBytes = 0;
     std::uint64_t restoreNs = 0;
 };

@@ -3,6 +3,7 @@
 #include <exception>
 #include <thread>
 
+#include "net/failure_detector.hh"
 #include "util/buffer_pool.hh"
 #include "util/logging.hh"
 
@@ -52,9 +53,20 @@ Cluster::Cluster(const ClusterConfig &config) : cfg(config)
     cfg.faultSeed = static_cast<long long>(cfg.resolvedFaultSeed());
     cfg.faultKillNode = cfg.resolvedFaultKillNode();
     cfg.faultKillEpoch = cfg.resolvedFaultKillEpoch();
+    cfg.faultOutageNode = cfg.resolvedFaultOutageNode();
+    cfg.faultOutageEpoch = cfg.resolvedFaultOutageEpoch();
+    cfg.faultOutageMs = cfg.resolvedFaultOutageMs();
+    cfg.fdDeadlineMs = static_cast<int>(cfg.resolvedFdDeadlineNs() /
+                                        1'000'000);
+    cfg.faultRtoFirstUs =
+        static_cast<long long>(cfg.resolvedRtoFirstNs() / 1000);
+    cfg.faultRtoCapUs =
+        static_cast<long long>(cfg.resolvedRtoCapNs() / 1000);
     cfg.ckptDir = cfg.resolvedCkptDir();
     cfg.checkpointEvery = cfg.resolvedCheckpointEvery();
     cfg.faultMsgDrop = cfg.resolvedFaultMsgDrop();
+    cfg.ckptDelta = cfg.resolvedCkptDelta() ? 1 : 0;
+    cfg.ckptAnchorEvery = cfg.resolvedCkptAnchorEvery();
     cfg.runtime.validate();
     // The pool is process-wide; the newest cluster's ablation setting
     // wins (clusters run sequentially in tests and benches).
@@ -66,11 +78,25 @@ Cluster::Cluster(const ClusterConfig &config) : cfg(config)
     net = std::make_unique<Network>(cfg.nprocs, cfg.cost, std::move(loss));
 
     // Real (unmodeled) message drops; null when the knob is off, so
-    // the send hot path pays only a pointer test.
-    if (cfg.faultMsgDrop > 0) {
+    // the send hot path pays only a pointer test. A silent-peer
+    // outage needs the injector too (rate 0 is fine — silence is
+    // checked before the rate gate), it is the silence lever.
+    const bool outageArmed =
+        cfg.faultOutageNode >= 0 && cfg.faultOutageEpoch >= 1;
+    if (cfg.faultMsgDrop > 0 || outageArmed) {
         faults = std::make_unique<FaultInjector>(
-            static_cast<std::uint64_t>(cfg.faultSeed), cfg.faultMsgDrop);
+            static_cast<std::uint64_t>(cfg.faultSeed),
+            cfg.faultMsgDrop > 0 ? cfg.faultMsgDrop : 0.0);
         net->setFaultInjector(faults.get());
+    }
+
+    // Liveness tracking: one shared detector — any service thread's
+    // stamp of a peer is visible to (and revives it for) the whole
+    // cluster, mirroring how a real network's arrivals update every
+    // observer that hears the node.
+    if (cfg.resolvedFdDeadlineNs() > 0) {
+        detector = std::make_unique<FailureDetector>(
+            *net, cfg.nprocs, cfg.resolvedFdDeadlineNs(), faults.get());
     }
 
     nodes.reserve(cfg.nprocs);
@@ -79,8 +105,18 @@ Cluster::Cluster(const ClusterConfig &config) : cfg(config)
 
     for (auto &node : nodes) {
         Node *n = node.get();
-        if (cfg.faultMsgDrop > 0)
+        if (faults)
             n->ep.setFaultsEnabled(true);
+        n->ep.setRetransmitTimeouts(cfg.resolvedRtoFirstNs(),
+                                    cfg.resolvedRtoCapNs());
+        if (detector) {
+            n->ep.setFailureDetector(detector.get());
+            // Down -> healthy transition of a peer: re-forward any
+            // lock grant the outage orphaned at that peer.
+            n->ep.setRecoveryCallback(
+                [n](NodeId peer) { n->locks.onPeerRecovered(peer); });
+            n->rt->setFailureDetector(detector.get());
+        }
         if (cfg.checkpointEvery > 0) {
             CheckpointCoordinator::Options opts;
             opts.every = static_cast<std::uint32_t>(cfg.checkpointEvery);
@@ -88,6 +124,16 @@ Cluster::Cluster(const ClusterConfig &config) : cfg(config)
             opts.killEpoch =
                 static_cast<std::uint32_t>(cfg.faultKillEpoch);
             opts.dir = cfg.ckptDir;
+            opts.outageNode = cfg.faultOutageNode;
+            opts.outageEpoch =
+                static_cast<std::uint32_t>(cfg.faultOutageEpoch);
+            opts.outageMs = static_cast<std::uint32_t>(
+                cfg.faultOutageMs > 0 ? cfg.faultOutageMs : 0);
+            opts.delta = cfg.ckptDelta > 0;
+            opts.anchorEvery =
+                static_cast<std::uint32_t>(cfg.ckptAnchorEvery);
+            opts.injector = faults.get();
+            opts.detector = detector.get();
             n->ckpt = std::make_unique<CheckpointCoordinator>(
                 n->ep.self(), cfg.threadsPerNode, std::move(opts), *net,
                 n->ep, n->locks, n->barriers);

@@ -112,8 +112,13 @@ class Cluster
 
     ClusterConfig cfg;
     std::unique_ptr<Network> net;
-    /** Non-null when message drops are armed (shared by all nodes). */
+    /** Non-null when message drops or a silent-peer outage are armed
+     *  (shared by all nodes). */
     std::unique_ptr<FaultInjector> faults;
+    /** Non-null when the failure detector is armed (one shared
+     *  instance: liveness stamps are cluster-wide, every service
+     *  thread both stamps and scans it). */
+    std::unique_ptr<FailureDetector> detector;
     std::vector<std::unique_ptr<Node>> nodes;
     bool ran = false;
 };

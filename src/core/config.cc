@@ -174,11 +174,12 @@ ClusterConfig::resolvedFaultKillEpoch() const
 int
 ClusterConfig::resolvedCheckpointEvery() const
 {
-    // A kill needs a snapshot to restore from, and a DSM_CKPT_DIR
-    // run wants blobs on disk: both engage every-barrier checkpoints
-    // unless the knob pins something else.
-    const bool engaged =
-        resolvedFaultKillEpoch() >= 1 || !resolvedCkptDir().empty();
+    // A kill or outage needs a snapshot to restore from, and a
+    // DSM_CKPT_DIR run wants blobs on disk: all engage every-barrier
+    // checkpoints unless the knob pins something else.
+    const bool engaged = resolvedFaultKillEpoch() >= 1 ||
+                         resolvedFaultOutageEpoch() >= 1 ||
+                         !resolvedCkptDir().empty();
     const int every = resolveEnvDefault(checkpointEvery, "DSM_CKPT_EVERY",
                                         engaged ? 1 : 0);
     return every >= 0 ? every : 0;
@@ -194,10 +195,101 @@ ClusterConfig::resolvedCkptDir() const
     return {};
 }
 
+int
+ClusterConfig::resolvedFaultOutageNode() const
+{
+    const int node =
+        resolveEnvDefault(faultOutageNode, "DSM_FAULT_OUTAGE_NODE", -1);
+    return node >= 0 && node < nprocs ? node : -1;
+}
+
+int
+ClusterConfig::resolvedFaultOutageEpoch() const
+{
+    if (resolvedFaultOutageNode() < 0)
+        return 0;
+    const int epoch =
+        resolveEnvDefault(faultOutageEpoch, "DSM_FAULT_OUTAGE_EPOCH", 2);
+    return epoch >= 1 ? epoch : 0;
+}
+
+int
+ClusterConfig::resolvedFaultOutageMs() const
+{
+    const int ms =
+        resolveEnvDefault(faultOutageMs, "DSM_FAULT_OUTAGE_MS", 120);
+    DSM_ASSERT(ms >= 1 && ms <= 60'000, "unreasonable outage %d ms", ms);
+    return ms;
+}
+
+std::uint64_t
+ClusterConfig::resolvedFdDeadlineNs() const
+{
+    const int fallback = resolvedFaultOutageEpoch() >= 1 ? 50 : 0;
+    const int ms =
+        resolveEnvDefault(fdDeadlineMs, "DSM_FD_DEADLINE_MS", fallback);
+    DSM_ASSERT(ms >= 0 && ms <= 60'000, "unreasonable detector "
+               "deadline %d ms", ms);
+    return static_cast<std::uint64_t>(ms) * 1'000'000;
+}
+
+namespace {
+
+/** -1 = "take the environment variable, else @p fallback" (64-bit). */
+long long
+resolveEnvDefaultLL(long long configured, const char *env,
+                    long long fallback)
+{
+    if (configured >= 0)
+        return configured;
+    if (const char *v = std::getenv(env))
+        return std::atoll(v);
+    return fallback;
+}
+
+} // namespace
+
+std::uint64_t
+ClusterConfig::resolvedRtoFirstNs() const
+{
+    const long long us =
+        resolveEnvDefaultLL(faultRtoFirstUs, "DSM_FAULT_RTO_FIRST_US",
+                            2'000);
+    DSM_ASSERT(us >= 1, "bad RTO first %lld us", us);
+    return static_cast<std::uint64_t>(us) * 1'000;
+}
+
+std::uint64_t
+ClusterConfig::resolvedRtoCapNs() const
+{
+    const long long us = resolveEnvDefaultLL(
+        faultRtoCapUs, "DSM_FAULT_RTO_CAP_US", 500'000);
+    const std::uint64_t cap = static_cast<std::uint64_t>(us) * 1'000;
+    DSM_ASSERT(cap >= resolvedRtoFirstNs(),
+               "RTO cap %lld us below first deadline", us);
+    return cap;
+}
+
+bool
+ClusterConfig::resolvedCkptDelta() const
+{
+    return resolveEnvDefault(ckptDelta, "DSM_CKPT_DELTA", 0) != 0;
+}
+
+int
+ClusterConfig::resolvedCkptAnchorEvery() const
+{
+    const int every =
+        resolveEnvDefault(ckptAnchorEvery, "DSM_CKPT_ANCHOR", 8);
+    DSM_ASSERT(every >= 1, "bad anchor cadence %d", every);
+    return every;
+}
+
 bool
 ClusterConfig::faultsEngaged() const
 {
-    return resolvedFaultMsgDrop() > 0 || resolvedFaultKillEpoch() >= 1;
+    return resolvedFaultMsgDrop() > 0 || resolvedFaultKillEpoch() >= 1 ||
+           resolvedFaultOutageEpoch() >= 1;
 }
 
 const std::vector<RuntimeConfig> &

@@ -348,6 +348,69 @@ struct ClusterConfig
      */
     std::string ckptDir;
 
+    /**
+     * Silent-peer outage injection: at this node's checkpoint cut the
+     * injector silences it (100% drop of its droppable traffic, both
+     * directions, overriding the retransmit attempt immunity — a
+     * total outage, unlike the probabilistic faultMsgDrop) for
+     * faultOutageMs of wall-clock, then the node is wiped, restored
+     * from its latest checkpoint and unsilenced. Survivors detect the
+     * outage via the failure detector and degrade (typed
+     * PeerUnavailable retries) instead of hanging. -1 =
+     * DSM_FAULT_OUTAGE_NODE env if set, else no outage.
+     */
+    int faultOutageNode = -1;
+
+    /**
+     * Barrier-arrival count (per node, 1-based) at which the outage
+     * fires. -1 = DSM_FAULT_OUTAGE_EPOCH env if set, else 2 when an
+     * outage is armed.
+     */
+    int faultOutageEpoch = -1;
+
+    /**
+     * Outage duration in wall-clock milliseconds; must comfortably
+     * exceed the detector deadline so survivors genuinely observe the
+     * peer down. -1 = DSM_FAULT_OUTAGE_MS env if set, else 120.
+     */
+    int faultOutageMs = -1;
+
+    /**
+     * Failure-detector liveness deadline in milliseconds: a peer not
+     * heard from (message arrival or in-process heartbeat) within the
+     * deadline is declared down. 0 disarms the detector. -1 =
+     * DSM_FD_DEADLINE_MS env if set, else 50 when an outage is armed,
+     * else 0.
+     */
+    int fdDeadlineMs = -1;
+
+    /**
+     * Endpoint retransmit schedule in microseconds: first deadline
+     * and exponential-backoff cap. -1 = DSM_FAULT_RTO_FIRST_US /
+     * DSM_FAULT_RTO_CAP_US env if set, else the historical 2000 /
+     * 500000.
+     */
+    long long faultRtoFirstUs = -1;
+    long long faultRtoCapUs = -1;
+
+    /**
+     * Incremental delta checkpoints: between full anchor cuts, a
+     * node's snapshot is diffed (SIMD changed-run scan) against the
+     * previous cut's image and only the changed runs are stored
+     * (checkpointDeltaBytes), with periodic anchors bounding chain
+     * length. Restore materializes anchor + deltas and is
+     * bit-identical to restoring a full cut. -1 = DSM_CKPT_DELTA env
+     * if set, else off (every cut full).
+     */
+    int ckptDelta = -1;
+
+    /**
+     * Anchor cadence for delta chains: every N-th checkpoint of a
+     * node is a full cut (N = 1 degenerates to all-full). -1 =
+     * DSM_CKPT_ANCHOR env if set, else 8.
+     */
+    int ckptAnchorEvery = -1;
+
     /** threadsPerNode with the 0 = "env or 1" default applied. */
     int resolvedThreadsPerNode() const;
 
@@ -387,8 +450,32 @@ struct ClusterConfig
     /** ckptDir with the empty = "env or none" default. */
     std::string resolvedCkptDir() const;
 
-    /** True when any fault-injection knob resolves on (drop rate > 0
-     *  or a kill armed). */
+    /** faultOutageNode with the -1 = "env or none" default (-1 = no
+     *  outage). */
+    int resolvedFaultOutageNode() const;
+
+    /** faultOutageEpoch with the -1 = "env, else 2 when armed"
+     *  default; 0 when no outage is armed. */
+    int resolvedFaultOutageEpoch() const;
+
+    /** faultOutageMs with the -1 = "env or 120" default. */
+    int resolvedFaultOutageMs() const;
+
+    /** Detector deadline in ns; 0 = detector disarmed. */
+    std::uint64_t resolvedFdDeadlineNs() const;
+
+    /** Retransmit schedule in ns (first deadline, backoff cap). */
+    std::uint64_t resolvedRtoFirstNs() const;
+    std::uint64_t resolvedRtoCapNs() const;
+
+    /** ckptDelta with the -1 = "env or off" default. */
+    bool resolvedCkptDelta() const;
+
+    /** ckptAnchorEvery with the -1 = "env or 8" default. */
+    int resolvedCkptAnchorEvery() const;
+
+    /** True when any fault-injection knob resolves on (drop rate > 0,
+     *  a kill armed, or a silent-peer outage armed). */
     bool faultsEngaged() const;
 };
 

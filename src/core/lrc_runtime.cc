@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <span>
 
+#include "core/checkpoint.hh"
 #include "util/buffer_pool.hh"
 #include "util/logging.hh"
 
@@ -84,6 +86,20 @@ void
 LrcRuntime::rebindLock(LockId, std::vector<Range>)
 {
     panic("rebindLock is an EC-only operation");
+}
+
+void
+LrcRuntime::declareWriteIntent(GlobalAddr addr, std::size_t bytes)
+{
+    if (!announceWrites || bytes == 0)
+        return;
+    std::lock_guard<std::mutex> g(nl->core);
+    const PageId first = arena->pageOf(addr);
+    const PageId last = arena->pageOf(addr + bytes - 1);
+    for (PageId p = first; p <= last; ++p) {
+        writtenPages.insert(p);
+        meta(p).writerMask |= std::uint64_t{1} << id;
+    }
 }
 
 LrcRuntime::PageMeta &
@@ -604,6 +620,16 @@ LrcRuntime::makeArrival(BarrierId)
     // data and trivially applied locally, so the flag still holds.)
     w.putU8(gcValidated ? 1 : 0);
     gcValidated = false;
+    // Written-page announcement, barrier channel (homeless gap
+    // coalescing only): the manager folds every arrival's set into the
+    // departures, so two writers that only ever meet at barriers learn
+    // of each other before either cuts its next diff — the
+    // barrier-synchronized twin of the lock-request announcement.
+    if (announceWrites) {
+        w.putU32(static_cast<std::uint32_t>(writtenPages.size()));
+        for (PageId p : writtenPages)
+            w.putU32(p);
+    }
     // Send my own records created since my previous barrier; every
     // record reaches the manager from its author.
     std::lock_guard<std::mutex> ig(nl->ilog);
@@ -628,6 +654,15 @@ LrcRuntime::mergeArrival(BarrierId barrier, NodeId node, WireReader &r)
     scratch.arrivalVt[node] = VectorTime::decode(r);
     if (r.getU8())
         scratch.validatedArrivals++;
+    if (announceWrites) {
+        const std::uint32_t nannounced = r.getU32();
+        std::lock_guard<std::mutex> cg(nl->core);
+        for (std::uint32_t i = 0; i < nannounced; ++i) {
+            const PageId p = r.getU32();
+            scratch.announcedMasks[p] |= std::uint64_t{1} << node;
+            meta(p).writerMask |= std::uint64_t{1} << node;
+        }
+    }
     const std::uint32_t nrecs = r.getU32();
     std::lock_guard<std::mutex> ig(nl->ilog);
     for (std::uint32_t i = 0; i < nrecs; ++i)
@@ -659,6 +694,14 @@ LrcRuntime::makeDepart(BarrierId barrier, NodeId node)
     WireWriter w;
     global.encode(w);
     gc_vt.encode(w);
+    if (announceWrites) {
+        w.putU32(
+            static_cast<std::uint32_t>(scratch.announcedMasks.size()));
+        for (const auto &[p, mask] : scratch.announcedMasks) {
+            w.putU32(p);
+            w.putU64(mask);
+        }
+    }
     std::lock_guard<std::mutex> ig(nl->ilog);
     auto recs = ilog.recordsAfter(scratch.arrivalVt[node]);
     w.putU32(static_cast<std::uint32_t>(recs.size()));
@@ -678,6 +721,13 @@ LrcRuntime::applyDepart(BarrierId, WireReader &r)
     std::lock_guard<std::mutex> g(nl->core);
     VectorTime global = VectorTime::decode(r);
     VectorTime gc_vt = VectorTime::decode(r);
+    if (announceWrites) {
+        const std::uint32_t nannounced = r.getU32();
+        for (std::uint32_t i = 0; i < nannounced; ++i) {
+            const PageId p = r.getU32();
+            meta(p).writerMask |= r.getU64();
+        }
+    }
     const std::uint32_t nrecs = r.getU32();
     for (std::uint32_t i = 0; i < nrecs; ++i) {
         bool fresh = false;
@@ -1310,9 +1360,66 @@ LrcRuntime::fetchFromHome(PageId page, bool read_only)
             (want_snapshot && epoch_rejects <= optReadRetryBudget)
                 ? std::uint8_t{1}
                 : std::uint8_t{0};
+        bool home_down = false;
         Message reply =
             ep->call(home, MsgType::HomePageRequest,
-                     encodePageRequest(id, page, need, log_cov, flags));
+                     encodePageRequest(id, page, need, log_cov, flags),
+                     &home_down);
+        if (home_down) {
+            // Typed degradation: the home was declared down mid-wait
+            // and the call abandoned. Re-host the page from the dead
+            // home's latest persisted checkpoint image when the cut's
+            // vector frontier covers every interval we need — at a
+            // barrier cut all flushes within the frontier are applied
+            // to the home copy, so those bytes are exactly what the
+            // live home would have answered with. Otherwise loop and
+            // retry: the victim recovers and drains its parked inbox.
+            CheckpointCoordinator::PersistedImage img;
+            if (!cluster->ckptDir.empty()) {
+                img = CheckpointCoordinator::loadLatestImage(
+                    cluster->ckptDir, home);
+            }
+            g.lock();
+            if (img.epoch > 0) {
+                VectorTime cut(numProcs);
+                for (int p = 0; p < numProcs; ++p) {
+                    if (static_cast<std::size_t>(p) <
+                        img.frontier.size())
+                        cut[p] = img.frontier[p];
+                }
+                // Arena image lives at a fixed offset: 28-byte blob
+                // header (magic, version, id, epoch), then the
+                // serialized used-bytes count, then the raw bytes.
+                constexpr std::size_t kArenaOff = 28 + 8;
+                const std::size_t base = arena->pageBase(page);
+                if (cut.dominates(need) &&
+                    img.image.size() >= kArenaOff + base +
+                                            arena->pageSize()) {
+                    WireReader pr(std::span<const std::byte>(
+                        img.image.data() + kArenaOff + base,
+                        arena->pageSize()));
+                    installFullPage(page, pr);
+                    clock().add(costModel().perWordApplyNs *
+                                (arena->pageSize() / 4));
+                    PageMeta &m = meta(page);
+                    m.copyVt.mergeMax(cut);
+                    resolveCoveredNotices(page, m);
+                    if (m.notices.empty()) {
+                        std::lock_guard<std::mutex> sg(
+                            nl->shardFor(page));
+                        if (pages.access(page) == PageAccess::None) {
+                            pages.setAccess(
+                                page, twins.hasPage(page)
+                                          ? PageAccess::ReadWrite
+                                          : PageAccess::Read);
+                        }
+                        stats().rehostedFetches++;
+                        return;
+                    }
+                }
+            }
+            continue;
+        }
         g.lock();
         if (is_home()) {
             // The page migrated to us while the request was in flight
@@ -2416,6 +2523,14 @@ LrcRuntime::serialize(WireWriter &w) const
     DSM_ASSERT(fetchesInFlight.empty(),
                "checkpoint cut with a fetch in flight");
     vt.encode(w);
+    // The home table is the snapshot's largest section and barely
+    // changes between cuts; serializing it at a fixed offset (right
+    // after the fixed-size vector clock) keeps its bytes word-aligned
+    // across epochs so incremental deltas see only the pages that
+    // really changed. The growing sections (interval log, diff store,
+    // page metadata) follow, where their append-driven shifts stay
+    // confined to the blob's tail.
+    homes.serialize(w);
     ilog.serialize(w);
     w.putU32(static_cast<std::uint32_t>(diffStore.size()));
     for (const auto &[key, entry] : diffStore) {
@@ -2453,7 +2568,6 @@ LrcRuntime::serialize(WireWriter &w) const
         w.putU32(run.length);
     }
     w.putU32(lastBarrierSentIdx);
-    homes.serialize(w);
     w.putU32(static_cast<std::uint32_t>(parkedPageReqs.size()));
     for (const ParkedPageReq &req : parkedPageReqs) {
         w.putI64(req.origin);
@@ -2501,6 +2615,7 @@ LrcRuntime::restoreFrom(WireReader &r)
 {
     Runtime::restoreFrom(r);
     vt = VectorTime::decode(r);
+    homes.restoreFrom(r);
     ilog.restoreFrom(r);
     diffStore.clear();
     const std::uint32_t ndiffs = r.getU32();
@@ -2553,7 +2668,6 @@ LrcRuntime::restoreFrom(WireReader &r)
         dirty.markRange(start * 4, length * 4);
     }
     lastBarrierSentIdx = r.getU32();
-    homes.restoreFrom(r);
     parkedPageReqs.clear();
     const std::uint32_t nparkedReqs = r.getU32();
     for (std::uint32_t i = 0; i < nparkedReqs; ++i) {

@@ -85,6 +85,15 @@ class LrcRuntime : public Runtime
     /** The manifest frontier is this node's vector time. */
     std::vector<std::uint32_t> vectorFrontier() const override;
 
+    /**
+     * Advertise write intent (see Runtime::declareWriteIntent): the
+     * pages of [addr, addr + bytes) enter writtenPages now, so the
+     * very next lock request or barrier arrival announces them even
+     * though no interval has closed over them yet. Only meaningful
+     * when announceWrites is on; a no-op otherwise.
+     */
+    void declareWriteIntent(GlobalAddr addr, std::size_t bytes) override;
+
   protected:
     void preBarrier() override;
     void doRead(GlobalAddr addr, void *dst, std::size_t size) override;
@@ -512,6 +521,11 @@ class LrcRuntime : public Runtime
         std::vector<VectorTime> arrivalVt;
         int validatedArrivals = 0;
         int departsBuilt = 0;
+        /** Union of the arrivals' written-page announcements (page ->
+         *  writer bits), rebroadcast in every departure so writers
+         *  that only ever meet at barriers still learn of each other
+         *  before their next diff cut (announceWrites only). */
+        std::map<PageId, std::uint64_t> announcedMasks;
     };
     std::unordered_map<BarrierId, BarrierScratch> barrierScratch;
 };

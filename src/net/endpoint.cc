@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "net/failure_detector.hh"
 #include "util/buffer_pool.hh"
 #include "util/logging.hh"
 
@@ -34,10 +35,44 @@ Endpoint::setFaultsEnabled(bool enabled)
 }
 
 void
+Endpoint::setFailureDetector(FailureDetector *fd)
+{
+    DSM_ASSERT(!running.load(), "detector armed while running");
+    DSM_ASSERT(fd == nullptr || faultsOn,
+               "failure detector requires the fault-tolerant path");
+    detector = fd;
+}
+
+void
+Endpoint::setRecoveryCallback(std::function<void(NodeId)> cb)
+{
+    DSM_ASSERT(!running.load(), "recovery hook installed while running");
+    recoveryCb = std::move(cb);
+}
+
+void
+Endpoint::setRetransmitTimeouts(std::uint64_t first_ns,
+                                std::uint64_t cap_ns)
+{
+    DSM_ASSERT(!running.load(), "RTO changed while running");
+    DSM_ASSERT(first_ns > 0 && cap_ns >= first_ns,
+               "bad retransmit schedule %llu/%llu",
+               static_cast<unsigned long long>(first_ns),
+               static_cast<unsigned long long>(cap_ns));
+    retransmitFirstNs = first_ns;
+    retransmitCapNs = cap_ns;
+}
+
+void
 Endpoint::start()
 {
     DSM_ASSERT(!running.load(), "endpoint already started");
     running.store(true);
+    if (detector != nullptr && seenRecoverySeq.empty()) {
+        seenRecoverySeq.resize(static_cast<std::size_t>(net.nnodes()));
+        for (NodeId n = 0; n < net.nnodes(); ++n)
+            seenRecoverySeq[n] = detector->recoverySeqOf(n);
+    }
     // Reply bypass on the fault-free path only: with faults armed,
     // duplicate replies and recorded-reply resends must keep going
     // through the service thread (which owns the dedup windows).
@@ -120,6 +155,15 @@ Endpoint::tryDeliverReply(Message &msg)
 Message
 Endpoint::call(NodeId dst, MsgType type, std::vector<std::byte> payload)
 {
+    return call(dst, type, std::move(payload), nullptr);
+}
+
+Message
+Endpoint::call(NodeId dst, MsgType type, std::vector<std::byte> payload,
+               bool *peer_down)
+{
+    if (peer_down != nullptr)
+        *peer_down = false;
     const std::uint64_t token = nextToken.fetch_add(1);
     PendingReply slot;
     {
@@ -143,9 +187,44 @@ Endpoint::call(NodeId dst, MsgType type, std::vector<std::byte> payload)
     msg.payload = std::move(payload);
     net.send(std::move(msg), stats());
 
+    // Abandon the wait (typed PeerUnavailable outcome): unpark the
+    // token under pendingMu so neither delivery path can fill a dead
+    // stack slot. Both fills flip ready while holding pendingMu, so a
+    // still-zero ready under the lock means no fill can race the
+    // erase; a nonzero one means the reply landed after all — the
+    // caller takes it instead of abandoning.
+    auto tryAbandon = [&]() -> bool {
+        std::lock_guard<std::mutex> g(pendingMu);
+        if (slot.ready.load(std::memory_order_acquire) != 0)
+            return false;
+        pending.erase(token);
+        return true;
+    };
+
     if (!retransmittable) {
-        while (slot.ready.load(std::memory_order_acquire) == 0)
-            slot.ready.wait(0, std::memory_order_acquire);
+        if (detector == nullptr) {
+            while (slot.ready.load(std::memory_order_acquire) == 0)
+                slot.ready.wait(0, std::memory_order_acquire);
+        } else {
+            // Non-droppable traffic is never lost — during an outage
+            // it parks in the down peer's inbox and is replayed after
+            // the restore — so the wait only needs to surface the
+            // degradation (counted retries, optional abandonment)
+            // rather than silently hanging for the outage's duration.
+            const std::uint64_t tick_ns =
+                std::max(detector->deadlineNs(), retransmitFirstNs);
+            while (slot.ready.load(std::memory_order_acquire) == 0) {
+                if (futexWaitTimed(slot.ready, 0, tick_ns))
+                    continue; // woken (or spurious): re-check ready
+                if (detector->anyDown())
+                    stats().peerUnavailableRetries++;
+                if (peer_down != nullptr && detector->isDown(dst) &&
+                    tryAbandon()) {
+                    *peer_down = true;
+                    return Message{};
+                }
+            }
+        }
     } else {
         // Deadline + bounded exponential backoff: if the reply does
         // not land in time, resend the request with a bumped attempt
@@ -154,11 +233,26 @@ Endpoint::call(NodeId dst, MsgType type, std::vector<std::byte> payload)
         // reply at an immune attempt), so the loop terminates — a slow
         // responder (a barrier manager waiting for stragglers) just
         // sees periodic duplicates it ignores.
-        std::uint64_t deadline_ns = kRetransmitFirstNs;
+        std::uint64_t deadline_ns = retransmitFirstNs;
         std::uint32_t attempts = 0;
         while (slot.ready.load(std::memory_order_acquire) == 0) {
             if (futexWaitTimed(slot.ready, 0, deadline_ns))
                 continue; // woken (or spurious): re-check ready
+            if (detector != nullptr && detector->anyDown()) {
+                stats().peerUnavailableRetries++;
+                if (peer_down != nullptr && detector->isDown(dst) &&
+                    tryAbandon()) {
+                    *peer_down = true;
+                    return Message{};
+                }
+                if (detector->isDown(dst)) {
+                    // Resending into a down inbox is a retransmit
+                    // storm with no listener; hold fire at the backoff
+                    // cap until the detector revives the peer.
+                    deadline_ns = retransmitCapNs;
+                    continue;
+                }
+            }
             ++attempts;
             DSM_ASSERT(attempts < 10000,
                        "retransmit storm on node %d: %s -> %d never "
@@ -175,7 +269,7 @@ Endpoint::call(NodeId dst, MsgType type, std::vector<std::byte> payload)
             retry.payload = retransmit_copy;
             stats().msgRetransmits++;
             net.send(std::move(retry), stats());
-            deadline_ns = std::min(deadline_ns * 2, kRetransmitCapNs);
+            deadline_ns = std::min(deadline_ns * 2, retransmitCapNs);
         }
     }
     Message out = std::move(slot.msg);
@@ -202,44 +296,95 @@ void
 Endpoint::serviceLoop()
 {
     Message msg;
-    while (net.recv(id, msg)) {
-        if (msg.type == MsgType::Shutdown)
+    if (detector == nullptr) {
+        while (net.recv(id, msg)) {
+            if (!dispatch(msg))
+                break;
+        }
+        return;
+    }
+
+    // Detector armed: timed receives double as the liveness prober.
+    // Every drained message stamps the sender's liveness; every idle
+    // tick stamps our own and runs the deadline scan, so a peer that
+    // goes silent is declared down within ~1.5x the deadline without
+    // a dedicated prober thread. Recovery hooks (orphaned-lock
+    // re-forwarding) drain here too — always on the service thread.
+    const std::uint64_t tick_ns =
+        std::max<std::uint64_t>(detector->deadlineNs() / 2, 100'000);
+    for (;;) {
+        const RingPop st = net.recvTimed(id, msg, tick_ns);
+        if (st == RingPop::Closed)
             break;
-
-        // The handler runs "on this node's CPU": account arrival.
-        vclock.advanceTo(msg.vtArriveNs);
-        nodeStats.messagesReceived++;
-        nodeStats.bytesReceived += msg.wireSize();
-
-        if (msg.isReply) {
-            // Fill + notify under pendingMu: the caller must reacquire
-            // it to erase the token before its stack slot dies, so the
-            // notify always lands on a live PendingReply even when the
-            // waiter observes the ready store without ever sleeping.
-            std::lock_guard<std::mutex> g(pendingMu);
-            auto it = pending.find(msg.replyToken);
-            if (it == pending.end()) {
-                if (faultsOn)
-                    continue; // duplicate of an already-taken reply
-                panic("reply token %llu has no waiter on node %d",
-                      static_cast<unsigned long long>(msg.replyToken), id);
-            }
-            PendingReply *slot = it->second;
-            if (slot->ready.load(std::memory_order_relaxed) != 0)
-                continue; // duplicate raced the caller's erase
-            slot->msg = std::move(msg);
-            slot->ready.store(1, std::memory_order_release);
-            slot->ready.notify_one();
+        detector->heartbeat(id);
+        if (st == RingPop::Timeout) {
+            detector->tick(id, nodeStats);
+            runRecoveryHooks();
             continue;
         }
+        if (msg.src != id) // self-sends are not peer liveness evidence
+            detector->heard(msg.src, nodeStats);
+        runRecoveryHooks();
+        if (!dispatch(msg))
+            break;
+    }
+}
 
-        if (faultsOn && dedupRequest(msg))
-            continue; // retransmitted duplicate, never re-dispatched
+bool
+Endpoint::dispatch(Message &msg)
+{
+    if (msg.type == MsgType::Shutdown)
+        return false;
 
-        DSM_ASSERT(handler != nullptr, "message with no handler");
-        handler(msg);
-        // The request payload is dead once handled; recycle it.
-        BufferPool::instance().release(std::move(msg.payload));
+    // The handler runs "on this node's CPU": account arrival.
+    vclock.advanceTo(msg.vtArriveNs);
+    nodeStats.messagesReceived++;
+    nodeStats.bytesReceived += msg.wireSize();
+
+    if (msg.isReply) {
+        // Fill + notify under pendingMu: the caller must reacquire
+        // it to erase the token before its stack slot dies, so the
+        // notify always lands on a live PendingReply even when the
+        // waiter observes the ready store without ever sleeping.
+        std::lock_guard<std::mutex> g(pendingMu);
+        auto it = pending.find(msg.replyToken);
+        if (it == pending.end()) {
+            if (faultsOn)
+                return true; // duplicate of an already-taken (or
+                             // abandoned) reply
+            panic("reply token %llu has no waiter on node %d",
+                  static_cast<unsigned long long>(msg.replyToken), id);
+        }
+        PendingReply *slot = it->second;
+        if (slot->ready.load(std::memory_order_relaxed) != 0)
+            return true; // duplicate raced the caller's erase
+        slot->msg = std::move(msg);
+        slot->ready.store(1, std::memory_order_release);
+        slot->ready.notify_one();
+        return true;
+    }
+
+    if (faultsOn && dedupRequest(msg))
+        return true; // retransmitted duplicate, never re-dispatched
+
+    DSM_ASSERT(handler != nullptr, "message with no handler");
+    handler(msg);
+    // The request payload is dead once handled; recycle it.
+    BufferPool::instance().release(std::move(msg.payload));
+    return true;
+}
+
+void
+Endpoint::runRecoveryHooks()
+{
+    for (NodeId n = 0; n < static_cast<NodeId>(seenRecoverySeq.size());
+         ++n) {
+        const std::uint64_t seq = detector->recoverySeqOf(n);
+        if (seq == seenRecoverySeq[n])
+            continue;
+        seenRecoverySeq[n] = seq;
+        if (recoveryCb)
+            recoveryCb(n);
     }
 }
 

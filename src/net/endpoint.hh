@@ -31,10 +31,19 @@
 
 namespace dsm {
 
+class FailureDetector;
+
 class Endpoint : public ReplyReceiver
 {
   public:
     using Handler = std::function<void(Message &)>;
+
+    /** Per-source request-dedup window depth (faults-on only): a
+     *  duplicate older than this many newer requests from the same
+     *  peer re-executes its handler, so handlers of droppable
+     *  requests must stay idempotent. Public for tests that pin the
+     *  eviction contract. */
+    static constexpr std::size_t kDedupWindow = 128;
 
     Endpoint(Network &network, NodeId self, VirtualClock &clock,
              NodeStats &stats);
@@ -73,6 +82,19 @@ class Endpoint : public ReplyReceiver
     Message call(NodeId dst, MsgType type, std::vector<std::byte> payload);
 
     /**
+     * Peer-aware variant: when a failure detector is armed and it
+     * holds @p dst down at a wait timeout, the call abandons the wait
+     * (sets *@p peer_down, returns an empty Invalid message) instead
+     * of retrying forever — the typed PeerUnavailable outcome. The
+     * caller owns the degradation policy (rehost, backoff + retry). A
+     * late reply for the abandoned token is discarded by the faults-on
+     * service loop like any duplicate. With no detector (or @p
+     * peer_down == nullptr) this is exactly call().
+     */
+    Message call(NodeId dst, MsgType type, std::vector<std::byte> payload,
+                 bool *peer_down);
+
+    /**
      * Arm the fault-tolerant request path: call() keeps a copy of the
      * request payload and retransmits on a deadline (exponential
      * backoff, attempt-stamped so the injector eventually lets every
@@ -84,6 +106,33 @@ class Endpoint : public ReplyReceiver
      * Must be set before start().
      */
     void setFaultsEnabled(bool enabled);
+
+    /**
+     * Arm the failure detector: the service loop switches to timed
+     * receives, stamping its own liveness (heartbeat) and every
+     * delivering peer's (heard) and running the deadline scan (tick)
+     * on each timeout, so a silent peer is declared down within
+     * roughly 1.5x the detector deadline without any dedicated
+     * prober thread. Requires faults enabled (the detector-aware
+     * waits tolerate late/duplicate replies). Must be set before
+     * start(). May be null to disarm.
+     */
+    void setFailureDetector(FailureDetector *fd);
+
+    /**
+     * Hook run on the service thread when a peer's recovery epoch
+     * advances (orphaned-lock re-forwarding lives here). Runs outside
+     * any endpoint lock; must not block. Must be set before start().
+     */
+    void setRecoveryCallback(std::function<void(NodeId)> cb);
+
+    /**
+     * Override the retransmit deadline schedule (first timeout and
+     * exponential-backoff cap, wall-clock ns). Must be set before
+     * start(); defaults reproduce the historical 2ms/500ms schedule.
+     */
+    void setRetransmitTimeouts(std::uint64_t first_ns,
+                               std::uint64_t cap_ns);
 
     /**
      * Reply bypass (ReplyReceiver): a sender's thread offers a reply
@@ -158,6 +207,14 @@ class Endpoint : public ReplyReceiver
 
     void serviceLoop();
 
+    /** Route one drained message (reply fill, dedup, handler). False
+     *  = Shutdown: the service loop must exit. */
+    bool dispatch(Message &msg);
+
+    /** Fire recoveryCb for peers whose recovery epoch advanced since
+     *  we last looked (service thread only). */
+    void runRecoveryHooks();
+
     /** Dedup check for an incoming droppable request; true = already
      *  seen (duplicate handled here, caller must skip dispatch). */
     bool dedupRequest(const Message &msg);
@@ -184,11 +241,18 @@ class Endpoint : public ReplyReceiver
     /** Per-source dedup windows, service-thread-only (replies for
      *  droppable requests are produced on the service thread). */
     std::vector<std::deque<DedupEntry>> dedup;
-    static constexpr std::size_t kDedupWindow = 128;
     /** First retransmit deadline; doubles per retry up to the cap.
-     *  Wall-clock (the virtual clock never waits). */
-    static constexpr std::uint64_t kRetransmitFirstNs = 2'000'000;
-    static constexpr std::uint64_t kRetransmitCapNs = 500'000'000;
+     *  Wall-clock (the virtual clock never waits). Instance fields so
+     *  DSM_FAULT_RTO_* / ClusterConfig can tune the schedule per run. */
+    std::uint64_t retransmitFirstNs = 2'000'000;
+    std::uint64_t retransmitCapNs = 500'000'000;
+
+    /** Liveness tracking (see setFailureDetector); null = disarmed. */
+    FailureDetector *detector = nullptr;
+    /** Per-peer recovery epochs already acted upon (service thread
+     *  only): recovery hooks fire when the detector's seq advances. */
+    std::vector<std::uint64_t> seenRecoverySeq;
+    std::function<void(NodeId)> recoveryCb;
 };
 
 } // namespace dsm

@@ -63,10 +63,33 @@ FaultInjector::droppable(MsgType type)
     return false;
 }
 
+void
+FaultInjector::setSilenced(NodeId node, bool is_silenced)
+{
+    const std::uint64_t bit = std::uint64_t{1} << node;
+    if (is_silenced)
+        silencedMask.fetch_or(bit, std::memory_order_acq_rel);
+    else
+        silencedMask.fetch_and(~bit, std::memory_order_acq_rel);
+}
+
 bool
 FaultInjector::dropMessage(const Message &msg)
 {
-    if (rate <= 0 || !droppable(msg.type))
+    if (!droppable(msg.type))
+        return false;
+    // Silence first: it overrides both the rate gate and the attempt
+    // immunity (a silenced peer's retransmits are as dead as its first
+    // sends — that is what makes the outage total).
+    if (anySilenced()) {
+        const std::uint64_t mask =
+            silencedMask.load(std::memory_order_acquire);
+        if (((mask >> msg.src) & 1) || ((mask >> msg.dst) & 1)) {
+            droppedCount.fetch_add(1, std::memory_order_relaxed);
+            return true;
+        }
+    }
+    if (rate <= 0)
         return false;
     if (msg.attempt >= kAttemptImmunity)
         return false; // bounded retries always get through

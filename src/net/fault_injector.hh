@@ -54,6 +54,32 @@ class FaultInjector
     /** Decide the fate of @p msg at send time: true = discard it. */
     bool dropMessage(const Message &msg);
 
+    /**
+     * Silence @p node (or lift the silence): while set, every
+     * droppable message with @p node as source or destination is
+     * discarded unconditionally — no rate hash, *no attempt immunity*
+     * (a 100%-drop outage must defeat the bounded-retry guarantee, or
+     * it would not be an outage). Non-droppable chain traffic still
+     * flows, so the protocol cannot wedge; the failure detector is
+     * what turns the silence into a typed PeerDown. Thread safe.
+     */
+    void setSilenced(NodeId node, bool silenced);
+
+    /** Is @p node currently silenced? */
+    bool
+    silenced(NodeId node) const
+    {
+        return (silencedMask.load(std::memory_order_acquire) >>
+                node) & 1;
+    }
+
+    /** Any node silenced? (fast path gate) */
+    bool
+    anySilenced() const
+    {
+        return silencedMask.load(std::memory_order_acquire) != 0;
+    }
+
     /** Drop rate in effect (0 = drops disabled). */
     double dropRate() const { return rate; }
 
@@ -70,6 +96,8 @@ class FaultInjector
      *  do not share one fate. */
     std::atomic<std::uint64_t> decisionSeq{0};
     std::atomic<std::uint64_t> droppedCount{0};
+    /** Bit per node: all its droppable traffic is discarded. */
+    std::atomic<std::uint64_t> silencedMask{0};
 };
 
 } // namespace dsm

@@ -150,6 +150,8 @@ enum class RingPop : std::uint8_t
     Closed,   ///< ring shut down and fully drained
     PeerDown, ///< empty and the owning peer is marked dead — do not
               ///< block; the caller should back off or fail over
+    Timeout,  ///< still empty when the caller's deadline expired
+              ///< (MpscRing::popTimed / Network::recvTimed only)
 };
 
 class MpscRing
@@ -325,6 +327,69 @@ class MpscRing
                 return RingPop::Closed;
             }
             futexWait(park, 1);
+            parked = true;
+        }
+        lastPopParked = parked;
+        out = std::move(slot.msg);
+        slot.msg = Message{};
+        slot.seq.store(head + mask + 1, std::memory_order_release);
+        ++head;
+        return RingPop::Ok;
+    }
+
+    /**
+     * pop() with a deadline: dequeue in ticket order, but give up and
+     * return RingPop::Timeout once @p timeout_ns elapses with the ring
+     * still empty. Used by a service loop that must wake periodically
+     * to feed the failure detector even when its inbox is idle.
+     * Deliberately ignores the peer-down flag: this is the owning
+     * node's *own* consumer, and a falsely accused node must keep
+     * draining (and heartbeating) normally rather than spin on
+     * PeerDown until somebody clears its flag.
+     */
+    RingPop
+    popTimed(Message &out, std::uint64_t timeout_ns)
+    {
+        const auto deadline = std::chrono::steady_clock::now() +
+                              std::chrono::nanoseconds(timeout_ns);
+        Slot &slot = slots[head & mask];
+        const std::uint64_t want = head + 1;
+        const int budget = lastPopParked ? 0 : consumerSpinBudget();
+        bool parked = false;
+        for (int spin = 0;; ++spin) {
+            if (slot.seq.load(std::memory_order_acquire) == want)
+                break;
+            if (spin < budget) {
+                if (spin < budget - 16)
+                    cpuRelax();
+                else
+                    std::this_thread::yield();
+                continue;
+            }
+            const auto now = std::chrono::steady_clock::now();
+            if (now >= deadline) {
+                // A prior timed wait may have expired with park still
+                // advertised; clear it so producers stop paying wakes.
+                park.store(0, std::memory_order_relaxed);
+                lastPopParked = parked;
+                return RingPop::Timeout;
+            }
+            park.store(1, std::memory_order_seq_cst);
+            std::atomic_thread_fence(std::memory_order_seq_cst);
+            if (slot.seq.load(std::memory_order_acquire) == want) {
+                park.store(0, std::memory_order_relaxed);
+                break;
+            }
+            if (down.load(std::memory_order_seq_cst)) {
+                park.store(0, std::memory_order_relaxed);
+                if (slot.seq.load(std::memory_order_acquire) == want)
+                    break;
+                return RingPop::Closed;
+            }
+            futexWaitTimed(park, 1,
+                           static_cast<std::uint64_t>(
+                               std::chrono::nanoseconds(deadline - now)
+                                   .count()));
             parked = true;
         }
         lastPopParked = parked;

@@ -1,5 +1,7 @@
 #include "net/network.hh"
 
+#include <chrono>
+
 #include "util/logging.hh"
 
 namespace dsm {
@@ -146,6 +148,42 @@ Network::recvStatus(NodeId node, Message &out)
     const RingPop status = box.ring->popWithStatus(out);
     if (status != RingPop::Ok)
         return status;
+    if (out.pairSeq != 0) {
+        std::uint64_t &last = box.lastDelivered[out.src];
+        DSM_ASSERT(out.pairSeq > last,
+                   "out-of-order delivery %d->%d: pairSeq %llu after "
+                   "%llu",
+                   out.src, node,
+                   static_cast<unsigned long long>(out.pairSeq),
+                   static_cast<unsigned long long>(last));
+        last = out.pairSeq;
+    }
+    return RingPop::Ok;
+}
+
+RingPop
+Network::recvTimed(NodeId node, Message &out, std::uint64_t timeout_ns)
+{
+    DSM_ASSERT(node >= 0 && node < nnodes(), "bad node %d", node);
+    Inbox &box = *inboxes[node];
+    if (policy != InboxPolicy::LockFreeRing) {
+        std::unique_lock<std::mutex> g(box.locked->mu);
+        const bool ready = box.locked->cv.wait_for(
+            g, std::chrono::nanoseconds(timeout_ns), [&] {
+                return !box.locked->queue.empty() ||
+                       down.load(std::memory_order_acquire);
+            });
+        if (!ready)
+            return RingPop::Timeout;
+        if (box.locked->queue.empty())
+            return RingPop::Closed;
+        out = std::move(box.locked->queue.front());
+        box.locked->queue.pop_front();
+    } else {
+        const RingPop status = box.ring->popTimed(out, timeout_ns);
+        if (status != RingPop::Ok)
+            return status;
+    }
     if (out.pairSeq != 0) {
         std::uint64_t &last = box.lastDelivered[out.src];
         DSM_ASSERT(out.pairSeq > last,

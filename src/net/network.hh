@@ -117,6 +117,15 @@ class Network
     RingPop recvStatus(NodeId node, Message &out);
 
     /**
+     * recv() with a deadline: returns RingPop::Timeout once
+     * @p timeout_ns elapses with @p node's inbox still empty. The
+     * periodic-wake primitive of a failure-detecting service loop;
+     * ignores the node's own peer-down flag (see MpscRing::popTimed).
+     */
+    RingPop recvTimed(NodeId node, Message &out,
+                      std::uint64_t timeout_ns);
+
+    /**
      * Mark @p node dead (chaos kill in progress): status-aware
      * receives on its inbox stop blocking, while sends to it keep
      * buffering in the inbox — the "parked outbound traffic" the

@@ -341,12 +341,39 @@ LockService::handleRequest(Message &msg)
         else
             state.pending.push_back(std::move(fwd));
     } else {
+        // Record the forward before sending: if the target dies, the
+        // recovery hook re-forwards from this last stable record.
+        it->second.hasForward = true;
+        it->second.forwardTarget = target;
+        it->second.lastForward = fwd;
         WireWriter w;
         w.putU32(lock);
         w.putU8(static_cast<std::uint8_t>(mode));
         w.putU16(static_cast<std::uint16_t>(fwd.origin));
         w.putBlob(fwd.requestInfo);
         ep.send(target, MsgType::LockForward, w.take(), fwd.token);
+    }
+}
+
+void
+LockService::onPeerRecovered(NodeId peer)
+{
+    std::lock_guard<std::mutex> g(mu);
+    for (auto &[lock, m] : managed) {
+        if (!m.hasForward || m.forwardTarget != peer)
+            continue;
+        // Re-grant from the last stable record: the recovered owner
+        // either lost the forward with its wiped state (the replay
+        // delivers it) or still has it parked/granted (its token
+        // dedup window drops the duplicate).
+        WireWriter w;
+        w.putU32(lock);
+        w.putU8(static_cast<std::uint8_t>(m.lastForward.mode));
+        w.putU16(static_cast<std::uint16_t>(m.lastForward.origin));
+        w.putBlob(m.lastForward.requestInfo);
+        ep.send(peer, MsgType::LockForward, w.take(),
+                m.lastForward.token);
+        ep.stats().orphanForwardsReplayed++;
     }
 }
 
@@ -361,6 +388,18 @@ LockService::handleForward(Message &msg)
 
     std::lock_guard<std::mutex> g(mu);
     ep.clock().add(ep.costModel().lockHandlingNs);
+    // Token dedup: a manager's orphan replay may duplicate a forward
+    // that survived the outage in our parked inbox (or was already
+    // granted before the cut). Granting it twice would corrupt
+    // ownership; the duplicate is dropped and the original's grant
+    // (delivered or in flight) answers the origin.
+    const auto key = std::make_pair(origin, msg.replyToken);
+    if (std::find(forwardTokens.begin(), forwardTokens.end(), key) !=
+        forwardTokens.end())
+        return;
+    forwardTokens.push_back(key);
+    if (forwardTokens.size() > kForwardDedupWindow)
+        forwardTokens.pop_front();
     Forward fwd{origin, msg.replyToken, mode, std::move(info)};
     LockLocal &state = localState(lock);
     if (idleForGrant(state))
@@ -396,6 +435,17 @@ LockService::serialize(WireWriter &w) const
     for (const auto &[lock, m] : managed) {
         w.putU32(lock);
         w.putI64(m.lastOwner);
+        w.putU8(m.hasForward);
+        w.putI64(m.forwardTarget);
+        w.putI64(m.lastForward.origin);
+        w.putU64(m.lastForward.token);
+        w.putU8(static_cast<std::uint8_t>(m.lastForward.mode));
+        w.putBlob(m.lastForward.requestInfo);
+    }
+    w.putU32(static_cast<std::uint32_t>(forwardTokens.size()));
+    for (const auto &[origin, token] : forwardTokens) {
+        w.putI64(origin);
+        w.putU64(token);
     }
 }
 
@@ -434,7 +484,21 @@ LockService::restoreFrom(WireReader &r)
     const std::uint32_t nmanaged = r.getU32();
     for (std::uint32_t i = 0; i < nmanaged; ++i) {
         const LockId lock = r.getU32();
-        managed[lock].lastOwner = static_cast<NodeId>(r.getI64());
+        ManagerState &m = managed[lock];
+        m.lastOwner = static_cast<NodeId>(r.getI64());
+        m.hasForward = r.getU8() != 0;
+        m.forwardTarget = static_cast<NodeId>(r.getI64());
+        m.lastForward.origin = static_cast<NodeId>(r.getI64());
+        m.lastForward.token = r.getU64();
+        m.lastForward.mode = static_cast<AccessMode>(r.getU8());
+        m.lastForward.requestInfo = r.getBlob();
+    }
+    const std::uint32_t ntokens = r.getU32();
+    forwardTokens.clear();
+    for (std::uint32_t i = 0; i < ntokens; ++i) {
+        const NodeId origin = static_cast<NodeId>(r.getI64());
+        const std::uint64_t token = r.getU64();
+        forwardTokens.emplace_back(origin, token);
     }
 }
 
@@ -444,6 +508,7 @@ LockService::wipeForRecovery()
     std::lock_guard<std::mutex> g(mu);
     locks.clear();
     managed.clear();
+    forwardTokens.clear();
 }
 
 } // namespace dsm

@@ -148,6 +148,18 @@ class LockService
     /** Service-thread dispatch for LockRequest/LockForward messages. */
     void handleMessage(Message &msg);
 
+    /**
+     * Orphaned-lock reclamation, run by the endpoint's recovery hook
+     * when @p peer transitions down -> healthy: every managed lock
+     * whose most recent forward targeted @p peer is re-forwarded with
+     * the original token and request info, so a request the outage
+     * orphaned is re-granted from the manager's last stable record.
+     * The owner-side token dedup window makes the replay idempotent
+     * when the original forward survived (parked in the inbox) after
+     * all. Counted by orphanForwardsReplayed.
+     */
+    void onPeerRecovered(NodeId peer);
+
     /** True if any local application thread currently holds @p lock. */
     bool holds(LockId lock) const;
 
@@ -235,6 +247,11 @@ class LockService
     struct ManagerState
     {
         NodeId lastOwner = -1; ///< tail of the request chain
+        /** Most recent forward sent for this lock (the re-grant
+         *  record for orphaned-lock reclamation). */
+        bool hasForward = false;
+        NodeId forwardTarget = -1; ///< owner the forward was sent to
+        Forward lastForward;
     };
 
     /** Node-local id of the calling thread (-1: no thread context —
@@ -274,6 +291,14 @@ class LockService
     LockHooks hooks;
     std::unordered_map<LockId, LockLocal> locks;
     std::unordered_map<LockId, ManagerState> managed;
+    /** Owner-side dedup of forwards already received, keyed by
+     *  (origin, token): a manager's orphan replay of a forward that
+     *  actually survived (parked in our inbox through the outage) must
+     *  not double-grant. Tokens alone do not identify a request —
+     *  every endpoint numbers its calls from the same counter start,
+     *  so two origins' independent requests can carry equal tokens. */
+    std::deque<std::pair<NodeId, std::uint64_t>> forwardTokens;
+    static constexpr std::size_t kForwardDedupWindow = 128;
 };
 
 } // namespace dsm

@@ -64,6 +64,12 @@ forEachField(Stats &s, Fn fn)
     fn("checkpointsTaken", s.checkpointsTaken);
     fn("recoveryReplays", s.recoveryReplays);
     fn("msgRetransmits", s.msgRetransmits);
+    fn("peerDownDetections", s.peerDownDetections);
+    fn("peerDownRecoveries", s.peerDownRecoveries);
+    fn("peerUnavailableRetries", s.peerUnavailableRetries);
+    fn("orphanForwardsReplayed", s.orphanForwardsReplayed);
+    fn("rehostedFetches", s.rehostedFetches);
+    fn("checkpointDeltaBytes", s.checkpointDeltaBytes);
     fn("workUnits", s.workUnits);
 }
 

@@ -137,6 +137,27 @@ struct NodeStats
      *  fault-injected drop (distinct from `retransmissions`, which
      *  counts the *modeled* stop-and-wait retries of LossPlan). */
     std::uint64_t msgRetransmits = 0;
+    /** Failure-detector transitions this node's service thread
+     *  performed: peers declared down after a missed liveness
+     *  deadline, and peers revived by a fresh stamp. Each transition
+     *  is CAS-guarded, so the cluster-wide sums count each outage
+     *  once no matter how many nodes raced to observe it. */
+    std::uint64_t peerDownDetections = 0;
+    std::uint64_t peerDownRecoveries = 0;
+    /** Blocking call() waits that timed out while the detector held
+     *  some peer down — the typed PeerUnavailable retry loop (bounded
+     *  backoff, never a silent park) degrading instead of hanging. */
+    std::uint64_t peerUnavailableRetries = 0;
+    /** Lock forwards the manager re-sent after a holder's recovery
+     *  (orphaned-lock reclamation; the owner-side token dedup makes
+     *  the duplicates idempotent). */
+    std::uint64_t orphanForwardsReplayed = 0;
+    /** Home-page fetches served from a down home's persisted
+     *  checkpoint frontier instead of waiting out the outage. */
+    std::uint64_t rehostedFetches = 0;
+    /** Bytes of incremental (changed-runs-only) checkpoint blobs, as
+     *  opposed to checkpointsTaken full anchor cuts. */
+    std::uint64_t checkpointDeltaBytes = 0;
 
     // Application-reported work units (drives the compute time model).
     std::uint64_t workUnits = 0;

@@ -473,5 +473,77 @@ TEST(LrcWriterMask, LockRequestAnnouncementPreventsStaleCoalesce)
     });
 }
 
+// ---------------------------------------------------------------------
+// The barrier half of the announcement channel, driven by the
+// declareWriteIntent API. B never sends A a lock request (the PR
+// above's channel), and its write to word 1 happens only *after* A's
+// epoch has started — so the only way A can learn that page p is
+// multi-writer before cutting its grant-side diff is B's declared
+// intent riding the barrier: arrival carries B's intended pages, the
+// barrier manager folds every arrival's set into the departures, and
+// A's applyDepart widens its writerMask one epoch ahead of the write
+// itself. Without that edge A's [0..4] diff run would bridge word 1
+// with its stale zero and, applying after B's lower-vtSum diff at C,
+// clobber B's 42.
+TEST(LrcWriterMask, DeclaredIntentRidesBarrierChannel)
+{
+    ClusterConfig cc = lrcConfig("LRC-diff", 3);
+    cc.diffGapWords = 8;
+    Cluster cluster(cc);
+    cluster.run([](Runtime &rt) {
+        auto a = SharedArray<int>::alloc(rt, 1024, 4, "intent");
+        const int self = rt.self();
+        if (self == 1) {
+            // Epoch 1: intent only — no store, so barrier 1 spreads
+            // no write notice for p, only the announcement. A's copy
+            // of p stays valid (and stale at word 1).
+            rt.declareWriteIntent(a.addr(1), sizeof(int));
+        }
+        rt.barrier(0);
+        // Lock managers (lock % 3): L1=3 -> A, L2=4 -> B, the
+        // inflation locks 5/8/11 -> C.
+        if (self == 0) {
+            // Epoch 2. Inflate vt[A] past B's so A's diff applies
+            // last at C, then write around the word B declared.
+            for (LockId l : {5, 8, 11}) {
+                rt.acquire(l, AccessMode::Write);
+                a.set(256 * (l == 5 ? 1 : l == 8 ? 2 : 3), 7);
+                rt.release(l);
+            }
+            rt.acquire(3, AccessMode::Write); // local: no close
+            a.set(0, 1);
+            a.set(4, 2);
+            rt.release(3);
+            // Stay idle past C's L1 request: the diff must be cut on
+            // our service thread at grant time, with the writerMask
+            // already widened by B's barrier-borne intent.
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(1400));
+        } else if (self == 1) {
+            // The declared write, performed under a lock local to B:
+            // no message ever reaches A about it this epoch.
+            std::this_thread::sleep_for(std::chrono::milliseconds(300));
+            rt.acquire(4, AccessMode::Write);
+            a.set(1, 42);
+            rt.release(4);
+        } else {
+            // C collects B's record (vtSum low) then A's (vtSum
+            // high); diffs apply in vtSum order, so a gap-coalesced
+            // diff from A would land last and stomp word 1.
+            std::this_thread::sleep_for(std::chrono::milliseconds(900));
+            rt.acquire(4, AccessMode::Write);
+            rt.release(4);
+            rt.acquire(3, AccessMode::Write);
+            ASSERT_EQ(a.get(1), 42)
+                << "A never learned of B's declared intent through the "
+                   "barrier channel and bridged word 1 with stale data";
+            ASSERT_EQ(a.get(0), 1);
+            ASSERT_EQ(a.get(4), 2);
+            rt.release(3);
+        }
+        rt.barrier(1);
+    });
+}
+
 } // namespace
 } // namespace dsm

@@ -7,7 +7,11 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
+#include <mutex>
+
 #include "net/endpoint.hh"
+#include "net/fault_injector.hh"
 #include "net/serde.hh"
 
 namespace dsm {
@@ -275,6 +279,80 @@ TEST_F(EndpointTest, ReplyOvertakingEarlierSendKeepsBothOrdered)
     while (migrates.load() < kRounds)
         std::this_thread::yield();
     EXPECT_EQ(migrates.load(), kRounds);
+}
+
+// ---------------------------------------------------------------------
+// The dedup window's eviction edge. An in-window duplicate of an
+// already-answered request resends the recorded reply without
+// re-running the handler; once kDedupWindow newer requests from the
+// same peer have evicted the entry, a very late duplicate re-executes
+// — the window bounds memory, and handlers behind it must therefore
+// be idempotent (ours reply with recomputable state). The test pins
+// both halves of that contract.
+TEST_F(EndpointTest, DedupWindowEvictionReexecutesLateDuplicate)
+{
+    std::mutex mu;
+    std::map<std::uint64_t, int> execs; // token -> handler runs
+    eps[1]->setHandler([&](Message &msg) {
+        {
+            std::lock_guard<std::mutex> g(mu);
+            ++execs[msg.replyToken];
+        }
+        eps[1]->reply(msg.src, MsgType::BarrierDepart, msg.payload,
+                      msg.replyToken);
+    });
+    eps[0]->setHandler([](Message &) {});
+    eps[0]->setFaultsEnabled(true);
+    eps[1]->setFaultsEnabled(true);
+    eps[0]->start();
+    eps[1]->start();
+
+    std::uint64_t t0 = 0;
+    {
+        WireWriter w;
+        w.putU32(0xa1);
+        Message reply = eps[0]->call(1, MsgType::BarrierArrive, w.take());
+        t0 = reply.replyToken;
+        ASSERT_NE(t0, 0u);
+    }
+
+    const auto duplicate = [&] {
+        Message dup;
+        dup.src = 0;
+        dup.dst = 1;
+        dup.type = MsgType::BarrierArrive;
+        dup.replyToken = t0;
+        // A real retransmission would carry a late attempt; immune so
+        // an armed injector could never eat the test's probe.
+        dup.attempt = FaultInjector::kAttemptImmunity;
+        dup.vtSendNs = clocks[0].now();
+        net->send(std::move(dup), stats[0]);
+        // Fence: per-pair FIFO delivery means this call returns only
+        // after the service thread has consumed the duplicate.
+        (void)eps[0]->call(1, MsgType::BarrierArrive, {});
+    };
+
+    duplicate();
+    {
+        std::lock_guard<std::mutex> g(mu);
+        EXPECT_EQ(execs[t0], 1)
+            << "in-window duplicate re-ran the handler instead of "
+               "resending the recorded reply";
+    }
+
+    // Push t0 out of the per-src window (the probe calls above also
+    // count towards it), then replay the duplicate: the entry is gone
+    // and the handler legitimately runs again. Its reply lands at an
+    // endpoint with no matching waiter; the armed fault path drops it
+    // as a duplicate of an already-taken reply.
+    for (std::size_t i = 0; i < 2 * Endpoint::kDedupWindow; ++i)
+        (void)eps[0]->call(1, MsgType::BarrierArrive, {});
+    duplicate();
+    {
+        std::lock_guard<std::mutex> g(mu);
+        EXPECT_EQ(execs[t0], 2)
+            << "evicted duplicate should re-execute (bounded window)";
+    }
 }
 
 TEST(VirtualClock, AdvanceSemantics)

@@ -233,6 +233,46 @@ TEST_F(SyncFixture, ReadLocksCacheUntilBarrier)
     EXPECT_GT(nodes[2]->stats.messagesSent, sent);
 }
 
+TEST_F(SyncFixture, ForwardDedupKeysOnOriginAndToken)
+{
+    // Regression: every endpoint numbers its calls from the same
+    // counter start, so two different origins' requests routinely
+    // carry EQUAL reply tokens. The owner-side forward dedup (which
+    // exists so a manager's orphan replay after an outage cannot
+    // double-grant) must therefore key on (origin, token) — deduping
+    // on the bare token silently dropped the second origin's forward
+    // and its acquire hung forever.
+    nodes[1]->locks.acquire(13, AccessMode::Write); // 13 % 4 = node 1:
+                                                    // manager-owned,
+                                                    // message-free
+    const auto forward = [&](NodeId origin, std::uint64_t token) {
+        WireWriter w;
+        w.putU32(13);
+        w.putU8(static_cast<std::uint8_t>(AccessMode::Read));
+        w.putU16(static_cast<std::uint16_t>(origin));
+        w.putBlob({});
+        Message msg;
+        msg.src = 1; // the manager forwarding to itself-as-owner
+        msg.dst = 1;
+        msg.type = MsgType::LockForward;
+        msg.replyToken = token;
+        msg.payload = w.take();
+        nodes[1]->locks.handleMessage(msg);
+    };
+
+    forward(0, 500);
+    EXPECT_EQ(nodes[1]->locks.pendingRemoteCount(13), 1u);
+    forward(0, 500); // true duplicate (an orphan replay): dropped
+    EXPECT_EQ(nodes[1]->locks.pendingRemoteCount(13), 1u);
+    forward(2, 500); // same token, DIFFERENT origin: a distinct request
+    EXPECT_EQ(nodes[1]->locks.pendingRemoteCount(13), 2u);
+    forward(0, 501); // same origin, new token: also distinct
+    EXPECT_EQ(nodes[1]->locks.pendingRemoteCount(13), 3u);
+    // The queued grants are never released: the fixture tears the
+    // cluster down with the lock still held, which is exactly what we
+    // want — no reply choreography, just the dedup keying.
+}
+
 TEST_F(SyncFixture, BarrierBlocksUntilAllArrive)
 {
     std::atomic<int> arrived{0};

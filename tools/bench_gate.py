@@ -125,6 +125,32 @@ def gate_homeread(gate, fresh, baseline, tolerance):
         print(f"        info  homeread/opt_reads_served: {served}")
 
 
+def gate_ckpt(gate, fresh, baseline, tolerance):
+    print("BENCH_ckpt.json (incremental-checkpoint reduction ratio):")
+    key = "delta_reduction"
+    if key not in baseline:
+        print(f"  ckpt/{key}: no committed baseline, skipping")
+        return
+    if key not in fresh:
+        gate.failures.append(f"ckpt/{key}: missing from fresh results")
+        return
+    # Stored-bytes ratio of a deterministic workload: bit-exact across
+    # hosts, so any drop is a real regression in the delta encoder or
+    # the snapshot layout (e.g. a growing section serialized before
+    # the arena again would smear the word scan and crater this).
+    gate.check(f"ckpt/{key}", fresh[key], baseline[key], tolerance)
+    stored = fresh.get("ckpt_delta_bytes", 0)
+    if stored <= 0:
+        gate.failures.append("ckpt/ckpt_delta_bytes: delta run stored "
+                             "nothing in the fresh run")
+    else:
+        print(f"        info  ckpt/ckpt_delta_bytes: {stored}")
+    if "delta_scan_gbps" in fresh:
+        print(f"        info  ckpt/delta_scan_gbps: "
+              f"{fresh['delta_scan_gbps']:.2f} (not gated: absolute "
+              f"throughput)")
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--baseline-dir", required=True,
@@ -148,7 +174,8 @@ def main():
             ("BENCH_diff.json", gate_diff, args.tolerance),
             ("BENCH_net.json", gate_net, args.net_tolerance),
             ("BENCH_homeread.json", gate_homeread,
-             args.net_tolerance)):
+             args.net_tolerance),
+            ("BENCH_ckpt.json", gate_ckpt, args.tolerance)):
         base_path = os.path.join(args.baseline_dir, fname)
         fresh_path = os.path.join(args.fresh_dir, fname)
         if not os.path.exists(base_path):
