@@ -1,21 +1,34 @@
 /**
  * @file
- * Microbenchmark of the node inbox: the seed mutex+condvar deque
- * (InboxPolicy::MutexQueue) against the bounded lock-free MPSC ring
- * with a futex-parked consumer (InboxPolicy::LockFreeRing).
+ * Microbenchmark of the node inbox and the PR 9 latency paths: the
+ * seed mutex+condvar deque (InboxPolicy::MutexQueue) against the
+ * bounded lock-free MPSC ring (InboxPolicy::LockFreeRing), plus the
+ * reply-bypass and send-coalescing ablations.
  *
- * Two shapes are measured, both in real (wall-clock) nanoseconds:
- *  - rpc: Endpoint::call round trips between two nodes' app threads
- *    through both service threads — the service-thread round-trip
- *    latency every LRC access miss and lock hand-off pays;
+ * Shapes, all in real (wall-clock) nanoseconds:
+ *  - rpc: Endpoint::call round trips between two nodes' app threads —
+ *    the service-thread round-trip latency every LRC access miss and
+ *    lock hand-off pays. Measured per-iteration, so the table carries
+ *    p50/p99 alongside the mean: the bypass mostly compresses the
+ *    tail (the reply's futex double hop through the responder's
+ *    service thread).
+ *  - rpc ablation: the same round trip with the reply bypass forced
+ *    off — the reply funnels through the caller's inbox and service
+ *    thread like any message.
  *  - fanin: 7 producer threads blasting one consumer — the batched
  *    diff/timestamp request traffic shape, measuring throughput.
+ *  - coalesce: bursts of small same-destination one-way messages
+ *    (the HomeDiffFlush shape) with send-side coalescing off vs on —
+ *    on buffers the burst and ships one framed ring slot per
+ *    request boundary.
  *
  * Emits BENCH_net.json (tracked in the repo) so the inbox latency
  * trajectory is visible across PRs. Acceptance bar for this PR: the
- * ring's rpc round trip beats the mutex inbox.
+ * bypassed rpc round trip beats the committed pre-bypass ring number
+ * by >= 1.3x.
  */
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <string>
@@ -23,13 +36,21 @@
 #include <vector>
 
 #include "net/endpoint.hh"
+#include "net/serde.hh"
 
 using namespace dsm;
 
 namespace {
 
-double
-rpcRoundTripNs(InboxPolicy policy, int iters)
+struct RpcResult
+{
+    double meanNs;
+    double p50Ns;
+    double p99Ns;
+};
+
+RpcResult
+rpcRoundTrip(InboxPolicy policy, int iters, bool bypass)
 {
     CostModel cm;
     Network net(2, cm, nullptr, policy);
@@ -37,6 +58,8 @@ rpcRoundTripNs(InboxPolicy policy, int iters)
     NodeStats stats[2];
     Endpoint a(net, 0, clocks[0], stats[0]);
     Endpoint b(net, 1, clocks[1], stats[1]);
+    a.setReplyBypass(bypass);
+    b.setReplyBypass(bypass);
     b.setHandler([&](Message &msg) {
         b.reply(msg.src, MsgType::LockGrant, {}, msg.replyToken);
     });
@@ -48,17 +71,28 @@ rpcRoundTripNs(InboxPolicy policy, int iters)
     for (int i = 0; i < 2000; ++i)
         a.call(1, MsgType::LockRequest, {});
 
-    const auto start = std::chrono::steady_clock::now();
-    for (int i = 0; i < iters; ++i)
+    std::vector<double> samples(static_cast<std::size_t>(iters));
+    for (int i = 0; i < iters; ++i) {
+        const auto t0 = std::chrono::steady_clock::now();
         a.call(1, MsgType::LockRequest, {});
-    const auto end = std::chrono::steady_clock::now();
+        const auto t1 = std::chrono::steady_clock::now();
+        samples[static_cast<std::size_t>(i)] =
+            std::chrono::duration<double, std::nano>(t1 - t0).count();
+    }
 
     a.stop();
     b.stop();
     net.shutdown();
-    return std::chrono::duration<double, std::nano>(end - start)
-               .count() /
-           iters;
+
+    double sum = 0.0;
+    for (double s : samples)
+        sum += s;
+    std::sort(samples.begin(), samples.end());
+    RpcResult r;
+    r.meanNs = sum / iters;
+    r.p50Ns = samples[samples.size() / 2];
+    r.p99Ns = samples[samples.size() * 99 / 100];
+    return r;
 }
 
 double
@@ -98,6 +132,64 @@ faninNsPerMsg(InboxPolicy policy, int producers, int per_producer)
            total;
 }
 
+struct CoalesceResult
+{
+    double nsPerMsg;
+    /** Modeled wire messages for the whole run — deterministic, so
+     *  the off/on ratio is bit-stable across hosts (the wall-clock
+     *  ns/msg wobbles: ring pushes are already cheap uncontended). */
+    std::uint64_t wireMessages;
+};
+
+/** Bursts of small one-way HomeDiffFlush messages to one peer, a
+ *  call() as the request boundary after each burst (which is also
+ *  what flushes the coalescing buffer). */
+CoalesceResult
+coalesceShape(bool coalesce, int bursts, int per_burst)
+{
+    CostModel cm;
+    Network net(2, cm);
+    VirtualClock clocks[2];
+    NodeStats stats[2];
+    Endpoint a(net, 0, clocks[0], stats[0]);
+    Endpoint b(net, 1, clocks[1], stats[1]);
+    a.setCoalescing(coalesce);
+    b.setHandler([&](Message &msg) {
+        if (msg.replyToken != 0)
+            b.reply(msg.src, MsgType::HomePageReply, {},
+                    msg.replyToken);
+    });
+    a.setHandler([](Message &) {});
+    a.start();
+    b.start();
+
+    const auto burst = [&] {
+        for (int i = 0; i < per_burst; ++i)
+            a.send(1, MsgType::HomeDiffFlush,
+                   std::vector<std::byte>(16));
+        a.call(1, MsgType::HomePageRequest, {});
+    };
+    for (int w = 0; w < 200; ++w)
+        burst();
+    const std::uint64_t msgs_before = net.totalMessages();
+
+    const auto start = std::chrono::steady_clock::now();
+    for (int i = 0; i < bursts; ++i)
+        burst();
+    const auto end = std::chrono::steady_clock::now();
+    const std::uint64_t msgs = net.totalMessages() - msgs_before;
+
+    a.stop();
+    b.stop();
+    net.shutdown();
+    CoalesceResult r;
+    r.nsPerMsg = std::chrono::duration<double, std::nano>(end - start)
+                     .count() /
+                 (static_cast<double>(bursts) * per_burst);
+    r.wireMessages = msgs;
+    return r;
+}
+
 } // namespace
 
 int
@@ -106,45 +198,90 @@ main()
     const int rpc_iters = 20000;
     const int producers = 7;
     const int per_producer = 60000;
+    const int coalesce_bursts = 6000;
+    const int coalesce_batch = 16;
 
-    std::printf("=== micro_net: inbox latency, old (mutex+cv) vs new "
-                "(lock-free MPSC ring) ===\n");
+    std::printf("=== micro_net: inbox latency — mutex+cv vs MPSC ring, "
+                "reply bypass, send coalescing ===\n");
 
-    const double rpc_mutex =
-        rpcRoundTripNs(InboxPolicy::MutexQueue, rpc_iters);
-    const double rpc_ring =
-        rpcRoundTripNs(InboxPolicy::LockFreeRing, rpc_iters);
+    const RpcResult rpc_mutex =
+        rpcRoundTrip(InboxPolicy::MutexQueue, rpc_iters, true);
+    const RpcResult rpc_ring =
+        rpcRoundTrip(InboxPolicy::LockFreeRing, rpc_iters, true);
+    const RpcResult rpc_ring_nobypass =
+        rpcRoundTrip(InboxPolicy::LockFreeRing, rpc_iters, false);
     const double fan_mutex =
         faninNsPerMsg(InboxPolicy::MutexQueue, producers, per_producer);
     const double fan_ring =
         faninNsPerMsg(InboxPolicy::LockFreeRing, producers,
                       per_producer);
+    const CoalesceResult coal_off =
+        coalesceShape(false, coalesce_bursts, coalesce_batch);
+    const CoalesceResult coal_on =
+        coalesceShape(true, coalesce_bursts, coalesce_batch);
+    const double coal_msg_reduction =
+        static_cast<double>(coal_off.wireMessages) /
+        static_cast<double>(coal_on.wireMessages);
 
-    std::printf("%-28s %12s %12s %9s\n", "shape", "mutex ns", "ring ns",
-                "speedup");
-    std::printf("%-28s %12.0f %12.0f %8.2fx\n",
-                "rpc round trip (2 nodes)", rpc_mutex, rpc_ring,
-                rpc_mutex / rpc_ring);
-    std::printf("%-28s %12.0f %12.0f %8.2fx\n", "fan-in msg (7 -> 1)",
-                fan_mutex, fan_ring, fan_mutex / fan_ring);
+    std::printf("%-30s %10s %10s %10s\n", "shape", "mean ns", "p50 ns",
+                "p99 ns");
+    std::printf("%-30s %10.0f %10.0f %10.0f\n", "rpc mutex inbox",
+                rpc_mutex.meanNs, rpc_mutex.p50Ns, rpc_mutex.p99Ns);
+    std::printf("%-30s %10.0f %10.0f %10.0f\n", "rpc ring + bypass",
+                rpc_ring.meanNs, rpc_ring.p50Ns, rpc_ring.p99Ns);
+    std::printf("%-30s %10.0f %10.0f %10.0f\n", "rpc ring, no bypass",
+                rpc_ring_nobypass.meanNs, rpc_ring_nobypass.p50Ns,
+                rpc_ring_nobypass.p99Ns);
+    std::printf("%-30s %9.2fx\n", "bypass speedup (ring rpc)",
+                rpc_ring_nobypass.meanNs / rpc_ring.meanNs);
+    std::printf("%-30s %10.0f\n", "fan-in mutex ns/msg", fan_mutex);
+    std::printf("%-30s %10.0f  (%.2fx)\n", "fan-in ring ns/msg",
+                fan_ring, fan_mutex / fan_ring);
+    std::printf("%-30s %10.0f  (%llu wire msgs)\n",
+                "coalesce off ns/msg", coal_off.nsPerMsg,
+                static_cast<unsigned long long>(coal_off.wireMessages));
+    std::printf("%-30s %10.0f  (%llu wire msgs, %.2fx fewer)\n",
+                "coalesce on ns/msg", coal_on.nsPerMsg,
+                static_cast<unsigned long long>(coal_on.wireMessages),
+                coal_msg_reduction);
 
-    char json[768];
+    char json[1536];
     std::snprintf(
         json, sizeof(json),
         "{\n"
         "  \"rpc_iters\": %d,\n"
         "  \"fanin_producers\": %d,\n"
         "  \"fanin_msgs_per_producer\": %d,\n"
+        "  \"coalesce_bursts\": %d,\n"
+        "  \"coalesce_batch\": %d,\n"
         "  \"rpc_roundtrip_mutex_ns\": %.0f,\n"
         "  \"rpc_roundtrip_ring_ns\": %.0f,\n"
+        "  \"rpc_roundtrip_ring_p50_ns\": %.0f,\n"
+        "  \"rpc_roundtrip_ring_p99_ns\": %.0f,\n"
+        "  \"rpc_roundtrip_ring_nobypass_ns\": %.0f,\n"
+        "  \"rpc_roundtrip_ring_nobypass_p50_ns\": %.0f,\n"
+        "  \"rpc_roundtrip_ring_nobypass_p99_ns\": %.0f,\n"
+        "  \"rpc_bypass_speedup\": %.2f,\n"
         "  \"rpc_speedup\": %.2f,\n"
         "  \"fanin_mutex_ns_per_msg\": %.0f,\n"
         "  \"fanin_ring_ns_per_msg\": %.0f,\n"
-        "  \"fanin_speedup\": %.2f\n"
+        "  \"fanin_speedup\": %.2f,\n"
+        "  \"coalesce_off_ns_per_msg\": %.0f,\n"
+        "  \"coalesce_on_ns_per_msg\": %.0f,\n"
+        "  \"coalesce_off_wire_msgs\": %llu,\n"
+        "  \"coalesce_on_wire_msgs\": %llu,\n"
+        "  \"coalesce_msg_reduction\": %.2f\n"
         "}\n",
-        rpc_iters, producers, per_producer, rpc_mutex, rpc_ring,
-        rpc_mutex / rpc_ring, fan_mutex, fan_ring,
-        fan_mutex / fan_ring);
+        rpc_iters, producers, per_producer, coalesce_bursts,
+        coalesce_batch, rpc_mutex.meanNs, rpc_ring.meanNs,
+        rpc_ring.p50Ns, rpc_ring.p99Ns, rpc_ring_nobypass.meanNs,
+        rpc_ring_nobypass.p50Ns, rpc_ring_nobypass.p99Ns,
+        rpc_ring_nobypass.meanNs / rpc_ring.meanNs,
+        rpc_mutex.meanNs / rpc_ring.meanNs, fan_mutex, fan_ring,
+        fan_mutex / fan_ring, coal_off.nsPerMsg, coal_on.nsPerMsg,
+        static_cast<unsigned long long>(coal_off.wireMessages),
+        static_cast<unsigned long long>(coal_on.wireMessages),
+        coal_msg_reduction);
 
     const char *out_path = "BENCH_net.json";
     if (FILE *f = std::fopen(out_path, "w")) {

@@ -40,6 +40,14 @@ struct Cell
     /** Ping-pong cap for the last-writer cells (-1 = resolved
      *  default). */
     int pingPong = -1;
+    /** Latency-path knobs (PR 9): -1 keeps the env-resolved default,
+     *  0/1 forces. Blocking dequeue replaces the task-queue poll's
+     *  hot spin with a futex park; adaptive fairness lets each lock
+     *  find its own hand-off bound; coalescing batches small
+     *  same-destination flushes into framed slots. */
+    int blockingDeq = -1;
+    int adaptFair = -1;
+    int coalesce = -1;
 };
 
 struct Spread
@@ -112,11 +120,20 @@ main()
         // home-mode outcome reproducible instead of a tail sample.
         {"home lastw-pin k=4", true, 4, 1, 0, 1},
         {"home lastw+defer k=4", true, 4, 1, 1},
+        // Latency-path sweep points (PR 9): the blocking dequeue on
+        // the acceptance cell (its park consolidates the task-queue
+        // poll storm — the msgs cv% must not regress vs the row
+        // above), the adaptive per-lock bound in place of the static
+        // k, and everything armed at once.
+        {"home lastw-pin +blkdeq", true, 4, 1, 0, 1, 1},
+        {"home lastw-pin adapt-k", true, 0, 1, 0, 1, -1, 1},
+        {"home latency-all", true, 4, 1, 1, 1, 1, 1, 1},
     };
 
     Table table({"policy", "NxT", "time mean (s)", "time range",
                  "time cv%", "msgs mean", "msgs range", "msgs cv%",
-                 "forced", "migr", "supp", "flushes merged"});
+                 "forced", "migr", "supp", "flushes merged", "parks",
+                 "coal", "bound +/-"});
 
     const std::string topo =
         std::to_string(base.nprocs) + "x" +
@@ -124,7 +141,8 @@ main()
     for (const Cell &cell : cells) {
         std::vector<double> times, msgs;
         std::uint64_t forced = 0, migrations = 0, suppressed = 0,
-                      merged = 0;
+                      merged = 0, parks = 0, coalesced = 0, grows = 0,
+                      shrinks = 0;
         for (int r = 0; r < runs; ++r) {
             ClusterConfig cc = base;
             cc.homeBasedLrc = cell.home;
@@ -132,6 +150,9 @@ main()
             cc.homeMigrateLastWriter = cell.lastWriter;
             cc.homeFlushDefer = cell.deferFlush;
             cc.homePingPongLimit = cell.pingPong;
+            cc.blockingDequeue = cell.blockingDeq;
+            cc.lockFairnessAdaptive = cell.adaptFair;
+            cc.coalesceSends = cell.coalesce;
             ExperimentResult res = runExperiment(
                 "QS", RuntimeConfig::parse("LRC-diff"), params, cc);
             times.push_back(res.execSeconds());
@@ -141,6 +162,10 @@ main()
             migrations += res.run.total.homeMigrations;
             suppressed += res.run.total.homeMigrationsSuppressed;
             merged += res.run.total.homeFlushesDeferred;
+            parks += res.run.total.idleParks;
+            coalesced += res.run.total.messagesCoalesced;
+            grows += res.run.total.fairnessBoundGrows;
+            shrinks += res.run.total.fairnessBoundShrinks;
         }
         const Spread ts = spreadOf(times);
         const Spread ms = spreadOf(msgs);
@@ -153,7 +178,11 @@ main()
              std::to_string(forced / runs),
              std::to_string(migrations / runs),
              std::to_string(suppressed / runs),
-             std::to_string(merged / runs)});
+             std::to_string(merged / runs),
+             std::to_string(parks / runs),
+             std::to_string(coalesced / runs),
+             std::to_string(grows / runs) + "/" +
+                 std::to_string(shrinks / runs)});
     }
     table.print();
     std::printf("\n(means over %d runs each; cv%% is the coefficient "

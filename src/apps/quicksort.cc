@@ -286,7 +286,7 @@ QuicksortApp::runNode(Runtime &rt, const AppParams &params)
         if (done)
             break;
         if (entry < 0) {
-            rt.chargeWork(400); // polling backoff
+            rt.pollIdle(); // polling backoff (parks w/ DSM_BLOCKING_DEQ)
             continue;
         }
 

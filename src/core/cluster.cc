@@ -12,7 +12,8 @@ namespace dsm {
 Cluster::Node::Node(const ClusterConfig &config, Network &net, NodeId id)
     : arena(config.arenaBytes, config.pageSize),
       ep(net, id, clock, stats),
-      locks(ep, config.threadsPerNode, config.lockLocalHandoffBound),
+      locks(ep, config.threadsPerNode, config.lockLocalHandoffBound,
+            config.lockFairnessAdaptive > 0),
       barriers(ep, config.threadsPerNode)
 {
     Runtime::Deps deps;
@@ -45,6 +46,11 @@ Cluster::Cluster(const ClusterConfig &config) : cfg(config)
         static_cast<int>(cfg.resolvedHomePingPongLimit());
     cfg.homeFlushDefer = cfg.resolvedHomeFlushDefer() ? 1 : 0;
     cfg.optimisticHomeReads = cfg.resolvedOptimisticHomeReads() ? 1 : 0;
+    // Latency-path knobs (PR 9).
+    cfg.replyBypass = cfg.resolvedReplyBypass() ? 1 : 0;
+    cfg.blockingDequeue = cfg.resolvedBlockingDequeue() ? 1 : 0;
+    cfg.coalesceSends = cfg.resolvedCoalesceSends() ? 1 : 0;
+    cfg.lockFairnessAdaptive = cfg.resolvedLockFairnessAdaptive() ? 1 : 0;
     DSM_ASSERT(cfg.optReadMaxRetries >= 0, "bad optReadMaxRetries %d",
                cfg.optReadMaxRetries);
     // Crash-tolerance knobs, same discipline. Order matters: the kill
@@ -76,6 +82,8 @@ Cluster::Cluster(const ClusterConfig &config) : cfg(config)
     if (cfg.lossEveryNth > 0)
         loss = dropEveryNth(cfg.lossEveryNth);
     net = std::make_unique<Network>(cfg.nprocs, cfg.cost, std::move(loss));
+    if (cfg.blockingDequeue > 0)
+        net->setAdaptiveInboxSpin(true);
 
     // Real (unmodeled) message drops; null when the knob is off, so
     // the send hot path pays only a pointer test. A silent-peer
@@ -107,6 +115,9 @@ Cluster::Cluster(const ClusterConfig &config) : cfg(config)
         Node *n = node.get();
         if (faults)
             n->ep.setFaultsEnabled(true);
+        n->ep.setReplyBypass(cfg.replyBypass > 0);
+        n->ep.setCoalescing(cfg.coalesceSends > 0);
+        n->ep.setBlockingDequeue(cfg.blockingDequeue > 0);
         n->ep.setRetransmitTimeouts(cfg.resolvedRtoFirstNs(),
                                     cfg.resolvedRtoCapNs());
         if (detector) {

@@ -130,6 +130,31 @@ ClusterConfig::resolvedOptimisticHomeReads() const
     return resolveEnvDefault(optimisticHomeReads, "DSM_OPT_READ", 0) != 0;
 }
 
+bool
+ClusterConfig::resolvedReplyBypass() const
+{
+    return resolveEnvDefault(replyBypass, "DSM_REPLY_BYPASS", 1) != 0;
+}
+
+bool
+ClusterConfig::resolvedBlockingDequeue() const
+{
+    return resolveEnvDefault(blockingDequeue, "DSM_BLOCKING_DEQ", 0) != 0;
+}
+
+bool
+ClusterConfig::resolvedCoalesceSends() const
+{
+    return resolveEnvDefault(coalesceSends, "DSM_COALESCE", 0) != 0;
+}
+
+bool
+ClusterConfig::resolvedLockFairnessAdaptive() const
+{
+    return resolveEnvDefault(lockFairnessAdaptive,
+                             "DSM_LOCK_FAIRNESS_ADAPT", 0) != 0;
+}
+
 std::uint64_t
 ClusterConfig::resolvedFaultSeed() const
 {

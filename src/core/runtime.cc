@@ -85,6 +85,38 @@ Runtime::chargeWork(std::uint64_t units)
 }
 
 void
+Runtime::pollIdle()
+{
+    // Virtual-clock accounting is identical with the knob on or off —
+    // the blocking dequeue changes where wall-clock goes, never the
+    // modeled time — so final states stay bit-identical.
+    chargeWork(400);
+    if (!ep->blockingDequeueOn())
+        return;
+    ep->stats().idlePolls++;
+    // Nothing buffered may sit unsent while this worker sleeps.
+    ep->flushCoalesced();
+    // Adaptive spin before parking, same shape as the ring consumer:
+    // a poller whose last wait parked skips straight to the futex.
+    static thread_local bool lastParked = false;
+    const std::uint32_t seen = ep->activityStamp();
+    const int budget = lastParked ? 0 : 128;
+    for (int spin = 0; spin < budget; ++spin) {
+        if (ep->activityStamp() != seen) {
+            lastParked = false;
+            return;
+        }
+        cpuRelax();
+    }
+    // Bounded park: the progress this poller waits for can be a
+    // remote store into shared memory that bumps nothing locally, so
+    // the park must time out and re-poll.
+    ep->stats().idleParks++;
+    ep->waitActivity(seen, 100'000);
+    lastParked = true;
+}
+
+void
 Runtime::handleMessage(Message &msg)
 {
     panic("runtime %s cannot handle message %s", name().c_str(),

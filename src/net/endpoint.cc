@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "net/failure_detector.hh"
+#include "net/serde.hh"
 #include "util/buffer_pool.hh"
 #include "util/logging.hh"
 
@@ -32,6 +33,29 @@ Endpoint::setFaultsEnabled(bool enabled)
     faultsOn = enabled;
     if (enabled && dedup.empty())
         dedup.resize(static_cast<std::size_t>(net.nnodes()));
+}
+
+void
+Endpoint::setReplyBypass(bool on)
+{
+    DSM_ASSERT(!running.load(), "bypass flipped while running");
+    bypassOn = on;
+}
+
+void
+Endpoint::setCoalescing(bool on)
+{
+    DSM_ASSERT(!running.load(), "coalescing flipped while running");
+    coalesceOn = on;
+    if (on && coalesceBufs.empty())
+        coalesceBufs.resize(static_cast<std::size_t>(net.nnodes()));
+}
+
+void
+Endpoint::setBlockingDequeue(bool on)
+{
+    DSM_ASSERT(!running.load(), "blocking dequeue flipped while running");
+    blockingDeqOn = on;
 }
 
 void
@@ -73,10 +97,13 @@ Endpoint::start()
         for (NodeId n = 0; n < net.nnodes(); ++n)
             seenRecoverySeq[n] = detector->recoverySeqOf(n);
     }
-    // Reply bypass on the fault-free path only: with faults armed,
-    // duplicate replies and recorded-reply resends must keep going
-    // through the service thread (which owns the dedup windows).
-    if (!faultsOn)
+    // Reply bypass engages with or without faults: the slot-occupancy
+    // check in tryDeliverReply plus the per-pair ordering guard in
+    // Network::send make a retransmitted duplicate reply lose the
+    // race exactly once — the winner fills the slot, the loser drains
+    // through the service thread's duplicate handling (see the
+    // BypassedDuplicateReply regression test).
+    if (bypassOn)
         net.setReplyReceiver(id, this);
     serviceThread = std::thread([this] { serviceLoop(); });
 }
@@ -86,6 +113,8 @@ Endpoint::stop()
 {
     if (!running.exchange(false))
         return;
+    // A buffered coalesced message must not die with the endpoint.
+    flushCoalesced();
     // Deregister first: setReplyReceiver synchronizes with in-flight
     // senders, so after this no peer thread can reach into our
     // pending map — replies sent while we are stopped (a checkpoint
@@ -107,6 +136,15 @@ void
 Endpoint::send(NodeId dst, MsgType type, std::vector<std::byte> payload,
                std::uint64_t reply_token)
 {
+    if (coalesceOn && reply_token == 0 && coalescable(type) &&
+        dst != id) {
+        std::lock_guard<std::mutex> g(coalMu);
+        coalesceBufs[dst].push_back({type, 0, std::move(payload)});
+        return;
+    }
+    // A direct send must queue behind anything already buffered for
+    // this destination, or the receiver would observe it reordered.
+    flushCoalescedTo(dst);
     Message msg;
     msg.src = id;
     msg.dst = dst;
@@ -122,6 +160,10 @@ Endpoint::reply(NodeId dst, MsgType type, std::vector<std::byte> payload,
                 std::uint64_t reply_token)
 {
     DSM_ASSERT(reply_token != 0, "reply without token");
+    // A reply can be bypassed straight into the caller's slot; a
+    // buffered frame for the same destination must go on the wire
+    // first or the reply would overtake it.
+    flushCoalescedTo(dst);
     Message msg;
     msg.src = id;
     msg.dst = dst;
@@ -133,6 +175,77 @@ Endpoint::reply(NodeId dst, MsgType type, std::vector<std::byte> payload,
     if (faultsOn)
         recordReply(dst, type, msg.payload, reply_token);
     net.send(std::move(msg), stats());
+}
+
+bool
+Endpoint::coalescable(MsgType type)
+{
+    // One-way, token-free traffic whose receivers tolerate any
+    // arrival order relative to each other (the home's word-sum
+    // guard): eager/deferred diff flushes and migrate installs.
+    // Request/reply RPCs and chain-routed lock traffic never
+    // coalesce — their latency is the round trip itself.
+    return type == MsgType::HomeDiffFlush ||
+           type == MsgType::HomeMigrate;
+}
+
+void
+Endpoint::flushCoalescedTo(NodeId dst)
+{
+    if (!coalesceOn)
+        return;
+    std::lock_guard<std::mutex> g(coalMu);
+    auto &buf = coalesceBufs[dst];
+    if (buf.empty())
+        return;
+    // The frame is sent under coalMu so concurrent flushers cannot
+    // interleave two frames for one destination out of buffer order;
+    // the push may block on a full ring, but the consumer that drains
+    // it never takes this endpoint's coalMu — no cycle.
+    Message msg;
+    msg.src = id;
+    msg.dst = dst;
+    msg.vtSendNs = clock().now();
+    if (buf.size() == 1) {
+        // A lone message gains nothing from framing; ship it as-is.
+        msg.type = buf.front().type;
+        msg.payload = std::move(buf.front().payload);
+    } else {
+        WireWriter w;
+        w.putU32(static_cast<std::uint32_t>(buf.size()));
+        for (CoalescedEntry &e : buf) {
+            w.putU8(static_cast<std::uint8_t>(e.type));
+            w.putU64(e.token);
+            w.putBlob(e.payload);
+            BufferPool::instance().release(std::move(e.payload));
+        }
+        msg.type = MsgType::CoalescedFrame;
+        msg.payload = w.take();
+        stats().coalesceFramesSent++;
+        stats().messagesCoalesced += buf.size();
+    }
+    buf.clear();
+    net.send(std::move(msg), stats());
+}
+
+void
+Endpoint::flushCoalesced()
+{
+    if (!coalesceOn)
+        return;
+    for (NodeId dst = 0; dst < net.nnodes(); ++dst)
+        flushCoalescedTo(dst);
+}
+
+void
+Endpoint::waitActivity(std::uint32_t seen, std::uint64_t timeout_ns)
+{
+    activityWaiters.fetch_add(1, std::memory_order_seq_cst);
+    // Re-check after advertising (Dekker): a bump between our stamp
+    // read and the waiter registration must not be slept through.
+    if (activityWord.load(std::memory_order_seq_cst) == seen)
+        futexWaitTimed(activityWord, seen, timeout_ns);
+    activityWaiters.fetch_sub(1, std::memory_order_relaxed);
 }
 
 bool
@@ -164,6 +277,10 @@ Endpoint::call(NodeId dst, MsgType type, std::vector<std::byte> payload,
 {
     if (peer_down != nullptr)
         *peer_down = false;
+    // Request boundary: everything buffered must be on the wire
+    // before we block — a parked frame would stall its receivers for
+    // the whole round trip (and deadlock if the responder needs it).
+    flushCoalesced();
     const std::uint64_t token = nextToken.fetch_add(1);
     PendingReply slot;
     {
@@ -286,6 +403,12 @@ Endpoint::call(NodeId dst, MsgType type, std::vector<std::byte> payload,
         // depends on the reply's arrival time.
         stats().messagesReceived++;
         stats().bytesReceived += out.wireSize();
+        // So does the liveness stamp the service thread would have
+        // taken from the delivery (heard() is CAS-guarded and
+        // thread-safe; the stats argument is this caller's private
+        // delta, so the single-writer discipline still holds).
+        if (detector != nullptr && out.src != id)
+            detector->heard(out.src, stats());
     }
     // Causality: we cannot proceed before the reply arrived.
     clock().advanceTo(out.vtArriveNs);
@@ -336,10 +459,34 @@ Endpoint::dispatch(Message &msg)
     if (msg.type == MsgType::Shutdown)
         return false;
 
+    const NodeId src = msg.src;
+    dispatchInner(msg);
+    // Handlers may have buffered coalescable sends; the service
+    // thread is about to go back to recv (possibly to park), so they
+    // go on the wire now — the frame is the request-boundary batch.
+    flushCoalesced();
+    // Every earlier send from src is now fully applied: re-arm the
+    // reply-bypass ordering guard for the pair (release-decrement
+    // pairs with the guard's acquire load in Network::send).
+    net.noteDispatched(id, src);
+    // App-level blocking dequeues poll shared state this dispatch may
+    // have advanced.
+    bumpActivity();
+    return true;
+}
+
+void
+Endpoint::dispatchInner(Message &msg)
+{
     // The handler runs "on this node's CPU": account arrival.
     vclock.advanceTo(msg.vtArriveNs);
     nodeStats.messagesReceived++;
     nodeStats.bytesReceived += msg.wireSize();
+
+    if (msg.type == MsgType::CoalescedFrame) {
+        dispatchFrame(msg);
+        return;
+    }
 
     if (msg.isReply) {
         // Fill + notify under pendingMu: the caller must reacquire
@@ -350,28 +497,57 @@ Endpoint::dispatch(Message &msg)
         auto it = pending.find(msg.replyToken);
         if (it == pending.end()) {
             if (faultsOn)
-                return true; // duplicate of an already-taken (or
-                             // abandoned) reply
+                return; // duplicate of an already-taken (or
+                        // abandoned) reply
             panic("reply token %llu has no waiter on node %d",
                   static_cast<unsigned long long>(msg.replyToken), id);
         }
         PendingReply *slot = it->second;
         if (slot->ready.load(std::memory_order_relaxed) != 0)
-            return true; // duplicate raced the caller's erase
+            return; // duplicate raced the caller's erase (one copy
+                    // may have arrived via the bypass slot)
         slot->msg = std::move(msg);
         slot->ready.store(1, std::memory_order_release);
         slot->ready.notify_one();
-        return true;
+        return;
     }
 
     if (faultsOn && dedupRequest(msg))
-        return true; // retransmitted duplicate, never re-dispatched
+        return; // retransmitted duplicate, never re-dispatched
 
     DSM_ASSERT(handler != nullptr, "message with no handler");
     handler(msg);
     // The request payload is dead once handled; recycle it.
     BufferPool::instance().release(std::move(msg.payload));
-    return true;
+}
+
+void
+Endpoint::dispatchFrame(Message &msg)
+{
+    WireReader r(msg.payload);
+    const std::uint32_t count = r.getU32();
+    DSM_ASSERT(count >= 2, "degenerate coalesced frame of %u", count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+        Message sub;
+        sub.src = msg.src;
+        sub.dst = id;
+        sub.type = static_cast<MsgType>(r.getU8());
+        sub.replyToken = r.getU64();
+        // Arrival/send stamps inherit the frame's: the batch crossed
+        // the wire as one message and its parts become visible
+        // together. pairSeq stays 0 — sub-messages never pass recv(),
+        // so the per-pair assert never sees them.
+        sub.vtSendNs = msg.vtSendNs;
+        sub.vtArriveNs = msg.vtArriveNs;
+        sub.payload = r.getBlob();
+        DSM_ASSERT(coalescable(sub.type) && !sub.isReply,
+                   "non-coalescable %s inside a frame",
+                   toString(sub.type));
+        DSM_ASSERT(handler != nullptr, "message with no handler");
+        handler(sub);
+        BufferPool::instance().release(std::move(sub.payload));
+    }
+    BufferPool::instance().release(std::move(msg.payload));
 }
 
 void

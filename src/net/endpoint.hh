@@ -140,10 +140,76 @@ class Endpoint : public ReplyReceiver
      * service thread. Fills the caller's futex slot under pendingMu —
      * the same protocol the service thread uses — so the two delivery
      * paths cannot double-fill. False when no caller is parked on the
-     * token (the reply then takes the inbox path). Never engaged with
-     * faults armed (start() only registers the sink without them).
+     * token (the reply then takes the inbox path) or the slot is
+     * already filled (a retransmitted duplicate under faults: exactly
+     * one delivery wins, the loser drains through the service
+     * thread's duplicate handling).
      */
     bool tryDeliverReply(Message &msg) override;
+
+    /**
+     * Arm/disarm reply-bypass delivery for this node (default on:
+     * DSM_REPLY_BYPASS resolves to 1). Must be set before start().
+     */
+    void setReplyBypass(bool on);
+
+    /**
+     * Arm send-side same-destination coalescing (DSM_COALESCE):
+     * coalescable one-way messages (home diff flushes, home-migrate
+     * installs) buffer per destination and ship as one CoalescedFrame,
+     * flushed at every request boundary. Must be set before start().
+     */
+    void setCoalescing(bool on);
+
+    /**
+     * Arm the adaptive blocking-dequeue support (DSM_BLOCKING_DEQ):
+     * every dispatched message bumps the endpoint's activity word so
+     * app-level receive polls (Runtime::pollIdle) can park on it
+     * instead of spinning. Must be set before start().
+     */
+    void setBlockingDequeue(bool on);
+
+    bool blockingDequeueOn() const { return blockingDeqOn; }
+
+    /** Current activity stamp (monotone once blocking dequeue is on). */
+    std::uint32_t
+    activityStamp() const
+    {
+        return activityWord.load(std::memory_order_acquire);
+    }
+
+    /**
+     * Signal local progress (a message dispatched, a lock released):
+     * wakes any pollIdle parker. No-op unless blocking dequeue is on.
+     * Any thread.
+     */
+    void
+    bumpActivity()
+    {
+        if (!blockingDeqOn)
+            return;
+        activityWord.fetch_add(1, std::memory_order_release);
+        if (activityWaiters.load(std::memory_order_acquire) > 0)
+            futexWakeAll(activityWord);
+    }
+
+    /**
+     * Park until the activity word moves past @p seen or @p timeout_ns
+     * elapses. The timeout is load-bearing: progress an idle poller
+     * waits for can be produced entirely off-node (a remote enqueue
+     * into shared memory), which bumps nothing here — the park must
+     * always resume to re-poll.
+     */
+    void waitActivity(std::uint32_t seen, std::uint64_t timeout_ns);
+
+    /**
+     * Ship every buffered coalesced message now (all destinations).
+     * Called at request boundaries: before any blocking call(), before
+     * an idle park, at the end of each service-thread dispatch and at
+     * stop(). A buffered message must never outlive its sender's next
+     * blocking point. No-op when coalescing is off.
+     */
+    void flushCoalesced();
 
     NodeId self() const { return id; }
 
@@ -205,11 +271,33 @@ class Endpoint : public ReplyReceiver
         std::vector<std::byte> replyPayload;
     };
 
+    /** One buffered coalescable message awaiting its frame. */
+    struct CoalescedEntry
+    {
+        MsgType type = MsgType::Invalid;
+        std::uint64_t token = 0;
+        std::vector<std::byte> payload;
+    };
+
     void serviceLoop();
 
     /** Route one drained message (reply fill, dedup, handler). False
      *  = Shutdown: the service loop must exit. */
     bool dispatch(Message &msg);
+
+    /** dispatch() body proper; the wrapper re-arms the bypass guard
+     *  (Network::noteDispatched) and bumps activity afterwards on
+     *  every path out of here. */
+    void dispatchInner(Message &msg);
+
+    /** Unpack a CoalescedFrame into its original handler calls. */
+    void dispatchFrame(Message &msg);
+
+    /** True for message types eligible for send-side coalescing. */
+    static bool coalescable(MsgType type);
+
+    /** Ship destination @p dst's buffered frame (if any). */
+    void flushCoalescedTo(NodeId dst);
 
     /** Fire recoveryCb for peers whose recovery epoch advanced since
      *  we last looked (service thread only). */
@@ -238,6 +326,23 @@ class Endpoint : public ReplyReceiver
 
     /** Fault-tolerant request path armed (see setFaultsEnabled). */
     bool faultsOn = false;
+    /** Reply-bypass delivery armed (see setReplyBypass). */
+    bool bypassOn = true;
+    /** Send-side coalescing armed (see setCoalescing). */
+    bool coalesceOn = false;
+    /** Blocking-dequeue activity signalling armed. */
+    bool blockingDeqOn = false;
+
+    /** Per-destination coalescing buffers; coalMu serializes the
+     *  app threads and the service thread appending/flushing. */
+    std::mutex coalMu;
+    std::vector<std::vector<CoalescedEntry>> coalesceBufs;
+
+    /** Progress epoch for app-level blocking dequeues: bumped on
+     *  every dispatched message (and lock release), parked on by
+     *  Runtime::pollIdle. */
+    alignas(64) std::atomic<std::uint32_t> activityWord{0};
+    std::atomic<std::uint32_t> activityWaiters{0};
     /** Per-source dedup windows, service-thread-only (replies for
      *  droppable requests are produced on the service thread). */
     std::vector<std::deque<DedupEntry>> dedup;

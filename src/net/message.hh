@@ -52,6 +52,10 @@ enum class MsgType : std::uint8_t
                      ///< page copy + home state for the new home
 
     // Infrastructure.
+    CoalescedFrame, ///< send-side coalescing: several small messages to
+                    ///< one destination framed into a single ring slot
+                    ///< (length-prefixed serde entries; unpacked into
+                    ///< the original handler calls on arrival)
     Shutdown,      ///< cluster teardown of the service loop
 
     NumTypes,

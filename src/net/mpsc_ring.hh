@@ -22,6 +22,7 @@
 #ifndef DSM_NET_MPSC_RING_HH
 #define DSM_NET_MPSC_RING_HH
 
+#include <algorithm>
 #include <atomic>
 #include <cerrno>
 #include <chrono>
@@ -236,7 +237,7 @@ class MpscRing
         // the spin. When the previous pop was served hot the link is
         // busy (fan-in bursts) and spinning/yielding lets producers
         // batch instead of paying a sleep/wake pair per message.
-        const int budget = lastPopParked ? 0 : consumerSpinBudget();
+        const int budget = popSpinBudget();
         bool parked = false;
         for (int spin = 0;; ++spin) {
             if (slot.seq.load(std::memory_order_acquire) == want)
@@ -274,7 +275,7 @@ class MpscRing
             futexWait(park, 1);
             parked = true;
         }
-        lastPopParked = parked;
+        notePopOutcome(parked);
         out = std::move(slot.msg);
         slot.msg = Message{};
         slot.seq.store(head + mask + 1, std::memory_order_release);
@@ -294,7 +295,7 @@ class MpscRing
     {
         Slot &slot = slots[head & mask];
         const std::uint64_t want = head + 1;
-        const int budget = lastPopParked ? 0 : consumerSpinBudget();
+        const int budget = popSpinBudget();
         bool parked = false;
         for (int spin = 0;; ++spin) {
             if (slot.seq.load(std::memory_order_acquire) == want)
@@ -304,7 +305,7 @@ class MpscRing
                 // before the peer died still gets delivered.
                 if (slot.seq.load(std::memory_order_acquire) == want)
                     break;
-                lastPopParked = parked;
+                notePopOutcome(parked);
                 return RingPop::PeerDown;
             }
             if (spin < budget) {
@@ -329,7 +330,7 @@ class MpscRing
             futexWait(park, 1);
             parked = true;
         }
-        lastPopParked = parked;
+        notePopOutcome(parked);
         out = std::move(slot.msg);
         slot.msg = Message{};
         slot.seq.store(head + mask + 1, std::memory_order_release);
@@ -354,7 +355,7 @@ class MpscRing
                               std::chrono::nanoseconds(timeout_ns);
         Slot &slot = slots[head & mask];
         const std::uint64_t want = head + 1;
-        const int budget = lastPopParked ? 0 : consumerSpinBudget();
+        const int budget = popSpinBudget();
         bool parked = false;
         for (int spin = 0;; ++spin) {
             if (slot.seq.load(std::memory_order_acquire) == want)
@@ -371,7 +372,7 @@ class MpscRing
                 // A prior timed wait may have expired with park still
                 // advertised; clear it so producers stop paying wakes.
                 park.store(0, std::memory_order_relaxed);
-                lastPopParked = parked;
+                notePopOutcome(parked);
                 return RingPop::Timeout;
             }
             park.store(1, std::memory_order_seq_cst);
@@ -392,7 +393,7 @@ class MpscRing
                                    .count()));
             parked = true;
         }
-        lastPopParked = parked;
+        notePopOutcome(parked);
         out = std::move(slot.msg);
         slot.msg = Message{};
         slot.seq.store(head + mask + 1, std::memory_order_release);
@@ -432,6 +433,23 @@ class MpscRing
         futexWakeAll(park);
     }
 
+    /**
+     * Switch the consumer's empty-wait spin budget from the binary
+     * parked/hot heuristic to a dynamically sized one (halve on every
+     * pop that ended in a futex sleep, grow on every hot pop): under
+     * mixed traffic — bursts interleaved with idle gaps, the QS task
+     * queue pattern — the binary heuristic whiplashes between full
+     * spin and immediate park, while the dynamic budget converges on
+     * the duty cycle (DSM_BLOCKING_DEQ). Consumer-thread only; call
+     * before the consumer starts.
+     */
+    void
+    setAdaptiveSpin(bool on)
+    {
+        adaptiveSpin = on;
+        spinBudget = consumerSpinBudget();
+    }
+
   private:
     struct Slot
     {
@@ -439,11 +457,36 @@ class MpscRing
         Message msg;
     };
 
+    /** Empty-wait spin budget for the next pop (consumer only). */
+    int
+    popSpinBudget() const
+    {
+        if (adaptiveSpin)
+            return spinBudget;
+        return lastPopParked ? 0 : consumerSpinBudget();
+    }
+
+    /** Record how a pop's empty wait ended (consumer only). */
+    void
+    notePopOutcome(bool parked)
+    {
+        lastPopParked = parked;
+        if (!adaptiveSpin)
+            return;
+        if (parked)
+            spinBudget /= 2; // sleeping anyway: stop burning the bus
+        else
+            spinBudget = std::min(consumerSpinBudget(),
+                                  spinBudget == 0 ? 16 : spinBudget * 2);
+    }
+
     std::vector<Slot> slots;
     std::size_t mask = 0;
     alignas(64) std::atomic<std::uint64_t> tail{0}; ///< producers
     alignas(64) std::uint64_t head = 0;             ///< consumer only
     bool lastPopParked = false;                     ///< consumer only
+    bool adaptiveSpin = false;                      ///< consumer only
+    int spinBudget = 0;                             ///< consumer only
     alignas(64) std::atomic<std::uint32_t> park{0}; ///< 1 = consumer parked
     std::atomic<bool> down{false};
     std::atomic<bool> peerDown{false}; ///< popWithStatus only

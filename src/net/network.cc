@@ -7,7 +7,8 @@
 namespace dsm {
 
 Network::Network(int nnodes, const CostModel &cost_model,
-                 LossPlan loss_plan, InboxPolicy inbox_policy)
+                 LossPlan loss_plan, InboxPolicy inbox_policy,
+                 std::size_t ring_capacity)
     : cm(cost_model), loss(std::move(loss_plan)), policy(inbox_policy)
 {
     DSM_ASSERT(nnodes > 0, "network needs at least one node");
@@ -15,13 +16,16 @@ Network::Network(int nnodes, const CostModel &cost_model,
     for (int i = 0; i < nnodes; ++i) {
         inboxes.push_back(std::make_unique<Inbox>());
         if (policy == InboxPolicy::LockFreeRing)
-            inboxes.back()->ring = std::make_unique<MpscRing>();
+            inboxes.back()->ring =
+                std::make_unique<MpscRing>(ring_capacity);
         else
             inboxes.back()->locked = std::make_unique<LockedInbox>();
         inboxes.back()->lastDelivered.assign(nnodes, 0);
         replySlots.push_back(std::make_unique<ReceiverSlot>());
     }
     pairSeqs.assign(static_cast<std::size_t>(nnodes) * nnodes, 0);
+    pairOutstanding = std::vector<std::atomic<std::uint32_t>>(
+        static_cast<std::size_t>(nnodes) * nnodes);
 }
 
 void
@@ -68,14 +72,37 @@ Network::send(Message &&msg, NodeStats &sender_stats)
     // route. All wire accounting above already happened; only the
     // simulation-metadata pairSeq stamp is skipped (bypassed replies
     // never pass recv(), so the in-order-per-pair assert never sees
-    // them). Disabled under fault injection: retransmitted duplicates
-    // and recorded-reply resends must keep funnelling through the
-    // service thread's dedup.
-    if (msg.isReply && faults == nullptr) {
+    // them). Guarded by the per-pair outstanding counter: while this
+    // sender still has undispatched messages in the destination's
+    // inbox (a HomeMigrate install, a forwarded lock chain, an
+    // earlier coalesced frame), the reply must queue behind them —
+    // the counter was incremented before those pushes, so any
+    // happens-before-ordered reply observes it nonzero until the
+    // receiver's handler finished (noteDispatched's release decrement
+    // pairs with this acquire load). Under fault injection the slot
+    // additionally refuses occupied tokens, funnelling duplicate
+    // retransmitted replies to the service thread's dedup window.
+    if (msg.isReply) {
         ReceiverSlot &slot = *replySlots[msg.dst];
         std::lock_guard<std::mutex> g(slot.mu);
-        if (slot.receiver && slot.receiver->tryDeliverReply(msg))
-            return;
+        if (slot.receiver) {
+            if (pairOutstanding[pairIndex(msg.src, msg.dst)].load(
+                    std::memory_order_acquire) == 0 &&
+                slot.receiver->tryDeliverReply(msg)) {
+                sender_stats.repliesBypassed++;
+                return;
+            }
+            sender_stats.replyBypassRefusals++;
+        }
+    }
+
+    // From here the message is committed to the inbox: engage the
+    // ordering guard before the push so the increment is visible to
+    // any later reply send ordered after this one. Shutdown skips it
+    // (teardown never dispatches through the endpoint).
+    if (msg.type != MsgType::Shutdown) {
+        pairOutstanding[pairIndex(msg.src, msg.dst)].fetch_add(
+            1, std::memory_order_relaxed);
     }
 
     Inbox &box = *inboxes[msg.dst];
@@ -204,6 +231,22 @@ Network::setReplyReceiver(NodeId node, ReplyReceiver *receiver)
     ReceiverSlot &slot = *replySlots[node];
     std::lock_guard<std::mutex> g(slot.mu);
     slot.receiver = receiver;
+}
+
+void
+Network::noteDispatched(NodeId dst, NodeId src)
+{
+    pairOutstanding[pairIndex(src, dst)].fetch_sub(
+        1, std::memory_order_release);
+}
+
+void
+Network::setAdaptiveInboxSpin(bool on)
+{
+    for (auto &box : inboxes) {
+        if (box->ring)
+            box->ring->setAdaptiveSpin(on);
+    }
 }
 
 void

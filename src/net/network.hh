@@ -87,7 +87,8 @@ class Network
      */
     Network(int nnodes, const CostModel &costModel,
             LossPlan lossPlan = nullptr,
-            InboxPolicy policy = InboxPolicy::LockFreeRing);
+            InboxPolicy policy = InboxPolicy::LockFreeRing,
+            std::size_t ringCapacity = MpscRing::kDefaultCapacity);
 
     /**
      * Send @p msg (src/dst/vtSendNs must be filled in). Computes the
@@ -146,13 +147,38 @@ class Network
     /**
      * Register (or, with null, deregister) @p node's direct reply
      * sink. While registered, send() offers every reply for @p node
-     * to it first; only refused replies enter the inbox. Serialized
-     * against in-flight sends: after a null store returns, no sender
-     * can still be inside the receiver. Bypass never engages while a
-     * fault injector is installed (retransmit dedup and duplicate
-     * replies live on the service-thread path).
+     * to it first — subject to the per-pair ordering guard below —
+     * and only refused replies enter the inbox. Serialized against
+     * in-flight sends: after a null store returns, no sender can
+     * still be inside the receiver.
+     *
+     * Ordering guard: a reply is only bypassed while the sender has
+     * zero other messages outstanding in the destination's inbox
+     * (per-(src, dst) counter, incremented before the inbox push and
+     * decremented by noteDispatched after the receiver finished the
+     * handler). This pins the network's in-order-per-pair guarantee
+     * across the two delivery paths: a bypassed reply can never
+     * overtake an earlier HomeMigrate install or LockForward-chain
+     * message from the same sender still sitting in the ring.
      */
     void setReplyReceiver(NodeId node, ReplyReceiver *receiver);
+
+    /**
+     * Record that @p dst fully dispatched one inbox message from
+     * @p src (handler completed): re-arms the reply-bypass ordering
+     * guard for the pair. Called by the owning Endpoint only; a
+     * consumer that drains the inbox without it (raw recv loops,
+     * checkpoint quiesce) merely leaves the guard engaged, refusing
+     * future bypasses for the pair — the safe direction.
+     */
+    void noteDispatched(NodeId dst, NodeId src);
+
+    /**
+     * Switch every inbox ring's empty-wait spin to the dynamically
+     * sized budget (DSM_BLOCKING_DEQ; see MpscRing::setAdaptiveSpin).
+     * Call before any consumer starts.
+     */
+    void setAdaptiveInboxSpin(bool on);
 
     /** Wake all receivers and make subsequent recv() return false. */
     void shutdown();
@@ -208,6 +234,15 @@ class Network
     /** Per-(src, dst) sequence stamps, MutexQueue policy only (the
      *  ring stamps with its delivery-ordered ticket instead). */
     std::vector<std::uint64_t> pairSeqs;
+    /** Per-(src, dst) count of inbox messages accepted but not yet
+     *  fully dispatched — the reply-bypass ordering guard. */
+    std::vector<std::atomic<std::uint32_t>> pairOutstanding;
+
+    std::size_t
+    pairIndex(NodeId src, NodeId dst) const
+    {
+        return static_cast<std::size_t>(src) * inboxes.size() + dst;
+    }
 };
 
 /** A loss plan dropping the first attempt of every @p n-th message. */

@@ -16,6 +16,12 @@ forEachField(Stats &s, Fn fn)
     fn("bytesSent", s.bytesSent);
     fn("bytesReceived", s.bytesReceived);
     fn("retransmissions", s.retransmissions);
+    fn("repliesBypassed", s.repliesBypassed);
+    fn("replyBypassRefusals", s.replyBypassRefusals);
+    fn("coalesceFramesSent", s.coalesceFramesSent);
+    fn("messagesCoalesced", s.messagesCoalesced);
+    fn("idlePolls", s.idlePolls);
+    fn("idleParks", s.idleParks);
     fn("locksAcquired", s.locksAcquired);
     fn("roLocksAcquired", s.roLocksAcquired);
     fn("localLockHits", s.localLockHits);
@@ -24,6 +30,8 @@ forEachField(Stats &s, Fn fn)
     fn("intraNodeLockHandoffs", s.intraNodeLockHandoffs);
     fn("remoteHandoffsForced", s.remoteHandoffsForced);
     fn("maxLocalHandoffRun", s.maxLocalHandoffRun);
+    fn("fairnessBoundGrows", s.fairnessBoundGrows);
+    fn("fairnessBoundShrinks", s.fairnessBoundShrinks);
     fn("pageFaults", s.pageFaults);
     fn("twinsCreated", s.twinsCreated);
     fn("twinWordsCopied", s.twinWordsCopied);

@@ -93,6 +93,37 @@ TEST(MpscRing, TinyRingBackpressureLosesNothing)
         t.join();
 }
 
+TEST(MpscRing, AdaptiveSpinLosesNothingAcrossParkAndBurst)
+{
+    // The adaptive consumer budget (DSM_BLOCKING_DEQ) halves on every
+    // futex park and doubles on hot pops: drive it through both
+    // extremes — long idle gaps that collapse the budget to zero and
+    // dense bursts that restore it — and require exact delivery
+    // either way. Tiny capacity keeps the producer blocking on the
+    // full ring at the same time.
+    constexpr int kBursts = 40;
+    constexpr int kPerBurst = 64;
+    MpscRing ring(4);
+    ring.setAdaptiveSpin(true);
+
+    std::thread producer([&] {
+        for (int b = 0; b < kBursts; ++b) {
+            for (int i = 0; i < kPerBurst; ++i) {
+                ring.push(makeMsg(
+                    0, static_cast<std::uint64_t>(b * kPerBurst + i)));
+            }
+            // Idle gap: the consumer drains, spins out, and parks.
+            std::this_thread::sleep_for(std::chrono::microseconds(200));
+        }
+    });
+    Message out;
+    for (int i = 0; i < kBursts * kPerBurst; ++i) {
+        ASSERT_TRUE(ring.pop(out));
+        ASSERT_EQ(out.replyToken, static_cast<std::uint64_t>(i));
+    }
+    producer.join();
+}
+
 TEST(MpscRing, ShutdownRace)
 {
     // Producers blast while the consumer drains a little and shuts

@@ -349,5 +349,125 @@ TEST_F(SyncFixture, BarrierHooksMergeAndDistribute)
         EXPECT_EQ(got[i], 0b1111u) << "node " << i;
 }
 
+// ---------------------------------------------------------------------
+// Per-lock adaptive fairness bound (DSM_LOCK_FAIRNESS_ADAPT): each
+// lock's hand-off bound seeds at 4 (no static k armed), doubles while
+// local runs complete with no remote waiter queued, and halves every
+// time the bound forces a remote grant.
+
+TEST(AdaptiveFairness, SeedsGrowsAndShrinks)
+{
+    CostModel cm;
+    Network net(2, cm);
+    VirtualClock clocks[2];
+    NodeStats stats[2];
+    Endpoint ep0(net, 0, clocks[0], stats[0]);
+    Endpoint ep1(net, 1, clocks[1], stats[1]);
+    LockService locks0(ep0, /*threads_per_node=*/2,
+                       /*local_handoff_bound=*/0,
+                       /*adaptive_fairness=*/true);
+    LockService locks1(ep1, 1, 0, true);
+    ep0.setHandler([&](Message &msg) { locks0.handleMessage(msg); });
+    ep1.setHandler([&](Message &msg) { locks1.handleMessage(msg); });
+    ep0.start();
+    ep1.start();
+
+    // Untouched locks report the seed, never the static bound of 0.
+    EXPECT_EQ(locks0.currentFairnessBound(0), 4u);
+
+    NodeStats app;
+    std::mutex appMu;
+    const auto worker = [&](int node, int tid,
+                            std::function<void()> fn) {
+        return std::thread([&, node, tid, fn = std::move(fn)] {
+            ThreadContext ctx;
+            ctx.node = static_cast<NodeId>(node);
+            ctx.threadId = tid;
+            ctx.clock = node == 0 ? &clocks[0] : &clocks[1];
+            ThreadContext::Scope scope(&ctx);
+            fn();
+            std::lock_guard<std::mutex> g(appMu);
+            app += ctx.stats;
+        });
+    };
+
+    // Phase 1 — grow: two node-0 threads ping-pong with no remote
+    // interest. Every run of hand-offs that ends at a free release
+    // doubles the bound (4 -> 8 -> ... -> 64 cap).
+    {
+        std::vector<std::thread> ts;
+        for (int tid = 0; tid < 2; ++tid) {
+            ts.push_back(worker(0, tid, [&] {
+                for (int k = 0; k < 60; ++k) {
+                    locks0.acquire(0, AccessMode::Write);
+                    std::this_thread::yield();
+                    locks0.release(0);
+                }
+            }));
+        }
+        for (auto &t : ts)
+            t.join();
+    }
+    const std::uint32_t grown = locks0.currentFairnessBound(0);
+    EXPECT_GT(grown, 4u);
+    EXPECT_LE(grown, 64u);
+    {
+        std::lock_guard<std::mutex> g(appMu);
+        EXPECT_GE(app.fairnessBoundGrows, 1u);
+        EXPECT_EQ(app.fairnessBoundShrinks, 0u);
+    }
+
+    // Phase 2 — shrink, on a fresh lock still at the seed bound of 4:
+    // a node-1 contender repeatedly queues at the owner while the
+    // node-0 pair keeps hand-offs running. Whenever four consecutive
+    // hand-offs run with the remote queued, the forced grant halves
+    // the bound.
+    {
+        std::vector<std::thread> ts;
+        for (int tid = 0; tid < 2; ++tid) {
+            ts.push_back(worker(0, tid, [&] {
+                for (int k = 0; k < 300; ++k) {
+                    locks0.acquire(2, AccessMode::Write);
+                    std::this_thread::yield();
+                    locks0.release(2);
+                }
+            }));
+        }
+        ts.push_back(worker(1, 0, [&] {
+            for (int k = 0; k < 30; ++k) {
+                locks1.acquire(2, AccessMode::Write);
+                locks1.release(2);
+            }
+        }));
+        for (auto &t : ts)
+            t.join();
+    }
+    {
+        std::lock_guard<std::mutex> g(appMu);
+        EXPECT_GE(app.fairnessBoundShrinks, 1u);
+        EXPECT_GE(app.remoteHandoffsForced, 1u);
+    }
+    const std::uint32_t settled = locks0.currentFairnessBound(2);
+    EXPECT_GE(settled, 1u);
+    EXPECT_LE(settled, 64u);
+
+    ep0.stop();
+    ep1.stop();
+    net.shutdown();
+}
+
+// With adaptiveness off, the per-lock view is just the static k.
+TEST(AdaptiveFairness, StaticBoundReportedWhenOff)
+{
+    CostModel cm;
+    Network net(1, cm);
+    VirtualClock clock;
+    NodeStats stats;
+    Endpoint ep(net, 0, clock, stats);
+    LockService locks(ep, 1, /*local_handoff_bound=*/7, false);
+    EXPECT_EQ(locks.currentFairnessBound(9), 7u);
+    net.shutdown();
+}
+
 } // namespace
 } // namespace dsm
