@@ -35,8 +35,11 @@
 #include <thread>
 #include <vector>
 
+#include "driver/proc_launcher.hh"
 #include "net/endpoint.hh"
+#include "net/network.hh"
 #include "net/serde.hh"
+#include "net/socket_transport.hh"
 
 using namespace dsm;
 
@@ -83,6 +86,69 @@ rpcRoundTrip(InboxPolicy policy, int iters, bool bypass)
     a.stop();
     b.stop();
     net.shutdown();
+
+    double sum = 0.0;
+    for (double s : samples)
+        sum += s;
+    std::sort(samples.begin(), samples.end());
+    RpcResult r;
+    r.meanNs = sum / iters;
+    r.p50Ns = samples[samples.size() / 2];
+    r.p99Ns = samples[samples.size() * 99 / 100];
+    return r;
+}
+
+/** The tier-1 point of the rpc shape: the same Endpoint::call round
+ *  trip, but over a pair of Unix-domain SocketTransports — what a
+ *  DSM_TRANSPORT=socket cluster pays per miss instead of a ring push.
+ *  Both transports live in this process (the frame path, reader
+ *  threads and receiver-side bypass are identical to the forked
+ *  layout; only the fork is skipped). */
+RpcResult
+rpcRoundTripSocket(int iters, bool bypass)
+{
+    CostModel cm;
+    const std::string dir = makeRendezvousDir();
+    std::vector<double> samples(static_cast<std::size_t>(iters));
+    {
+        SocketTransport ta(0, 2, cm, SocketKind::Unix, dir);
+        SocketTransport tb(1, 2, cm, SocketKind::Unix, dir);
+        std::thread dial_b([&] { tb.connectPeers(); });
+        ta.connectPeers();
+        dial_b.join();
+
+        VirtualClock clocks[2];
+        NodeStats stats[2];
+        Endpoint a(ta, 0, clocks[0], stats[0]);
+        Endpoint b(tb, 1, clocks[1], stats[1]);
+        a.setReplyBypass(bypass);
+        b.setReplyBypass(bypass);
+        b.setHandler([&](Message &msg) {
+            b.reply(msg.src, MsgType::LockGrant, {}, msg.replyToken);
+        });
+        a.setHandler([](Message &) {});
+        a.start();
+        b.start();
+
+        for (int i = 0; i < 2000; ++i)
+            a.call(1, MsgType::LockRequest, {});
+
+        for (int i = 0; i < iters; ++i) {
+            const auto t0 = std::chrono::steady_clock::now();
+            a.call(1, MsgType::LockRequest, {});
+            const auto t1 = std::chrono::steady_clock::now();
+            samples[static_cast<std::size_t>(i)] =
+                std::chrono::duration<double, std::nano>(t1 - t0)
+                    .count();
+        }
+
+        std::thread finish_b([&] { tb.finishRun(); });
+        ta.finishRun();
+        finish_b.join();
+        a.stop();
+        b.stop();
+    }
+    removeRendezvousDir(dir);
 
     double sum = 0.0;
     for (double s : samples)
@@ -210,6 +276,7 @@ main()
         rpcRoundTrip(InboxPolicy::LockFreeRing, rpc_iters, true);
     const RpcResult rpc_ring_nobypass =
         rpcRoundTrip(InboxPolicy::LockFreeRing, rpc_iters, false);
+    const RpcResult rpc_socket = rpcRoundTripSocket(rpc_iters, true);
     const double fan_mutex =
         faninNsPerMsg(InboxPolicy::MutexQueue, producers, per_producer);
     const double fan_ring =
@@ -232,8 +299,12 @@ main()
     std::printf("%-30s %10.0f %10.0f %10.0f\n", "rpc ring, no bypass",
                 rpc_ring_nobypass.meanNs, rpc_ring_nobypass.p50Ns,
                 rpc_ring_nobypass.p99Ns);
+    std::printf("%-30s %10.0f %10.0f %10.0f\n", "rpc socket (UDS)",
+                rpc_socket.meanNs, rpc_socket.p50Ns, rpc_socket.p99Ns);
     std::printf("%-30s %9.2fx\n", "bypass speedup (ring rpc)",
                 rpc_ring_nobypass.meanNs / rpc_ring.meanNs);
+    std::printf("%-30s %9.2fx\n", "ring/socket rpc p50 ratio",
+                rpc_ring.p50Ns / rpc_socket.p50Ns);
     std::printf("%-30s %10.0f\n", "fan-in mutex ns/msg", fan_mutex);
     std::printf("%-30s %10.0f  (%.2fx)\n", "fan-in ring ns/msg",
                 fan_ring, fan_mutex / fan_ring);
@@ -245,7 +316,7 @@ main()
                 static_cast<unsigned long long>(coal_on.wireMessages),
                 coal_msg_reduction);
 
-    char json[1536];
+    char json[2048];
     std::snprintf(
         json, sizeof(json),
         "{\n"
@@ -261,6 +332,10 @@ main()
         "  \"rpc_roundtrip_ring_nobypass_ns\": %.0f,\n"
         "  \"rpc_roundtrip_ring_nobypass_p50_ns\": %.0f,\n"
         "  \"rpc_roundtrip_ring_nobypass_p99_ns\": %.0f,\n"
+        "  \"rpc_roundtrip_socket_ns\": %.0f,\n"
+        "  \"rpc_roundtrip_socket_p50_ns\": %.0f,\n"
+        "  \"rpc_roundtrip_socket_p99_ns\": %.0f,\n"
+        "  \"rpc_ring_vs_socket_p50\": %.3f,\n"
         "  \"rpc_bypass_speedup\": %.2f,\n"
         "  \"rpc_speedup\": %.2f,\n"
         "  \"fanin_mutex_ns_per_msg\": %.0f,\n"
@@ -276,6 +351,8 @@ main()
         coalesce_batch, rpc_mutex.meanNs, rpc_ring.meanNs,
         rpc_ring.p50Ns, rpc_ring.p99Ns, rpc_ring_nobypass.meanNs,
         rpc_ring_nobypass.p50Ns, rpc_ring_nobypass.p99Ns,
+        rpc_socket.meanNs, rpc_socket.p50Ns, rpc_socket.p99Ns,
+        rpc_ring.p50Ns / rpc_socket.p50Ns,
         rpc_ring_nobypass.meanNs / rpc_ring.meanNs,
         rpc_mutex.meanNs / rpc_ring.meanNs, fan_mutex, fan_ring,
         fan_mutex / fan_ring, coal_off.nsPerMsg, coal_on.nsPerMsg,

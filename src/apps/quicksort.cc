@@ -160,11 +160,35 @@ class QuicksortApp : public App
 
     void runNode(Runtime &rt, const AppParams &params) override;
 
+    /** Replay the fixed bump-allocation layout (array, queue,
+     *  verdict) to locate the verdict word. validate() runs on the
+     *  launcher side, which under a process-per-node transport never
+     *  executes runNode, so the address must come from the layout
+     *  rather than from state recorded during the run. */
+    static GlobalAddr
+    verdictBase(const AppParams &params)
+    {
+        const auto align8 = [](GlobalAddr a) {
+            return (a + 7) & ~static_cast<GlobalAddr>(7);
+        };
+        const int n = params.qsElems;
+        const int leaves =
+            std::max(64, 8 * n / std::max(1, params.qsCutoff));
+        QueueView q;
+        q.maxLeaves = leaves;
+        q.capacity = leaves;
+        GlobalAddr addr =
+            align8(static_cast<GlobalAddr>(n) * sizeof(int));
+        addr = align8(addr + static_cast<GlobalAddr>(q.totalWords()) *
+                                 sizeof(std::int32_t));
+        return addr;
+    }
+
     Verdict
-    validate(Cluster &cluster, const AppParams &) override
+    validate(Cluster &cluster, const AppParams &params) override
     {
         const std::int32_t verdict = *reinterpret_cast<const int *>(
-            cluster.memory(0, verdictAddr));
+            cluster.memory(0, verdictBase(params)));
         if (verdict != 1) {
             return {false, "in-run verification failed (verdict=" +
                                std::to_string(verdict) + ")"};
@@ -176,7 +200,6 @@ class QuicksortApp : public App
   private:
     std::vector<int> input;
     std::vector<int> sorted;
-    GlobalAddr verdictAddr = 0;
 };
 
 void
@@ -199,8 +222,8 @@ QuicksortApp::runNode(Runtime &rt, const AppParams &params)
                                                "qs.queue");
     auto verdict =
         SharedArray<std::int32_t>::alloc(rt, 1, 4, "qs.verdict");
-    if (rt.worker() == 0)
-        verdictAddr = verdict.base(); // same value on every worker
+    DSM_ASSERT(verdict.base() == verdictBase(params),
+               "qs.verdict landed off the replayed layout");
     const LockId verdict_lock = entryLock(q.capacity);
 
     if (ec) {
@@ -412,7 +435,7 @@ QuicksortApp::runNode(Runtime &rt, const AppParams &params)
         }
 
         rt.acquire(verdict_lock, AccessMode::Write);
-        rt.write<std::int32_t>(verdictAddr, ok ? 1 : 0);
+        rt.write<std::int32_t>(verdict.base(), ok ? 1 : 0);
         rt.release(verdict_lock);
     }
     rt.barrier(3);

@@ -1,15 +1,24 @@
 #include "core/cluster.hh"
 
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
 #include <exception>
+#include <stdexcept>
 #include <thread>
 
+#include "driver/proc_launcher.hh"
 #include "net/failure_detector.hh"
+#include "net/socket_transport.hh"
 #include "util/buffer_pool.hh"
 #include "util/logging.hh"
 
 namespace dsm {
 
-Cluster::Node::Node(const ClusterConfig &config, Network &net, NodeId id)
+Cluster::Node::Node(const ClusterConfig &config, Transport &net, NodeId id)
     : arena(config.arenaBytes, config.pageSize),
       ep(net, id, clock, stats),
       locks(ep, config.threadsPerNode, config.lockLocalHandoffBound,
@@ -51,6 +60,10 @@ Cluster::Cluster(const ClusterConfig &config) : cfg(config)
     cfg.blockingDequeue = cfg.resolvedBlockingDequeue() ? 1 : 0;
     cfg.coalesceSends = cfg.resolvedCoalesceSends() ? 1 : 0;
     cfg.lockFairnessAdaptive = cfg.resolvedLockFairnessAdaptive() ? 1 : 0;
+    // Transport tier: resolve before the crash-tolerance knobs so the
+    // in-process-only fallback sees their resolved values too.
+    cfg.transport = cfg.resolvedTransport();
+    cfg.socketDir = cfg.resolvedSocketDir();
     DSM_ASSERT(cfg.optReadMaxRetries >= 0, "bad optReadMaxRetries %d",
                cfg.optReadMaxRetries);
     // Crash-tolerance knobs, same discipline. Order matters: the kill
@@ -174,36 +187,36 @@ Cluster::~Cluster()
         net->shutdown();
 }
 
-RunResult
-Cluster::run(const std::function<void(Runtime &)> &app_main)
+std::exception_ptr
+Cluster::runWorkers(int first_node, int last_node,
+                    const std::function<void(Runtime &)> &app_main,
+                    const std::function<void()> &quiesce)
 {
-    DSM_ASSERT(!ran, "a Cluster instance runs exactly one application");
-    ran = true;
-
-    for (auto &node : nodes)
-        node->ep.start();
-
     const int T = cfg.threadsPerNode;
-    const int workers = cfg.nprocs * T;
+    const int span = last_node - first_node;
     // SPMD allocation replay starts from the log as it stands *now*
     // (one snapshot per node, before any worker runs): allocations a
     // test performed before run() are skipped by every worker, and the
     // first worker to reach a new position allocates for its siblings.
-    std::vector<std::uint32_t> allocBase(cfg.nprocs);
-    for (int i = 0; i < cfg.nprocs; ++i)
-        allocBase[i] = nodes[i]->rt->allocLogSize();
-    std::vector<std::exception_ptr> errors(workers);
-    std::vector<std::unique_ptr<ThreadContext>> ctxs(workers);
+    std::vector<std::uint32_t> allocBase(span);
+    for (int i = 0; i < span; ++i)
+        allocBase[i] = nodes[first_node + i]->rt->allocLogSize();
+    std::vector<std::exception_ptr> errors(span * T);
+    std::vector<std::unique_ptr<ThreadContext>> ctxs(span * T);
     std::vector<std::thread> threads;
-    threads.reserve(workers);
-    for (int i = 0; i < cfg.nprocs; ++i) {
+    threads.reserve(span * T);
+    for (int s = 0; s < span; ++s) {
+        const int i = first_node + s;
         for (int t = 0; t < T; ++t) {
-            ThreadContext &ctx = *(ctxs[i * T + t] =
+            ThreadContext &ctx = *(ctxs[s * T + t] =
                                        std::make_unique<ThreadContext>());
             ctx.node = static_cast<NodeId>(i);
             ctx.threadId = t;
+            // Worker numbering is cluster-global regardless of how
+            // many nodes this process hosts: the SPMD partition must
+            // be identical across transport tiers.
             ctx.worker = i * T + t;
-            ctx.numWorkers = workers;
+            ctx.numWorkers = cfg.nprocs * T;
             // T == 1: the worker shares the node clock with the
             // service thread (the paper's uniprocessor node, where
             // the SIGIO handler stole application cycles) — the
@@ -212,37 +225,56 @@ Cluster::run(const std::function<void(Runtime &)> &app_main)
             // protocol processor, and the clocks meet at sync
             // points and at run end.
             ctx.clock = T == 1 ? &nodes[i]->clock : &ctx.ownClock;
-            ctx.allocCursor = allocBase[i];
-            threads.emplace_back([&, i] {
-                ThreadContext::Scope scope(&ctx);
+            ctx.allocCursor = allocBase[s];
+            threads.emplace_back([&, i, s, t] {
+                ThreadContext::Scope scope(ctxs[s * T + t].get());
                 try {
                     app_main(*nodes[i]->rt);
                 } catch (...) {
-                    errors[ctx.worker] = std::current_exception();
+                    errors[s * T + t] = std::current_exception();
                 }
             });
         }
     }
     for (auto &t : threads)
         t.join();
-    for (auto &node : nodes)
-        node->ep.stop();
+    if (quiesce)
+        quiesce();
+    for (int i = first_node; i < last_node; ++i)
+        nodes[i]->ep.stop();
 
     // Fold the workers' private counters and clocks into their nodes
     // only now: every worker has joined and every service thread has
     // stopped, so this is plain single-threaded summation.
-    for (int i = 0; i < cfg.nprocs; ++i) {
+    for (int s = 0; s < span; ++s) {
         for (int t = 0; t < T; ++t) {
-            const ThreadContext &ctx = *ctxs[i * T + t];
-            nodes[i]->stats += ctx.stats;
-            nodes[i]->clock.advanceTo(ctx.clock->now());
+            const ThreadContext &ctx = *ctxs[s * T + t];
+            nodes[first_node + s]->stats += ctx.stats;
+            nodes[first_node + s]->clock.advanceTo(ctx.clock->now());
         }
     }
 
-    for (int w = 0; w < workers; ++w) {
-        if (errors[w])
-            std::rethrow_exception(errors[w]);
+    for (auto &err : errors) {
+        if (err)
+            return err;
     }
+    return nullptr;
+}
+
+RunResult
+Cluster::run(const std::function<void(Runtime &)> &app_main)
+{
+    DSM_ASSERT(!ran, "a Cluster instance runs exactly one application");
+    ran = true;
+
+    if (cfg.transport != "ring")
+        return runAsProcesses(app_main);
+
+    for (auto &node : nodes)
+        node->ep.start();
+
+    if (std::exception_ptr err = runWorkers(0, cfg.nprocs, app_main))
+        std::rethrow_exception(err);
 
     RunResult result;
     for (auto &node : nodes) {
@@ -262,6 +294,129 @@ Cluster::run(const std::function<void(Runtime &)> &app_main)
             std::max(result.restoreTimeNs, node->ckpt->lastRestoreNs());
     }
     return result;
+}
+
+RunResult
+Cluster::runAsProcesses(const std::function<void(Runtime &)> &app_main)
+{
+    std::string dir = cfg.socketDir;
+    const bool ephemeralDir = dir.empty();
+    if (ephemeralDir) {
+        dir = makeRendezvousDir();
+    } else {
+        // A pinned directory is created on demand but never removed —
+        // the caller owns it (and its leftovers, e.g. for debugging).
+        DSM_ASSERT(::mkdir(dir.c_str(), 0700) == 0 || errno == EEXIST,
+                   "mkdir(%s): %s", dir.c_str(), std::strerror(errno));
+    }
+
+    // Fork before any endpoint starts: the whole cluster was built
+    // single-threaded, so every child inherits identical pre-run
+    // state — arenas, allocation logs, resolved config. Flush stdio
+    // first: a forked copy of the parent's buffered output would be
+    // re-flushed by every child at its own exit.
+    std::fflush(nullptr);
+    std::vector<pid_t> pids;
+    const int rank = forkNodeProcesses(cfg.nprocs, pids);
+    if (rank >= 0)
+        runChildNode(rank, dir, app_main);
+
+    std::string failure;
+    std::vector<int> appErrorRanks;
+    const bool ok = awaitNodeProcesses(pids, failure, appErrorRanks);
+
+    RunResult result;
+    std::string appError;
+    if (ok) {
+        for (int i = 0; i < cfg.nprocs; ++i) {
+            NodeResult r = readNodeResult(dir, i);
+            if (!r.error.empty() && appError.empty())
+                appError = "node " + std::to_string(i) + ": " + r.error;
+            // Fold the child's end state into the parent's node
+            // objects so memory(), runtime() and the RunResult shape
+            // are transport-neutral.
+            Node &node = *nodes[i];
+            node.stats = r.stats;
+            node.clock.advanceTo(r.clockNs);
+            DSM_ASSERT(r.arena.size() == node.arena.size(),
+                       "node %d dumped a %zu-byte arena, expected %zu",
+                       i, r.arena.size(), node.arena.size());
+            std::memcpy(node.arena.at(0), r.arena.data(),
+                        r.arena.size());
+            result.networkMessages += r.transportMessages;
+        }
+    }
+    if (ephemeralDir)
+        removeRendezvousDir(dir);
+    DSM_ASSERT(ok, "socket-transport run failed: %s", failure.c_str());
+    if (!appError.empty())
+        throw std::runtime_error(appError);
+
+    for (auto &node : nodes) {
+        const std::uint64_t t = node->clock.now();
+        result.nodeTimesNs.push_back(t);
+        result.execTimeNs = std::max(result.execTimeNs, t);
+        result.perNode.push_back(node->stats);
+        result.total += node->stats;
+    }
+    return result;
+}
+
+void
+Cluster::runChildNode(int rank, const std::string &dir,
+                      const std::function<void(Runtime &)> &app_main)
+{
+    NodeResult res;
+    res.rank = rank;
+
+    LossPlan loss;
+    if (cfg.lossEveryNth > 0)
+        loss = dropEveryNth(cfg.lossEveryNth);
+    SocketTransport st(rank, cfg.nprocs, cfg.cost,
+                       cfg.transport == "tcp" ? SocketKind::Tcp
+                                              : SocketKind::Unix,
+                       dir, std::move(loss));
+    if (cfg.blockingDequeue > 0)
+        st.setAdaptiveInboxSpin(true);
+    if (faults)
+        st.setFaultInjector(faults.get());
+
+    Node &node = *nodes[rank];
+    node.ep.rebindTransport(st);
+    st.connectPeers();
+    node.ep.start();
+
+    // The goodbye rendezvous runs between worker join and endpoint
+    // stop, even when the app threw: SPMD apps throw symmetrically
+    // (an asymmetric throw deadlocks the in-process tier too), so
+    // every rank reaches it and the rounds complete.
+    const std::exception_ptr err = runWorkers(
+        rank, rank + 1, app_main, [&st] { st.finishRun(); });
+    if (err) {
+        try {
+            std::rethrow_exception(err);
+        } catch (const std::exception &e) {
+            res.error = e.what();
+        } catch (...) {
+            res.error = "non-standard application exception";
+        }
+        if (res.error.empty())
+            res.error = "application exception";
+    }
+
+    res.clockNs = node.clock.now();
+    res.transportMessages = st.totalMessages();
+    res.stats = node.stats;
+    res.arena.assign(node.arena.at(0),
+                     node.arena.at(0) + node.arena.size());
+    writeNodeResult(dir, res);
+    // _exit, not exit: the child inherited the parent's Cluster and
+    // must not run its destructors (they would stop endpoints that
+    // point at the dying transport). _exit skips stdio flushing, so
+    // push out anything the app printed (block-buffered on pipes)
+    // before the buffers evaporate.
+    std::fflush(nullptr);
+    ::_exit(res.error.empty() ? 0 : kAppErrorExit);
 }
 
 } // namespace dsm

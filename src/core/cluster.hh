@@ -13,8 +13,10 @@
 #ifndef DSM_CORE_CLUSTER_HH
 #define DSM_CORE_CLUSTER_HH
 
+#include <exception>
 #include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "core/checkpoint.hh"
@@ -95,7 +97,7 @@ class Cluster
   private:
     struct Node
     {
-        Node(const ClusterConfig &config, Network &net, NodeId id);
+        Node(const ClusterConfig &config, Transport &net, NodeId id);
 
         VirtualClock clock;
         NodeStats stats;
@@ -109,6 +111,31 @@ class Cluster
         /** Non-null when checkpointing is engaged for this run. */
         std::unique_ptr<CheckpointCoordinator> ckpt;
     };
+
+    /**
+     * Socket tiers: fork one process per node, rendezvous them
+     * through a socket directory, reap them and assemble the dumps
+     * into the in-process RunResult shape (driver/proc_launcher.hh).
+     */
+    RunResult runAsProcesses(
+        const std::function<void(Runtime &)> &app_main);
+
+    /** Child-rank body of a socket-tier run; never returns. */
+    [[noreturn]] void
+    runChildNode(int rank, const std::string &dir,
+                 const std::function<void(Runtime &)> &app_main);
+
+    /** The shared worker-thread fan-out of run()/runChildNode: run
+     *  @p app_main on every worker of nodes [first, last), fold the
+     *  workers' clocks/stats into their nodes, and return the first
+     *  captured app exception (null if none). @p quiesce, if set, runs
+     *  after the workers join but before the endpoints stop — the
+     *  socket tier's goodbye rendezvous hangs there, so the inbox is
+     *  complete before the Shutdown marker enters it. */
+    std::exception_ptr
+    runWorkers(int first_node, int last_node,
+               const std::function<void(Runtime &)> &app_main,
+               const std::function<void()> &quiesce = {});
 
     ClusterConfig cfg;
     std::unique_ptr<Network> net;

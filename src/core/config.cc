@@ -56,6 +56,46 @@ RuntimeConfig::parse(const std::string &name)
           "EC-time, EC-diff, LRC-ci, LRC-time, LRC-diff)", name.c_str());
 }
 
+std::string
+ClusterConfig::resolvedTransport() const
+{
+    std::string t = transport;
+    if (t.empty()) {
+        if (const char *v = std::getenv("DSM_TRANSPORT"))
+            t = v;
+        else
+            t = "ring";
+    }
+    DSM_ASSERT(t == "ring" || t == "socket" || t == "tcp",
+               "unknown transport '%s' (expected ring, socket or tcp)",
+               t.c_str());
+    if (t == "ring")
+        return t;
+    // In-process-only features reach across node state in ways only
+    // one address space allows (checkpoint wipe+restore of a sibling,
+    // marking a remote inbox down, shared liveness stamps): their
+    // presence pins the run to tier 0. The probabilistic message-drop
+    // layer alone is transport-neutral (send-side injector, per-node
+    // retransmit/dedup) and stays on the socket tiers.
+    const bool inProcessOnly = resolvedCheckpointEvery() > 0 ||
+                               resolvedFaultKillNode() >= 0 ||
+                               resolvedFaultOutageNode() >= 0 ||
+                               resolvedFdDeadlineNs() > 0;
+    if (inProcessOnly)
+        return "ring";
+    return t;
+}
+
+std::string
+ClusterConfig::resolvedSocketDir() const
+{
+    if (!socketDir.empty())
+        return socketDir;
+    if (const char *v = std::getenv("DSM_SOCKET_DIR"))
+        return v;
+    return {};
+}
+
 int
 ClusterConfig::resolvedThreadsPerNode() const
 {

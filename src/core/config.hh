@@ -466,6 +466,43 @@ struct ClusterConfig
      */
     int ckptAnchorEvery = -1;
 
+    // --- Transport tier (DESIGN.md §9). Same env-resolution
+    // convention: the empty string means "take DSM_TRANSPORT at
+    // Cluster construction, ring when unset".
+
+    /**
+     * Which interconnect carries the cluster's messages:
+     *  - "ring"   — tier 0, all nodes are threads of this process
+     *               sharing in-memory MPSC rings (the historical
+     *               substrate; every feature works here);
+     *  - "socket" — tier 1, Cluster::run forks one process per node
+     *               and messages cross Unix-domain sockets as
+     *               length-prefixed frames;
+     *  - "tcp"    — tier 1 over loopback TCP (ports rendezvous
+     *               through the socket directory).
+     * In-process-only features (coordinated checkpointing, chaos
+     * kill, silent-peer outages, the failure detector) force a
+     * documented fallback to "ring" — they reach across node state in
+     * ways only one address space allows. Empty = DSM_TRANSPORT env
+     * if set, else "ring".
+     */
+    std::string transport;
+
+    /**
+     * Rendezvous directory for the socket tiers (listeners, port
+     * files, result dumps). Empty = DSM_SOCKET_DIR env if set, else a
+     * fresh mkdtemp directory per run, removed afterwards.
+     */
+    std::string socketDir;
+
+    /** transport with the empty = "env or ring" default applied and
+     *  the in-process-only fallback rules enforced. */
+    std::string resolvedTransport() const;
+
+    /** socketDir with the empty = "env or ephemeral" default (empty
+     *  result = make a fresh directory per run). */
+    std::string resolvedSocketDir() const;
+
     /** threadsPerNode with the 0 = "env or 1" default applied. */
     int resolvedThreadsPerNode() const;
 

@@ -9,10 +9,20 @@
 
 namespace dsm {
 
-Endpoint::Endpoint(Network &network, NodeId self, VirtualClock &clock,
+Endpoint::Endpoint(Transport &network, NodeId self, VirtualClock &clock,
                    NodeStats &stats)
-    : net(network), id(self), vclock(clock), nodeStats(stats)
+    : net(&network), id(self), vclock(clock), nodeStats(stats)
 {}
+
+void
+Endpoint::rebindTransport(Transport &transport)
+{
+    DSM_ASSERT(!running.load(), "transport rebound while running");
+    DSM_ASSERT(transport.nnodes() == net->nnodes(),
+               "transport rebind changed cluster size %d -> %d",
+               net->nnodes(), transport.nnodes());
+    net = &transport;
+}
 
 Endpoint::~Endpoint()
 {
@@ -32,7 +42,7 @@ Endpoint::setFaultsEnabled(bool enabled)
     DSM_ASSERT(!running.load(), "fault mode flipped while running");
     faultsOn = enabled;
     if (enabled && dedup.empty())
-        dedup.resize(static_cast<std::size_t>(net.nnodes()));
+        dedup.resize(static_cast<std::size_t>(net->nnodes()));
 }
 
 void
@@ -48,7 +58,7 @@ Endpoint::setCoalescing(bool on)
     DSM_ASSERT(!running.load(), "coalescing flipped while running");
     coalesceOn = on;
     if (on && coalesceBufs.empty())
-        coalesceBufs.resize(static_cast<std::size_t>(net.nnodes()));
+        coalesceBufs.resize(static_cast<std::size_t>(net->nnodes()));
 }
 
 void
@@ -93,8 +103,8 @@ Endpoint::start()
     DSM_ASSERT(!running.load(), "endpoint already started");
     running.store(true);
     if (detector != nullptr && seenRecoverySeq.empty()) {
-        seenRecoverySeq.resize(static_cast<std::size_t>(net.nnodes()));
-        for (NodeId n = 0; n < net.nnodes(); ++n)
+        seenRecoverySeq.resize(static_cast<std::size_t>(net->nnodes()));
+        for (NodeId n = 0; n < net->nnodes(); ++n)
             seenRecoverySeq[n] = detector->recoverySeqOf(n);
     }
     // Reply bypass engages with or without faults: the slot-occupancy
@@ -104,7 +114,7 @@ Endpoint::start()
     // through the service thread's duplicate handling (see the
     // BypassedDuplicateReply regression test).
     if (bypassOn)
-        net.setReplyReceiver(id, this);
+        net->setReplyReceiver(id, this);
     serviceThread = std::thread([this] { serviceLoop(); });
 }
 
@@ -119,7 +129,7 @@ Endpoint::stop()
     // senders, so after this no peer thread can reach into our
     // pending map — replies sent while we are stopped (a checkpoint
     // quiesce) park in the inbox like any other message.
-    net.setReplyReceiver(id, nullptr);
+    net->setReplyReceiver(id, nullptr);
     // Wake our own service thread with a shutdown message.
     Message msg;
     msg.src = id;
@@ -127,7 +137,7 @@ Endpoint::stop()
     msg.type = MsgType::Shutdown;
     msg.vtSendNs = vclock.now();
     NodeStats scratch; // teardown traffic is not part of the run
-    net.send(std::move(msg), scratch);
+    net->send(std::move(msg), scratch);
     if (serviceThread.joinable())
         serviceThread.join();
 }
@@ -152,7 +162,7 @@ Endpoint::send(NodeId dst, MsgType type, std::vector<std::byte> payload,
     msg.replyToken = reply_token;
     msg.vtSendNs = clock().now();
     msg.payload = std::move(payload);
-    net.send(std::move(msg), stats());
+    net->send(std::move(msg), stats());
 }
 
 void
@@ -174,7 +184,7 @@ Endpoint::reply(NodeId dst, MsgType type, std::vector<std::byte> payload,
     msg.payload = std::move(payload);
     if (faultsOn)
         recordReply(dst, type, msg.payload, reply_token);
-    net.send(std::move(msg), stats());
+    net->send(std::move(msg), stats());
 }
 
 bool
@@ -225,7 +235,7 @@ Endpoint::flushCoalescedTo(NodeId dst)
         stats().messagesCoalesced += buf.size();
     }
     buf.clear();
-    net.send(std::move(msg), stats());
+    net->send(std::move(msg), stats());
 }
 
 void
@@ -233,7 +243,7 @@ Endpoint::flushCoalesced()
 {
     if (!coalesceOn)
         return;
-    for (NodeId dst = 0; dst < net.nnodes(); ++dst)
+    for (NodeId dst = 0; dst < net->nnodes(); ++dst)
         flushCoalescedTo(dst);
 }
 
@@ -302,7 +312,7 @@ Endpoint::call(NodeId dst, MsgType type, std::vector<std::byte> payload,
     msg.replyToken = token;
     msg.vtSendNs = clock().now();
     msg.payload = std::move(payload);
-    net.send(std::move(msg), stats());
+    net->send(std::move(msg), stats());
 
     // Abandon the wait (typed PeerUnavailable outcome): unpark the
     // token under pendingMu so neither delivery path can fill a dead
@@ -385,7 +395,7 @@ Endpoint::call(NodeId dst, MsgType type, std::vector<std::byte> payload,
                 std::min<std::uint32_t>(attempts, 255));
             retry.payload = retransmit_copy;
             stats().msgRetransmits++;
-            net.send(std::move(retry), stats());
+            net->send(std::move(retry), stats());
             deadline_ns = std::min(deadline_ns * 2, retransmitCapNs);
         }
     }
@@ -420,7 +430,7 @@ Endpoint::serviceLoop()
 {
     Message msg;
     if (detector == nullptr) {
-        while (net.recv(id, msg)) {
+        while (net->recv(id, msg)) {
             if (!dispatch(msg))
                 break;
         }
@@ -436,7 +446,7 @@ Endpoint::serviceLoop()
     const std::uint64_t tick_ns =
         std::max<std::uint64_t>(detector->deadlineNs() / 2, 100'000);
     for (;;) {
-        const RingPop st = net.recvTimed(id, msg, tick_ns);
+        const RingPop st = net->recvTimed(id, msg, tick_ns);
         if (st == RingPop::Closed)
             break;
         detector->heartbeat(id);
@@ -468,7 +478,7 @@ Endpoint::dispatch(Message &msg)
     // Every earlier send from src is now fully applied: re-arm the
     // reply-bypass ordering guard for the pair (release-decrement
     // pairs with the guard's acquire load in Network::send).
-    net.noteDispatched(id, src);
+    net->noteDispatched(id, src);
     // App-level blocking dequeues poll shared state this dispatch may
     // have advanced.
     bumpActivity();
@@ -586,7 +596,7 @@ Endpoint::dedupRequest(const Message &msg)
             re.vtSendNs = vclock.now();
             re.attempt = FaultInjector::kAttemptImmunity;
             re.payload = e.replyPayload;
-            net.send(std::move(re), nodeStats);
+            net->send(std::move(re), nodeStats);
         }
         // Not replied yet (parked at a barrier manager or lock queue,
         // or mid-handler): the pending original will answer; drop the

@@ -25,7 +25,7 @@
 #include <unordered_map>
 #include <vector>
 
-#include "net/network.hh"
+#include "net/transport.hh"
 #include "time/thread_context.hh"
 #include "time/virtual_clock.hh"
 
@@ -45,12 +45,21 @@ class Endpoint : public ReplyReceiver
      *  eviction contract. */
     static constexpr std::size_t kDedupWindow = 128;
 
-    Endpoint(Network &network, NodeId self, VirtualClock &clock,
+    Endpoint(Transport &network, NodeId self, VirtualClock &clock,
              NodeStats &stats);
     ~Endpoint();
 
     Endpoint(const Endpoint &) = delete;
     Endpoint &operator=(const Endpoint &) = delete;
+
+    /**
+     * Point this endpoint at a different transport (same cluster
+     * size). The process launcher uses it after fork: the child
+     * inherits a node wired to the parent's in-process Network and
+     * swaps in its own SocketTransport before starting the service
+     * thread. Must not be running.
+     */
+    void rebindTransport(Transport &transport);
 
     /** Install the request handler. Must be set before start(). */
     void setHandler(Handler handler);
@@ -213,9 +222,9 @@ class Endpoint : public ReplyReceiver
 
     NodeId self() const { return id; }
 
-    int nnodes() const { return net.nnodes(); }
+    int nnodes() const { return net->nnodes(); }
 
-    const CostModel &costModel() const { return net.costModel(); }
+    const CostModel &costModel() const { return net->costModel(); }
 
     /**
      * The clock of the calling execution context: a worker thread's
@@ -312,7 +321,7 @@ class Endpoint : public ReplyReceiver
                      const std::vector<std::byte> &payload,
                      std::uint64_t token);
 
-    Network &net;
+    Transport *net; ///< never null; rebindable pre-start (post-fork)
     NodeId id;
     VirtualClock &vclock;
     NodeStats &nodeStats;

@@ -34,18 +34,11 @@
 #include "net/fault_injector.hh"
 #include "net/message.hh"
 #include "net/mpsc_ring.hh"
+#include "net/transport.hh"
 #include "time/cost_model.hh"
 #include "util/stats.hh"
 
 namespace dsm {
-
-/**
- * Decides whether transmission attempt @p attempt (0-based) of message
- * @p seq from @p src to @p dst is lost. Deterministic functions keep
- * runs reproducible.
- */
-using LossPlan = std::function<bool(NodeId src, NodeId dst,
-                                    std::uint64_t seq, int attempt)>;
 
 /** How a node's inbox is implemented. */
 enum class InboxPolicy : std::uint8_t
@@ -54,29 +47,7 @@ enum class InboxPolicy : std::uint8_t
     MutexQueue,   ///< seed mutex+condvar deque (ablation baseline)
 };
 
-/**
- * Sink for replies delivered straight to the destination's parked
- * caller, skipping the inbox and the service-thread hop (the reply
- * wake is the hottest hand-off in the system: every call() pays inbox
- * push + service-thread wake + pending-map route + caller wake for a
- * message whose sole consumer is already known). Implemented by
- * Endpoint.
- */
-class ReplyReceiver
-{
-  public:
-    virtual ~ReplyReceiver() = default;
-
-    /**
-     * Try to hand @p msg to the caller parked on its reply token.
-     * Returns false — leaving @p msg intact — when no caller is
-     * parked (e.g. the destination is quiesced at a checkpoint cut);
-     * the message then takes the ordinary inbox path.
-     */
-    virtual bool tryDeliverReply(Message &msg) = 0;
-};
-
-class Network
+class Network final : public Transport
 {
   public:
     /**
@@ -98,7 +69,7 @@ class Network
      * @param senderStats Counters of the sending node (bytes/messages/
      *        retransmissions are recorded there).
      */
-    void send(Message &&msg, NodeStats &senderStats);
+    void send(Message &&msg, NodeStats &senderStats) override;
 
     /**
      * Blocking receive of the next message for @p node, in enqueue
@@ -106,7 +77,7 @@ class Network
      * Must be called by one thread per node at a time. Returns false
      * if the network was shut down and the inbox is drained.
      */
-    bool recv(NodeId node, Message &out);
+    bool recv(NodeId node, Message &out) override;
 
     /**
      * recv() with a typed status: returns RingPop::PeerDown (without
@@ -115,7 +86,7 @@ class Network
      * a dead peer cannot park them forever. Ring policy only; the
      * MutexQueue ablation maps peer-down to its ordinary blocking wait.
      */
-    RingPop recvStatus(NodeId node, Message &out);
+    RingPop recvStatus(NodeId node, Message &out) override;
 
     /**
      * recv() with a deadline: returns RingPop::Timeout once
@@ -124,7 +95,7 @@ class Network
      * ignores the node's own peer-down flag (see MpscRing::popTimed).
      */
     RingPop recvTimed(NodeId node, Message &out,
-                      std::uint64_t timeout_ns);
+                      std::uint64_t timeout_ns) override;
 
     /**
      * Mark @p node dead (chaos kill in progress): status-aware
@@ -132,17 +103,20 @@ class Network
      * buffering in the inbox — the "parked outbound traffic" the
      * restored node drains when it replays forward.
      */
-    void markNodeDown(NodeId node);
+    void markNodeDown(NodeId node) override;
 
     /** Recovery complete: @p node's inbox blocks normally again. */
-    void clearNodeDown(NodeId node);
+    void clearNodeDown(NodeId node) override;
 
     /**
      * Install the fault-injection layer between send() and the
      * inboxes. Null (the default) keeps the send path bit-identical
      * to a build without the layer — one pointer test.
      */
-    void setFaultInjector(FaultInjector *injector) { faults = injector; }
+    void setFaultInjector(FaultInjector *injector) override
+    {
+        faults = injector;
+    }
 
     /**
      * Register (or, with null, deregister) @p node's direct reply
@@ -161,7 +135,7 @@ class Network
      * overtake an earlier HomeMigrate install or LockForward-chain
      * message from the same sender still sitting in the ring.
      */
-    void setReplyReceiver(NodeId node, ReplyReceiver *receiver);
+    void setReplyReceiver(NodeId node, ReplyReceiver *receiver) override;
 
     /**
      * Record that @p dst fully dispatched one inbox message from
@@ -171,26 +145,26 @@ class Network
      * checkpoint quiesce) merely leaves the guard engaged, refusing
      * future bypasses for the pair — the safe direction.
      */
-    void noteDispatched(NodeId dst, NodeId src);
+    void noteDispatched(NodeId dst, NodeId src) override;
 
     /**
      * Switch every inbox ring's empty-wait spin to the dynamically
      * sized budget (DSM_BLOCKING_DEQ; see MpscRing::setAdaptiveSpin).
      * Call before any consumer starts.
      */
-    void setAdaptiveInboxSpin(bool on);
+    void setAdaptiveInboxSpin(bool on) override;
 
     /** Wake all receivers and make subsequent recv() return false. */
-    void shutdown();
+    void shutdown() override;
 
-    int nnodes() const { return static_cast<int>(inboxes.size()); }
+    int nnodes() const override { return static_cast<int>(inboxes.size()); }
 
     InboxPolicy inboxPolicy() const { return policy; }
 
-    const CostModel &costModel() const { return cm; }
+    const CostModel &costModel() const override { return cm; }
 
     /** Total messages accepted (including retransmitted ones once). */
-    std::uint64_t totalMessages() const;
+    std::uint64_t totalMessages() const override;
 
   private:
     /** Seed inbox, kept as the MutexQueue ablation baseline. */

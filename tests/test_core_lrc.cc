@@ -309,6 +309,11 @@ runNoticeChoreography(const std::string &config, bool piggyback,
 {
     ClusterConfig cc = lrcConfig(config, 4);
     cc.piggybackWriteNotices = piggyback;
+    // The choreography below sequences nodes through captured host
+    // atomics and reports misses through a captured pointer — both
+    // require one address space, so this test stays on the in-process
+    // transport regardless of DSM_TRANSPORT.
+    cc.transport = "ring";
     Cluster cluster(cc);
     std::atomic<int> phase{0};
     auto reach = [&phase](int p) { phase.store(p); };

@@ -39,6 +39,12 @@ homeConfig(int nprocs, std::uint32_t migrate_threshold)
     return cc;
 }
 
+/** White-box handle on a node's live protocol state. Only meaningful
+ *  when the workers ran in this address space: under a process-per-
+ *  node transport the launcher-side runtimes never execute the app,
+ *  so every test that inspects lrcOf() pins cc.transport = "ring"
+ *  (otherwise the assertions would pass vacuously on pristine
+ *  state). */
 LrcRuntime &
 lrcOf(Cluster &cluster, NodeId node)
 {
@@ -57,6 +63,7 @@ TEST(HomeLrc, DiffStoreStaysEmptyAcrossEpochs)
     auto run = [&](bool home) {
         ClusterConfig cc = homeConfig(4, 0);
         cc.homeBasedLrc = home;
+        cc.transport = "ring"; // white-box lrcOf() inspection below
         auto cluster = std::make_unique<Cluster>(cc);
         cluster->run([&](Runtime &rt) {
             auto a = SharedArray<int>::alloc(rt, kWords, 4, "epochs");
@@ -103,6 +110,7 @@ TEST(HomeLrc, OneRoundTripPerColdMiss)
     constexpr int kEpochs = 40;
     ClusterConfig cc = homeConfig(2, 0); // migration off
     cc.gcAtBarriers = false; // keep proactive GC fetches out of the count
+    cc.transport = "ring";   // white-box lrcOf() inspection below
     Cluster cluster(cc);
     RunResult result = cluster.run([&](Runtime &rt) {
         // One page (256 ints x 4 bytes = 1024 = page 0, homed at 0).
@@ -141,6 +149,7 @@ TEST(HomeLrc, MigratesUnderSkewedAccess)
 {
     constexpr int kEpochs = 16;
     ClusterConfig cc = homeConfig(4, 4);
+    cc.transport = "ring"; // white-box lrcOf() inspection below
     Cluster cluster(cc);
     RunResult result = cluster.run([&](Runtime &rt) {
         auto a = SharedArray<int>::alloc(rt, 256, 4, "skew");
@@ -184,6 +193,7 @@ TEST(HomeLrc, LastWriterPolicyFollowsMigratoryWriter)
     cc.homeMigrateLastWriter = 1;
     cc.homeWriterSwitchThreshold = 2;
     cc.homePingPongLimit = 0; // uncapped: pure follow-the-writer
+    cc.transport = "ring";    // white-box lrcOf() inspection below
     Cluster cluster(cc);
     RunResult result = cluster.run([&](Runtime &rt) {
         auto a = SharedArray<int>::alloc(rt, 256, 4, "mig");

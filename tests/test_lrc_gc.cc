@@ -59,6 +59,11 @@ epochWorkload(Runtime &rt)
     }
 }
 
+/** White-box log sizes read straight off the live runtimes. Only
+ *  meaningful when the workers ran in this address space, so every
+ *  test using these helpers pins cc.transport = "ring" — under a
+ *  process-per-node transport the launcher-side runtimes stay
+ *  pristine and the bounds would pass (or fail) vacuously. */
 std::size_t
 totalRecords(Cluster &cluster)
 {
@@ -86,6 +91,7 @@ TEST(LrcGc, IntervalAndDiffLogsStayBoundedAcrossEpochs)
     ClusterConfig cc = gcConfig("LRC-diff", 2);
     cc.gcAtBarriers = true;
     cc.gcIntervalThreshold = 16;
+    cc.transport = "ring"; // white-box log inspection below
     Cluster cluster(cc);
     RunResult result = cluster.run(epochWorkload);
 
@@ -107,6 +113,7 @@ TEST(LrcGc, AblationLogsGrowWithoutGc)
 {
     ClusterConfig cc = gcConfig("LRC-diff", 2);
     cc.gcAtBarriers = false;
+    cc.transport = "ring"; // white-box log inspection below
     Cluster cluster(cc);
     RunResult result = cluster.run(epochWorkload);
 
@@ -121,6 +128,7 @@ TEST(LrcGc, TimestampingRecordsArePrunedToo)
     ClusterConfig cc = gcConfig("LRC-time", 2);
     cc.gcAtBarriers = true;
     cc.gcIntervalThreshold = 16;
+    cc.transport = "ring"; // white-box log inspection below
     Cluster cluster(cc);
     RunResult result = cluster.run(epochWorkload);
 
@@ -135,6 +143,7 @@ TEST(LrcGc, SingleNodePrunesItsOwnLog)
     ClusterConfig cc = gcConfig("LRC-diff", 1);
     cc.gcAtBarriers = true;
     cc.gcIntervalThreshold = 8;
+    cc.transport = "ring"; // white-box log inspection below
     Cluster cluster(cc);
     cluster.run([](Runtime &rt) {
         auto a = SharedArray<int>::alloc(rt, 64);

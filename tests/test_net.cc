@@ -11,6 +11,7 @@
 #include <mutex>
 
 #include "net/endpoint.hh"
+#include "net/network.hh"
 #include "net/fault_injector.hh"
 #include "net/serde.hh"
 

@@ -142,6 +142,10 @@ TEST(SmpNodes, BoundedHandoffServesRemoteRequester)
     cc.pageSize = 1024;
     cc.runtime = RuntimeConfig::parse("LRC-diff");
     cc.lockLocalHandoffBound = kBound;
+    // Cross-node choreography via captured host atomics (done /
+    // queuedAt / servedAt) needs one address space; pin to the
+    // in-process transport.
+    cc.transport = "ring";
     Cluster cluster(cc);
 
     std::atomic<std::uint64_t> done{0};   // node 0 releases so far

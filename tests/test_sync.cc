@@ -9,6 +9,7 @@
 
 #include <thread>
 
+#include "net/network.hh"
 #include "sync/barrier_service.hh"
 #include "sync/lock_service.hh"
 #include "sync/vector_time.hh"

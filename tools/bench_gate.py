@@ -114,7 +114,23 @@ def gate_net(gate, fresh, baseline, tolerance):
             gate.check(f"net/{key}", fresh[key], baseline[key], 0.01)
     else:
         print(f"  net/{key}: no committed baseline, skipping")
-    for key in ("rpc_roundtrip_ring_p50_ns", "rpc_roundtrip_ring_p99_ns"):
+    # ring_p50 / socket_p50 gates the tier-1 frame path: a regression
+    # in the codec or the reader-thread handoff inflates the socket
+    # round trip and drags this ratio below its floor, while both
+    # numbers coming from the same host keeps it machine-portable.
+    key = "rpc_ring_vs_socket_p50"
+    if key in baseline:
+        if key not in fresh:
+            gate.failures.append(f"net/{key}: missing from fresh "
+                                 "results")
+        else:
+            gate.check(f"net/{key}", fresh[key], baseline[key],
+                       tolerance)
+    else:
+        print(f"  net/{key}: no committed baseline, skipping")
+    for key in ("rpc_roundtrip_ring_p50_ns", "rpc_roundtrip_ring_p99_ns",
+                "rpc_roundtrip_socket_p50_ns",
+                "rpc_roundtrip_socket_p99_ns"):
         if key in fresh:
             print(f"        info  net/{key}: {fresh[key]:.0f} "
                   "(not gated: absolute latency)")
